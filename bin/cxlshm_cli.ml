@@ -1,0 +1,225 @@
+(* cxlshm — command-line driver for poking at a simulated CXL-SHM arena.
+
+   Subcommands:
+     demo      allocate / share / crash / recover walk-through
+     drill     run the §6.2.2 crash-window drill for one or all points
+     stats     print arena geometry for a given configuration
+     validate  build a randomized workload and validate the arena *)
+
+open Cxlshm
+open Cmdliner
+
+let geometry segments pages page_words clients =
+  {
+    Config.default with
+    Config.num_segments = segments;
+    pages_per_segment = pages;
+    page_words;
+    max_clients = clients;
+  }
+
+let seg_arg =
+  Arg.(value & opt int 64 & info [ "segments" ] ~doc:"Number of segments.")
+
+let pages_arg =
+  Arg.(value & opt int 16 & info [ "pages" ] ~doc:"Pages per segment.")
+
+let pw_arg =
+  Arg.(value & opt int 1024 & info [ "page-words" ] ~doc:"Words per page.")
+
+let clients_arg =
+  Arg.(value & opt int 16 & info [ "clients" ] ~doc:"Maximum clients (M).")
+
+(* ---- stats ---- *)
+
+let stats segments pages page_words clients =
+  let cfg = geometry segments pages page_words clients in
+  let lay = Layout.make cfg in
+  Printf.printf "arena geometry\n";
+  Printf.printf "  total words        %d (%d MiB simulated)\n"
+    lay.Layout.total_words
+    (lay.Layout.total_words * 8 / 1024 / 1024);
+  Printf.printf "  segments           %d x %d words\n" cfg.Config.num_segments
+    lay.Layout.segment_words;
+  Printf.printf "  segment header     %d words\n" lay.Layout.seg_hdr_words;
+  Printf.printf "  size classes       %d (%d..%d words/block)\n"
+    (Config.num_classes cfg)
+    (Config.class_block_words cfg 0)
+    (Config.class_block_words cfg (Config.num_classes cfg - 1));
+  Printf.printf "  client state       %d words each\n" lay.Layout.client_state_words;
+  Printf.printf "  era matrix         %dx%d\n" cfg.Config.max_clients
+    cfg.Config.max_clients;
+  Printf.printf "  queue directory    %d slots\n" cfg.Config.queue_slots;
+  0
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print the arena layout for a configuration.")
+    Term.(const stats $ seg_arg $ pages_arg $ pw_arg $ clients_arg)
+
+(* ---- demo ---- *)
+
+let demo objects =
+  let arena = Shm.create () in
+  let a = Shm.join arena () in
+  let b = Shm.join arena () in
+  Printf.printf "joined clients %d and %d\n" a.Ctx.cid b.Ctx.cid;
+  let q = Transfer.connect a ~receiver:b.Ctx.cid ~capacity:16 in
+  let qb = ref None in
+  let received = ref 0 in
+  for i = 1 to objects do
+    let r = Shm.cxl_malloc a ~size_bytes:32 () in
+    Cxl_ref.write_word r 0 (i * 11);
+    (match Transfer.send q r with
+    | Transfer.Sent -> ()
+    | Transfer.Full | Transfer.Closed -> failwith "send failed");
+    Cxl_ref.drop r;
+    if !qb = None then qb := Transfer.open_from b ~sender:a.Ctx.cid;
+    match !qb with
+    | Some queue -> (
+        match Transfer.receive queue with
+        | Transfer.Received rb ->
+            incr received;
+            Cxl_ref.drop rb
+        | Transfer.Empty | Transfer.Drained -> ())
+    | None -> ()
+  done;
+  Printf.printf "sent %d objects, received %d\n" objects !received;
+  Printf.printf "client A crashes with the queue open...\n";
+  Client.declare_failed (Shm.service_ctx arena) ~cid:a.Ctx.cid;
+  let rep = Shm.recover arena ~failed_cid:a.Ctx.cid in
+  Format.printf "recovery: %a@." Recovery.pp_report rep;
+  (match !qb with Some queue -> Transfer.close queue | None -> ());
+  Shm.leave b;
+  ignore (Shm.scan_leaking arena);
+  let v = Shm.validate arena in
+  Format.printf "validation: %a@." Validate.pp v;
+  if Validate.is_clean v then 0 else 1
+
+let demo_cmd =
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Allocate/share/crash/recover walk-through.")
+    Term.(
+      const demo
+      $ Arg.(value & opt int 100 & info [ "objects" ] ~doc:"Objects to pass."))
+
+(* ---- drill ---- *)
+
+let drill_one point =
+  let arena = Shm.create ~cfg:Config.small () in
+  let a = Shm.join arena () in
+  a.Ctx.fault <- Fault.at point ~nth:1;
+  (try
+     let p = Shm.cxl_malloc a ~size_bytes:16 ~emb_cnt:1 () in
+     let c = Shm.cxl_malloc a ~size_bytes:16 () in
+     Cxl_ref.set_emb p 0 c;
+     Cxl_ref.clear_emb p 0;
+     Cxl_ref.drop c;
+     Cxl_ref.drop p
+   with Fault.Crashed _ -> ());
+  let svc = Shm.service_ctx arena in
+  Client.declare_failed svc ~cid:a.Ctx.cid;
+  ignore (Recovery.recover svc ~failed_cid:a.Ctx.cid);
+  ignore (Reclaim.scan_all svc ~is_client_alive:(fun _ -> false));
+  let v = Shm.validate arena in
+  Printf.printf "%-32s %s\n" (Fault.point_name point)
+    (if Validate.is_clean v then "clean" else "VIOLATION");
+  Validate.is_clean v
+
+let drill point_name =
+  let points =
+    match point_name with
+    | None -> Fault.all_points
+    | Some n -> (
+        match
+          List.find_opt (fun p -> Fault.point_name p = n) Fault.all_points
+        with
+        | Some p -> [ p ]
+        | None ->
+            Printf.eprintf "unknown crash point %s\n" n;
+            exit 2)
+  in
+  if List.for_all drill_one points then 0 else 1
+
+let drill_cmd =
+  Cmd.v
+    (Cmd.info "drill" ~doc:"Run crash-window drills (all points by default).")
+    Term.(
+      const drill
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "point" ] ~doc:"Single crash point name."))
+
+(* ---- validate ---- *)
+
+let validate_run seed steps =
+  let arena = Shm.create ~cfg:Config.small () in
+  let a = Shm.join arena () in
+  let rng = Random.State.make [| seed |] in
+  let held = ref [] in
+  for _ = 1 to steps do
+    match Random.State.int rng 3 with
+    | 0 ->
+        held :=
+          Shm.cxl_malloc a ~size_bytes:(8 + Random.State.int rng 64) () :: !held
+    | 1 -> (
+        match !held with
+        | r :: rest ->
+            held := rest;
+            Cxl_ref.drop r
+        | [] -> ())
+    | _ -> (
+        match !held with
+        | r :: _ -> Cxl_ref.write_word r 0 (Random.State.int rng 1000)
+        | [] -> ())
+  done;
+  List.iter Cxl_ref.drop !held;
+  let v = Shm.validate arena in
+  Format.printf "validation: %a@." Validate.pp v;
+  if Validate.is_clean v then 0 else 1
+
+let validate_cmd =
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Random workload + whole-arena validation.")
+    Term.(
+      const validate_run
+      $ Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
+      $ Arg.(value & opt int 1000 & info [ "steps" ] ~doc:"Workload steps."))
+
+(* ---- dump ---- *)
+
+let dump seed steps =
+  let arena = Shm.create ~cfg:Config.small () in
+  let a = Shm.join arena () in
+  let b = Shm.join arena () in
+  let rng = Random.State.make [| seed |] in
+  let held = ref [] in
+  for _ = 1 to steps do
+    match Random.State.int rng 3 with
+    | 0 -> held := Shm.cxl_malloc a ~size_bytes:(8 + Random.State.int rng 64) () :: !held
+    | 1 -> (
+        match !held with
+        | r :: rest ->
+            held := rest;
+            Cxl_ref.drop r
+        | [] -> ())
+    | _ -> Client.heartbeat b
+  done;
+  Format.printf "%a@." Debug.pp_arena (Shm.mem arena, Shm.layout arena);
+  print_endline (Debug.summary (Shm.mem arena) (Shm.layout arena));
+  0
+
+let dump_cmd =
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Run a small workload and dump the arena state.")
+    Term.(
+      const dump
+      $ Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
+      $ Arg.(value & opt int 200 & info [ "steps" ] ~doc:"Workload steps."))
+
+let () =
+  let info = Cmd.info "cxlshm" ~doc:"CXL-SHM simulated-arena driver." in
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ demo_cmd; drill_cmd; stats_cmd; validate_cmd; dump_cmd ]))

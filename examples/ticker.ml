@@ -1,0 +1,87 @@
+(* Market-data ticker: broadcast log + ordered index (lib/structures).
+
+   One feed client publishes price updates into a broadcast log; two
+   independent subscribers consume the same entries without copies or
+   per-subscriber queues; one of them maintains an ordered index of the
+   latest price per symbol and answers range queries. Then the feed dies
+   mid-session and the recovery service cleans up while the subscribers'
+   data stays intact.
+
+   Run: dune exec examples/ticker.exe *)
+
+open Cxlshm
+module Bl = Cxlshm_structures.Broadcast_log
+module Sl = Cxlshm_structures.Sorted_list
+
+let () =
+  let arena = Shm.create () in
+  let feed = Shm.join arena () in
+  let indexer = Shm.join arena () in
+  let auditor = Shm.join arena () in
+
+  let log = Bl.create feed ~capacity:16 in
+  let cur_idx = Bl.subscribe indexer (Bl.log_ref log) in
+  let cur_aud = Bl.subscribe auditor (Bl.log_ref log) in
+  let index = Sl.create indexer ~value_words:1 in
+
+  (* the feed publishes (symbol, price) ticks *)
+  let ticks =
+    [ (101, 570); (205, 131); (101, 572); (318, 94); (205, 129); (101, 575) ]
+  in
+  List.iter
+    (fun (sym, price) ->
+      let t = Shm.cxl_malloc feed ~size_bytes:16 () in
+      Cxl_ref.write_word t 0 sym;
+      Cxl_ref.write_word t 1 price;
+      ignore (Bl.publish log t);
+      Cxl_ref.drop t)
+    ticks;
+
+  (* the indexer folds ticks into the ordered index *)
+  let rec drain_into_index () =
+    match Bl.poll cur_idx with
+    | `Entry (_, r) ->
+        Sl.replace index ~key:(Cxl_ref.read_word r 0)
+          ~value:(Cxl_ref.read_word r 1);
+        Cxl_ref.drop r;
+        drain_into_index ()
+    | `Lagged _ -> drain_into_index ()
+    | `Empty -> ()
+  in
+  drain_into_index ();
+  Printf.printf "index holds %d symbols\n" (Sl.length index);
+  print_endline "symbols in [100, 300):";
+  List.iter
+    (fun (sym, price) -> Printf.printf "  sym %d -> %d\n" sym price)
+    (Sl.range index ~lo:100 ~hi:300);
+
+  (* the auditor independently counts ticks from the same log *)
+  let rec count n =
+    match Bl.poll cur_aud with
+    | `Entry (_, r) ->
+        Cxl_ref.drop r;
+        count (n + 1)
+    | `Lagged k -> count (n + k)
+    | `Empty -> n
+  in
+  Printf.printf "auditor accounted for %d ticks\n" (count 0);
+
+  (* the feed dies mid-session *)
+  print_endline "feed crashes...";
+  Client.declare_failed (Shm.service_ctx arena) ~cid:feed.Ctx.cid;
+  ignore (Shm.recover arena ~failed_cid:feed.Ctx.cid);
+  Printf.printf "index still answers: sym 101 -> %s\n"
+    (match Sl.find index ~key:101 with
+    | Some p -> string_of_int p
+    | None -> "lost!");
+
+  (* orderly shutdown *)
+  Bl.close_cursor cur_idx;
+  Bl.close_cursor cur_aud;
+  Sl.close index;
+  Shm.leave indexer;
+  Shm.leave auditor;
+  ignore (Shm.scan_leaking arena);
+  let v = Shm.validate arena in
+  assert (Validate.is_clean v);
+  print_endline "ticker OK"

@@ -1,0 +1,37 @@
+(** Common interface of the baseline allocators used by the Fig 6 / §6.2.1
+    benchmarks. Each allocator runs on its own simulated memory arena of the
+    tier appropriate to what it models (DRAM for mimalloc/jemalloc, pmem ≈
+    remote tier for Ralloc), so modeled time can be compared directly with
+    CXL-SHM running on the CXL tier. *)
+
+module type S = sig
+  type t
+  type thread
+
+  val name : string
+
+  val create : words:int -> threads:int -> t
+  (** Build an allocator instance backed by a fresh local arena. *)
+
+  val thread : t -> int -> thread
+  (** Per-thread handle [0 .. threads-1]. *)
+
+  val alloc : thread -> size_bytes:int -> Cxlshm_shmem.Pptr.t
+  (** Allocate; raises [Out_of_memory] when the arena is exhausted. *)
+
+  val free : thread -> Cxlshm_shmem.Pptr.t -> unit
+
+  val write_word : thread -> Cxlshm_shmem.Pptr.t -> int -> int -> unit
+  (** Touch the allocation (benchmarks write to verify liveness). *)
+
+  val read_word : thread -> Cxlshm_shmem.Pptr.t -> int -> int
+
+  val stats : thread -> Cxlshm_shmem.Stats.t
+  (** Per-thread memory-event counters (parallel portion). *)
+
+  val serial_stats : t -> Cxlshm_shmem.Stats.t
+  (** Events that execute under a global lock and therefore serialise
+      across threads (zero for lock-free allocators). *)
+
+  val tier : t -> Cxlshm_shmem.Latency.tier
+end

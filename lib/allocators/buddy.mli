@@ -1,0 +1,9 @@
+(** Lock-based buddy allocator — Lightning's memory manager (§4.2, Fig 10).
+
+    Lightning [Zhuo et al., VLDB'22] manages its object store with "a simple
+    lock-based buddy system"; the paper attributes the one-to-three
+    orders-of-magnitude throughput gap between Lightning and CXL-KV largely
+    to it. All operations run under a single global spinlock, so every
+    memory event lands in {!serial_stats} and serialises across threads. *)
+
+include Alloc_intf.S

@@ -1,0 +1,159 @@
+module Mem = Cxlshm_shmem.Mem
+module Stats = Cxlshm_shmem.Stats
+module Latency = Cxlshm_shmem.Latency
+
+let name = "jemalloc"
+let page_words = 512
+let tcache_slots = 32
+
+(* Layout: +0 reserved, +1 page bump, +2.. central bin heads (one per
+   class, CAS'd), then per-thread tcaches (count + slots per class), then
+   page areas. Central bins are Treiber stacks of blocks. *)
+type t = {
+  mem : Mem.t;
+  num_pages : int;
+  central_base : int;
+  page_map_base : int;  (** class+1 of each carved page *)
+  tcache_base : int;
+  pages_base : int;
+  nclasses : int;
+  threads : int;
+}
+
+type thread = { a : t; tid : int; st : Stats.t }
+
+let tier _ = Latency.Local_numa
+
+(* +0 count, +1 overflow-chain head (thread-local, no CAS), +2.. slots *)
+let tcache_words = 2 + tcache_slots
+
+let create ~words ~threads =
+  let nclasses = Size_class.num_classes ~page_words in
+  let overhead np = 2 + nclasses + np + (threads * nclasses * tcache_words) in
+  let rec fit np =
+    if overhead np + (np * page_words) > words then np - 1 else fit (np + 1)
+  in
+  let num_pages = fit 1 in
+  if num_pages < 1 then invalid_arg "Local_jemalloc.create: arena too small";
+  let mem = Mem.create ~tier:Latency.Local_numa ~words () in
+  {
+    mem;
+    num_pages;
+    central_base = 2;
+    page_map_base = 2 + nclasses;
+    tcache_base = 2 + nclasses + num_pages;
+    pages_base = overhead num_pages;
+    nclasses;
+    threads;
+  }
+
+let thread a tid =
+  if tid < 0 || tid >= a.threads then invalid_arg "Local_jemalloc.thread";
+  { a; tid; st = Stats.create () }
+
+let stats th = th.st
+let serial_stats _ = Stats.create ()
+
+let central_addr a c = a.central_base + c
+let tcache_addr a tid c = a.tcache_base + (((tid * a.nclasses) + c) * tcache_words)
+
+(* Carve a fresh page directly into the central bin of class [c]. *)
+let refill_central th c =
+  let a = th.a in
+  let p = Mem.fetch_add a.mem ~st:th.st 1 1 in
+  if p >= a.num_pages then raise Out_of_memory;
+  Mem.store a.mem ~st:th.st (a.page_map_base + p) (c + 1);
+  let bw = Size_class.block_words c in
+  let cap = page_words / bw in
+  let base = a.pages_base + (p * page_words) in
+  (* chain the new blocks, then CAS the chain onto the bin *)
+  for i = 0 to cap - 2 do
+    Mem.store a.mem ~st:th.st (base + (i * bw)) (base + ((i + 1) * bw))
+  done;
+  let last = base + ((cap - 1) * bw) in
+  let rec splice () =
+    let cur = Mem.load a.mem ~st:th.st (central_addr a c) in
+    Mem.store a.mem ~st:th.st last cur;
+    if not (Mem.cas a.mem ~st:th.st (central_addr a c) ~expected:cur ~desired:base)
+    then splice ()
+  in
+  splice ()
+
+(* Refill the tcache from the thread-local overflow chain; when that is
+   empty, swap the whole central bin in with a single CAS (jemalloc batches
+   central-bin synchronisation, it never pays a CAS per block). *)
+let rec refill_tcache th c =
+  let a = th.a in
+  let tc = tcache_addr a th.tid c in
+  let overflow = tc + 1 in
+  let rec swap_central () =
+    let cur = Mem.load a.mem ~st:th.st (central_addr a c) in
+    if cur = 0 then false
+    else if Mem.cas a.mem ~st:th.st (central_addr a c) ~expected:cur ~desired:0
+    then begin
+      Mem.store a.mem ~st:th.st overflow cur;
+      true
+    end
+    else swap_central ()
+  in
+  let count = ref (Mem.load a.mem ~st:th.st tc) in
+  let target = tcache_slots / 2 in
+  let rec fill () =
+    if !count < target then begin
+      let head = Mem.load a.mem ~st:th.st overflow in
+      if head <> 0 then begin
+        Mem.store a.mem ~st:th.st overflow (Mem.load a.mem ~st:th.st head);
+        Mem.store a.mem ~st:th.st (tc + 2 + !count) head;
+        incr count;
+        fill ()
+      end
+      else if swap_central () then fill ()
+      else begin
+        refill_central th c;
+        ignore (swap_central ());
+        fill ()
+      end
+    end
+  in
+  fill ();
+  Mem.store a.mem ~st:th.st tc !count;
+  if !count = 0 then refill_tcache th c
+
+let alloc th ~size_bytes =
+  let a = th.a in
+  let c = Size_class.class_of_bytes ~page_words size_bytes in
+  let tc = tcache_addr a th.tid c in
+  let count = Mem.load a.mem ~st:th.st tc in
+  if count = 0 then begin
+    refill_tcache th c;
+    let count = Mem.load a.mem ~st:th.st tc in
+    let b = Mem.load a.mem ~st:th.st (tc + 1 + count) in
+    Mem.store a.mem ~st:th.st tc (count - 1);
+    b
+  end
+  else begin
+    let b = Mem.load a.mem ~st:th.st (tc + 1 + count) in
+    Mem.store a.mem ~st:th.st tc (count - 1);
+    b
+  end
+
+let free th b =
+  let a = th.a in
+  (* Pages are homogeneous; the page map recovers the block's class. *)
+  let p = (b - a.pages_base) / page_words in
+  let c = Mem.load a.mem ~st:th.st (a.page_map_base + p) - 1 in
+  let tc = tcache_addr a th.tid c in
+  let count = Mem.load a.mem ~st:th.st tc in
+  if count >= tcache_slots - 1 then begin
+    (* overflow to the thread-local chain — no synchronisation *)
+    let overflow = tc + 1 in
+    Mem.store a.mem ~st:th.st b (Mem.load a.mem ~st:th.st overflow);
+    Mem.store a.mem ~st:th.st overflow b
+  end
+  else begin
+    Mem.store a.mem ~st:th.st (tc + 2 + count) b;
+    Mem.store a.mem ~st:th.st tc (count + 1)
+  end
+
+let write_word th b i v = Mem.store th.a.mem ~st:th.st (b + i) v
+let read_word th b i = Mem.load th.a.mem ~st:th.st (b + i)

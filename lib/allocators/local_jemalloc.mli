@@ -1,0 +1,9 @@
+(** jemalloc-like volatile allocator baseline (Fig 6).
+
+    Arena/bin design: per-thread caches (tcache) refilled from central
+    per-class bins protected by a CAS lock, on local-DRAM latencies. A bit
+    more bookkeeping per operation than the mimalloc baseline, with rare
+    central-bin synchronisation — matching the two curves' proximity in
+    Fig 6. *)
+
+include Alloc_intf.S

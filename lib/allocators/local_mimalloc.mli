@@ -1,0 +1,9 @@
+(** mimalloc-like volatile allocator baseline (Fig 6).
+
+    Same skeleton the paper builds CXL-SHM on: per-thread segments, pages
+    per size class, intrusive free lists, no cross-thread synchronisation in
+    the fast path — but no object headers, no RootRefs, no fence, no flush,
+    running on local-DRAM latencies. The Fig 6 gap between this and CXL-SHM
+    is exactly the cost of failure resilience plus the memory tier. *)
+
+include Alloc_intf.S

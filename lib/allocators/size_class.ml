@@ -1,0 +1,19 @@
+(** Shared size-class arithmetic for the segment/page-based baselines. *)
+
+let min_block_words = 2
+let num_classes ~page_words =
+  let rec count n sz = if sz > page_words then n else count (n + 1) (sz * 2) in
+  count 0 min_block_words
+
+let block_words c = min_block_words lsl c
+
+let class_of_bytes ~page_words size_bytes =
+  let words = max 1 ((size_bytes + 7) / 8) in
+  let rec find c =
+    if block_words c > page_words then
+      invalid_arg "Size_class.class_of_bytes: too large"
+    else if block_words c >= words then c
+    else find (c + 1)
+  in
+  ignore (num_classes ~page_words);
+  find 0

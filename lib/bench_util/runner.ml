@@ -1,0 +1,46 @@
+module Stats = Cxlshm_shmem.Stats
+module Latency = Cxlshm_shmem.Latency
+
+type result = { ops : int; wall_ns : float; modeled_ns : float; threads : int }
+
+let mops r = float_of_int r.ops /. (r.modeled_ns /. 1000.0)
+let wall_mops r = float_of_int r.ops /. (r.wall_ns /. 1000.0)
+
+(* Monotonic-enough clock without external deps. *)
+let clock () = Unix.gettimeofday () *. 1e9
+
+let time_wall f =
+  let t0 = clock () in
+  let v = f () in
+  (v, clock () -. t0)
+
+let run_parallel ~threads ~ops_per_thread ~model ?serial stats_of body =
+  if threads < 1 then invalid_arg "Runner.run_parallel: threads >= 1";
+  let wall =
+    let t0 = clock () in
+    if threads = 1 then body 0
+    else begin
+      let domains =
+        List.init threads (fun tid -> Domain.spawn (fun () -> body tid))
+      in
+      List.iter Domain.join domains
+    end;
+    clock () -. t0
+  in
+  let parallel_ns =
+    List.fold_left
+      (fun acc tid -> Float.max acc (Stats.modeled_ns model (stats_of tid)))
+      0.0
+      (List.init threads Fun.id)
+  in
+  let serial_ns =
+    match serial with
+    | None -> 0.0
+    | Some f -> Stats.modeled_ns model (f ())
+  in
+  {
+    ops = threads * ops_per_thread;
+    wall_ns = wall;
+    modeled_ns = parallel_ns +. serial_ns;
+    threads;
+  }

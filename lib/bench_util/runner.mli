@@ -1,0 +1,41 @@
+(** Parallel execution and time accounting for the benchmark harness.
+
+    Every experiment reports two clocks:
+
+    - {b wall time}: real elapsed time of the simulator run (OCaml domains
+      doing real CAS on real shared memory);
+    - {b modeled time}: per-thread memory-event counts priced by the
+      {!Cxlshm_shmem.Latency} model — the clock whose *shape* is comparable
+      with the paper's hardware numbers.
+
+    For lock-free workloads modeled time is the max across threads (they
+    proceed in parallel); serialised work (e.g. Lightning's global lock)
+    adds its serial component on top. *)
+
+type result = {
+  ops : int;            (** total operations completed *)
+  wall_ns : float;
+  modeled_ns : float;
+  threads : int;
+}
+
+val mops : result -> float
+(** Million ops/s under the modeled clock — the paper's reporting unit. *)
+
+val wall_mops : result -> float
+
+val run_parallel :
+  threads:int ->
+  ops_per_thread:int ->
+  model:Cxlshm_shmem.Latency.t ->
+  ?serial:(unit -> Cxlshm_shmem.Stats.t) ->
+  (int -> Cxlshm_shmem.Stats.t) ->
+  (int -> unit) ->
+  result
+(** [run_parallel ~threads ~ops_per_thread ~model stats_of body] spawns
+    [threads] domains running [body tid], then prices [stats_of tid] with
+    [model]. [serial] (sampled after the run) contributes serialised time.
+    With [threads = 1] the body runs inline (deterministic). *)
+
+val time_wall : (unit -> 'a) -> 'a * float
+(** [(value, ns)] of a single call. *)

@@ -1,0 +1,43 @@
+type t = { title : string; columns : string list; mutable rows : string list list }
+
+let create ~title ~columns = { title; columns; rows = [] }
+let add_row t row = t.rows <- row :: t.rows
+
+let cell_f v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else if Float.abs v >= 100.0 then Printf.sprintf "%.1f" v
+  else if Float.abs v >= 1.0 then Printf.sprintf "%.2f" v
+  else Printf.sprintf "%.4f" v
+
+let cell_i = string_of_int
+
+let to_string t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let ncols = List.length t.columns in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some s -> max acc (String.length s)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  let render row =
+    List.iteri
+      (fun c cell ->
+        let w = List.nth widths c in
+        Buffer.add_string buf (Printf.sprintf "%-*s" w cell);
+        if c < ncols - 1 then Buffer.add_string buf "  ")
+      row;
+    Buffer.add_char buf '\n'
+  in
+  render t.columns;
+  render (List.map (fun w -> String.make w '-') widths);
+  List.iter render rows;
+  Buffer.contents buf
+
+let print t = print_string (to_string t)

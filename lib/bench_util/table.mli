@@ -1,0 +1,12 @@
+(** Aligned plain-text tables for the benchmark harness output. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+val add_row : t -> string list -> unit
+val cell_f : float -> string
+(** Format a float compactly ("43.2", "0.031", "117.2"). *)
+
+val cell_i : int -> string
+val print : t -> unit
+val to_string : t -> string

@@ -1,0 +1,34 @@
+let threadtest ~alloc ~free ~write ~rounds ~batch =
+  let batch_arr = Array.make batch None in
+  for _ = 1 to rounds do
+    for i = 0 to batch - 1 do
+      let h = alloc 64 in
+      write h;
+      batch_arr.(i) <- Some h
+    done;
+    for i = 0 to batch - 1 do
+      match batch_arr.(i) with
+      | Some h ->
+          free h;
+          batch_arr.(i) <- None
+      | None -> assert false
+    done
+  done
+
+let threadtest_ops ~rounds ~batch = rounds * batch * 2
+
+let shbench ~alloc ~free ~write ~seed ~ops =
+  let rng = Random.State.make [| seed |] in
+  let ws_size = 256 in
+  let ws = Array.make ws_size None in
+  for _ = 1 to ops do
+    let slot = Random.State.int rng ws_size in
+    (match ws.(slot) with Some h -> free h | None -> ());
+    let size = 64 + Random.State.int rng 337 in
+    let h = alloc size in
+    write h;
+    ws.(slot) <- Some h
+  done;
+  Array.iter (function Some h -> free h | None -> ()) ws
+
+let shbench_ops ~ops = ops * 2

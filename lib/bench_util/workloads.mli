@@ -1,0 +1,25 @@
+(** The two allocator benchmarks of Fig 6, generic over the allocator.
+
+    - {b Threadtest} (Hoard): each thread repeatedly allocates a batch of
+      64-byte objects and frees them all — fixed-size churn, no sharing.
+    - {b Shbench} (MicroQuill): variable-size objects (64-400 bytes) with a
+      random working set — a stress test for small-size allocation and
+      reclamation.
+
+    Each function is the per-thread body; callers run one per domain. *)
+
+val threadtest :
+  alloc:(int -> 'h) -> free:('h -> unit) -> write:('h -> unit) ->
+  rounds:int -> batch:int -> unit
+(** [alloc size_bytes], [free h]; [write] touches the allocation. Total
+    operations = [rounds * batch * 2] (an alloc and a free each count). *)
+
+val threadtest_ops : rounds:int -> batch:int -> int
+
+val shbench :
+  alloc:(int -> 'h) -> free:('h -> unit) -> write:('h -> unit) ->
+  seed:int -> ops:int -> unit
+(** Keeps a bounded working set; each step allocates a 64-400-byte object
+    and frees a random victim once the set is full. *)
+
+val shbench_ops : ops:int -> int

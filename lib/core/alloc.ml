@@ -1,0 +1,353 @@
+exception Out_of_shared_memory
+
+let data_words_for _cfg ~size_bytes ~emb_cnt =
+  if size_bytes < 0 || emb_cnt < 0 then
+    invalid_arg "Alloc.data_words_for: negative size";
+  emb_cnt + Cxlshm_shmem.Mem.bytes_words size_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Current-page table                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Kind-table index: size class c at index c, RootRef class at index NC. *)
+let head_slot (ctx : Ctx.t) idx = Layout.class_head ctx.lay ctx.cid idx
+
+let current_page ctx idx =
+  let v = Ctx.load ctx (head_slot ctx idx) in
+  if v = 0 then None else Some (v - 1)
+
+let set_current_page ctx idx gid = Ctx.store ctx (head_slot ctx idx) (gid + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Slow path: segments and pages                                       *)
+(* ------------------------------------------------------------------ *)
+
+let claim_any_segment (ctx : Ctx.t) =
+  let n = (Ctx.cfg ctx).Config.num_segments in
+  (* Randomised start index spreads concurrent claimers apart. *)
+  let start = Random.State.int ctx.rng n in
+  let rec try_from k adopting =
+    if k >= n then
+      if adopting then None
+      else try_from 0 true (* second pass: adopt orphans *)
+    else
+      let s = (start + k) mod n in
+      let ok = if adopting then Segment.adopt ctx s else Segment.claim ctx s in
+      if ok then Some s else try_from (k + 1) adopting
+  in
+  match try_from 0 false with
+  | Some s ->
+      Ctx.crash_point ctx Fault.Slowpath_after_segment_claim;
+      Ctx.store ctx (Layout.client_cur_segment ctx.lay ctx.cid) (s + 1);
+      Some s
+  | None -> None
+
+let find_unused_page ctx seg =
+  let pps = (Ctx.cfg ctx).Config.pages_per_segment in
+  let rec go p =
+    if p >= pps then None
+    else
+      let gid = Layout.page_gid ctx.Ctx.lay ~seg ~page:p in
+      if Page.kind ctx ~gid = Config.kind_unused then Some gid else go (p + 1)
+  in
+  go 0
+
+let init_page_for ctx ~kind ~block_words gid =
+  Page.init ctx ~gid ~kind ~block_words;
+  Ctx.crash_point ctx Fault.Slowpath_after_page_claim
+
+let collect_deferred (ctx : Ctx.t) =
+  let drain seg =
+    let blocks = Segment.pop_all_client_free ctx ~seg in
+    List.iter
+      (fun b ->
+        let _, gid = Page.block_of_addr ctx b in
+        let cfg = Ctx.cfg ctx in
+        let rootref = Page.kind ctx ~gid = Config.kind_rootref cfg in
+        Page.push_free ctx ~gid ~rootref b)
+      blocks
+  in
+  List.iter drain (Segment.owned_by ctx ~cid:ctx.cid)
+
+(* A client keeps allocating from segments it owns even after one of them
+   was marked POTENTIAL_LEAKING (the marking only gates recycling, §5.3). *)
+let usable_state = function
+  | Segment.Active | Segment.Leaking -> true
+  | Segment.Free | Segment.Orphaned | Segment.Huge_head | Segment.Huge_cont ->
+      false
+
+(* Find (or make) a page of [kind] with free blocks and make it current. *)
+let rec ensure_page (ctx : Ctx.t) ~idx ~kind ~block_words ~fuel =
+  if fuel = 0 then raise Out_of_shared_memory;
+  match current_page ctx idx with
+  | Some gid when Page.kind ctx ~gid = kind && Page.free_head ctx ~gid <> 0 ->
+      gid
+  | _ -> (
+      (* Scan owned segments for a usable page of this kind. *)
+      let owned = Segment.owned_by ctx ~cid:ctx.cid in
+      let usable gid = Page.kind ctx ~gid = kind && Page.free_head ctx ~gid <> 0 in
+      let pps = (Ctx.cfg ctx).Config.pages_per_segment in
+      let found =
+        List.find_map
+          (fun seg ->
+            let rec go p =
+              if p >= pps then None
+              else
+                let gid = Layout.page_gid ctx.lay ~seg ~page:p in
+                if usable_state (Segment.state ctx seg) && usable gid then
+                  Some gid
+                else go (p + 1)
+            in
+            go 0)
+          owned
+      in
+      match found with
+      | Some gid ->
+          set_current_page ctx idx gid;
+          gid
+      | None -> (
+          (* Drain deferred frees, which may refill a page. *)
+          collect_deferred ctx;
+          let refilled =
+            List.find_map
+              (fun seg ->
+                let rec go p =
+                  if p >= pps then None
+                  else
+                    let gid = Layout.page_gid ctx.lay ~seg ~page:p in
+                    if usable_state (Segment.state ctx seg) && usable gid then
+                      Some gid
+                    else go (p + 1)
+                in
+                go 0)
+              owned
+          in
+          match refilled with
+          | Some gid ->
+              set_current_page ctx idx gid;
+              gid
+          | None -> (
+              (* Fresh page in an owned segment, else claim a segment. *)
+              let fresh =
+                List.find_map
+                  (fun seg ->
+                    if usable_state (Segment.state ctx seg) then
+                      find_unused_page ctx seg
+                    else None)
+                  owned
+              in
+              match fresh with
+              | Some gid ->
+                  init_page_for ctx ~kind ~block_words gid;
+                  set_current_page ctx idx gid;
+                  gid
+              | None -> (
+                  match claim_any_segment ctx with
+                  | None -> raise Out_of_shared_memory
+                  | Some _ ->
+                      ensure_page ctx ~idx ~kind ~block_words ~fuel:(fuel - 1)))))
+
+(* ------------------------------------------------------------------ *)
+(* RootRef allocation (§5.1 step 1)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let alloc_rootref (ctx : Ctx.t) =
+  let cfg = Ctx.cfg ctx in
+  let kind = Config.kind_rootref cfg in
+  let idx = Layout.(ctx.lay.num_classes) in
+  let gid =
+    ensure_page ctx ~idx ~kind ~block_words:Config.rootref_words
+      ~fuel:(cfg.Config.num_segments + 1)
+  in
+  let rr = Page.free_head ctx ~gid in
+  assert (rr <> 0);
+  let next = Ctx.load ctx (rr + 1) in
+  (* in_use is set while the block is still the list head; if we die before
+     advancing, recovery sees an in_use list head and simply clears it. *)
+  Rootref.set_state ctx rr ~in_use:true ~cnt:1;
+  Ctx.fence ctx;
+  Ctx.store ctx (Layout.page_free ctx.lay ~gid) next;
+  Ctx.store ctx (rr + 1) 0;
+  Page.incr_used ctx ~gid;
+  rr
+
+let free_rootref (ctx : Ctx.t) rr =
+  Rootref.set_state ctx rr ~in_use:false ~cnt:0;
+  let _, gid = Page.block_of_addr ctx rr in
+  let seg = Layout.segment_of_addr ctx.lay rr in
+  if Segment.owner ctx seg = Some ctx.cid then
+    Page.push_free ctx ~gid ~rootref:true rr
+  else Segment.push_client_free ctx ~seg rr
+
+(* ------------------------------------------------------------------ *)
+(* Huge objects: contiguous segment runs with retry-and-rollback       *)
+(* ------------------------------------------------------------------ *)
+
+let segs_needed (ctx : Ctx.t) total_words =
+  let lay = ctx.lay in
+  let head_capacity = lay.Layout.segment_words - lay.Layout.seg_hdr_words in
+  if total_words <= head_capacity then 1
+  else
+    1
+    + ((total_words - head_capacity + lay.Layout.segment_words - 1)
+       / lay.Layout.segment_words)
+
+let claim_huge_run (ctx : Ctx.t) n =
+  let num = (Ctx.cfg ctx).Config.num_segments in
+  let rec attempt start =
+    if start + n > num then None
+    else begin
+      let rec grab k =
+        if k >= n then n
+        else if Segment.claim ctx (start + k) then grab (k + 1)
+        else k
+      in
+      let got = grab 0 in
+      if got = n then Some start
+      else begin
+        (* rollback the prefix we won and retry past the conflict *)
+        for k = 0 to got - 1 do
+          Segment.release ctx (start + k)
+        done;
+        attempt (start + got + 1)
+      end
+    end
+  in
+  attempt 0
+
+let alloc_huge (ctx : Ctx.t) ~data_words ~emb_cnt =
+  let total = Config.header_words + data_words in
+  let n = segs_needed ctx total in
+  match claim_huge_run ctx n with
+  | None -> raise Out_of_shared_memory
+  | Some head ->
+      let lay = ctx.Ctx.lay in
+      Segment.set_state ctx head Segment.Huge_head;
+      for k = 1 to n - 1 do
+        Segment.set_state ctx (head + k) Segment.Huge_cont
+      done;
+      let pps = (Ctx.cfg ctx).Config.pages_per_segment in
+      let kind = Config.kind_huge (Ctx.cfg ctx) in
+      for p = 0 to pps - 1 do
+        let gid = Layout.page_gid lay ~seg:head ~page:p in
+        Ctx.store ctx (Layout.page_kind lay ~gid) kind;
+        Ctx.store ctx (Layout.page_free lay ~gid) 0;
+        Ctx.store ctx (Layout.page_capacity lay ~gid) (if p = 0 then 1 else 0);
+        Ctx.store ctx (Layout.page_used lay ~gid) (if p = 0 then 1 else 0);
+        Ctx.store ctx (Layout.page_block_words lay ~gid)
+          (if p = 0 then total else 0);
+        Ctx.store ctx (Layout.page_aux lay ~gid) (if p = 0 then n else 0)
+      done;
+      let obj = Layout.segment_base lay head + lay.Layout.seg_hdr_words in
+      Ctx.store ctx (Obj_header.meta_of_obj obj)
+        (Obj_header.pack_meta ~kind ~emb_cnt ~data_words:(min data_words ((1 lsl 24) - 1)));
+      for i = 0 to emb_cnt - 1 do
+        Ctx.store ctx (Obj_header.emb_slot obj i) 0
+      done;
+      obj
+
+let is_huge (ctx : Ctx.t) obj =
+  let seg = Layout.segment_of_addr ctx.lay obj in
+  match Segment.state ctx seg with
+  | Segment.Huge_head | Segment.Huge_cont -> true
+  | Segment.Free | Segment.Active | Segment.Orphaned | Segment.Leaking ->
+      (* A leaking huge head keeps its page kind. *)
+      let gid = Layout.page_gid ctx.lay ~seg ~page:0 in
+      Page.kind ctx ~gid = Config.kind_huge (Ctx.cfg ctx)
+
+let huge_span (ctx : Ctx.t) ~head_seg =
+  let gid = Layout.page_gid ctx.Ctx.lay ~seg:head_seg ~page:0 in
+  Ctx.load ctx (Layout.page_aux ctx.Ctx.lay ~gid)
+
+let free_huge (ctx : Ctx.t) obj =
+  let head = Layout.segment_of_addr ctx.Ctx.lay obj in
+  let n = huge_span ctx ~head_seg:head in
+  let pps = (Ctx.cfg ctx).Config.pages_per_segment in
+  for p = 0 to pps - 1 do
+    Page.reset ctx ~gid:(Layout.page_gid ctx.Ctx.lay ~seg:head ~page:p)
+  done;
+  for k = n - 1 downto 0 do
+    Segment.release ctx (head + k)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Object allocation (§5.1 steps 2-4)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let link_and_carve (ctx : Ctx.t) rr ~idx ~kind ~block_words ~data_words ~emb_cnt =
+  let cfg = Ctx.cfg ctx in
+  let gid =
+    ensure_page ctx ~idx ~kind ~block_words ~fuel:(cfg.Config.num_segments + 1)
+  in
+  let blk = Page.free_head ctx ~gid in
+  assert (blk <> 0);
+  let next = Ctx.load ctx (blk + Config.header_words) in
+  (* Step 2: link first — the RootRef must reach the block before the free
+     pointer moves, else a crash leaks the block (§5.1). The CLWB of the
+     RootRef line is the flush Fig 7 attributes 27-50% of the fast path to. *)
+  Ctx.store ctx (Rootref.pptr_slot rr) blk;
+  if not (Ctx.cfg ctx).Config.eadr then Ctx.flush ctx rr;
+  Ctx.crash_point ctx Fault.Alloc_after_link;
+  Ctx.fence ctx;
+  (* Step 3: advance the thread-exclusive free pointer. *)
+  Ctx.store ctx (Layout.page_free ctx.lay ~gid) next;
+  Page.incr_used ctx ~gid;
+  Ctx.crash_point ctx Fault.Alloc_after_advance;
+  (* Step 4: initialise the object. No CAS: the block is still private. *)
+  Ctx.store ctx (Obj_header.meta_of_obj blk)
+    (Obj_header.pack_meta ~kind ~emb_cnt ~data_words);
+  for i = 0 to emb_cnt - 1 do
+    Ctx.store ctx (Obj_header.emb_slot blk i) 0
+  done;
+  (* lcid/lera stay "never touched": writing the current era here would
+     make Condition 1 spuriously true for an uncommitted transaction whose
+     redo record happens to target this fresh object. Allocation crashes
+     are covered by the §5.1 free-pointer guard instead. *)
+  Ctx.store ctx
+    (Obj_header.header_of_obj blk)
+    (Obj_header.pack { Obj_header.lcid = None; lera = 0; ref_cnt = 1 });
+  Ctx.crash_point ctx Fault.Alloc_after_header;
+  blk
+
+let alloc_obj (ctx : Ctx.t) ~data_words ~emb_cnt =
+  if emb_cnt > data_words then
+    invalid_arg "Alloc.alloc_obj: emb_cnt exceeds data_words";
+  let cfg = Ctx.cfg ctx in
+  let rr = alloc_rootref ctx in
+  Ctx.crash_point ctx Fault.Alloc_after_rootref;
+  match Config.class_of_data_words cfg data_words with
+  | Some c ->
+      let obj =
+        link_and_carve ctx rr ~idx:c ~kind:(Config.kind_of_class c)
+          ~block_words:(Config.class_block_words cfg c)
+          ~data_words ~emb_cnt
+      in
+      (rr, obj)
+  | None ->
+      let obj = alloc_huge ctx ~data_words ~emb_cnt in
+      Ctx.store ctx (Rootref.pptr_slot rr) obj;
+      if not (Ctx.cfg ctx).Config.eadr then Ctx.flush ctx rr;
+      Ctx.crash_point ctx Fault.Alloc_after_link;
+      Ctx.fence ctx;
+      Ctx.store ctx
+        (Obj_header.header_of_obj obj)
+        (Obj_header.pack { Obj_header.lcid = None; lera = 0; ref_cnt = 1 });
+      Ctx.crash_point ctx Fault.Alloc_after_header;
+      (rr, obj)
+
+let obj_page (ctx : Ctx.t) obj = snd (Page.block_of_addr ctx obj)
+
+let free_obj_block (ctx : Ctx.t) obj =
+  if is_huge ctx obj then free_huge ctx obj
+  else begin
+    let blk, gid = Page.block_of_addr ctx obj in
+    assert (blk = obj);
+    (* Zero the header so scans and reuse observe count 0. *)
+    Ctx.store ctx (Obj_header.header_of_obj blk) 0;
+    Ctx.store ctx (Obj_header.meta_of_obj blk) 0;
+    Ctx.crash_point ctx Fault.Release_mid_reclaim;
+    let seg = Layout.segment_of_addr ctx.lay blk in
+    if Segment.owner ctx seg = Some ctx.cid then
+      Page.push_free ctx ~gid ~rootref:false blk
+    else Segment.push_client_free ctx ~seg blk
+  end

@@ -1,0 +1,99 @@
+module Mem = Cxlshm_shmem.Mem
+module Stats = Cxlshm_shmem.Stats
+
+type status = Slot_free | Alive | Failed
+
+let status_name = function
+  | Slot_free -> "free"
+  | Alive -> "alive"
+  | Failed -> "failed"
+
+let status_of_int = function
+  | 0 -> Slot_free
+  | 1 -> Alive
+  | 2 -> Failed
+  | n -> invalid_arg (Printf.sprintf "Client.status_of_int: %d" n)
+
+let status_to_int = function Slot_free -> 0 | Alive -> 1 | Failed -> 2
+
+let init_slot (ctx : Ctx.t) =
+  let lay = ctx.Ctx.lay in
+  let cid = ctx.Ctx.cid in
+  Era.init_row ctx;
+  Redo_log.clear_for ctx ~cid;
+  for k = 0 to lay.Layout.num_classes do
+    Ctx.store ctx (Layout.class_head lay cid k) 0
+  done;
+  Ctx.store ctx (Layout.client_cur_segment lay cid) 0;
+  Ctx.store ctx (Layout.client_heartbeat lay cid) 0;
+  Ctx.store ctx (Layout.client_machine lay cid) 0;
+  Ctx.store ctx (Layout.client_process lay cid) (Unix.getpid ())
+
+let register ~mem ~lay ?cid () =
+  let bootstrap = Ctx.make ~mem ~lay ~cid:0 in
+  let try_claim c =
+    Ctx.cas bootstrap (Layout.client_flags lay c) ~expected:0 ~desired:1
+  in
+  let claimed =
+    match cid with
+    | Some c -> if try_claim c then Some c else None
+    | None ->
+        let m = lay.Layout.cfg.Config.max_clients in
+        let rec go c = if c >= m then None else if try_claim c then Some c else go (c + 1) in
+        go 0
+  in
+  match claimed with
+  | None -> failwith "Client.register: no free client slot"
+  | Some c ->
+      let ctx = Ctx.make ~mem ~lay ~cid:c in
+      init_slot ctx;
+      ctx
+
+let status (ctx : Ctx.t) ~cid =
+  status_of_int (Ctx.load ctx (Layout.client_flags ctx.lay cid))
+
+let is_alive ctx ~cid = status ctx ~cid = Alive
+
+let heartbeat (ctx : Ctx.t) =
+  let h = Layout.client_heartbeat ctx.lay ctx.cid in
+  Ctx.store ctx h (Ctx.load ctx h + 1)
+
+let heartbeat_value (ctx : Ctx.t) ~cid =
+  Ctx.load ctx (Layout.client_heartbeat ctx.lay cid)
+
+let set_status (ctx : Ctx.t) ~cid s =
+  Ctx.store ctx (Layout.client_flags ctx.lay cid) (status_to_int s)
+
+let declare_failed ctx ~cid = set_status ctx ~cid Failed
+let mark_recovered ctx ~cid = set_status ctx ~cid Slot_free
+
+let segment_empty (ctx : Ctx.t) seg =
+  let cfg = Ctx.cfg ctx in
+  let rec go p =
+    if p >= cfg.Config.pages_per_segment then true
+    else
+      let gid = Layout.page_gid ctx.lay ~seg ~page:p in
+      (Page.kind ctx ~gid = Config.kind_unused || Page.used ctx ~gid = 0)
+      && go (p + 1)
+  in
+  go 0
+
+let unregister (ctx : Ctx.t) =
+  Alloc.collect_deferred ctx;
+  List.iter
+    (fun seg ->
+      match Segment.state ctx seg with
+      | Segment.Active when segment_empty ctx seg ->
+          let cfg = Ctx.cfg ctx in
+          for p = 0 to cfg.Config.pages_per_segment - 1 do
+            Page.reset ctx ~gid:(Layout.page_gid ctx.lay ~seg ~page:p)
+          done;
+          Segment.release ctx seg
+      | Segment.Active | Segment.Leaking -> Segment.orphan ctx ~cid:ctx.cid seg
+      | Segment.Huge_head | Segment.Huge_cont ->
+          (* Live huge object: leave owned; remote holders keep it alive and
+             the leak scan recycles it once its count drops to zero. *)
+          ()
+      | Segment.Free | Segment.Orphaned -> ())
+    (Segment.owned_by ctx ~cid:ctx.cid);
+  set_status ctx ~cid:ctx.cid Slot_free

@@ -1,0 +1,36 @@
+(** Client registration and liveness (§3.2).
+
+    Clients claim a ClientLocalState slot with a CAS on its flags word, so
+    joining and leaving never block other clients (POSIX shm/mmap in the
+    real system). A heartbeat counter lets the monitor detect silent
+    failures; tests can also declare failures explicitly. *)
+
+type status =
+  | Slot_free
+  | Alive
+  | Failed      (** declared dead; recovery pending or in progress *)
+
+val status_name : status -> string
+
+val register : mem:Cxlshm_shmem.Mem.t -> lay:Layout.t -> ?cid:int -> unit -> Ctx.t
+(** Claim a client slot ([?cid] forces a specific one) and initialise the
+    era row, redo log and page tables. Raises [Failure] when no slot is
+    free or the requested slot is taken. *)
+
+val unregister : Ctx.t -> unit
+(** Clean exit: releases empty owned segments, orphans non-empty ones
+    (their live blocks may still be referenced remotely) and frees the
+    slot. The application must have dropped its CXLRefs first; remaining
+    RootRefs are treated exactly like a crash (recovery will reap them). *)
+
+val status : Ctx.t -> cid:int -> status
+val is_alive : Ctx.t -> cid:int -> bool
+val heartbeat : Ctx.t -> unit
+val heartbeat_value : Ctx.t -> cid:int -> int
+
+val declare_failed : Ctx.t -> cid:int -> unit
+(** Transition a (presumed dead) client to [Failed]; the recovery service
+    picks it up from there. Idempotent. *)
+
+val mark_recovered : Ctx.t -> cid:int -> unit
+(** Recovery epilogue: free the slot for reuse. *)

@@ -1,0 +1,82 @@
+type t = {
+  max_clients : int;
+  num_segments : int;
+  pages_per_segment : int;
+  page_words : int;
+  queue_slots : int;
+  worklist_words : int;
+  tier : Cxlshm_shmem.Latency.tier;
+  eadr : bool;
+}
+
+let default =
+  {
+    max_clients = 16;
+    num_segments = 64;
+    pages_per_segment = 16;
+    page_words = 1024;
+    queue_slots = 64;
+    worklist_words = 1024;
+    tier = Cxlshm_shmem.Latency.Cxl;
+    eadr = false;
+  }
+
+let small =
+  {
+    max_clients = 8;
+    num_segments = 8;
+    pages_per_segment = 4;
+    page_words = 128;
+    queue_slots = 16;
+    worklist_words = 128;
+    tier = Cxlshm_shmem.Latency.Cxl;
+    eadr = false;
+  }
+
+let header_words = 2
+let min_block_words = 4
+let rootref_words = 2
+
+let validate t =
+  let fail msg = invalid_arg ("Config.validate: " ^ msg) in
+  if t.max_clients < 2 || t.max_clients > 1023 then
+    fail "max_clients must be in [2, 1023]";
+  if t.num_segments < 1 then fail "num_segments must be positive";
+  if t.pages_per_segment < 1 then fail "pages_per_segment must be positive";
+  if t.page_words < 2 * min_block_words then fail "page_words too small";
+  if t.page_words land (t.page_words - 1) <> 0 then
+    fail "page_words must be a power of two";
+  if t.queue_slots < 1 then fail "queue_slots must be positive";
+  if t.worklist_words < 16 then fail "worklist_words must be >= 16"
+
+let num_classes t =
+  let rec count n sz =
+    if sz > t.page_words then n else count (n + 1) (sz * 2)
+  in
+  count 0 min_block_words
+
+let class_block_words t i =
+  if i < 0 || i >= num_classes t then invalid_arg "Config.class_block_words";
+  min_block_words lsl i
+
+let max_class_data_words t =
+  class_block_words t (num_classes t - 1) - header_words
+
+let class_of_data_words t data_words =
+  if data_words < 0 then invalid_arg "Config.class_of_data_words";
+  let need = data_words + header_words in
+  let rec find i =
+    if i >= num_classes t then None
+    else if class_block_words t i >= need then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let kind_unused = 0
+let kind_of_class c = c + 1
+
+let class_of_kind t k =
+  if k >= 1 && k <= num_classes t then Some (k - 1) else None
+
+let kind_rootref t = num_classes t + 1
+let kind_huge t = num_classes t + 2

@@ -1,0 +1,62 @@
+(** Arena geometry and size-class configuration.
+
+    Mirrors Fig 3 of the paper: the shared pool is an arena partitioned into
+    fixed-size segments, each split into pages dedicated to one size class,
+    each page carved into fixed-size blocks. The real system uses 64 MB
+    segments; the simulator scales geometry down (configurable) so tests and
+    benchmarks stay laptop-sized while preserving every structural invariant. *)
+
+type t = {
+  max_clients : int;  (** M — width of the era matrix. *)
+  num_segments : int;
+  pages_per_segment : int;
+  page_words : int;  (** words per page area *)
+  queue_slots : int;  (** transfer-queue directory capacity (§5.2) *)
+  worklist_words : int;  (** persistent recovery worklist capacity *)
+  tier : Cxlshm_shmem.Latency.tier;
+  eadr : bool;
+      (** CXL 3.0 / eADR-style platform: caches are flushed by hardware on
+          failure, so the fast path's RootRef CLWB is unnecessary (§6.1:
+          "this flush may not be required in a CXL 3.0 based
+          implementation"). Ablation knob for the bench harness. *)
+}
+
+val default : t
+(** 16 clients, 64 segments × 16 pages × 8 KB pages ≈ 8 MB arena, CXL tier. *)
+
+val small : t
+(** Tiny arena for unit tests (fast to create, easy to exhaust on purpose). *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on nonsensical geometry. *)
+
+(** {1 Size classes}
+
+    Block sizes double from [min_block_words] up to the page size; class 0 is
+    the smallest. The paper's classes start at 16 bytes because every CXLObj
+    carries a header; ours start at 4 words = 2 header words + 16 data bytes. *)
+
+val header_words : int
+(** Words of CXLObj header preceding the data area (packed refcount word +
+    meta word). *)
+
+val min_block_words : int
+val rootref_words : int  (** RootRef block size: in_use/count word + pptr. *)
+
+val num_classes : t -> int
+val class_block_words : t -> int -> int
+(** Block size in words of class [i]. *)
+
+val class_of_data_words : t -> int -> int option
+(** Smallest class whose blocks hold [data_words] payload words, or [None]
+    if the object is too large for any class (huge-object path). *)
+
+val max_class_data_words : t -> int
+
+(** {1 Page kinds} *)
+
+val kind_unused : int
+val kind_of_class : int -> int
+val class_of_kind : t -> int -> int option
+val kind_rootref : t -> int
+val kind_huge : t -> int

@@ -1,0 +1,32 @@
+module Mem = Cxlshm_shmem.Mem
+module Stats = Cxlshm_shmem.Stats
+
+type t = {
+  mem : Mem.t;
+  lay : Layout.t;
+  cid : int;
+  st : Stats.t;
+  mutable fault : Fault.plan;
+  rng : Random.State.t;
+}
+
+let make ~mem ~lay ~cid =
+  if cid < 0 || cid >= lay.Layout.cfg.Config.max_clients then
+    invalid_arg "Ctx.make: cid out of range";
+  {
+    mem;
+    lay;
+    cid;
+    st = Stats.create ();
+    fault = Fault.none;
+    rng = Random.State.make [| 0x5eed; cid |];
+  }
+
+let cfg t = t.lay.Layout.cfg
+let load t p = Mem.load t.mem ~st:t.st p
+let store t p v = Mem.store t.mem ~st:t.st p v
+let cas t p ~expected ~desired = Mem.cas t.mem ~st:t.st p ~expected ~desired
+let fetch_add t p n = Mem.fetch_add t.mem ~st:t.st p n
+let fence t = Mem.fence t.mem ~st:t.st
+let flush t p = Mem.flush t.mem ~st:t.st p
+let crash_point t point = Fault.maybe_crash t.fault point

@@ -1,0 +1,29 @@
+(** Per-client execution context.
+
+    A [Ctx.t] bundles what every core operation needs: the shared arena, the
+    layout, the client id, the client's {!Cxlshm_shmem.Stats} accumulator and
+    its fault-injection plan. It is the OCaml-heap ("local memory") half of a
+    client — everything that is lost when the client crashes. *)
+
+type t = {
+  mem : Cxlshm_shmem.Mem.t;
+  lay : Layout.t;
+  cid : int;
+  st : Cxlshm_shmem.Stats.t;
+  mutable fault : Fault.plan;
+  rng : Random.State.t;  (** client-local randomness (segment probing) *)
+}
+
+val make : mem:Cxlshm_shmem.Mem.t -> lay:Layout.t -> cid:int -> t
+
+val cfg : t -> Config.t
+
+(** {1 Shared-memory shorthands} (attributed to this client's stats) *)
+
+val load : t -> Cxlshm_shmem.Pptr.t -> int
+val store : t -> Cxlshm_shmem.Pptr.t -> int -> unit
+val cas : t -> Cxlshm_shmem.Pptr.t -> expected:int -> desired:int -> bool
+val fetch_add : t -> Cxlshm_shmem.Pptr.t -> int -> int
+val fence : t -> unit
+val flush : t -> Cxlshm_shmem.Pptr.t -> unit
+val crash_point : t -> Fault.point -> unit

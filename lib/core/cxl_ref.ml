@@ -1,0 +1,103 @@
+type t = { ctx : Ctx.t; rr : Cxlshm_shmem.Pptr.t; mutable live : bool }
+
+let of_rootref ctx rr = { ctx; rr; live = true }
+let ctx t = t.ctx
+let rootref t = t.rr
+let is_live t = t.live
+
+let check t =
+  if not t.live then invalid_arg "Cxl_ref: use after drop"
+
+let obj t =
+  check t;
+  let o = Rootref.obj t.ctx t.rr in
+  if o = 0 then invalid_arg "Cxl_ref.obj: unlinked RootRef";
+  o
+
+let clone t =
+  check t;
+  Rootref.set_local_cnt t.ctx t.rr (Rootref.local_cnt t.ctx t.rr + 1);
+  { ctx = t.ctx; rr = t.rr; live = true }
+
+let drop t =
+  check t;
+  t.live <- false;
+  Reclaim.release_rootref t.ctx t.rr
+
+let meta t = Ctx.load t.ctx (Obj_header.meta_of_obj (obj t))
+let emb_cnt t = Obj_header.meta_emb_cnt (meta t)
+let data_words t = Obj_header.meta_data_words (meta t)
+let data_addr t = Obj_header.data_of_obj (obj t)
+
+let check_word t i =
+  if i < emb_cnt t || i >= data_words t then
+    invalid_arg
+      (Printf.sprintf "Cxl_ref: word index %d outside plain data [%d, %d)" i
+         (emb_cnt t) (data_words t))
+
+let read_word t i =
+  check_word t i;
+  Ctx.load t.ctx (data_addr t + i)
+
+let write_word t i v =
+  check_word t i;
+  Ctx.store t.ctx (data_addr t + i) v
+
+let cas_word t i ~expected ~desired =
+  check_word t i;
+  Ctx.cas t.ctx (data_addr t + i) ~expected ~desired
+
+let byte_base t = data_addr t + emb_cnt t
+
+let write_bytes t b =
+  let room = data_words t - emb_cnt t in
+  if Cxlshm_shmem.Mem.bytes_words (Bytes.length b) > room then
+    invalid_arg "Cxl_ref.write_bytes: payload too large";
+  Cxlshm_shmem.Mem.write_bytes t.ctx.Ctx.mem ~st:t.ctx.Ctx.st (byte_base t) b
+
+let read_bytes t ~len =
+  let room = data_words t - emb_cnt t in
+  if Cxlshm_shmem.Mem.bytes_words len > room then
+    invalid_arg "Cxl_ref.read_bytes: length too large";
+  Cxlshm_shmem.Mem.read_bytes t.ctx.Ctx.mem ~st:t.ctx.Ctx.st (byte_base t) ~len
+
+let check_emb t i =
+  if i < 0 || i >= emb_cnt t then
+    invalid_arg (Printf.sprintf "Cxl_ref: embedded slot %d out of range" i)
+
+let get_emb t i =
+  check_emb t i;
+  Ctx.load t.ctx (Obj_header.emb_slot (obj t) i)
+
+let set_emb t i target =
+  check_emb t i;
+  check target;
+  let slot = Obj_header.emb_slot (obj t) i in
+  if Ctx.load t.ctx slot <> 0 then
+    invalid_arg "Cxl_ref.set_emb: slot is already linked (use change_emb)";
+  Refc.attach t.ctx ~ref_addr:slot ~refed:(obj target)
+
+let clear_emb t i =
+  check_emb t i;
+  let slot = Obj_header.emb_slot (obj t) i in
+  let child = Ctx.load t.ctx slot in
+  if child <> 0 then Reclaim.release_obj t.ctx ~ref_addr:slot ~obj:child
+
+let change_emb t i target =
+  check_emb t i;
+  check target;
+  let slot = Obj_header.emb_slot (obj t) i in
+  let from_obj = Ctx.load t.ctx slot in
+  if from_obj = 0 then set_emb t i target
+  else begin
+    let n =
+      Refc.change t.ctx ~ref_addr:slot ~from_obj ~to_obj:(obj target)
+    in
+    if n = 0 then begin
+      (* The re-pointing dropped the old target's last reference. *)
+      Reclaim.mark_leaking_of t.ctx from_obj;
+      Ctx.crash_point t.ctx Fault.Release_before_reclaim;
+      Reclaim.teardown_children t.ctx ~as_cid:t.ctx.Ctx.cid ~obj:from_obj;
+      Alloc.free_obj_block t.ctx from_obj
+    end
+  end

@@ -1,0 +1,91 @@
+exception Crashed of string
+
+type point =
+  | Alloc_after_rootref
+  | Alloc_after_link
+  | Alloc_after_advance
+  | Alloc_after_header
+  | Txn_after_redo
+  | Txn_after_cas
+  | Txn_after_modify_ref
+  | Change_after_first_cas
+  | Change_after_first_era
+  | Change_after_second_cas
+  | Change_after_modify_ref
+  | Release_before_reclaim
+  | Release_mid_reclaim
+  | Send_after_attach
+  | Recv_after_attach
+  | Recv_after_detach
+  | Slowpath_after_page_claim
+  | Slowpath_after_segment_claim
+
+let point_name = function
+  | Alloc_after_rootref -> "alloc-after-rootref"
+  | Alloc_after_link -> "alloc-after-link"
+  | Alloc_after_advance -> "alloc-after-advance"
+  | Alloc_after_header -> "alloc-after-header"
+  | Txn_after_redo -> "txn-after-redo"
+  | Txn_after_cas -> "txn-after-cas"
+  | Txn_after_modify_ref -> "txn-after-modify-ref"
+  | Change_after_first_cas -> "change-after-first-cas"
+  | Change_after_first_era -> "change-after-first-era"
+  | Change_after_second_cas -> "change-after-second-cas"
+  | Change_after_modify_ref -> "change-after-modify-ref"
+  | Release_before_reclaim -> "release-before-reclaim"
+  | Release_mid_reclaim -> "release-mid-reclaim"
+  | Send_after_attach -> "send-after-attach"
+  | Recv_after_attach -> "recv-after-attach"
+  | Recv_after_detach -> "recv-after-detach"
+  | Slowpath_after_page_claim -> "slowpath-after-page-claim"
+  | Slowpath_after_segment_claim -> "slowpath-after-segment-claim"
+
+let all_points =
+  [
+    Alloc_after_rootref;
+    Alloc_after_link;
+    Alloc_after_advance;
+    Alloc_after_header;
+    Txn_after_redo;
+    Txn_after_cas;
+    Txn_after_modify_ref;
+    Change_after_first_cas;
+    Change_after_first_era;
+    Change_after_second_cas;
+    Change_after_modify_ref;
+    Release_before_reclaim;
+    Release_mid_reclaim;
+    Send_after_attach;
+    Recv_after_attach;
+    Recv_after_detach;
+    Slowpath_after_page_claim;
+    Slowpath_after_segment_claim;
+  ]
+
+type mode =
+  | Never
+  | At of point * int
+  | Random of Random.State.t * float
+  | Nth of int
+
+type plan = { mode : mode; mutable seen : int; counts : (point, int) Hashtbl.t }
+
+let make mode = { mode; seen = 0; counts = Hashtbl.create 8 }
+let none = make Never
+let at p ~nth = make (At (p, nth))
+let random ~seed ~probability = make (Random (Random.State.make [| seed |], probability))
+let nth_point ~seed:_ ~n = make (Nth n)
+let hits plan = plan.seen
+
+let maybe_crash plan point =
+  plan.seen <- plan.seen + 1;
+  let count = (try Hashtbl.find plan.counts point with Not_found -> 0) + 1 in
+  Hashtbl.replace plan.counts point count;
+  let fire =
+    match plan.mode with
+    | Never -> false
+    | At (p, nth) -> p = point && count = nth
+    | Random (st, p) -> Random.State.float st 1.0 < p
+    | Nth n -> plan.seen = n
+  in
+  if fire then raise (Crashed (point_name point))

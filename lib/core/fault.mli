@@ -1,0 +1,59 @@
+(** Crash-point fault injection (§6.2.2).
+
+    The paper validates recovery correctness by compiling the system with a
+    flag that injects "randomly bring down the current client" snippets at
+    every critical point of allocation, refcount maintenance and reference
+    exchange, then checking post-crash invariants. We reproduce that: every
+    critical point in the core calls {!maybe_crash} with a label; a
+    {!plan} decides whether the client "dies" there, which raises
+    {!Crashed}. The harness catches it, abandons the client's local state and
+    runs the recovery service. *)
+
+exception Crashed of string
+
+(** Labels for every crash point in the core. One constructor per distinct
+    window between two shared-memory effects, so a plan can target any
+    interleaving the paper's fault test can reach. *)
+type point =
+  | Alloc_after_rootref          (** RootRef carved, nothing linked yet *)
+  | Alloc_after_link             (** rr.pptr written, page free not advanced *)
+  | Alloc_after_advance          (** free ptr advanced, header not initialised *)
+  | Alloc_after_header           (** header written, CXLRef not yet returned *)
+  | Txn_after_redo               (** redo record written, CAS not attempted *)
+  | Txn_after_cas                (** ModifyRefCnt committed, ModifyRef pending *)
+  | Txn_after_modify_ref         (** ModifyRef done, era not yet advanced *)
+  | Change_after_first_cas       (** §5.4 step 2 done, era bump pending *)
+  | Change_after_first_era       (** §5.4 step 3 done *)
+  | Change_after_second_cas      (** §5.4 step 4 done *)
+  | Change_after_modify_ref      (** §5.4 step 5 done *)
+  | Release_before_reclaim       (** count hit zero, block not yet reclaimed *)
+  | Release_mid_reclaim          (** block partially pushed to a free list *)
+  | Send_after_attach            (** queue slot holds the ref, tail not moved *)
+  | Recv_after_attach            (** local RootRef linked, slot not released *)
+  | Recv_after_detach            (** slot released, head not advanced *)
+  | Slowpath_after_page_claim    (** page kind set, free chain incomplete *)
+  | Slowpath_after_segment_claim (** segment CAS won, cursor not updated *)
+
+val point_name : point -> string
+val all_points : point list
+
+type plan
+
+val none : plan
+(** Never crash. *)
+
+val at : point -> nth:int -> plan
+(** Crash at the [nth] (1-based) occurrence of [point]. *)
+
+val random : seed:int -> probability:float -> plan
+(** Crash independently at each point with the given probability. *)
+
+val nth_point : seed:int -> n:int -> plan
+(** Crash at the [n]-th crash-point hit overall (1-based), whatever its
+    label — the paper's "inject at all the critical points" sweep. *)
+
+val maybe_crash : plan -> point -> unit
+(** Raises {!Crashed} if the plan fires at this point. *)
+
+val hits : plan -> int
+(** Number of crash points evaluated so far (to size [nth_point] sweeps). *)

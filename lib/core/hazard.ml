@@ -1,0 +1,31 @@
+let epoch_addr (ctx : Ctx.t) = Layout.hdr_epoch ctx.Ctx.lay
+let slot (ctx : Ctx.t) cid = Layout.client_hazard ctx.Ctx.lay cid
+
+let enter (ctx : Ctx.t) =
+  let e = Ctx.load ctx (epoch_addr ctx) in
+  Ctx.store ctx (slot ctx ctx.Ctx.cid) e;
+  (* the announcement must be visible before the traversal's loads *)
+  Ctx.fence ctx
+
+let exit (ctx : Ctx.t) = Ctx.store ctx (slot ctx ctx.Ctx.cid) 0
+
+let with_protection ctx f =
+  enter ctx;
+  Fun.protect ~finally:(fun () -> exit ctx) f
+
+let retire_epoch (ctx : Ctx.t) = Ctx.fetch_add ctx (epoch_addr ctx) 1 + 1
+
+let min_announced (ctx : Ctx.t) =
+  let m = (Ctx.cfg ctx).Config.max_clients in
+  let best = ref max_int in
+  for cid = 0 to m - 1 do
+    (* announcements from non-alive slots are stale by definition: a dead
+       reader must not stall reclamation (§3.2's non-blocking guarantee) *)
+    if Ctx.load ctx (Layout.client_flags ctx.Ctx.lay cid) = 1 then begin
+      let a = Ctx.load ctx (slot ctx cid) in
+      if a <> 0 && a < !best then best := a
+    end
+  done;
+  !best
+
+let announced (ctx : Ctx.t) ~cid = Ctx.load ctx (slot ctx cid)

@@ -1,0 +1,36 @@
+(** Hazard-era reclamation for latch-free readers (§5.4).
+
+    The paper notes the classical ABA/use-after-free problem when readers
+    traverse linked structures while the single writer unlinks nodes, and
+    points at Hazard Eras [Ramalhete & Correia, SPAA'17] "because the era is
+    already maintained". This module provides that scheme over a global
+    epoch stored in the arena header:
+
+    - a reader brackets each traversal with {!enter}/{!exit}, announcing
+      the epoch it started in;
+    - a writer stamps every retired node with {!retire_epoch} and frees it
+      only once {!min_announced} has moved past that stamp;
+    - a dead reader's announcement is ignored once its client slot leaves
+      the [Alive] state, so a crashed reader can never block reclamation
+      forever (the partial-failure property extends to reclamation). *)
+
+val enter : Ctx.t -> unit
+(** Announce the current epoch. Nestable calls are not supported: one
+    traversal at a time per client. *)
+
+val exit : Ctx.t -> unit
+(** Clear the announcement. *)
+
+val with_protection : Ctx.t -> (unit -> 'a) -> 'a
+
+val retire_epoch : Ctx.t -> int
+(** Advance the global epoch and return the value to stamp a retired node
+    with. *)
+
+val min_announced : Ctx.t -> int
+(** The smallest epoch announced by any {e alive} client, or [max_int] if
+    nobody is reading. Nodes stamped with a smaller value are safe to
+    free. *)
+
+val announced : Ctx.t -> cid:int -> int
+(** Raw slot value (0 = not reading). *)

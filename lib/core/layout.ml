@@ -1,0 +1,193 @@
+
+type t = {
+  cfg : Config.t;
+  num_classes : int;
+  arena_hdr : int;
+  segvec_base : int;
+  clientvec_base : int;
+  client_state_words : int;
+  queuedir_base : int;
+  locks_base : int;
+  roots_base : int;
+  recovery_base : int;
+  segments_base : int;
+  segment_words : int;
+  seg_hdr_words : int;
+  total_words : int;
+}
+
+let magic = 0x43584c53484d (* "CXLSHM" *)
+let arena_hdr_words = 16
+let seg_meta_words = 4
+let redo_words = 8
+let client_misc_words = 8
+let queue_slot_words = 8
+let page_meta_words = 8
+let recovery_hdr_words = 16
+let lock_stripes = 64
+let root_slots = 64
+let root_slot_words = 2
+
+let align8 n = (n + 7) land lnot 7
+
+let make cfg =
+  Config.validate cfg;
+  let num_classes = Config.num_classes cfg in
+  let arena_hdr = 8 in
+  let segvec_base = align8 (arena_hdr + arena_hdr_words) in
+  let clientvec_base = align8 (segvec_base + (seg_meta_words * cfg.Config.num_segments)) in
+  (* misc + era row + redo log + per-kind current-page table (classes +
+     rootref) + current-segment cursor *)
+  let client_state_words =
+    align8
+      (client_misc_words + cfg.Config.max_clients + redo_words
+      + (num_classes + 1) + 1)
+  in
+  let queuedir_base =
+    align8 (clientvec_base + (client_state_words * cfg.Config.max_clients))
+  in
+  let locks_base =
+    align8 (queuedir_base + (queue_slot_words * cfg.Config.queue_slots))
+  in
+  let roots_base = align8 (locks_base + lock_stripes) in
+  let recovery_base = align8 (roots_base + (root_slots * root_slot_words)) in
+  let segments_base =
+    align8 (recovery_base + recovery_hdr_words + cfg.Config.worklist_words)
+  in
+  let seg_hdr_words =
+    align8 (8 + (page_meta_words * cfg.Config.pages_per_segment))
+  in
+  let segment_words =
+    seg_hdr_words + (cfg.Config.pages_per_segment * cfg.Config.page_words)
+  in
+  let total_words = segments_base + (segment_words * cfg.Config.num_segments) in
+  {
+    cfg;
+    num_classes;
+    arena_hdr;
+    segvec_base;
+    clientvec_base;
+    client_state_words;
+    queuedir_base;
+    locks_base;
+    roots_base;
+    recovery_base;
+    segments_base;
+    segment_words;
+    seg_hdr_words;
+    total_words;
+  }
+
+let hdr_magic t = t.arena_hdr
+let hdr_epoch t = t.arena_hdr + 1
+
+let check_seg t s =
+  if s < 0 || s >= t.cfg.Config.num_segments then
+    invalid_arg (Printf.sprintf "Layout: segment %d out of range" s)
+
+let seg_occupied t s = check_seg t s; t.segvec_base + (s * seg_meta_words)
+let seg_version t s = seg_occupied t s + 1
+let seg_state t s = seg_occupied t s + 2
+let seg_client_free t s = seg_occupied t s + 3
+
+let check_cid t i =
+  if i < 0 || i >= t.cfg.Config.max_clients then
+    invalid_arg (Printf.sprintf "Layout: client id %d out of range" i)
+
+let client_state t i =
+  check_cid t i;
+  t.clientvec_base + (i * t.client_state_words)
+
+let client_flags t i = client_state t i
+let client_machine t i = client_state t i + 1
+let client_process t i = client_state t i + 2
+let client_heartbeat t i = client_state t i + 3
+let client_hazard t i = client_state t i + 4
+
+let era_cell t i j =
+  check_cid t j;
+  client_state t i + client_misc_words + j
+
+let redo_base t i = client_state t i + client_misc_words + t.cfg.Config.max_clients
+
+let class_head t i k =
+  if k < 0 || k > t.num_classes then
+    invalid_arg (Printf.sprintf "Layout.class_head: bad kind index %d" k);
+  redo_base t i + redo_words + k
+
+let client_cur_segment t i = class_head t i 0 + t.num_classes + 1
+
+let queue_slot t q =
+  if q < 0 || q >= t.cfg.Config.queue_slots then
+    invalid_arg "Layout.queue_slot: out of range";
+  t.queuedir_base + (q * queue_slot_words)
+
+let lock_stripe t i =
+  if i < 0 || i >= lock_stripes then invalid_arg "Layout.lock_stripe";
+  t.locks_base + i
+
+let root_slot t i =
+  if i < 0 || i >= root_slots then invalid_arg "Layout.root_slot";
+  t.roots_base + (i * root_slot_words)
+
+let recovery_lock t = t.recovery_base
+let recovery_failed t = t.recovery_base + 1
+let recovery_phase t = t.recovery_base + 2
+let recovery_wl_top t = t.recovery_base + 3
+let recovery_wl_capacity t = t.cfg.Config.worklist_words
+
+let recovery_wl_slot t i =
+  if i < 0 || i >= recovery_wl_capacity t then
+    invalid_arg "Layout.recovery_wl_slot: out of range";
+  t.recovery_base + recovery_hdr_words + i
+
+let num_pages_total t = t.cfg.Config.num_segments * t.cfg.Config.pages_per_segment
+
+let segment_base t s = check_seg t s; t.segments_base + (s * t.segment_words)
+
+let segment_of_addr t addr =
+  if addr < t.segments_base || addr >= t.total_words then
+    invalid_arg (Printf.sprintf "Layout.segment_of_addr: %d outside segments" addr);
+  (addr - t.segments_base) / t.segment_words
+
+let page_gid t ~seg ~page =
+  check_seg t seg;
+  if page < 0 || page >= t.cfg.Config.pages_per_segment then
+    invalid_arg "Layout.page_gid: page out of range";
+  (seg * t.cfg.Config.pages_per_segment) + page
+
+let page_of_gid t gid =
+  if gid < 0 || gid >= num_pages_total t then
+    invalid_arg "Layout.page_of_gid: out of range";
+  (gid / t.cfg.Config.pages_per_segment, gid mod t.cfg.Config.pages_per_segment)
+
+let page_meta t ~gid =
+  let seg, page = page_of_gid t gid in
+  segment_base t seg + 8 + (page * page_meta_words)
+
+let page_kind t ~gid = page_meta t ~gid
+let page_block_words t ~gid = page_meta t ~gid + 1
+let page_capacity t ~gid = page_meta t ~gid + 2
+let page_free t ~gid = page_meta t ~gid + 3
+let page_used t ~gid = page_meta t ~gid + 4
+let page_aux t ~gid = page_meta t ~gid + 5
+
+let page_area t ~gid =
+  let seg, page = page_of_gid t gid in
+  segment_base t seg + t.seg_hdr_words + (page * t.cfg.Config.page_words)
+
+let page_gid_of_addr t addr =
+  let seg = segment_of_addr t addr in
+  let off = addr - segment_base t seg - t.seg_hdr_words in
+  if off < 0 then
+    invalid_arg "Layout.page_gid_of_addr: address inside a segment header";
+  let page = off / t.cfg.Config.page_words in
+  page_gid t ~seg ~page
+
+let block_addr t ~gid ~block_words i =
+  let base = page_area t ~gid in
+  let addr = base + (i * block_words) in
+  if i < 0 || addr + block_words > base + t.cfg.Config.page_words then
+    invalid_arg "Layout.block_addr: block index out of page";
+  addr
+

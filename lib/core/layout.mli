@@ -1,0 +1,145 @@
+(** Word-level layout of the shared arena (Fig 3 of the paper).
+
+    Everything the allocator and the recovery service need lives *inside*
+    the shared arena, so recovery can repair the pool using shared state
+    only. Layout, in ascending addresses:
+
+    {v
+    word 0            reserved (pptr 0 == null)
+    arena header      geometry + magic
+    SegmentAllocationVec   one meta record per segment
+    ClientLocalVec         one ClientLocalState per client
+    queue directory        well-known transfer-queue registry (§5.2)
+    recovery area          persistent DFS worklist + resume cursor
+    segments               segment header (page metas) + page areas
+    v}
+
+    All functions are pure offset computations over a {!Config.t}. *)
+
+type t = private {
+  cfg : Config.t;
+  num_classes : int;
+  arena_hdr : int;
+  segvec_base : int;
+  clientvec_base : int;
+  client_state_words : int;
+  queuedir_base : int;
+  locks_base : int;
+  roots_base : int;
+  recovery_base : int;
+  segments_base : int;
+  segment_words : int;
+  seg_hdr_words : int;
+  total_words : int;
+}
+
+val make : Config.t -> t
+
+(** {1 Arena header fields} *)
+
+val magic : int
+val hdr_magic : t -> Cxlshm_shmem.Pptr.t
+val hdr_epoch : t -> Cxlshm_shmem.Pptr.t
+
+(** {1 SegmentAllocationVec}
+
+    4 words per segment: occupied client id (0 = free, cid+1 otherwise),
+    version (bumped on every ownership change, defeating ABA), state
+    (see {!Seg_state}), and the cross-client free-list head (packed
+    {tag, pptr} Treiber stack). *)
+
+val seg_meta_words : int
+val seg_occupied : t -> int -> Cxlshm_shmem.Pptr.t
+val seg_version : t -> int -> Cxlshm_shmem.Pptr.t
+val seg_state : t -> int -> Cxlshm_shmem.Pptr.t
+val seg_client_free : t -> int -> Cxlshm_shmem.Pptr.t
+
+(** {1 ClientLocalState}
+
+    Per client: misc words (registration flag, machine/process ids,
+    heartbeat), the client's row of the M×M era matrix, the redo-log record,
+    the per-size-class current-page table and the current-segment cursor. *)
+
+val client_state : t -> int -> Cxlshm_shmem.Pptr.t
+val client_flags : t -> int -> Cxlshm_shmem.Pptr.t
+val client_machine : t -> int -> Cxlshm_shmem.Pptr.t
+val client_process : t -> int -> Cxlshm_shmem.Pptr.t
+val client_heartbeat : t -> int -> Cxlshm_shmem.Pptr.t
+
+val client_hazard : t -> int -> Cxlshm_shmem.Pptr.t
+(** The client's announced hazard epoch (0 = not reading), used by
+    {!Hazard} for safe memory reclamation of latch-free readers (§5.4). *)
+
+val era_cell : t -> int -> int -> Cxlshm_shmem.Pptr.t
+(** [era_cell lay i j] is the address of Era[i][j]. Row [i] is written only
+    by client [i] (or by recovery acting for dead [i]); column [i] is read
+    during client [i]'s recovery (Fig 4a). *)
+
+val redo_base : t -> int -> Cxlshm_shmem.Pptr.t
+val redo_words : int
+
+val class_head : t -> int -> int -> Cxlshm_shmem.Pptr.t
+(** [class_head lay cid k] — current page (packed gid+1, 0 = none) used by
+    client [cid] for page kind [k] (size classes and the RootRef class). *)
+
+val client_cur_segment : t -> int -> Cxlshm_shmem.Pptr.t
+
+(** {1 Queue directory} *)
+
+val queue_slot_words : int
+val queue_slot : t -> int -> Cxlshm_shmem.Pptr.t
+
+(** {1 Lock stripes (straw-man §4.2 comparison)} *)
+
+val lock_stripes : int
+val lock_stripe : t -> int -> Cxlshm_shmem.Pptr.t
+(** Spinlock word [i] of the striped lock table used only by
+    {!Locked_refc}, the paper's blocking straw-man. *)
+
+(** {1 Named persistent roots (§6.4.1)} *)
+
+val root_slots : int
+val root_slot : t -> int -> Cxlshm_shmem.Pptr.t
+(** Directory slot [i]: {v +0 state/name-hash, +1 counted obj pointer v}. *)
+
+(** {1 Recovery area} *)
+
+val recovery_lock : t -> Cxlshm_shmem.Pptr.t
+val recovery_failed : t -> Cxlshm_shmem.Pptr.t
+val recovery_phase : t -> Cxlshm_shmem.Pptr.t
+val recovery_wl_top : t -> Cxlshm_shmem.Pptr.t
+val recovery_wl_slot : t -> int -> Cxlshm_shmem.Pptr.t
+val recovery_wl_capacity : t -> int
+
+(** {1 Segments, pages, blocks} *)
+
+val num_pages_total : t -> int
+val segment_base : t -> int -> Cxlshm_shmem.Pptr.t
+val segment_of_addr : t -> Cxlshm_shmem.Pptr.t -> int
+(** Segment index containing an address inside the segments area. Raises
+    [Invalid_argument] for addresses outside it. *)
+
+val page_meta_words : int
+
+(** Page metas: kind, block_words, capacity, free-list head, used count. *)
+
+val page_gid : t -> seg:int -> page:int -> int
+(** Global page id = seg * pages_per_segment + page. *)
+
+val page_of_gid : t -> int -> int * int
+val page_meta : t -> gid:int -> Cxlshm_shmem.Pptr.t
+val page_kind : t -> gid:int -> Cxlshm_shmem.Pptr.t
+val page_block_words : t -> gid:int -> Cxlshm_shmem.Pptr.t
+val page_capacity : t -> gid:int -> Cxlshm_shmem.Pptr.t
+val page_free : t -> gid:int -> Cxlshm_shmem.Pptr.t
+val page_used : t -> gid:int -> Cxlshm_shmem.Pptr.t
+val page_aux : t -> gid:int -> Cxlshm_shmem.Pptr.t
+(** Spare per-page meta word (huge objects store their segment span here). *)
+
+val page_area : t -> gid:int -> Cxlshm_shmem.Pptr.t
+val page_gid_of_addr : t -> Cxlshm_shmem.Pptr.t -> int
+(** Global page id of the page area containing [addr]. Raises
+    [Invalid_argument] if [addr] lies in a segment header or outside the
+    segments area. *)
+
+val block_addr : t -> gid:int -> block_words:int -> int -> Cxlshm_shmem.Pptr.t

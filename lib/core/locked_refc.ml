@@ -1,0 +1,100 @@
+exception Lock_abandoned of int
+
+let stripe_of (_ctx : Ctx.t) obj =
+  ((obj * 0x2545F4914F6CDD1D) land max_int) mod Layout.lock_stripes
+
+let lock_addr (ctx : Ctx.t) s = Layout.lock_stripe ctx.Ctx.lay s
+
+let try_acquire (ctx : Ctx.t) s =
+  Ctx.cas ctx (lock_addr ctx s) ~expected:0 ~desired:(ctx.Ctx.cid + 1)
+
+let release (ctx : Ctx.t) s = Ctx.store ctx (lock_addr ctx s) 0
+
+let holder (ctx : Ctx.t) obj =
+  let v = Ctx.load ctx (lock_addr ctx (stripe_of ctx obj)) in
+  if v = 0 then None else Some (v - 1)
+
+(* The critical section: read the count, log the ABSOLUTE new count (that
+   is what makes replay idempotent — Lightning's trick), apply both writes,
+   unlock. No CAS on the header is needed: the lock serialises writers. *)
+let locked_op (ctx : Ctx.t) ~ref_addr ~refed ~delta =
+  let hdr = Obj_header.header_of_obj refed in
+  let cnt = Obj_header.ref_cnt_of (Ctx.load ctx hdr) in
+  if cnt + delta < 0 then
+    raise (Refc.Refcount_violation "locked detach below zero");
+  let new_cnt = cnt + delta in
+  let s = stripe_of ctx refed in
+  Redo_log.record ctx
+    {
+      Redo_log.op = Redo_log.Locked;
+      era = s;
+      ref_addr;
+      refed;
+      refed2 = (if delta > 0 then 1 else 0);
+      saved_cnt = new_cnt;
+    };
+  Ctx.crash_point ctx Fault.Txn_after_redo;
+  Ctx.store ctx hdr
+    (Obj_header.pack { Obj_header.lcid = None; lera = 0; ref_cnt = new_cnt });
+  Ctx.crash_point ctx Fault.Txn_after_cas;
+  Ctx.store ctx ref_addr (if delta > 0 then refed else 0);
+  Ctx.crash_point ctx Fault.Txn_after_modify_ref;
+  new_cnt
+
+(* NB: a simulated crash must leave the lock held — a dead process runs no
+   cleanup. Only genuine exceptions release it. *)
+let with_stripe (ctx : Ctx.t) refed f =
+  let s = stripe_of ctx refed in
+  let rec spin () = if not (try_acquire ctx s) then spin () in
+  spin ();
+  match f () with
+  | v ->
+      release ctx s;
+      v
+  | exception (Fault.Crashed _ as e) -> raise e
+  | exception e ->
+      release ctx s;
+      raise e
+
+let attach (ctx : Ctx.t) ~ref_addr ~refed =
+  with_stripe ctx refed (fun () ->
+      ignore (locked_op ctx ~ref_addr ~refed ~delta:1))
+
+let detach (ctx : Ctx.t) ~ref_addr ~refed =
+  with_stripe ctx refed (fun () -> locked_op ctx ~ref_addr ~refed ~delta:(-1))
+
+let attach_bounded (ctx : Ctx.t) ~ref_addr ~refed ~spins =
+  let s = stripe_of ctx refed in
+  let rec spin k = k < spins && (try_acquire ctx s || spin (k + 1)) in
+  if spin 0 then begin
+    (match locked_op ctx ~ref_addr ~refed ~delta:1 with
+    | _ -> release ctx s
+    | exception (Fault.Crashed _ as e) -> raise e
+    | exception e ->
+        release ctx s;
+        raise e);
+    true
+  end
+  else false
+
+let recover (ctx : Ctx.t) ~failed_cid =
+  let released = ref 0 in
+  let redo = Redo_log.read ctx ~cid:failed_cid in
+  for s = 0 to Layout.lock_stripes - 1 do
+    if Ctx.load ctx (lock_addr ctx s) = failed_cid + 1 then begin
+      (match redo with
+      | Some r when r.Redo_log.op = Redo_log.Locked && r.Redo_log.era = s ->
+          (* Replay the logged operation: idempotent because the count is
+             absolute and the dead holder cannot race us. *)
+          let hdr = Obj_header.header_of_obj r.Redo_log.refed in
+          Ctx.store ctx hdr
+            (Obj_header.pack
+               { Obj_header.lcid = None; lera = 0; ref_cnt = r.Redo_log.saved_cnt });
+          Ctx.store ctx r.Redo_log.ref_addr
+            (if r.Redo_log.refed2 = 1 then r.Redo_log.refed else 0)
+      | Some _ | None -> ());
+      Ctx.store ctx (lock_addr ctx s) 0;
+      incr released
+    end
+  done;
+  !released

@@ -1,0 +1,66 @@
+type t = {
+  ctx : Ctx.t;  (** service context: stats attribution only *)
+  misses : int;
+  last_seen : int array;  (** last heartbeat value per client *)
+  stale : int array;  (** consecutive checks without progress *)
+}
+
+let create ~mem ~lay ?(misses = 3) () =
+  let m = lay.Layout.cfg.Config.max_clients in
+  {
+    ctx = Ctx.make ~mem ~lay ~cid:0;
+    misses;
+    last_seen = Array.make m (-1);
+    stale = Array.make m 0;
+  }
+
+let check_once t =
+  let m = (Ctx.cfg t.ctx).Config.max_clients in
+  let suspects = ref [] in
+  for cid = 0 to m - 1 do
+    match Client.status t.ctx ~cid with
+    | Client.Alive ->
+        let h = Client.heartbeat_value t.ctx ~cid in
+        if h = t.last_seen.(cid) then begin
+          t.stale.(cid) <- t.stale.(cid) + 1;
+          if t.stale.(cid) >= t.misses then begin
+            Client.declare_failed t.ctx ~cid;
+            suspects := cid :: !suspects
+          end
+        end
+        else begin
+          t.last_seen.(cid) <- h;
+          t.stale.(cid) <- 0
+        end
+    | Client.Slot_free | Client.Failed ->
+        t.last_seen.(cid) <- -1;
+        t.stale.(cid) <- 0
+  done;
+  List.rev !suspects
+
+let recover_suspects t =
+  let m = (Ctx.cfg t.ctx).Config.max_clients in
+  let out = ref [] in
+  (match Recovery.resume_interrupted t.ctx with
+  | Some _ -> ()
+  | None -> ());
+  for cid = 0 to m - 1 do
+    if Client.status t.ctx ~cid = Client.Failed then
+      out := (cid, Recovery.recover t.ctx ~failed_cid:cid) :: !out
+  done;
+  List.rev !out
+
+let run_in_domain t ~interval =
+  let stop = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          ignore (check_once t);
+          ignore (recover_suspects t);
+          ignore
+            (Reclaim.scan_all t.ctx ~is_client_alive:(fun cid ->
+                 Client.is_alive t.ctx ~cid));
+          Unix.sleepf interval
+        done)
+  in
+  (d, stop)

@@ -1,0 +1,22 @@
+(** Standalone failure monitor (§3.2).
+
+    Detects dead clients by watching their heartbeat counters and kicks the
+    recovery service asynchronously. Detection is orthogonal to the paper's
+    contribution (a hardware RAS feature fences dead clients in the real
+    system); here a client that stops heartbeating for [misses] consecutive
+    checks is declared failed. Tests may also declare failures directly. *)
+
+type t
+
+val create : mem:Cxlshm_shmem.Mem.t -> lay:Layout.t -> ?misses:int -> unit -> t
+
+val check_once : t -> int list
+(** Sample heartbeats; returns the clients newly suspected dead (they are
+    declared [Failed] but not yet recovered). *)
+
+val recover_suspects : t -> (int * Recovery.report) list
+(** Run recovery for every client currently in [Failed] state. *)
+
+val run_in_domain : t -> interval:float -> unit Domain.t * bool Atomic.t
+(** Spawn the monitor loop in its own domain; set the returned flag to stop
+    it. The loop checks, recovers, and runs the POTENTIAL_LEAKING scan. *)

@@ -1,0 +1,130 @@
+let mark_leaking_of (ctx : Ctx.t) obj =
+  let seg = Layout.segment_of_addr ctx.lay obj in
+  Segment.mark_leaking ctx seg
+
+let emb_count (ctx : Ctx.t) obj =
+  Obj_header.meta_emb_cnt (Ctx.load ctx (Obj_header.meta_of_obj obj))
+
+let rec teardown_children (ctx : Ctx.t) ~as_cid ~obj =
+  let n = emb_count ctx obj in
+  for i = 0 to n - 1 do
+    let slot = Obj_header.emb_slot obj i in
+    let child = Ctx.load ctx slot in
+    if child <> 0 then release_held ctx ~as_cid ~ref_addr:slot ~obj:child
+  done
+
+(* Release a reference we know is held (count >= 1). When we hold the sole
+   reference, children are detached first so that a crash mid-teardown
+   leaves the object alive and fully recoverable from its remaining
+   reference; otherwise the rare race-to-zero path leak-marks the segment
+   before tearing down (§5.3). *)
+and release_held (ctx : Ctx.t) ~as_cid ~ref_addr ~obj =
+  if Refc.ref_cnt ctx obj = 1 then begin
+    teardown_children ctx ~as_cid ~obj;
+    let n = Refc.detach_as ctx ~as_cid ~ref_addr ~refed:obj in
+    Ctx.crash_point ctx Fault.Release_before_reclaim;
+    if n = 0 then Alloc.free_obj_block ctx obj
+    else
+      (* Unreachable under the attach-requires-a-reference invariant. *)
+      raise (Refc.Refcount_violation "release: count rose from 1")
+  end
+  else begin
+    let n = Refc.detach_as ctx ~as_cid ~ref_addr ~refed:obj in
+    if n = 0 then begin
+      (* Concurrent holders raced us to zero: cover the crash window by
+         leak-marking before the non-idempotent teardown + reclaim. *)
+      mark_leaking_of ctx obj;
+      Ctx.crash_point ctx Fault.Release_before_reclaim;
+      teardown_children ctx ~as_cid ~obj;
+      Alloc.free_obj_block ctx obj
+    end
+  end
+
+let release_obj (ctx : Ctx.t) ~ref_addr ~obj =
+  release_held ctx ~as_cid:ctx.cid ~ref_addr ~obj
+
+let release_rootref (ctx : Ctx.t) rr =
+  let cnt = Rootref.local_cnt ctx rr in
+  if cnt <= 0 then
+    raise (Refc.Refcount_violation "release_rootref: local count already 0");
+  (* Local tier of the two-tiered count: plain store, no atomics (§5.2). *)
+  Rootref.set_local_cnt ctx rr (cnt - 1);
+  if cnt - 1 = 0 then begin
+    let obj = Rootref.obj ctx rr in
+    if obj <> 0 then release_obj ctx ~ref_addr:(Rootref.pptr_slot rr) ~obj;
+    Alloc.free_rootref ctx rr
+  end
+
+(* ------------------------------------------------------------------ *)
+(* §5.3 asynchronous segment-local full scan                           *)
+(* ------------------------------------------------------------------ *)
+
+let page_all_zero (ctx : Ctx.t) ~gid =
+  let cfg = Ctx.cfg ctx in
+  let k = Page.kind ctx ~gid in
+  if k = Config.kind_unused then true
+  else if k = Config.kind_rootref cfg then
+    List.for_all (fun rr -> not (Rootref.in_use ctx rr)) (Page.blocks ctx ~gid)
+  else
+    (* Block positions are computable because pages hold fixed-size blocks
+       (§5.3) — no heap walk needed. *)
+    List.for_all
+      (fun b -> Obj_header.ref_cnt_of (Ctx.load ctx (Obj_header.header_of_obj b)) = 0)
+      (Page.blocks ctx ~gid)
+
+let recycle_plain_segment (ctx : Ctx.t) seg =
+  let pps = (Ctx.cfg ctx).Config.pages_per_segment in
+  for p = 0 to pps - 1 do
+    Page.reset ctx ~gid:(Layout.page_gid ctx.lay ~seg ~page:p)
+  done;
+  Segment.release ctx seg
+
+let scan_segment (ctx : Ctx.t) seg =
+  let cfg = Ctx.cfg ctx in
+  let pps = cfg.Config.pages_per_segment in
+  let gid0 = Layout.page_gid ctx.lay ~seg ~page:0 in
+  if Page.kind ctx ~gid:gid0 = Config.kind_huge cfg then begin
+    (* Huge object: a single computable header decides the whole span. *)
+    let obj = Layout.segment_base ctx.lay seg + ctx.lay.Layout.seg_hdr_words in
+    if Obj_header.ref_cnt_of (Ctx.load ctx (Obj_header.header_of_obj obj)) = 0
+    then begin
+      let n = Alloc.huge_span ctx ~head_seg:seg in
+      for p = 0 to pps - 1 do
+        Page.reset ctx ~gid:(Layout.page_gid ctx.lay ~seg ~page:p)
+      done;
+      for k = max 1 n - 1 downto 0 do
+        Segment.release ctx (seg + k)
+      done;
+      true
+    end
+    else false
+  end
+  else begin
+    let all_zero = ref true in
+    for p = 0 to pps - 1 do
+      if not (page_all_zero ctx ~gid:(Layout.page_gid ctx.lay ~seg ~page:p))
+      then all_zero := false
+    done;
+    if !all_zero then begin
+      recycle_plain_segment ctx seg;
+      true
+    end
+    else false
+  end
+
+let scan_all (ctx : Ctx.t) ~is_client_alive =
+  let cfg = Ctx.cfg ctx in
+  let recycled = ref 0 in
+  for seg = 0 to cfg.Config.num_segments - 1 do
+    let owner_live =
+      match Segment.owner ctx seg with
+      | None -> false
+      | Some cid -> is_client_alive cid
+    in
+    (match Segment.state ctx seg with
+    | Segment.Leaking | Segment.Orphaned ->
+        if (not owner_live) && scan_segment ctx seg then incr recycled
+    | Segment.Free | Segment.Active | Segment.Huge_head | Segment.Huge_cont ->
+        ())
+  done;
+  !recycled

@@ -1,0 +1,42 @@
+(** Reference release and memory reclamation (§5.3).
+
+    Releasing the last reference to an object must also reclaim its block —
+    but pushing a block onto a free list is not idempotent, so it can never
+    be redone by recovery. The paths here are ordered so that every crash
+    window is covered either by transaction resume or by the
+    POTENTIAL_LEAKING segment marking plus the asynchronous segment-local
+    full scan:
+
+    - when the releasing client holds the {e only} reference (the common
+      case), embedded children are detached {e before} the final detach, so
+      a crash mid-teardown leaves the parent alive and recoverable;
+    - when a concurrent release races the count to zero, the segment is
+      marked POTENTIAL_LEAKING before teardown, so nothing is lost if the
+      client dies mid-way. *)
+
+val release_obj : Ctx.t -> ref_addr:Cxlshm_shmem.Pptr.t -> obj:Cxlshm_shmem.Pptr.t -> unit
+(** Detach [ref_addr] from [obj]; if the count reaches zero, tear down
+    embedded references recursively and reclaim the block. *)
+
+val release_rootref : Ctx.t -> Cxlshm_shmem.Pptr.t -> unit
+(** Drop one local count from a RootRef; at zero, unlink it from its object
+    (era transaction), release the object if that was the last reference,
+    and return the RootRef block to its page. *)
+
+val teardown_children : Ctx.t -> as_cid:int -> obj:Cxlshm_shmem.Pptr.t -> unit
+(** Detach every non-null embedded reference of [obj] (recursively releasing
+    children that reach zero). Exposed for the recovery service. *)
+
+val mark_leaking_of : Ctx.t -> Cxlshm_shmem.Pptr.t -> unit
+(** Mark the segment containing [obj] POTENTIAL_LEAKING (idempotent). *)
+
+val scan_segment : Ctx.t -> int -> bool
+(** §5.3 asynchronous segment-local full scan: if every block of the
+    segment has reference count zero (computed positions — pages are carved
+    into fixed-size blocks), recycle the whole segment. Returns [true] when
+    the segment was recycled. Only meaningful for [Leaking] or [Orphaned]
+    segments without a live owner. *)
+
+val scan_all : Ctx.t -> is_client_alive:(int -> bool) -> int
+(** Run {!scan_segment} over every recyclable segment; returns the number
+    recycled. *)

@@ -1,0 +1,366 @@
+type report = {
+  resumed_txn : bool;
+  rootrefs_released : int;
+  incomplete_allocs : int;
+  worklist_processed : int;
+  segments_orphaned : int;
+  segments_released : int;
+  leak_marked : int;
+}
+
+let empty_report =
+  {
+    resumed_txn = false;
+    rootrefs_released = 0;
+    incomplete_allocs = 0;
+    worklist_processed = 0;
+    segments_orphaned = 0;
+    segments_released = 0;
+    leak_marked = 0;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "resumed-txn=%b rootrefs=%d incomplete-allocs=%d worklist=%d orphaned=%d \
+     released=%d leak-marked=%d"
+    r.resumed_txn r.rootrefs_released r.incomplete_allocs r.worklist_processed
+    r.segments_orphaned r.segments_released r.leak_marked
+
+(* ------------------------------------------------------------------ *)
+(* Persistent worklist                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let wl_push (ctx : Ctx.t) obj =
+  let lay = ctx.Ctx.lay in
+  let top = Ctx.load ctx (Layout.recovery_wl_top lay) in
+  if top >= Layout.recovery_wl_capacity lay then
+    (* Bounded worklist: fall back to leak-marking without child teardown;
+       the children stay alive until their own references die. *)
+    Logs.warn (fun m -> m "recovery worklist overflow; deferring @%d" obj)
+  else begin
+    Ctx.store ctx (Layout.recovery_wl_slot lay top) obj;
+    Ctx.fence ctx;
+    Ctx.store ctx (Layout.recovery_wl_top lay) (top + 1)
+  end
+
+(* Mark an object dead-for-reclaim: recovery never reclaims the block
+   itself (not idempotent); the POTENTIAL_LEAKING scan will (§5.3). *)
+let on_zero (ctx : Ctx.t) obj =
+  wl_push ctx obj;
+  Reclaim.mark_leaking_of ctx obj
+
+(* Detach one embedded child of [obj]; duplicate worklist entries are
+   harmless because zeroed slots are skipped and count-nonzero objects are
+   not processed. Returns [true] if a child was detached. *)
+let detach_one_child (ctx : Ctx.t) ~as_cid obj =
+  let emb =
+    Obj_header.meta_emb_cnt (Ctx.load ctx (Obj_header.meta_of_obj obj))
+  in
+  let rec go i =
+    if i >= emb then false
+    else
+      let slot = Obj_header.emb_slot obj i in
+      let child = Ctx.load ctx slot in
+      if child = 0 then go (i + 1)
+      else begin
+        let n = Refc.detach_as ctx ~as_cid ~ref_addr:slot ~refed:child in
+        if n = 0 then on_zero ctx child;
+        true
+      end
+  in
+  go 0
+
+let wl_process (ctx : Ctx.t) ~as_cid =
+  let lay = ctx.Ctx.lay in
+  let processed = ref 0 in
+  let rec loop () =
+    let top = Ctx.load ctx (Layout.recovery_wl_top lay) in
+    if top > 0 then begin
+      let obj = Ctx.load ctx (Layout.recovery_wl_slot lay (top - 1)) in
+      if Refc.ref_cnt ctx obj = 0 && detach_one_child ctx ~as_cid obj then
+        (* A child was pushed or a slot zeroed; keep digging (LIFO DFS). *)
+        loop ()
+      else begin
+        (* Object fully torn down (or resurrected by a duplicate entry):
+           pop. The pop is a plain store; a crash re-processes the entry,
+           which is a no-op. *)
+        incr processed;
+        Ctx.store ctx (Layout.recovery_wl_top lay) (top - 1);
+        loop ()
+      end
+    end
+  in
+  loop ();
+  !processed
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1: resume the in-flight transaction                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Complete the second ModifyRefCnt of a §5.4 change on behalf of the dead
+   client: CAS {i, era, cnt+1} unless Conditions 1/2 already prove it
+   committed. Restart-safe: re-runs observe the commit and stop. *)
+let complete_increment (ctx : Ctx.t) ~cid obj ~era =
+  let hdr = Obj_header.header_of_obj obj in
+  let rec loop () =
+    if not (Refc.committed ctx ~cid ~obj ~era) then begin
+      let saved = Ctx.load ctx hdr in
+      let u = Obj_header.unpack saved in
+      (match u.Obj_header.lcid with
+      | Some c when c <> cid ->
+          Era.observe_for ctx ~cid ~saw_cid:c ~saw_era:u.Obj_header.lera
+      | Some _ | None -> ());
+      let newh =
+        Obj_header.make ~lcid:cid ~lera:era ~ref_cnt:(u.Obj_header.ref_cnt + 1)
+      in
+      if not (Ctx.cas ctx hdr ~expected:saved ~desired:newh) then loop ()
+    end
+  in
+  loop ()
+
+let resume_txn (ctx : Ctx.t) ~cid =
+  match Redo_log.read ctx ~cid with
+  | None -> false
+  | Some r -> (
+      let e_now = Era.self_of ctx ~cid in
+      match r.Redo_log.op with
+      | Redo_log.Locked ->
+          (* straw-man records are resumed by Locked_refc.recover *)
+          false
+      | Redo_log.Attach | Redo_log.Detach ->
+          if
+            r.Redo_log.era = e_now
+            && Refc.committed ctx ~cid ~obj:r.Redo_log.refed ~era:e_now
+          then begin
+            (* Commit happened; redo the idempotent ModifyRef. *)
+            let is_attach = r.Redo_log.op = Redo_log.Attach in
+            Ctx.store ctx r.Redo_log.ref_addr
+              (if is_attach then r.Redo_log.refed else 0);
+            Ctx.flush ctx r.Redo_log.ref_addr;
+            if (not is_attach) && r.Redo_log.saved_cnt - 1 = 0 then
+              on_zero ctx r.Redo_log.refed;
+            Era.advance_for ctx ~cid;
+            true
+          end
+          else false
+      | Redo_log.Change ->
+          let e = r.Redo_log.era in
+          let t1_committed =
+            e_now = e && Refc.committed ctx ~cid ~obj:r.Redo_log.refed ~era:e
+          in
+          if t1_committed then Era.advance_for ctx ~cid;
+          let e_now = Era.self_of ctx ~cid in
+          if e_now = e + 1 then begin
+            (* First decrement committed; finish the increment of B, the
+               ModifyRef, and the trailing era bump. *)
+            complete_increment ctx ~cid r.Redo_log.refed2 ~era:(e + 1);
+            Ctx.store ctx r.Redo_log.ref_addr r.Redo_log.refed2;
+            Ctx.flush ctx r.Redo_log.ref_addr;
+            if r.Redo_log.saved_cnt - 1 = 0 then on_zero ctx r.Redo_log.refed;
+            Era.advance_for ctx ~cid;
+            true
+          end
+          else t1_committed)
+
+(* ------------------------------------------------------------------ *)
+(* Phase 3: RootRef-page scan                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* §5.1 double-free guard: a RootRef whose pointer equals the free pointer
+   of the page containing the pointed block was linked before the block was
+   actually carved; the allocation never completed, so release is skipped. *)
+let allocation_incomplete (ctx : Ctx.t) obj =
+  match Page.block_of_addr ctx obj with
+  | exception Invalid_argument _ -> false
+  | _, gid -> Page.free_head ctx ~gid = obj
+
+let release_one_rootref (ctx : Ctx.t) ~cid rr report =
+  let obj = Rootref.obj ctx rr in
+  if obj = 0 then begin
+    Rootref.set_state ctx rr ~in_use:false ~cnt:0;
+    report := { !report with incomplete_allocs = !report.incomplete_allocs + 1 }
+  end
+  else if allocation_incomplete ctx obj then begin
+    Ctx.store ctx (Rootref.pptr_slot rr) 0;
+    Rootref.set_state ctx rr ~in_use:false ~cnt:0;
+    report := { !report with incomplete_allocs = !report.incomplete_allocs + 1 }
+  end
+  else if Refc.ref_cnt ctx obj = 0 then begin
+    (* Allocation died between advancing the free pointer and initialising
+       the header: the block is off-list with count zero; the leak scan
+       reclaims its segment. *)
+    Ctx.store ctx (Rootref.pptr_slot rr) 0;
+    Rootref.set_state ctx rr ~in_use:false ~cnt:0;
+    Reclaim.mark_leaking_of ctx obj;
+    report :=
+      {
+        !report with
+        incomplete_allocs = !report.incomplete_allocs + 1;
+        leak_marked = !report.leak_marked + 1;
+      }
+  end
+  else begin
+    let n = Refc.detach_as ctx ~as_cid:cid ~ref_addr:(Rootref.pptr_slot rr) ~refed:obj in
+    if n = 0 then on_zero ctx obj;
+    Rootref.set_state ctx rr ~in_use:false ~cnt:0;
+    report := { !report with rootrefs_released = !report.rootrefs_released + 1 }
+  end
+
+let scan_rootref_pages (ctx : Ctx.t) ~cid report =
+  let cfg = Ctx.cfg ctx in
+  let rr_kind = Config.kind_rootref cfg in
+  List.iter
+    (fun seg ->
+      for p = 0 to cfg.Config.pages_per_segment - 1 do
+        let gid = Layout.page_gid ctx.Ctx.lay ~seg ~page:p in
+        if Page.kind ctx ~gid = rr_kind then begin
+          (* An in_use block at the head of the free chain is a RootRef
+             allocation that died before advancing the free pointer. *)
+          let head = Page.free_head ctx ~gid in
+          if head <> 0 && Rootref.in_use ctx head then
+            Rootref.set_state ctx head ~in_use:false ~cnt:0;
+          List.iter
+            (fun rr ->
+              if Rootref.in_use ctx rr then begin
+                release_one_rootref ctx ~cid rr report;
+                let n = wl_process ctx ~as_cid:cid in
+                report :=
+                  {
+                    !report with
+                    worklist_processed = !report.worklist_processed + n;
+                  }
+              end)
+            (Page.blocks ctx ~gid)
+        end
+      done)
+    (Segment.owned_by ctx ~cid)
+
+(* ------------------------------------------------------------------ *)
+(* Phase 5: segments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let segment_empty (ctx : Ctx.t) seg =
+  let cfg = Ctx.cfg ctx in
+  let rec go p =
+    if p >= cfg.Config.pages_per_segment then true
+    else
+      let gid = Layout.page_gid ctx.Ctx.lay ~seg ~page:p in
+      let k = Page.kind ctx ~gid in
+      (k = Config.kind_unused
+      ||
+      if k = Config.kind_rootref cfg then
+        List.for_all (fun rr -> not (Rootref.in_use ctx rr)) (Page.blocks ctx ~gid)
+      else
+        List.for_all
+          (fun b ->
+            Obj_header.ref_cnt_of (Ctx.load ctx (Obj_header.header_of_obj b)) = 0)
+          (Page.blocks ctx ~gid))
+      && go (p + 1)
+  in
+  go 0
+
+let handle_segments (ctx : Ctx.t) ~cid report =
+  let cfg = Ctx.cfg ctx in
+  List.iter
+    (fun seg ->
+      match Segment.state ctx seg with
+      | Segment.Huge_head ->
+          let obj =
+            Layout.segment_base ctx.Ctx.lay seg + ctx.Ctx.lay.Layout.seg_hdr_words
+          in
+          if Refc.ref_cnt ctx obj = 0 then begin
+            Segment.mark_leaking ctx seg;
+            if Reclaim.scan_segment ctx seg then
+              report :=
+                { !report with segments_released = !report.segments_released + 1 }
+          end
+          else begin
+            Segment.orphan ctx ~cid seg;
+            report :=
+              { !report with segments_orphaned = !report.segments_orphaned + 1 }
+          end
+      | Segment.Huge_cont ->
+          (* Handled alongside its head; ownership follows the head. *)
+          ()
+      | Segment.Active | Segment.Leaking | Segment.Orphaned ->
+          if segment_empty ctx seg then begin
+            for p = 0 to cfg.Config.pages_per_segment - 1 do
+              Page.reset ctx ~gid:(Layout.page_gid ctx.Ctx.lay ~seg ~page:p)
+            done;
+            Segment.release ctx seg;
+            report :=
+              { !report with segments_released = !report.segments_released + 1 }
+          end
+          else begin
+            (* Live blocks may still be referenced from other machines:
+               keep the segment, make it adoptable. *)
+            Segment.orphan ctx ~cid seg;
+            report :=
+              { !report with segments_orphaned = !report.segments_orphaned + 1 }
+          end
+      | Segment.Free -> ())
+    (Segment.owned_by ctx ~cid)
+
+(* ------------------------------------------------------------------ *)
+(* Orchestration                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let run_phases (ctx : Ctx.t) ~cid =
+  let report = ref empty_report in
+  Client.declare_failed ctx ~cid;
+  let resumed = resume_txn ctx ~cid in
+  let n = wl_process ctx ~as_cid:cid in
+  report :=
+    {
+      !report with
+      resumed_txn = resumed;
+      worklist_processed = !report.worklist_processed + n;
+    };
+  Transfer.recover_endpoints ctx ~failed_cid:cid;
+  Named_roots.recover_endpoints ctx ~failed_cid:cid;
+  let n = wl_process ctx ~as_cid:cid in
+  report := { !report with worklist_processed = !report.worklist_processed + n };
+  scan_rootref_pages ctx ~cid report;
+  let n = wl_process ctx ~as_cid:cid in
+  report := { !report with worklist_processed = !report.worklist_processed + n };
+  handle_segments ctx ~cid report;
+  Redo_log.clear_for ctx ~cid;
+  Client.mark_recovered ctx ~cid;
+  !report
+
+let with_lock (ctx : Ctx.t) ~cid f =
+  let lay = ctx.Ctx.lay in
+  let lock = Layout.recovery_lock lay in
+  let rec acquire () =
+    let cur = Ctx.load ctx lock in
+    if cur = cid + 1 then () (* re-entrant resume of our own recovery *)
+    else if cur <> 0 then begin
+      (* Finish the interrupted recovery we found, then retry. *)
+      let prev = cur - 1 in
+      ignore (run_phases ctx ~cid:prev);
+      Ctx.store ctx lock 0;
+      acquire ()
+    end
+    else if not (Ctx.cas ctx lock ~expected:0 ~desired:(cid + 1)) then acquire ()
+  in
+  acquire ();
+  Ctx.store ctx (Layout.recovery_failed lay) (cid + 1);
+  let r = f () in
+  Ctx.store ctx (Layout.recovery_failed lay) 0;
+  Ctx.store ctx lock 0;
+  r
+
+let recover (ctx : Ctx.t) ~failed_cid =
+  with_lock ctx ~cid:failed_cid (fun () -> run_phases ctx ~cid:failed_cid)
+
+let resume_interrupted (ctx : Ctx.t) =
+  let lay = ctx.Ctx.lay in
+  let cur = Ctx.load ctx (Layout.recovery_lock lay) in
+  if cur = 0 then None
+  else begin
+    let cid = cur - 1 in
+    let r = run_phases ctx ~cid in
+    Ctx.store ctx (Layout.recovery_failed lay) 0;
+    Ctx.store ctx (Layout.recovery_lock lay) 0;
+    Some r
+  end

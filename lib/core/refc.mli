@@ -1,0 +1,62 @@
+(** Era-based non-blocking reference-count transactions (§4.3, Fig 4).
+
+    A refcount maintenance operation is a distributed transaction over two
+    separate locations: the object header (ModifyRefCnt — atomic, {e not}
+    idempotent) and the reference word (ModifyRef — idempotent under the
+    single-writer rule). The successful header CAS is the commit point; the
+    CAS word carries [lcid] and [lera] so that, combined with the era
+    matrix, a recovery service can decide whether a dead client's commit
+    happened:
+
+    - {b Condition 1}: the last object's header still reads
+      [lo.lcid = i && lo.lera = Era\[i\]\[i\]].
+    - {b Condition 2}: [Era\[i\]\[i\] <= max_{j≠i} Era\[j\]\[i\]] — some
+      other client observed the committed era before overwriting the header.
+
+    Condition 1 must be evaluated strictly before Condition 2 (fence in
+    between).
+
+    The [_as] variants run a transaction under another client's identity:
+    the recovery service finishing a dead client's instruction stream. *)
+
+exception Refcount_violation of string
+(** Raised when a transaction would drop a count below zero or attach to a
+    dead (count-zero) object — both indicate an application-level double
+    free / wild pointer, which the simulator surfaces loudly. *)
+
+val attach : Ctx.t -> ref_addr:Cxlshm_shmem.Pptr.t -> refed:Cxlshm_shmem.Pptr.t -> unit
+(** Fig 4 (c): increment [refed]'s count and link [ref_addr] to it. *)
+
+val try_attach :
+  Ctx.t -> ref_addr:Cxlshm_shmem.Pptr.t -> refed:Cxlshm_shmem.Pptr.t -> bool
+(** Like {!attach} but returns [false] instead of raising when [refed]'s
+    count is already zero — for readers racing a writer's retirement (the
+    object is never resurrected). The caller must hold hazard protection
+    ({!Hazard.enter}) so the header it reads cannot be a recycled block. *)
+
+val detach : Ctx.t -> ref_addr:Cxlshm_shmem.Pptr.t -> refed:Cxlshm_shmem.Pptr.t -> int
+(** Decrement and unlink; returns the object's new reference count (the
+    caller reclaims at zero — see {!Reclaim}). *)
+
+val change :
+  Ctx.t ->
+  ref_addr:Cxlshm_shmem.Pptr.t ->
+  from_obj:Cxlshm_shmem.Pptr.t ->
+  to_obj:Cxlshm_shmem.Pptr.t ->
+  int
+(** §5.4 atomic re-pointing of an embedded reference: two ModifyRefCnt
+    sub-transactions (era bumped twice) and one ModifyRef. Returns
+    [from_obj]'s new count. *)
+
+val attach_as :
+  Ctx.t -> as_cid:int -> ref_addr:Cxlshm_shmem.Pptr.t -> refed:Cxlshm_shmem.Pptr.t -> unit
+
+val detach_as :
+  Ctx.t -> as_cid:int -> ref_addr:Cxlshm_shmem.Pptr.t -> refed:Cxlshm_shmem.Pptr.t -> int
+
+val committed : Ctx.t -> cid:int -> obj:Cxlshm_shmem.Pptr.t -> era:int -> bool
+(** Conditions 1-then-2 for "did client [cid]'s ModifyRefCnt at [era] on
+    [obj] commit?" — the recovery-side oracle. *)
+
+val ref_cnt : Ctx.t -> Cxlshm_shmem.Pptr.t -> int
+(** Current reference count of an object (plain load of its header). *)

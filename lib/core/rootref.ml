@@ -1,0 +1,21 @@
+module Word = Cxlshm_shmem.Word
+module Mem = Cxlshm_shmem.Mem
+
+let words = Config.rootref_words
+let f_in_use = Word.field ~shift:48 ~bits:1
+let f_cnt = Word.field ~shift:0 ~bits:32
+
+let in_use ctx rr = Word.get f_in_use (Ctx.load ctx rr) = 1
+let local_cnt ctx rr = Word.get f_cnt (Ctx.load ctx rr)
+
+let set_state ctx rr ~in_use ~cnt =
+  Ctx.store ctx rr
+    (Word.set f_in_use (Word.set f_cnt 0 cnt) (if in_use then 1 else 0))
+
+let set_local_cnt ctx rr cnt =
+  Ctx.store ctx rr (Word.set f_cnt (Ctx.load ctx rr) cnt)
+
+let pptr_slot rr = rr + 1
+let obj ctx rr = Ctx.load ctx (pptr_slot rr)
+let peek_in_use mem rr = Word.get f_in_use (Mem.unsafe_peek mem rr) = 1
+let peek_obj mem rr = Mem.unsafe_peek mem (rr + 1)

@@ -1,0 +1,124 @@
+module Word = Cxlshm_shmem.Word
+
+type state = Free | Active | Orphaned | Leaking | Huge_head | Huge_cont
+
+let state_name = function
+  | Free -> "free"
+  | Active -> "active"
+  | Orphaned -> "orphaned"
+  | Leaking -> "potential-leaking"
+  | Huge_head -> "huge-head"
+  | Huge_cont -> "huge-cont"
+
+let state_to_int = function
+  | Free -> 0
+  | Active -> 1
+  | Orphaned -> 2
+  | Leaking -> 3
+  | Huge_head -> 4
+  | Huge_cont -> 5
+
+let state_of_int = function
+  | 0 -> Free
+  | 1 -> Active
+  | 2 -> Orphaned
+  | 3 -> Leaking
+  | 4 -> Huge_head
+  | 5 -> Huge_cont
+  | n -> invalid_arg (Printf.sprintf "Segment.state_of_int: %d" n)
+
+let owner (ctx : Ctx.t) s =
+  let v = Ctx.load ctx (Layout.seg_occupied ctx.lay s) in
+  if v = 0 then None else Some (v - 1)
+
+let state (ctx : Ctx.t) s = state_of_int (Ctx.load ctx (Layout.seg_state ctx.lay s))
+let set_state (ctx : Ctx.t) s st = Ctx.store ctx (Layout.seg_state ctx.lay s) (state_to_int st)
+let version (ctx : Ctx.t) s = Ctx.load ctx (Layout.seg_version ctx.lay s)
+
+let bump_version (ctx : Ctx.t) s =
+  let v = Layout.seg_version ctx.lay s in
+  Ctx.store ctx v (Ctx.load ctx v + 1)
+
+let claim (ctx : Ctx.t) s =
+  let occ = Layout.seg_occupied ctx.lay s in
+  if Ctx.cas ctx occ ~expected:0 ~desired:(ctx.cid + 1) then begin
+    bump_version ctx s;
+    set_state ctx s Active;
+    true
+  end
+  else false
+
+let adopt (ctx : Ctx.t) s =
+  match owner ctx s with
+  | None -> false
+  | Some prev ->
+      state ctx s = Orphaned
+      && Ctx.cas ctx (Layout.seg_occupied ctx.lay s) ~expected:(prev + 1)
+           ~desired:(ctx.cid + 1)
+      && begin
+           bump_version ctx s;
+           set_state ctx s Active;
+           true
+         end
+
+let release (ctx : Ctx.t) s =
+  set_state ctx s Free;
+  bump_version ctx s;
+  Ctx.store ctx (Layout.seg_occupied ctx.lay s) 0
+
+let orphan (ctx : Ctx.t) ~cid s =
+  match owner ctx s with
+  | Some o when o = cid -> set_state ctx s Orphaned
+  | Some _ | None -> ()
+
+let mark_leaking (ctx : Ctx.t) s = set_state ctx s Leaking
+
+let find_free (ctx : Ctx.t) =
+  let n = (Ctx.cfg ctx).Config.num_segments in
+  let rec go s = if s >= n then None else if owner ctx s = None then Some s else go (s + 1) in
+  go 0
+
+let owned_by (ctx : Ctx.t) ~cid =
+  let n = (Ctx.cfg ctx).Config.num_segments in
+  let rec go s acc =
+    if s < 0 then acc
+    else go (s - 1) (if owner ctx s = Some cid then s :: acc else acc)
+  in
+  go (n - 1) []
+
+(* Cross-client free stack. The head word packs a 16-bit tag with the block
+   pointer; the tag increments on every pop-all, defeating ABA between a
+   pusher's read of the head and its CAS. A free block's next pointer lives
+   in its first data word (the header words stay zero so the §5.3 full scan
+   still reads ref_cnt = 0). *)
+let f_tag = Word.field ~shift:46 ~bits:16
+let f_ptr = Word.field ~shift:0 ~bits:46
+
+let next_slot block = block + Config.header_words
+
+let push_client_free (ctx : Ctx.t) ~seg block =
+  let head = Layout.seg_client_free ctx.lay seg in
+  let rec loop () =
+    let cur = Ctx.load ctx head in
+    Ctx.store ctx (next_slot block) (Word.get f_ptr cur);
+    let desired = Word.set f_ptr cur block in
+    if not (Ctx.cas ctx head ~expected:cur ~desired) then loop ()
+  in
+  loop ()
+
+let pop_all_client_free (ctx : Ctx.t) ~seg =
+  let head = Layout.seg_client_free ctx.lay seg in
+  let rec swap () =
+    let cur = Ctx.load ctx head in
+    if Word.get f_ptr cur = 0 then 0
+    else
+      let tag = (Word.get f_tag cur + 1) land Word.max_value f_tag in
+      let empty = Word.set f_tag (Word.set f_ptr cur 0) tag in
+      if Ctx.cas ctx head ~expected:cur ~desired:empty then Word.get f_ptr cur
+      else swap ()
+  in
+  let rec walk p acc =
+    if p = 0 then List.rev acc
+    else walk (Ctx.load ctx (next_slot p)) (p :: acc)
+  in
+  walk (swap ()) []

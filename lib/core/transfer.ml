@@ -1,0 +1,278 @@
+module Mem = Cxlshm_shmem.Mem
+
+type endpoint = Sender | Receiver
+
+type t = {
+  ctx : Ctx.t;
+  qref : Cxl_ref.t;
+  dir_idx : int;
+  endpoint : endpoint;
+  capacity : int;
+}
+
+let capacity t = t.capacity
+let endpoint t = t.endpoint
+let queue_ref t = t.qref
+
+(* Queue-object data layout: ring slots are the emb slots [0..cap-1];
+   plain words after them hold the queue header fields of Fig 5. *)
+let w_capacity = 0
+let w_head = 1
+let w_tail = 2
+let w_sender = 3
+let w_receiver = 4
+let w_flags = 5
+let extra_words = 6
+let flag_sender_closed = 1
+let flag_receiver_closed = 2
+
+let qword (_ctx : Ctx.t) qobj ~cap i =
+  Obj_header.data_of_obj qobj + cap + i
+
+let qload t i = Ctx.load t.ctx (qword t.ctx (Cxl_ref.obj t.qref) ~cap:t.capacity i)
+let qstore t i v = Ctx.store t.ctx (qword t.ctx (Cxl_ref.obj t.qref) ~cap:t.capacity i) v
+
+let peer t = if t.endpoint = Sender then qload t w_receiver - 1 else qload t w_sender - 1
+let pending t = qload t w_tail - qload t w_head
+
+(* Directory slot: +0 state {phase:4, owner_cid+1:10}, +1 sender cid+1,
+   +2 receiver cid+1, +3 counted queue pointer. *)
+let phase_free = 0
+let phase_claiming = 1
+let phase_active = 2
+let phase_cleaning = 3
+
+let pack_state ~phase ~owner = phase lor ((owner + 1) lsl 4)
+let phase_of s = s land 0xf
+let owner_of s = (s lsr 4) - 1
+
+let slot_state lay q = Layout.queue_slot lay q
+let slot_sender lay q = Layout.queue_slot lay q + 1
+let slot_receiver lay q = Layout.queue_slot lay q + 2
+let slot_qptr lay q = Layout.queue_slot lay q + 3
+
+let connect (ctx : Ctx.t) ~receiver ~capacity:cap =
+  if cap < 1 then invalid_arg "Transfer.connect: capacity must be positive";
+  let lay = ctx.Ctx.lay in
+  let nslots = (Ctx.cfg ctx).Config.queue_slots in
+  let rec claim q =
+    if q >= nslots then failwith "Transfer.connect: queue directory full"
+    else if
+      Ctx.cas ctx (slot_state lay q) ~expected:phase_free
+        ~desired:(pack_state ~phase:phase_claiming ~owner:ctx.cid)
+    then q
+    else claim (q + 1)
+  in
+  let q = claim 0 in
+  let rr, qobj = Alloc.alloc_obj ctx ~data_words:(cap + extra_words) ~emb_cnt:cap in
+  let qref = Cxl_ref.of_rootref ctx rr in
+  Ctx.store ctx (slot_sender lay q) (ctx.cid + 1);
+  Ctx.store ctx (slot_receiver lay q) (receiver + 1);
+  (* The directory holds a counted reference so the queue survives either
+     endpoint — attached with the standard era transaction. *)
+  Refc.attach ctx ~ref_addr:(slot_qptr lay q) ~refed:qobj;
+  let qw = qword ctx qobj ~cap in
+  Ctx.store ctx (qw w_capacity) cap;
+  Ctx.store ctx (qw w_head) 0;
+  Ctx.store ctx (qw w_tail) 0;
+  Ctx.store ctx (qw w_sender) (ctx.cid + 1);
+  Ctx.store ctx (qw w_receiver) (receiver + 1);
+  Ctx.store ctx (qw w_flags) 0;
+  Ctx.fence ctx;
+  Ctx.store ctx (slot_state lay q) (pack_state ~phase:phase_active ~owner:ctx.cid);
+  { ctx; qref; dir_idx = q; endpoint = Sender; capacity = cap }
+
+let open_from (ctx : Ctx.t) ~sender =
+  let lay = ctx.Ctx.lay in
+  let nslots = (Ctx.cfg ctx).Config.queue_slots in
+  let rec find q =
+    if q >= nslots then None
+    else if
+      phase_of (Ctx.load ctx (slot_state lay q)) = phase_active
+      && Ctx.load ctx (slot_sender lay q) = sender + 1
+      && Ctx.load ctx (slot_receiver lay q) = ctx.cid + 1
+    then Some q
+    else find (q + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some q ->
+      let qobj = Ctx.load ctx (slot_qptr lay q) in
+      if qobj = 0 then None
+      else begin
+        let rr = Alloc.alloc_rootref ctx in
+        Refc.attach ctx ~ref_addr:(Rootref.pptr_slot rr) ~refed:qobj;
+        let qref = Cxl_ref.of_rootref ctx rr in
+        (* The ring capacity is the queue object's embedded-slot count. *)
+        let cap =
+          Obj_header.meta_emb_cnt (Ctx.load ctx (Obj_header.meta_of_obj qobj))
+        in
+        assert (Ctx.load ctx (qword ctx qobj ~cap w_capacity) = cap);
+        Some { ctx; qref; dir_idx = q; endpoint = Receiver; capacity = cap }
+      end
+
+type send_result = Sent | Full | Closed
+
+let send t payload =
+  assert (t.endpoint = Sender);
+  let flags = qload t w_flags in
+  if flags land flag_receiver_closed <> 0 then Closed
+  else begin
+    let tail = qload t w_tail in
+    let head = qload t w_head in
+    if tail - head >= t.capacity then Full
+    else begin
+      let qobj = Cxl_ref.obj t.qref in
+      let slot = Obj_header.emb_slot qobj (tail mod t.capacity) in
+      Refc.attach t.ctx ~ref_addr:slot ~refed:(Cxl_ref.obj payload);
+      Ctx.crash_point t.ctx Fault.Send_after_attach;
+      Ctx.fence t.ctx;
+      (* Ownership transfers to the receiver here (§5.2). *)
+      qstore t w_tail (tail + 1);
+      Ctx.flush t.ctx (qword t.ctx qobj ~cap:t.capacity w_tail);
+      Sent
+    end
+  end
+
+type recv_result = Received of Cxl_ref.t | Empty | Drained
+
+let receive t =
+  assert (t.endpoint = Receiver);
+  let head = qload t w_head in
+  let tail = qload t w_tail in
+  if head = tail then
+    if qload t w_flags land flag_sender_closed <> 0 then Drained else Empty
+  else begin
+    let qobj = Cxl_ref.obj t.qref in
+    let slot = Obj_header.emb_slot qobj (head mod t.capacity) in
+    let obj = Ctx.load t.ctx slot in
+    assert (obj <> 0);
+    let rr = Alloc.alloc_rootref t.ctx in
+    (* Attach-then-detach keeps the object's count >= 1 throughout. *)
+    Refc.attach t.ctx ~ref_addr:(Rootref.pptr_slot rr) ~refed:obj;
+    Ctx.crash_point t.ctx Fault.Recv_after_attach;
+    let n = Refc.detach t.ctx ~ref_addr:slot ~refed:obj in
+    assert (n >= 1);
+    Ctx.crash_point t.ctx Fault.Recv_after_detach;
+    qstore t w_head (head + 1);
+    Received (Cxl_ref.of_rootref t.ctx rr)
+  end
+
+(* Final teardown of a directory slot once both endpoints are closed: the
+   [as_cid] identity performs the resumable detach of the directory's
+   counted reference. Idempotent: a re-run sees qptr = 0 and just frees the
+   slot. *)
+let cleanup_slot (ctx : Ctx.t) ~as_cid q =
+  let lay = ctx.Ctx.lay in
+  let qptr = Ctx.load ctx (slot_qptr lay q) in
+  if qptr <> 0 then begin
+    let n = Refc.detach_as ctx ~as_cid ~ref_addr:(slot_qptr lay q) ~refed:qptr in
+    if n = 0 then begin
+      Reclaim.mark_leaking_of ctx qptr;
+      Reclaim.teardown_children ctx ~as_cid ~obj:qptr;
+      Alloc.free_obj_block ctx qptr
+    end
+  end;
+  Ctx.store ctx (slot_sender lay q) 0;
+  Ctx.store ctx (slot_receiver lay q) 0;
+  Ctx.fence ctx;
+  Ctx.store ctx (slot_state lay q) phase_free
+
+let try_cleanup (ctx : Ctx.t) ~as_cid q =
+  let lay = ctx.Ctx.lay in
+  let st = Ctx.load ctx (slot_state lay q) in
+  if
+    phase_of st = phase_active
+    && Ctx.cas ctx (slot_state lay q) ~expected:st
+         ~desired:(pack_state ~phase:phase_cleaning ~owner:as_cid)
+  then cleanup_slot ctx ~as_cid q
+
+let set_flag t bit =
+  let qobj = Cxl_ref.obj t.qref in
+  let addr = qword t.ctx qobj ~cap:t.capacity w_flags in
+  let rec loop () =
+    let cur = Ctx.load t.ctx addr in
+    if cur land bit = 0 then
+      if not (Ctx.cas t.ctx addr ~expected:cur ~desired:(cur lor bit)) then
+        loop ()
+  in
+  loop ()
+
+let close t =
+  let bit = if t.endpoint = Sender then flag_sender_closed else flag_receiver_closed in
+  set_flag t bit;
+  let flags = qload t w_flags in
+  if
+    flags land flag_sender_closed <> 0
+    && flags land flag_receiver_closed <> 0
+  then try_cleanup t.ctx ~as_cid:t.ctx.Ctx.cid t.dir_idx;
+  Cxl_ref.drop t.qref
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let queue_flags_addr (ctx : Ctx.t) qobj =
+  let cap =
+    Obj_header.meta_emb_cnt (Ctx.load ctx (Obj_header.meta_of_obj qobj))
+  in
+  qword ctx qobj ~cap w_flags
+
+let set_flag_raw (ctx : Ctx.t) addr bit =
+  let rec loop () =
+    let cur = Ctx.load ctx addr in
+    if cur land bit = 0 then
+      if not (Ctx.cas ctx addr ~expected:cur ~desired:(cur lor bit)) then loop ()
+  in
+  loop ()
+
+let recover_endpoints (ctx : Ctx.t) ~failed_cid =
+  let lay = ctx.Ctx.lay in
+  let nslots = lay.Layout.cfg.Config.queue_slots in
+  for q = 0 to nslots - 1 do
+    let st = Ctx.load ctx (slot_state lay q) in
+    let phase = phase_of st in
+    if phase = phase_claiming && owner_of st = failed_cid then begin
+      (* Half-built registration: undo it. *)
+      let qptr = Ctx.load ctx (slot_qptr lay q) in
+      if qptr <> 0 then
+        ignore
+          (Refc.detach_as ctx ~as_cid:failed_cid
+             ~ref_addr:(slot_qptr lay q) ~refed:qptr);
+      Ctx.store ctx (slot_state lay q) phase_free
+    end
+    else if phase = phase_cleaning && owner_of st = failed_cid then
+      (* The dead client crashed mid-cleanup: finish it. *)
+      cleanup_slot ctx ~as_cid:failed_cid q
+    else if phase = phase_active then begin
+      let sender = Ctx.load ctx (slot_sender lay q) - 1 in
+      let receiver = Ctx.load ctx (slot_receiver lay q) - 1 in
+      if sender = failed_cid || receiver = failed_cid then begin
+        let qptr = Ctx.load ctx (slot_qptr lay q) in
+        if qptr <> 0 then begin
+          let flags_addr = queue_flags_addr ctx qptr in
+          if sender = failed_cid then set_flag_raw ctx flags_addr flag_sender_closed;
+          if receiver = failed_cid then
+            set_flag_raw ctx flags_addr flag_receiver_closed;
+          let flags = Ctx.load ctx flags_addr in
+          if
+            flags land flag_sender_closed <> 0
+            && flags land flag_receiver_closed <> 0
+          then try_cleanup ctx ~as_cid:failed_cid q
+        end
+      end
+    end
+  done
+
+let directory_refs mem lay =
+  let nslots = lay.Layout.cfg.Config.queue_slots in
+  let rec go q acc =
+    if q >= nslots then List.rev acc
+    else
+      let st = Mem.unsafe_peek mem (slot_state lay q) in
+      if phase_of st = phase_free then go (q + 1) acc
+      else
+        let qptr = Mem.unsafe_peek mem (slot_qptr lay q) in
+        go (q + 1) (if qptr = 0 then acc else qptr :: acc)
+  in
+  go 0 []

@@ -1,0 +1,66 @@
+(** Exactly-once reference transfer between clients (§5.2, Fig 5).
+
+    Network transfer leaves the ownership of an in-flight reference
+    ambiguous; CXL-SHM instead moves references through single-producer
+    single-consumer ring queues living in the shared pool. The queue itself
+    is a CXLObj whose ring slots are {e embedded references}, so:
+
+    - sending attaches the object to the tail slot with the standard era
+      transaction, then publishes it by advancing the tail — ownership
+      transfers atomically at that store;
+    - receiving attaches the head slot's object to a fresh RootRef, detaches
+      the slot, then advances the head;
+    - every queue is registered in the well-known directory, so the recovery
+      service can find them; un-consumed references are owned by the queue
+      object itself and die with it, so a crash on either side leaks
+      nothing.
+
+    Queues are registered in the arena's queue directory; a slot records
+    sender, receiver and a {e counted} reference to the queue object. *)
+
+type endpoint = Sender | Receiver
+type t
+
+val capacity : t -> int
+
+val pending : t -> int
+(** Messages published but not yet consumed. *)
+
+val endpoint : t -> endpoint
+val peer : t -> int
+val queue_ref : t -> Cxl_ref.t
+
+val connect : Ctx.t -> receiver:int -> capacity:int -> t
+(** Sender side: allocate a queue for [ctx → receiver], register it in the
+    directory. Raises [Failure] if the directory is full. *)
+
+val open_from : Ctx.t -> sender:int -> t option
+(** Receiver side: find an active queue [sender → ctx] and take a counted
+    reference to it. [None] until the sender has connected. *)
+
+type send_result = Sent | Full | Closed
+
+val send : t -> Cxl_ref.t -> send_result
+(** Share the handle's object with the peer. The sender keeps its own
+    reference (drop it separately if no longer needed). *)
+
+type recv_result = Received of Cxl_ref.t | Empty | Drained
+
+val receive : t -> recv_result
+(** [Drained] = the sender closed (or died) and the ring is empty. *)
+
+val close : t -> unit
+(** Close this endpoint and drop its queue reference. When both endpoints
+    are closed the directory slot is reclaimed and the queue object (with
+    any never-consumed in-flight references) is released. *)
+
+(** {1 Recovery hooks} *)
+
+val recover_endpoints : Ctx.t -> failed_cid:int -> unit
+(** Close every directory registration of a dead client: abort half-claimed
+    slots, mark its endpoints closed, and finish both-ends-dead cleanups —
+    all with resumable era transactions under the dead client's identity. *)
+
+val directory_refs : Cxlshm_shmem.Mem.t -> Layout.t -> Cxlshm_shmem.Pptr.t list
+(** Validator helper: the queue-object pointers currently held (counted) by
+    directory slots. *)

@@ -1,0 +1,279 @@
+module Mem = Cxlshm_shmem.Mem
+module Word = Cxlshm_shmem.Word
+
+type t = {
+  live_objects : int;
+  live_rootrefs : int;
+  free_blocks : int;
+  pending_scan : int;
+  leaks : int;
+  double_frees : int;
+  wild_pointers : int;
+  count_mismatches : int;
+  errors : string list;
+}
+
+let is_clean t =
+  t.leaks = 0 && t.double_frees = 0 && t.wild_pointers = 0
+  && t.count_mismatches = 0
+
+let pp ppf t =
+  Format.fprintf ppf
+    "live=%d rootrefs=%d free=%d pending=%d leaks=%d double-frees=%d wild=%d \
+     mismatches=%d"
+    t.live_objects t.live_rootrefs t.free_blocks t.pending_scan t.leaks t.double_frees
+    t.wild_pointers t.count_mismatches
+
+type acc = {
+  mutable live : int;
+  mutable live_rr : int;
+  mutable free : int;
+  mutable pending : int;
+  mutable leak : int;
+  mutable dfree : int;
+  mutable wild : int;
+  mutable mism : int;
+  mutable errs : string list;
+}
+
+let err acc fmt = Printf.ksprintf (fun s -> acc.errs <- s :: acc.errs) fmt
+
+let run mem lay =
+  let cfg = lay.Layout.cfg in
+  let peek = Mem.unsafe_peek mem in
+  let acc =
+    { live = 0; live_rr = 0; free = 0; pending = 0; leak = 0; dfree = 0; wild = 0;
+      mism = 0; errs = [] }
+  in
+  let rr_kind = Config.kind_rootref cfg in
+  let huge_kind = Config.kind_huge cfg in
+  let pps = cfg.Config.pages_per_segment in
+
+  (* ---- enumerate initialised pages and their blocks ---- *)
+  let page_kind gid = peek (Layout.page_kind lay ~gid) in
+  let page_blocks gid =
+    let bw = peek (Layout.page_block_words lay ~gid) in
+    let cap = peek (Layout.page_capacity lay ~gid) in
+    let base = Layout.page_area lay ~gid in
+    if bw = 0 then []
+    else List.init cap (fun i -> base + (i * bw))
+  in
+  let seg_state s = peek (Layout.seg_state lay s) in
+  let seg_owner s =
+    let v = peek (Layout.seg_occupied lay s) in
+    if v = 0 then None else Some (v - 1)
+  in
+  let client_alive c = peek (Layout.client_flags lay c) = 1 in
+
+  (* Is [p] the base of a block we could legally reference? *)
+  let block_base_ok p =
+    if p <= 0 || p >= lay.Layout.total_words then false
+    else
+      match Layout.segment_of_addr lay p with
+      | exception Invalid_argument _ -> false
+      | seg -> (
+          let st = seg_state seg in
+          if st = 4 (* huge head *) || st = 5 (* huge cont *)
+             || page_kind (Layout.page_gid lay ~seg ~page:0) = huge_kind
+          then p = Layout.segment_base lay seg + lay.Layout.seg_hdr_words
+          else
+            match Layout.page_gid_of_addr lay p with
+            | exception Invalid_argument _ -> false
+            | gid ->
+                let bw = peek (Layout.page_block_words lay ~gid) in
+                let base = Layout.page_area lay ~gid in
+                page_kind gid <> Config.kind_unused
+                && page_kind gid <> rr_kind
+                && bw > 0
+                && (p - base) mod bw = 0
+                && (p - base) / bw < peek (Layout.page_capacity lay ~gid))
+  in
+
+  (* ---- collect reference holders ---- *)
+  let expected : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let holders : (int, string list) Hashtbl.t = Hashtbl.create 256 in
+  let add_ref ~from obj =
+    if not (block_base_ok obj) then begin
+      acc.wild <- acc.wild + 1;
+      err acc "wild pointer @%d held by %s" obj from
+    end
+    else begin
+      Hashtbl.replace expected obj
+        (1 + (try Hashtbl.find expected obj with Not_found -> 0));
+      Hashtbl.replace holders obj
+        (from :: (try Hashtbl.find holders obj with Not_found -> []))
+    end
+  in
+
+  (* RootRefs *)
+  for seg = 0 to cfg.Config.num_segments - 1 do
+    for p = 0 to pps - 1 do
+      let gid = Layout.page_gid lay ~seg ~page:p in
+      if page_kind gid = rr_kind then
+        List.iter
+          (fun rr ->
+            if Rootref.peek_in_use mem rr then begin
+              let obj = Rootref.peek_obj mem rr in
+              if obj <> 0 then
+                add_ref ~from:(Printf.sprintf "rootref@%d" rr) obj
+            end)
+          (page_blocks gid)
+    done
+  done;
+  (* Queue directory *)
+  List.iter
+    (fun qptr -> add_ref ~from:"queue-directory" qptr)
+    (Transfer.directory_refs mem lay);
+  (* Named persistent roots *)
+  List.iter
+    (fun p -> add_ref ~from:"named-root" p)
+    (Named_roots.directory_refs mem lay);
+  (* Embedded references of live blocks (incl. huge objects). *)
+  let scan_live_obj obj =
+    let meta = peek (Obj_header.meta_of_obj obj) in
+    let emb = Obj_header.meta_emb_cnt meta in
+    for i = 0 to emb - 1 do
+      let child = peek (Obj_header.emb_slot obj i) in
+      if child <> 0 then
+        add_ref ~from:(Printf.sprintf "emb@%d[%d]" obj i) child
+    done
+  in
+  for seg = 0 to cfg.Config.num_segments - 1 do
+    let st = seg_state seg in
+    if st = 4 || page_kind (Layout.page_gid lay ~seg ~page:0) = huge_kind then begin
+      let obj = Layout.segment_base lay seg + lay.Layout.seg_hdr_words in
+      if Obj_header.ref_cnt_of (peek obj) > 0 then scan_live_obj obj
+    end
+    else if st <> 5 then
+      for p = 0 to pps - 1 do
+        let gid = Layout.page_gid lay ~seg ~page:p in
+        let k = page_kind gid in
+        if k <> Config.kind_unused && k <> rr_kind && k <> huge_kind then
+          List.iter
+            (fun b -> if Obj_header.ref_cnt_of (peek b) > 0 then scan_live_obj b)
+            (page_blocks gid)
+      done
+  done;
+
+  (* ---- free structures ---- *)
+  let free_set : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let add_free b where =
+    if Hashtbl.mem free_set b then begin
+      acc.dfree <- acc.dfree + 1;
+      err acc "block @%d appears twice in free structures (%s)" b where
+    end
+    else Hashtbl.replace free_set b ()
+  in
+  for seg = 0 to cfg.Config.num_segments - 1 do
+    let st = seg_state seg in
+    if st <> 4 && st <> 5 then begin
+      for p = 0 to pps - 1 do
+        let gid = Layout.page_gid lay ~seg ~page:p in
+        let k = page_kind gid in
+        if k <> Config.kind_unused && k <> huge_kind then begin
+          let off = Page.next_slot_offset ~kind_rootref:(k = rr_kind) in
+          let cap = peek (Layout.page_capacity lay ~gid) in
+          let rec walk p fuel =
+            if p <> 0 then
+              if fuel = 0 then begin
+                acc.dfree <- acc.dfree + 1;
+                err acc "free chain of page %d longer than capacity (cycle?)" gid
+              end
+              else begin
+                add_free p (Printf.sprintf "page %d free chain" gid);
+                walk (peek (p + off)) (fuel - 1)
+              end
+          in
+          walk (peek (Layout.page_free lay ~gid)) (cap + 1)
+        end
+      done;
+      (* cross-client stack *)
+      let f_ptr = Word.field ~shift:0 ~bits:46 in
+      let rec walk p fuel =
+        if p <> 0 && fuel > 0 then begin
+          add_free p (Printf.sprintf "segment %d client_free" seg);
+          walk (peek (p + Config.header_words)) (fuel - 1)
+        end
+      in
+      walk (Word.get f_ptr (peek (Layout.seg_client_free lay seg))) 10_000
+    end
+  done;
+
+  (* ---- classify every block ---- *)
+  let scan_pending seg =
+    let st = seg_state seg in
+    st = 2 || st = 3
+    || (match seg_owner seg with Some c -> not (client_alive c) | None -> false)
+  in
+  for seg = 0 to cfg.Config.num_segments - 1 do
+    let st = seg_state seg in
+    if st = 4 || page_kind (Layout.page_gid lay ~seg ~page:0) = huge_kind then begin
+      let obj = Layout.segment_base lay seg + lay.Layout.seg_hdr_words in
+      let cnt = Obj_header.ref_cnt_of (peek obj) in
+      if cnt > 0 then begin
+        acc.live <- acc.live + 1;
+        let exp = try Hashtbl.find expected obj with Not_found -> 0 in
+        if cnt <> exp then begin
+          acc.mism <- acc.mism + 1;
+          err acc "huge object @%d: count %d but %d holders" obj cnt exp
+        end
+      end
+      else if scan_pending seg then acc.pending <- acc.pending + 1
+      else begin
+        acc.leak <- acc.leak + 1;
+        err acc "huge object @%d: count 0, not pending any scan" obj
+      end
+    end
+    else if st <> 5 then
+      for p = 0 to pps - 1 do
+        let gid = Layout.page_gid lay ~seg ~page:p in
+        let k = page_kind gid in
+        if k <> Config.kind_unused && k <> huge_kind then
+          List.iter
+            (fun b ->
+              let is_rr = k = rr_kind in
+              let live =
+                if is_rr then Rootref.peek_in_use mem b
+                else Obj_header.ref_cnt_of (peek b) > 0
+              in
+              let in_free = Hashtbl.mem free_set b in
+              if live && in_free then begin
+                acc.dfree <- acc.dfree + 1;
+                err acc "block @%d is both live and free" b
+              end
+              else if live then begin
+                if is_rr then acc.live_rr <- acc.live_rr + 1
+                else acc.live <- acc.live + 1;
+                if not is_rr then begin
+                  let cnt = Obj_header.ref_cnt_of (peek b) in
+                  let exp = try Hashtbl.find expected b with Not_found -> 0 in
+                  if cnt <> exp then begin
+                    acc.mism <- acc.mism + 1;
+                    err acc "object @%d: count %d but %d holders (%s)" b cnt exp
+                      (String.concat ", "
+                         (try Hashtbl.find holders b with Not_found -> []))
+                  end
+                end
+              end
+              else if in_free then acc.free <- acc.free + 1
+              else if scan_pending seg then acc.pending <- acc.pending + 1
+              else begin
+                acc.leak <- acc.leak + 1;
+                err acc "block @%d: count 0, off-list, segment %d not pending"
+                  b seg
+              end)
+            (page_blocks gid)
+      done
+  done;
+
+  {
+    live_objects = acc.live;
+    live_rootrefs = acc.live_rr;
+    free_blocks = acc.free;
+    pending_scan = acc.pending;
+    leaks = acc.leak;
+    double_frees = acc.dfree;
+    wild_pointers = acc.wild;
+    count_mismatches = acc.mism;
+    errors = List.rev acc.errs;
+  }

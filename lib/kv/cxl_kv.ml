@@ -1,0 +1,206 @@
+open Cxlshm
+
+type store = {
+  index_obj : int;
+  buckets : int;
+  partitions : int;
+  value_words : int;
+}
+
+type handle = {
+  ctx : Ctx.t;
+  store : store;
+  index_rr : int;  (** our RootRef keeping the index alive *)
+  mutable deferred : int list;  (** unlinked records awaiting quiesce *)
+}
+
+let name = "CXL-KV"
+
+(* Index data layout (after the [buckets] embedded slots):
+   +0 partitions, +1 value_words, +2.. writer table (cid+1 per partition).
+   Record: emb slot 0 = next; data words +1 = key, +2.. = value. *)
+let idx_word store i = Obj_header.data_of_obj store.index_obj + store.buckets + i
+let writer_word store p = idx_word store (2 + p)
+let bucket_slot store b = Obj_header.emb_slot store.index_obj b
+let rec_next r = Obj_header.emb_slot r 0
+let rec_key r = Obj_header.data_of_obj r + 1
+let rec_val r i = Obj_header.data_of_obj r + 2 + i
+
+(* Fibonacci hashing spreads dense integer keys. *)
+let hash key = (key * 0x2545F4914F6CDD1D) land max_int
+
+let bucket_of store key = hash key mod store.buckets
+let partition_of_key store key = key mod store.partitions
+
+let create ctx ~buckets ~partitions ~value_words =
+  if buckets < 1 || partitions < 1 || value_words < 1 then
+    invalid_arg "Cxl_kv.create";
+  let data_words = buckets + 2 + partitions in
+  let r = Shm.cxl_malloc_words ctx ~data_words ~emb_cnt:buckets () in
+  let store =
+    { index_obj = Cxl_ref.obj r; buckets; partitions; value_words }
+  in
+  Ctx.store ctx (idx_word store 0) partitions;
+  Ctx.store ctx (idx_word store 1) value_words;
+  for p = 0 to partitions - 1 do
+    Ctx.store ctx (writer_word store p) 0
+  done;
+  let handle =
+    { ctx; store; index_rr = Cxl_ref.rootref r; deferred = [] }
+  in
+  (store, handle)
+
+let open_store ctx store =
+  let rr = Alloc.alloc_rootref ctx in
+  Refc.attach ctx ~ref_addr:(Rootref.pptr_slot rr) ~refed:store.index_obj;
+  { ctx; store; index_rr = rr; deferred = [] }
+
+let quiesce h =
+  List.iter (fun r -> Alloc.free_obj_block h.ctx r) h.deferred;
+  h.deferred <- []
+
+let close h =
+  quiesce h;
+  Reclaim.release_rootref h.ctx h.index_rr
+
+let claim_partition h p =
+  Ctx.cas h.ctx (writer_word h.store p) ~expected:0 ~desired:(h.ctx.Ctx.cid + 1)
+
+let takeover_partition h p =
+  let w = writer_word h.store p in
+  let rec loop () =
+    let cur = Ctx.load h.ctx w in
+    cur = h.ctx.Ctx.cid + 1
+    || Ctx.cas h.ctx w ~expected:cur ~desired:(h.ctx.Ctx.cid + 1)
+    || loop ()
+  in
+  loop ()
+
+let writer_of_partition h p =
+  let v = Ctx.load h.ctx (writer_word h.store p) in
+  if v = 0 then None else Some (v - 1)
+
+let check_writer h key =
+  let p = partition_of_key h.store key in
+  if Ctx.load h.ctx (writer_word h.store p) <> h.ctx.Ctx.cid + 1 then
+    failwith
+      (Printf.sprintf "Cxl_kv: client %d is not the writer of partition %d"
+         h.ctx.Ctx.cid p)
+
+let find h key =
+  let rec walk r =
+    if r = 0 then None
+    else if Ctx.load h.ctx (rec_key r) = key then Some r
+    else walk (Ctx.load h.ctx (rec_next r))
+  in
+  walk (Ctx.load h.ctx (bucket_slot h.store (bucket_of h.store key)))
+
+let get h ~key =
+  match find h key with
+  | None -> None
+  | Some r -> Some (Ctx.load h.ctx (rec_val r 0))
+
+let get_all_words h ~key =
+  match find h key with
+  | None -> None
+  | Some r ->
+      Some (Array.init h.store.value_words (fun i -> Ctx.load h.ctx (rec_val r i)))
+
+let write_value h r value =
+  (* Full value width is written, modelling YCSB-size payload traffic. *)
+  for i = 0 to h.store.value_words - 1 do
+    Ctx.store h.ctx (rec_val r i) (value + i)
+  done
+
+let find_with_prev h key =
+  let slot0 = bucket_slot h.store (bucket_of h.store key) in
+  let rec walk prev_slot r =
+    if r = 0 then None
+    else if Ctx.load h.ctx (rec_key r) = key then Some (prev_slot, r)
+    else walk (rec_next r) (Ctx.load h.ctx (rec_next r))
+  in
+  walk slot0 (Ctx.load h.ctx slot0)
+
+let retire h r =
+  Reclaim.teardown_children h.ctx ~as_cid:h.ctx.Ctx.cid ~obj:r;
+  h.deferred <- r :: h.deferred
+
+(* Insert a freshly allocated record for [key], either replacing [old]
+   in-chain (§5.4 change) or prepending at the bucket. *)
+let insert_fresh h ~key ~value ~existing =
+  let rr, fresh =
+    Alloc.alloc_obj h.ctx ~data_words:(2 + h.store.value_words) ~emb_cnt:1
+  in
+  Ctx.store h.ctx (rec_key fresh) key;
+  write_value h fresh value;
+  (match existing with
+  | Some (prev_slot, old) ->
+      let next = Ctx.load h.ctx (rec_next old) in
+      if next <> 0 then Refc.attach h.ctx ~ref_addr:(rec_next fresh) ~refed:next;
+      let n = Refc.change h.ctx ~ref_addr:prev_slot ~from_obj:old ~to_obj:fresh in
+      if n = 0 then retire h old
+  | None ->
+      let slot = bucket_slot h.store (bucket_of h.store key) in
+      let head = Ctx.load h.ctx slot in
+      if head = 0 then Refc.attach h.ctx ~ref_addr:slot ~refed:fresh
+      else begin
+        Refc.attach h.ctx ~ref_addr:(rec_next fresh) ~refed:head;
+        ignore (Refc.change h.ctx ~ref_addr:slot ~from_obj:head ~to_obj:fresh)
+      end);
+  (* The index keeps the record alive; drop our RootRef. *)
+  Reclaim.release_rootref h.ctx rr
+
+let put h ~key ~value =
+  check_writer h key;
+  match find h key with
+  | Some r -> write_value h r value
+  | None -> insert_fresh h ~key ~value ~existing:None
+
+let put_cow h ~key ~value =
+  check_writer h key;
+  insert_fresh h ~key ~value ~existing:(find_with_prev h key)
+
+let delete h ~key =
+  check_writer h key;
+  let slot0 = bucket_slot h.store (bucket_of h.store key) in
+  let rec walk prev_slot r =
+    if r = 0 then false
+    else if Ctx.load h.ctx (rec_key r) = key then begin
+      let next = Ctx.load h.ctx (rec_next r) in
+      let n =
+        if next = 0 then Refc.detach h.ctx ~ref_addr:prev_slot ~refed:r
+        else Refc.change h.ctx ~ref_addr:prev_slot ~from_obj:r ~to_obj:next
+      in
+      if n = 0 then
+        (* Unreachable from the index; tear down its next-link and park the
+           block until quiesce (reader protection). *)
+        retire h r;
+      true
+    end
+    else walk (rec_next r) (Ctx.load h.ctx (rec_next r))
+  in
+  walk slot0 (Ctx.load h.ctx slot0)
+
+let iter h f =
+  for b = 0 to h.store.buckets - 1 do
+    let rec walk r =
+      if r <> 0 then begin
+        f ~key:(Ctx.load h.ctx (rec_key r)) ~value:(Ctx.load h.ctx (rec_val r 0));
+        walk (Ctx.load h.ctx (rec_next r))
+      end
+    in
+    walk (Ctx.load h.ctx (bucket_slot h.store b))
+  done
+
+let keys h =
+  let acc = ref [] in
+  iter h (fun ~key ~value:_ -> acc := key :: !acc);
+  List.sort compare !acc
+
+let size_estimate h =
+  let total = ref 0 in
+  for b = 0 to h.store.buckets - 1 do
+    let rec walk r = if r <> 0 then (incr total; walk (Ctx.load h.ctx (rec_next r))) in
+    walk (Ctx.load h.ctx (bucket_slot h.store b))
+  done;
+  !total

@@ -1,0 +1,80 @@
+(** CXL-KV: the shared-everything distributed key-value store (§6.4).
+
+    One latch-free fixed-size hash index lives in the shared pool; its
+    buckets are embedded references to chains of key-value records (hash
+    collisions as linked lists, §6.4.1). Readers from any client walk the
+    whole store directly — no sharding of reads. Writers own disjoint key
+    partitions (single-writer-multi-reader, required by the era algorithm);
+    a partition can be taken over with one CAS on the writer table —
+    repartitioning without data movement, because the data never moves.
+
+    Record reclamation after delete is deferred to {!quiesce} (the paper
+    points at hazard-era reclamation for reader protection; parking freed
+    records until a quiescent point is the simulator's equivalent).
+    Concurrent readers may transiently miss entries deleted mid-walk —
+    standard latch-free list semantics. *)
+
+type store = {
+  index_obj : Cxlshm_shmem.Pptr.t;
+  buckets : int;
+  partitions : int;
+  value_words : int;
+}
+(** Plain descriptor, shareable across domains. *)
+
+type handle
+
+val name : string
+
+val create :
+  Cxlshm.Ctx.t -> buckets:int -> partitions:int -> value_words:int ->
+  store * handle
+(** Allocate the index; the creator's handle holds a counted reference. *)
+
+val open_store : Cxlshm.Ctx.t -> store -> handle
+(** Attach another client to the store. *)
+
+val close : handle -> unit
+(** Quiesce and drop this client's reference; the index (and every record)
+    is reclaimed when the last handle closes. A store meant to outlive its
+    current clients should either keep a standby handle open or publish the
+    index as a {!Cxlshm.Named_roots} entry. *)
+
+val claim_partition : handle -> int -> bool
+(** Become the writer of a partition (CAS on the writer table). *)
+
+val takeover_partition : handle -> int -> bool
+(** §6.4.1 writer failover: steal the partition whatever its current
+    writer — no data transfer, one metadata CAS. *)
+
+val writer_of_partition : handle -> int -> int option
+val partition_of_key : store -> int -> int
+
+val get : handle -> key:int -> int option
+val get_all_words : handle -> key:int -> int array option
+val put : handle -> key:int -> value:int -> unit
+(** Insert-or-update; raises [Failure] if this client does not hold the
+    key's partition. Existing keys are updated {e in place} (§2.2.2's
+    "atomic in-place updates" — atomic per value word; multi-word values
+    may be observed torn by concurrent readers). *)
+
+val put_cow : handle -> key:int -> value:int -> unit
+(** Copy-on-write variant: every write allocates a fresh record and swaps
+    it into the chain atomically (§5.4 change), so readers never observe a
+    torn multi-word value; the replaced record is parked until {!quiesce}.
+    Costs an allocation (fence + flush) per write. *)
+
+val delete : handle -> key:int -> bool
+val quiesce : handle -> unit
+(** Reclaim records parked by this handle's deletes. *)
+
+val size_estimate : handle -> int
+(** Walks every bucket (reader-side full scan — legal in the
+    shared-everything design). *)
+
+val iter : handle -> (key:int -> value:int -> unit) -> unit
+(** Reader-side scan of the whole store (§6.4: "readers can directly read
+    the entire store"). Concurrent single-writer mutations may be partially
+    observed, as with any latch-free traversal. *)
+
+val keys : handle -> int list

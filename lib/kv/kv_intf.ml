@@ -1,0 +1,30 @@
+(** Common operation vocabulary of the key-value benchmarks (Fig 10).
+
+    Keys are non-negative integers (hashed into buckets by each store);
+    values are fixed-width word payloads whose width is a store parameter
+    (modelling YCSB-style value sizes). *)
+
+type op =
+  | Read of int
+  | Update of int * int  (** key, value seed *)
+  | Insert of int * int
+  | Delete of int
+
+let op_key = function Read k | Update (k, _) | Insert (k, _) | Delete k -> k
+let is_write = function Read _ -> false | Update _ | Insert _ | Delete _ -> true
+
+(** Interface every store implementation exposes to the driver. *)
+module type S = sig
+  type store
+  type handle
+
+  val name : string
+
+  val get : handle -> key:int -> int option
+  (** First value word, or [None] if absent. *)
+
+  val put : handle -> key:int -> value:int -> unit
+  (** Insert or update in place. *)
+
+  val delete : handle -> key:int -> bool
+end

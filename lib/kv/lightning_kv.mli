@@ -1,0 +1,22 @@
+(** Lightning-KV baseline (Fig 10a): an object store in the architecture of
+    Lightning [VLDB'22] — shared-memory reads, but every mutation goes
+    through a {e lock-based buddy allocator} plus per-operation undo-log
+    writes for crash consistency. The paper attributes Lightning's one to
+    three orders of magnitude throughput gap to exactly this memory
+    management path; all mutation costs here serialise behind the global
+    buddy lock ({!serial_stats}). *)
+
+type store
+type handle
+
+val name : string
+
+val create : buckets:int -> value_words:int -> words:int -> threads:int -> store
+val handle : store -> int -> handle
+val stats : handle -> Cxlshm_shmem.Stats.t
+val serial_stats : store -> Cxlshm_shmem.Stats.t
+val tier : store -> Cxlshm_shmem.Latency.tier
+
+val get : handle -> key:int -> int option
+val put : handle -> key:int -> value:int -> unit
+val delete : handle -> key:int -> bool

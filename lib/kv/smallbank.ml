@@ -1,0 +1,45 @@
+type t = { accounts : int; rng : Random.State.t; mutable stamp : int }
+
+let create ~accounts ~seed =
+  { accounts; rng = Random.State.make [| seed; 0x5B |]; stamp = 0 }
+
+let checking _t a = a
+let savings t a = t.accounts + a
+
+let next t =
+  let a = Random.State.int t.rng t.accounts in
+  let b = Random.State.int t.rng t.accounts in
+  t.stamp <- t.stamp + 1;
+  let v = t.stamp in
+  let p = Random.State.float t.rng 100.0 in
+  if p < 15.0 then (* Balance: read both accounts *)
+    [ Kv_intf.Read (checking t a); Kv_intf.Read (savings t a) ]
+  else if p < 30.0 then (* DepositChecking *)
+    [ Kv_intf.Read (checking t a); Kv_intf.Update (checking t a, v) ]
+  else if p < 45.0 then (* TransactSavings *)
+    [ Kv_intf.Read (savings t a); Kv_intf.Update (savings t a, v) ]
+  else if p < 60.0 then (* Amalgamate: drain a into b *)
+    [
+      Kv_intf.Read (checking t a);
+      Kv_intf.Read (savings t a);
+      Kv_intf.Update (checking t a, 0);
+      Kv_intf.Update (savings t a, 0);
+      Kv_intf.Update (checking t b, v);
+    ]
+  else if p < 85.0 then (* WriteCheck *)
+    [
+      Kv_intf.Read (checking t a);
+      Kv_intf.Read (savings t a);
+      Kv_intf.Update (checking t a, v);
+    ]
+  else (* SendPayment *)
+    [
+      Kv_intf.Read (checking t a);
+      Kv_intf.Update (checking t a, v);
+      Kv_intf.Update (checking t b, v);
+    ]
+
+let load_ops t =
+  List.concat_map
+    (fun a -> [ Kv_intf.Insert (checking t a, 100); Kv_intf.Insert (savings t a, 100) ])
+    (List.init t.accounts Fun.id)

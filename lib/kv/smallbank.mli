@@ -1,0 +1,13 @@
+(** Smallbank banking workload mapped onto key-value operations (Fig 10d).
+
+    Standard mix over checking/savings accounts: Balance 15 %,
+    DepositChecking 15 %, TransactSavings 15 %, Amalgamate 15 %,
+    WriteCheck 25 %, SendPayment 15 %. Each transaction reads and/or
+    updates one or two account rows; accounts map to two disjoint key
+    ranges (checking, savings). *)
+
+type t
+
+val create : accounts:int -> seed:int -> t
+val next : t -> Kv_intf.op list
+val load_ops : t -> Kv_intf.op list

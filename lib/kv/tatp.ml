@@ -1,0 +1,44 @@
+(* Key-space mapping: table id in the two top decimal digits.
+   1: subscriber, 2: access_info, 3: special_facility, 4: call_forwarding. *)
+type t = { subs : int; rng : Random.State.t; mutable stamp : int }
+
+let create ~subscribers ~seed =
+  { subs = subscribers; rng = Random.State.make [| seed; 0x7A7 |]; stamp = 0 }
+
+let sub_key t s = (1 * t.subs * 10) + s
+let access_key t s = (2 * t.subs * 10) + s
+let facility_key t s = (3 * t.subs * 10) + s
+let fwd_key t s = (4 * t.subs * 10) + s
+
+let read_fraction = 0.80
+
+let next t =
+  let s = Random.State.int t.rng t.subs in
+  t.stamp <- t.stamp + 1;
+  let p = Random.State.float t.rng 100.0 in
+  if p < 35.0 then (* GET_SUBSCRIBER_DATA *)
+    [ Kv_intf.Read (sub_key t s) ]
+  else if p < 45.0 then (* GET_NEW_DESTINATION *)
+    [ Kv_intf.Read (facility_key t s); Kv_intf.Read (fwd_key t s) ]
+  else if p < 80.0 then (* GET_ACCESS_DATA *)
+    [ Kv_intf.Read (access_key t s) ]
+  else if p < 82.0 then (* UPDATE_SUBSCRIBER_DATA *)
+    [ Kv_intf.Update (sub_key t s, t.stamp);
+      Kv_intf.Update (facility_key t s, t.stamp) ]
+  else if p < 96.0 then (* UPDATE_LOCATION *)
+    [ Kv_intf.Update (sub_key t s, t.stamp) ]
+  else if p < 98.0 then (* INSERT_CALL_FORWARDING *)
+    [ Kv_intf.Read (sub_key t s); Kv_intf.Insert (fwd_key t s, t.stamp) ]
+  else (* DELETE_CALL_FORWARDING *)
+    [ Kv_intf.Delete (fwd_key t s) ]
+
+let load_ops t =
+  List.concat_map
+    (fun s ->
+      [
+        Kv_intf.Insert (sub_key t s, s);
+        Kv_intf.Insert (access_key t s, s);
+        Kv_intf.Insert (facility_key t s, s);
+        Kv_intf.Insert (fwd_key t s, s);
+      ])
+    (List.init t.subs Fun.id)

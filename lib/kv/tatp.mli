@@ -1,0 +1,18 @@
+(** TATP (Telecom Application Transaction Processing) workload, mapped onto
+    key-value operations (Fig 10d; the paper uses "only the read write
+    workload" since CXL-KV has no transactions).
+
+    Standard mix: GET_SUBSCRIBER_DATA 35 %, GET_NEW_DESTINATION 10 %,
+    GET_ACCESS_DATA 35 %, UPDATE_SUBSCRIBER_DATA 2 %, UPDATE_LOCATION 14 %,
+    INSERT_CALL_FORWARDING 2 %, DELETE_CALL_FORWARDING 2 %. Rows of the
+    four tables map to disjoint key ranges. *)
+
+type t
+
+val create : subscribers:int -> seed:int -> t
+val next : t -> Kv_intf.op list
+(** One transaction = a short list of KV operations. *)
+
+val load_ops : t -> Kv_intf.op list
+val read_fraction : float
+(** Fraction of read-only transactions in the standard mix (0.8). *)

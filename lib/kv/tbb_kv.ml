@@ -1,0 +1,148 @@
+module Mem = Cxlshm_shmem.Mem
+module Stats = Cxlshm_shmem.Stats
+module Latency = Cxlshm_shmem.Latency
+
+let name = "TBB-KV"
+
+(* Arena layout: +0 bump, +1 free-stack head, +2.. bucket words
+   {lock:1, head:shifted}, then records [next][key][value..]. *)
+type store = {
+  mem : Mem.t;
+  buckets : int;
+  value_words : int;
+  rec_words : int;
+  heap_base : int;
+  heap_end : int;
+  threads : int;
+}
+
+type handle = { s : store; st : Stats.t }
+
+let tier _ = Latency.Local_numa
+
+let create ~buckets ~value_words ~capacity ~threads =
+  let rec_words = 2 + value_words in
+  let heap_base = 2 + buckets in
+  let words = heap_base + (capacity * rec_words) in
+  let mem = Mem.create ~tier:Latency.Local_numa ~words () in
+  {
+    mem;
+    buckets;
+    value_words;
+    rec_words;
+    heap_base;
+    heap_end = words;
+    threads;
+  }
+
+let handle s tid =
+  if tid < 0 || tid >= s.threads then invalid_arg "Tbb_kv.handle";
+  { s; st = Stats.create () }
+
+let stats h = h.st
+let hash key = (key * 0x2545F4914F6CDD1D) land max_int
+let bucket_addr _s b = 2 + b
+
+(* Bucket word packs {head:48, lock:1}. *)
+let lock_bit = 1
+let head_of w = w lsr 1
+let pack_bucket ~locked head = (head lsl 1) lor (if locked then lock_bit else 0)
+
+let lock_bucket h b =
+  let a = bucket_addr h.s b in
+  let rec spin () =
+    let w = Mem.load h.s.mem ~st:h.st a in
+    if
+      w land lock_bit <> 0
+      || not
+           (Mem.cas h.s.mem ~st:h.st a ~expected:w
+              ~desired:(w lor lock_bit))
+    then begin
+      Domain.cpu_relax ();
+      spin ()
+    end
+  in
+  spin ()
+
+let unlock_bucket h b head =
+  Mem.store h.s.mem ~st:h.st (bucket_addr h.s b) (pack_bucket ~locked:false head)
+
+let alloc_record h =
+  (* try the free stack, then the bump pointer *)
+  let rec pop () =
+    let top = Mem.load h.s.mem ~st:h.st 1 in
+    if top = 0 then None
+    else
+      let next = Mem.load h.s.mem ~st:h.st top in
+      if Mem.cas h.s.mem ~st:h.st 1 ~expected:top ~desired:next then Some top
+      else pop ()
+  in
+  match pop () with
+  | Some r -> r
+  | None ->
+      let off = Mem.fetch_add h.s.mem ~st:h.st 0 h.s.rec_words in
+      let r = h.s.heap_base + off in
+      if r + h.s.rec_words > h.s.heap_end then raise Out_of_memory;
+      r
+
+let free_record h r =
+  let rec push () =
+    let top = Mem.load h.s.mem ~st:h.st 1 in
+    Mem.store h.s.mem ~st:h.st r top;
+    if not (Mem.cas h.s.mem ~st:h.st 1 ~expected:top ~desired:r) then push ()
+  in
+  push ()
+
+let get h ~key =
+  let b = hash key mod h.s.buckets in
+  let rec walk r =
+    if r = 0 then None
+    else if Mem.load h.s.mem ~st:h.st (r + 1) = key then
+      Some (Mem.load h.s.mem ~st:h.st (r + 2))
+    else walk (Mem.load h.s.mem ~st:h.st r)
+  in
+  walk (head_of (Mem.load h.s.mem ~st:h.st (bucket_addr h.s b)))
+
+let put h ~key ~value =
+  let b = hash key mod h.s.buckets in
+  lock_bucket h b;
+  let head = head_of (Mem.load h.s.mem ~st:h.st (bucket_addr h.s b)) in
+  let rec find r =
+    if r = 0 then None
+    else if Mem.load h.s.mem ~st:h.st (r + 1) = key then Some r
+    else find (Mem.load h.s.mem ~st:h.st r)
+  in
+  (match find head with
+  | Some r ->
+      for i = 0 to h.s.value_words - 1 do
+        Mem.store h.s.mem ~st:h.st (r + 2 + i) (value + i)
+      done;
+      unlock_bucket h b head
+  | None ->
+      let r = alloc_record h in
+      Mem.store h.s.mem ~st:h.st (r + 1) key;
+      for i = 0 to h.s.value_words - 1 do
+        Mem.store h.s.mem ~st:h.st (r + 2 + i) (value + i)
+      done;
+      Mem.store h.s.mem ~st:h.st r head;
+      unlock_bucket h b r)
+
+let delete h ~key =
+  let b = hash key mod h.s.buckets in
+  lock_bucket h b;
+  let head = head_of (Mem.load h.s.mem ~st:h.st (bucket_addr h.s b)) in
+  let rec remove prev r =
+    if r = 0 then (head, false)
+    else if Mem.load h.s.mem ~st:h.st (r + 1) = key then begin
+      let next = Mem.load h.s.mem ~st:h.st r in
+      (if prev = 0 then (* new head *) ()
+       else Mem.store h.s.mem ~st:h.st prev next);
+      let new_head = if prev = 0 then next else head in
+      free_record h r;
+      (new_head, true)
+    end
+    else remove r (Mem.load h.s.mem ~st:h.st r)
+  in
+  let new_head, found = remove 0 head in
+  unlock_bucket h b new_head;
+  found

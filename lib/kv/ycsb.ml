@@ -1,0 +1,43 @@
+type t = {
+  keys : int;
+  write_ratio : float;
+  zipf : Zipf.t;
+  rng : Random.State.t;
+  mutable counter : int;
+}
+
+let create ~keys ~write_ratio ~theta ~seed =
+  if write_ratio < 0.0 || write_ratio > 1.0 then
+    invalid_arg "Ycsb.create: write_ratio in [0,1]";
+  {
+    keys;
+    write_ratio;
+    zipf = Zipf.create ~n:keys ~theta ~seed;
+    rng = Random.State.make [| seed; 0xCB |];
+    counter = 0;
+  }
+
+let next t =
+  let key = Zipf.sample t.zipf in
+  t.counter <- t.counter + 1;
+  if Random.State.float t.rng 1.0 < t.write_ratio then
+    Kv_intf.Update (key, t.counter)
+  else Kv_intf.Read key
+
+let load_ops t = List.init t.keys (fun k -> Kv_intf.Insert (k, k))
+
+type preset = A | B | C | D | F
+
+let preset_name = function
+  | A -> "YCSB-A (50% update, zipf .99)"
+  | B -> "YCSB-B (5% update, zipf .99)"
+  | C -> "YCSB-C (read only, zipf .99)"
+  | D -> "YCSB-D (5% insert, latest-ish)"
+  | F -> "YCSB-F (50% RMW, zipf .99)"
+
+let of_preset ~keys ~seed = function
+  | A -> create ~keys ~write_ratio:0.5 ~theta:0.99 ~seed
+  | B -> create ~keys ~write_ratio:0.05 ~theta:0.99 ~seed
+  | C -> create ~keys ~write_ratio:0.0 ~theta:0.99 ~seed
+  | D -> create ~keys ~write_ratio:0.05 ~theta:0.9 ~seed
+  | F -> create ~keys ~write_ratio:0.5 ~theta:0.99 ~seed

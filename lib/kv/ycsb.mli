@@ -1,0 +1,28 @@
+(** YCSB-style workload generator (Fig 10 b/c).
+
+    Generates read/update operation streams with configurable write ratio
+    and Zipfian skew over a fixed key space (the paper's "own custom
+    configuration (different zipf parameters)"). Deterministic per seed. *)
+
+type t
+
+val create :
+  keys:int -> write_ratio:float -> theta:float -> seed:int -> t
+(** [write_ratio] = writes / (reads + writes): 1:9 W/R → 0.1; 1:0 → 1.0. *)
+
+val next : t -> Kv_intf.op
+val load_ops : t -> Kv_intf.op list
+(** Insert every key once (the load phase). *)
+
+(** {1 Standard workload presets}
+
+    The canonical YCSB core workloads, as write-ratio/skew presets:
+    A = 50 % update, B = 5 % update, C = read-only, all zipf 0.99;
+    D-style = 5 % insert over a recency-ish distribution (modelled here as
+    zipf over the newest ids); F = 50 % read-modify-write (modelled as an
+    update since CXL-KV updates are atomic in place). *)
+
+type preset = A | B | C | D | F
+
+val preset_name : preset -> string
+val of_preset : keys:int -> seed:int -> preset -> t

@@ -1,0 +1,31 @@
+type t = { cdf : float array; rng : Random.State.t; theta : float }
+
+let create ~n ~theta ~seed =
+  if n < 1 then invalid_arg "Zipf.create: n must be positive";
+  if theta < 0.0 then invalid_arg "Zipf.create: theta must be >= 0";
+  let w = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) theta) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i wi ->
+      acc := !acc +. (wi /. total);
+      cdf.(i) <- !acc)
+    w;
+  cdf.(n - 1) <- 1.0;
+  { cdf; rng = Random.State.make [| seed |]; theta }
+
+let n t = Array.length t.cdf
+let theta t = t.theta
+let expected_top1_mass t = t.cdf.(0)
+
+let sample t =
+  let u = Random.State.float t.rng 1.0 in
+  (* first index with cdf >= u *)
+  let rec bsearch lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) >= u then bsearch lo mid else bsearch (mid + 1) hi
+  in
+  bsearch 0 (Array.length t.cdf - 1)

@@ -1,0 +1,18 @@
+(** Zipfian key sampler (YCSB's request distribution, Fig 10c).
+
+    Precomputes the cumulative distribution over [n] ranks with exponent
+    [theta] and samples by binary search; [theta = 0] degenerates to
+    uniform. Deterministic given the seed. *)
+
+type t
+
+val create : n:int -> theta:float -> seed:int -> t
+val sample : t -> int
+(** A rank in [0, n). Rank 0 is the hottest key. *)
+
+val n : t -> int
+val theta : t -> float
+
+val expected_top1_mass : t -> float
+(** Probability mass of the hottest key — used by distribution sanity
+    tests. *)

@@ -1,0 +1,121 @@
+type job = {
+  name : string;
+  map : bytes -> (int * int) list;
+  combine : int -> int -> int;
+  output_words : int;
+}
+
+(* "w<i>" tokens map back to i; anything else hashes. *)
+let token_key tok =
+  if String.length tok > 1 && tok.[0] = 'w' then
+    match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+    | Some i -> i
+    | None -> Hashtbl.hash tok
+  else Hashtbl.hash tok
+
+let wordcount ~vocab =
+  let map chunk =
+    let text = Bytes.to_string chunk in
+    let counts = Hashtbl.create 64 in
+    List.iter
+      (fun tok ->
+        if tok <> "" then begin
+          let k = token_key tok in
+          Hashtbl.replace counts k
+            (1 + (try Hashtbl.find counts k with Not_found -> 0))
+        end)
+      (String.split_on_char ' ' text);
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+  in
+  {
+    name = "wordcount";
+    map;
+    combine = ( + );
+    output_words = 1 + (2 * vocab);
+  }
+
+let encode_points points =
+  let b = Buffer.create 256 in
+  Array.iter
+    (fun p ->
+      Array.iter
+        (fun x ->
+          (* 4-byte little-endian fixed-point coordinates *)
+          for k = 0 to 3 do
+            Buffer.add_char b (Char.chr ((x lsr (8 * k)) land 0xff))
+          done)
+        p)
+    points;
+  Buffer.to_bytes b
+
+let decode_points b ~dims =
+  let word i =
+    let v = ref 0 in
+    for k = 3 downto 0 do
+      v := (!v lsl 8) lor Char.code (Bytes.get b ((i * 4) + k))
+    done;
+    !v
+  in
+  let total = Bytes.length b / 4 / dims in
+  Array.init total (fun p -> Array.init dims (fun d -> word ((p * dims) + d)))
+
+let kmeans_assign ~centroids ~dims =
+  let k = Array.length centroids in
+  let map chunk =
+    let points = decode_points chunk ~dims in
+    let sums = Array.make_matrix k (dims + 1) 0 in
+    Array.iter
+      (fun p ->
+        let best = ref 0 and best_d = ref max_int in
+        for c = 0 to k - 1 do
+          let d = ref 0 in
+          for i = 0 to dims - 1 do
+            let dx = p.(i) - centroids.(c).(i) in
+            d := !d + (dx * dx)
+          done;
+          if !d < !best_d then begin
+            best_d := !d;
+            best := c
+          end
+        done;
+        for i = 0 to dims - 1 do
+          sums.(!best).(i) <- sums.(!best).(i) + p.(i)
+        done;
+        sums.(!best).(dims) <- sums.(!best).(dims) + 1)
+      points;
+    let out = ref [] in
+    for c = 0 to k - 1 do
+      if sums.(c).(dims) > 0 then
+        for i = 0 to dims do
+          out := ((c * (dims + 1)) + i, sums.(c).(i)) :: !out
+        done
+    done;
+    !out
+  in
+  {
+    name = "kmeans";
+    map;
+    combine = ( + );
+    output_words = 1 + (2 * k * (dims + 1));
+  }
+
+let kmeans_update ~k ~dims combined new_centroids =
+  let sums = Array.make_matrix k (dims + 1) 0 in
+  List.iter
+    (fun (key, v) ->
+      let c = key / (dims + 1) and i = key mod (dims + 1) in
+      if c < k then sums.(c).(i) <- sums.(c).(i) + v)
+    combined;
+  let moved = ref false in
+  for c = 0 to k - 1 do
+    let n = sums.(c).(dims) in
+    if n > 0 then
+      for i = 0 to dims - 1 do
+        let nv = sums.(c).(i) / n in
+        if nv <> new_centroids.(c).(i) then begin
+          new_centroids.(c).(i) <- nv;
+          moved := true
+        end
+      done
+  done;
+  !moved

@@ -1,0 +1,31 @@
+(** Job definitions shared by CXL-MapReduce and the Phoenix baseline.
+
+    A job maps a byte chunk to (int key, int value) pairs and merges values
+    with an associative [combine]. Map results are written into fixed-width
+    word buffers ([n, k1, v1, k2, v2, ...]) so the CXL side can store them
+    as in-place shared objects (no serialisation — just words). *)
+
+type job = {
+  name : string;
+  map : bytes -> (int * int) list;
+  combine : int -> int -> int;
+  output_words : int;  (** buffer bound: 1 + 2 * max distinct keys *)
+}
+
+val wordcount : vocab:int -> job
+(** Tokenises on spaces; keys are word hashes (vocabulary "w<i>" maps back
+    to [i] so results are exact). *)
+
+val kmeans_assign : centroids:int array array -> dims:int -> job
+(** One k-means iteration's map: assign each point (consecutive [dims]
+    fixed-point words per point, decoded from the chunk) to its nearest
+    centroid; emits per-centroid partial sums and counts. Keys encode
+    (centroid, dim) pairs; key [c * (dims + 1) + dims] carries counts. *)
+
+val kmeans_update :
+  k:int -> dims:int -> (int * int) list -> int array array -> bool
+(** Fold the combined map output into new centroid positions; returns
+    [true] if any centroid moved. *)
+
+val encode_points : int array array -> bytes
+val decode_points : bytes -> dims:int -> int array array

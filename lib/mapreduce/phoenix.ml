@@ -1,0 +1,41 @@
+let run ~executors ~chunks ~job =
+  if executors < 1 then invalid_arg "Phoenix.run: executors >= 1";
+  let chunk_arr = Array.of_list chunks in
+  let n = Array.length chunk_arr in
+  let next = Atomic.make 0 in
+  let worker () =
+    let acc = Hashtbl.create 256 in
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        List.iter
+          (fun (k, v) ->
+            Hashtbl.replace acc k
+              (match Hashtbl.find_opt acc k with
+              | Some v0 -> job.Mr_job.combine v0 v
+              | None -> v))
+          (job.Mr_job.map chunk_arr.(i));
+        loop ()
+      end
+    in
+    loop ();
+    acc
+  in
+  let partials =
+    if executors = 1 then [ worker () ]
+    else
+      List.map Domain.join
+        (List.init executors (fun _ -> Domain.spawn worker))
+  in
+  let merged = Hashtbl.create 1024 in
+  List.iter
+    (fun tbl ->
+      Hashtbl.iter
+        (fun k v ->
+          Hashtbl.replace merged k
+            (match Hashtbl.find_opt merged k with
+            | Some v0 -> job.Mr_job.combine v0 v
+            | None -> v))
+        tbl)
+    partials;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) merged [])

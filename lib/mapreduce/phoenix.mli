@@ -1,0 +1,10 @@
+(** Phoenix-like baseline: single-machine shared-memory MapReduce
+    (Ranger et al., HPCA'07), the comparison system of Fig 9.
+
+    Chunks live in OCaml memory; one domain per executor runs the map
+    function; the master merges the partial results. No shared pool, no
+    failure resilience, no multi-machine scale-out. *)
+
+val run :
+  executors:int -> chunks:bytes list -> job:Mr_job.job -> (int * int) list
+(** Combined (key, value) pairs, sorted by key. *)

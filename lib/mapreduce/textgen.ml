@@ -1,0 +1,45 @@
+let generate ~words ~vocab ~seed =
+  if words < 0 || vocab < 1 then invalid_arg "Textgen.generate";
+  (* Zipf over the vocabulary: word i has weight 1/(i+1). *)
+  let weights = Array.init vocab (fun i -> 1.0 /. float_of_int (i + 1)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make vocab 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  let rng = Random.State.make [| seed |] in
+  let sample () =
+    let u = Random.State.float rng 1.0 in
+    let rec bs lo hi = if lo >= hi then lo else
+      let mid = (lo + hi) / 2 in
+      if cdf.(mid) >= u then bs lo mid else bs (mid + 1) hi
+    in
+    bs 0 (vocab - 1)
+  in
+  let buf = Buffer.create (words * 6) in
+  for i = 0 to words - 1 do
+    if i > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf (Printf.sprintf "w%d" (sample ()))
+  done;
+  Buffer.contents buf
+
+let chunks corpus ~chunk_bytes =
+  if chunk_bytes < 1 then invalid_arg "Textgen.chunks";
+  let n = String.length corpus in
+  let rec go start acc =
+    if start >= n then List.rev acc
+    else begin
+      let stop = min n (start + chunk_bytes) in
+      (* extend to the next word boundary *)
+      let stop =
+        let rec ext i = if i >= n || corpus.[i] = ' ' then i else ext (i + 1) in
+        ext stop
+      in
+      let piece = String.sub corpus start (stop - start) in
+      go (stop + 1) (piece :: acc)
+    end
+  in
+  go 0 []

@@ -1,0 +1,12 @@
+(** Synthetic text corpus for the wordcount experiment (Fig 9 left).
+
+    The paper uses a 1 GB text dataset; we generate a Zipf-distributed
+    corpus over a fixed vocabulary (scaled by a size parameter) — word
+    frequencies follow the same power law as natural text, which is what
+    wordcount's shuffle/merge behaviour depends on. *)
+
+val generate : words:int -> vocab:int -> seed:int -> string
+(** A whitespace-separated corpus of [words] tokens. *)
+
+val chunks : string -> chunk_bytes:int -> string list
+(** Split at word boundaries into ≈[chunk_bytes] pieces. *)

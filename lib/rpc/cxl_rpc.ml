@@ -1,0 +1,98 @@
+open Cxlshm
+
+type client = { ctx : Ctx.t; req : Transfer.t (* client → server *) }
+
+type server = {
+  sctx : Ctx.t;
+  client_cid : int;
+  mutable sreq : Transfer.t option;  (** opened lazily once the client connects *)
+}
+
+let connect ctx ~server_cid ~capacity =
+  { ctx; req = Transfer.connect ctx ~receiver:server_cid ~capacity }
+
+let accept sctx ~client_cid ~capacity =
+  ignore capacity;
+  { sctx; client_cid; sreq = None }
+
+let rec server_req s =
+  match s.sreq with
+  | Some q -> q
+  | None -> (
+      match Transfer.open_from s.sctx ~sender:s.client_cid with
+      | Some q ->
+          s.sreq <- Some q;
+          q
+      | None ->
+          Domain.cpu_relax ();
+          server_req s)
+
+type pending = { msg : Cxl_ref.t; output : Cxl_ref.t }
+
+let send_retry q r =
+  let rec go () =
+    match Transfer.send q r with
+    | Transfer.Sent -> true
+    | Transfer.Full ->
+        Domain.cpu_relax ();
+        go ()
+    | Transfer.Closed -> false
+  in
+  go ()
+
+let call_async c ~func ~args ~output_bytes =
+  let output = Shm.cxl_malloc c.ctx ~size_bytes:output_bytes () in
+  let msg = Message.build c.ctx ~func ~args ~output in
+  if not (send_retry c.req msg) then begin
+    Cxl_ref.drop msg;
+    Cxl_ref.drop output;
+    failwith "Cxl_rpc.call: server closed"
+  end;
+  (* We keep our reference to the message: its status word is the
+     completion channel the client polls. *)
+  { msg; output }
+
+let is_done p = Message.status (Message.view_of_ref p.msg) <> 0
+
+let finish_now p =
+  (* Dropping the message releases its embedded references to the
+     arguments and the output; we still hold our own handles. *)
+  Cxl_ref.drop p.msg;
+  p.output
+
+let try_finish p = if is_done p then Some (finish_now p) else None
+
+let rec finish p =
+  if is_done p then finish_now p
+  else begin
+    Domain.cpu_relax ();
+    finish p
+  end
+
+let call c ~func ~args ~output_bytes = finish (call_async c ~func ~args ~output_bytes)
+
+type handler = func:int -> args:Message.view list -> output:Message.view -> unit
+
+let serve_one s ~handler =
+  match Transfer.receive (server_req s) with
+  | Transfer.Received msg ->
+      let v = Message.view_of_ref msg in
+      let n = Message.nargs v in
+      let args = List.init n (Message.arg v) in
+      handler ~func:(Message.func v) ~args ~output:(Message.output v);
+      (* Publish the in-place results, then drop the server's reference. *)
+      Ctx.fence s.sctx;
+      Message.set_status v 1;
+      Cxl_ref.drop msg;
+      true
+  | Transfer.Empty | Transfer.Drained -> false
+
+let serve_until s ~handler ~stop =
+  while not (Atomic.get stop) do
+    if not (serve_one s ~handler) then Domain.cpu_relax ()
+  done
+
+let close_client c = Transfer.close c.req
+
+let close_server s =
+  match s.sreq with Some q -> Transfer.close q | None -> ()

@@ -1,0 +1,51 @@
+(** CXL-RPC: pass-by-reference RPC over the shared pool (§6.3).
+
+    A call allocates one rpc_msg carrying embedded references to the inputs
+    and the output object, then moves a {e single reference} through the
+    §5.2 transfer queue. The server reads arguments and writes the result
+    in place — zero copies, no serialisation, no I/O stack — then raises
+    the message's completion word; the client polls that word directly
+    through its own retained reference (no response message).
+
+    Both endpoints inherit CXL-SHM's partial-failure story: if either side
+    dies mid-call, the recovery service reaps the in-flight message (and
+    through its embedded references the argument/output objects) with no
+    leak, double free or wild pointer. *)
+
+type client
+type server
+
+val connect : Cxlshm.Ctx.t -> server_cid:int -> capacity:int -> client
+val accept : Cxlshm.Ctx.t -> client_cid:int -> capacity:int -> server
+(** Call before or concurrently with [connect]. *)
+
+type pending
+(** An in-flight call: the client's retained message reference plus the
+    output handle. *)
+
+val call_async :
+  client -> func:int -> args:Cxlshm.Cxl_ref.t list -> output_bytes:int -> pending
+(** Fire a request (spins while the ring is full). The caller keeps
+    ownership of the argument handles. *)
+
+val is_done : pending -> bool
+(** Poll the completion word (one shared-memory load). *)
+
+val finish : pending -> Cxlshm.Cxl_ref.t
+(** Spin until done, release the message, return the caller-owned output. *)
+
+val try_finish : pending -> Cxlshm.Cxl_ref.t option
+
+val call :
+  client -> func:int -> args:Cxlshm.Cxl_ref.t list -> output_bytes:int ->
+  Cxlshm.Cxl_ref.t
+(** [finish (call_async ...)]. *)
+
+type handler = func:int -> args:Message.view list -> output:Message.view -> unit
+
+val serve_one : server -> handler:handler -> bool
+(** Handle one pending request; [false] when the ring is empty. *)
+
+val serve_until : server -> handler:handler -> stop:bool Atomic.t -> unit
+val close_client : client -> unit
+val close_server : server -> unit

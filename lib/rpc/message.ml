@@ -1,0 +1,79 @@
+open Cxlshm
+module Mem = Cxlshm_shmem.Mem
+
+type view = { ctx : Ctx.t; obj : int }
+
+let view ctx obj =
+  if obj = 0 then invalid_arg "Message.view: null object";
+  { ctx; obj }
+
+let view_of_ref r = { ctx = Cxl_ref.ctx r; obj = Cxl_ref.obj r }
+let obj v = v.obj
+
+let meta v = Ctx.load v.ctx (Obj_header.meta_of_obj v.obj)
+let data_words v = Obj_header.meta_data_words (meta v)
+let emb_cnt v = Obj_header.meta_emb_cnt (meta v)
+let data v = Obj_header.data_of_obj v.obj
+
+let read_word v i =
+  if i < 0 || i >= data_words v then invalid_arg "Message.read_word";
+  Ctx.load v.ctx (data v + i)
+
+let write_word v i x =
+  if i < 0 || i >= data_words v then invalid_arg "Message.write_word";
+  Ctx.store v.ctx (data v + i) x
+
+let byte_base v = data v + emb_cnt v
+
+let read_bytes v ~len =
+  Mem.read_bytes v.ctx.Ctx.mem ~st:v.ctx.Ctx.st (byte_base v) ~len
+
+let write_bytes v b =
+  if Mem.bytes_words (Bytes.length b) > data_words v - emb_cnt v then
+    invalid_arg "Message.write_bytes: payload too large";
+  Mem.write_bytes v.ctx.Ctx.mem ~st:v.ctx.Ctx.st (byte_base v) b
+
+let read_bytes_at v ~word_off ~len =
+  if word_off < emb_cnt v || Mem.bytes_words len > data_words v - word_off then
+    invalid_arg "Message.read_bytes_at";
+  Mem.read_bytes v.ctx.Ctx.mem ~st:v.ctx.Ctx.st (data v + word_off) ~len
+
+let write_bytes_at v ~word_off b =
+  if
+    word_off < emb_cnt v
+    || Mem.bytes_words (Bytes.length b) > data_words v - word_off
+  then invalid_arg "Message.write_bytes_at";
+  Mem.write_bytes v.ctx.Ctx.mem ~st:v.ctx.Ctx.st (data v + word_off) b
+
+(* rpc_msg: emb slots [0..I-1] = args, [I] = output; plain words:
+   +0 func id, +1 nargs, +2 completion status (relative to the end of the
+   embedded slots). *)
+let msg_data_words ~nargs = nargs + 1 + 3
+
+let build ctx ~func ~args ~output =
+  let nargs = List.length args in
+  let msg =
+    Shm.cxl_malloc_words ctx ~data_words:(msg_data_words ~nargs)
+      ~emb_cnt:(nargs + 1) ()
+  in
+  List.iteri (fun i a -> Cxl_ref.set_emb msg i a) args;
+  Cxl_ref.set_emb msg nargs output;
+  Cxl_ref.write_word msg (nargs + 1) func;
+  Cxl_ref.write_word msg (nargs + 2) nargs;
+  Cxl_ref.write_word msg (nargs + 3) 0;
+  msg
+
+let func v = read_word v (emb_cnt v)
+let nargs v = read_word v (emb_cnt v + 1)
+let status v = read_word v (emb_cnt v + 2)
+
+let set_status v s =
+  write_word v (emb_cnt v + 2) s;
+  Mem.flush v.ctx.Ctx.mem ~st:v.ctx.Ctx.st (data v + emb_cnt v + 2)
+
+let arg v i =
+  let n = nargs v in
+  if i < 0 || i >= n then invalid_arg "Message.arg";
+  view v.ctx (Ctx.load v.ctx (Obj_header.emb_slot v.obj i))
+
+let output v = view v.ctx (Ctx.load v.ctx (Obj_header.emb_slot v.obj (nargs v)))

@@ -1,0 +1,40 @@
+type client = Rdma_sim.endpoint
+type server = Rdma_sim.endpoint
+
+let pair () = Rdma_sim.pair ()
+
+let call ep ~func ~args =
+  let req = Serialize.encode { Serialize.func; args } in
+  Rdma_sim.send ep req;
+  let resp = Rdma_sim.recv ep in
+  let e = Serialize.decode resp in
+  match e.Serialize.args with [ r ] -> r | _ -> failwith "Rdma_rpc: bad reply"
+
+let send_request ep ~func ~args =
+  Rdma_sim.send ep (Serialize.encode { Serialize.func; args })
+
+let try_recv_response ep =
+  match Rdma_sim.try_recv ep with
+  | None -> None
+  | Some resp -> (
+      match (Serialize.decode resp).Serialize.args with
+      | [ r ] -> Some r
+      | _ -> failwith "Rdma_rpc: bad reply")
+
+let serve_one ep ~handler =
+  match Rdma_sim.try_recv ep with
+  | None -> false
+  | Some req ->
+      let e = Serialize.decode req in
+      let result = handler ~func:e.Serialize.func ~args:e.Serialize.args in
+      Rdma_sim.send ep
+        (Serialize.encode { Serialize.func = e.Serialize.func; args = [ result ] });
+      true
+
+let serve_loop ep ~handler ~stop =
+  while not (Atomic.get stop) do
+    if not (serve_one ep ~handler) then Domain.cpu_relax ()
+  done
+
+let client_modeled_ns = Rdma_sim.modeled_ns
+let server_modeled_ns = Rdma_sim.modeled_ns

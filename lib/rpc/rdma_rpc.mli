@@ -1,0 +1,25 @@
+(** Pass-by-value RPC over the simulated RDMA transport (Fig 8 baseline).
+
+    The traditional shape CXL-RPC is compared against: every argument is
+    serialised into the wire buffer, copied across the "network", and
+    deserialised on the other side; results travel back the same way. *)
+
+type client
+type server
+
+val pair : unit -> client * server
+
+val call : client -> func:int -> args:bytes list -> bytes
+(** Synchronous request/response. *)
+
+val send_request : client -> func:int -> args:bytes list -> unit
+val try_recv_response : client -> bytes option
+(** Lockstep driving for single-threaded benchmarks. *)
+
+val serve_one : server -> handler:(func:int -> args:bytes list -> bytes) -> bool
+(** Process one pending request; [false] if none waiting. *)
+
+val serve_loop : server -> handler:(func:int -> args:bytes list -> bytes) -> stop:bool Atomic.t -> unit
+
+val client_modeled_ns : client -> float
+val server_modeled_ns : server -> float

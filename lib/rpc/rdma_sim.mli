@@ -1,0 +1,27 @@
+(** Simulated RDMA RC transport (the Fig 8 baseline's NIC).
+
+    Models a ConnectX-5-class NIC under reliable-connected two-sided verbs,
+    as used by Herd-style RPC: each message pays a fixed one-way latency
+    (~2 µs) plus serialisation/DMA bandwidth (~12.5 GB/s), and the payload
+    is physically copied (pass-by-value). Endpoints are in-process queues
+    between domains; the modeled clock accumulates per endpoint. *)
+
+type endpoint
+
+val pair : unit -> endpoint * endpoint
+(** A connected QP pair. *)
+
+val send : endpoint -> bytes -> unit
+(** Copy + transmit; accounts serialisation and wire time on the sender. *)
+
+val try_recv : endpoint -> bytes option
+(** Delivery accounts DMA-copy time on the receiver. *)
+
+val recv : endpoint -> bytes
+(** Blocking receive (spins). *)
+
+val modeled_ns : endpoint -> float
+(** Modeled transport time accumulated at this endpoint. *)
+
+val message_latency_ns : float
+val bytes_per_ns : float

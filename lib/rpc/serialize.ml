@@ -1,0 +1,54 @@
+type writer = Buffer.t
+type reader = { buf : bytes; mutable pos : int }
+
+let writer () = Buffer.create 64
+let contents w = Buffer.to_bytes w
+
+let rec put_varint w v =
+  if v < 0 then invalid_arg "Serialize.put_varint: negative";
+  if v < 0x80 then Buffer.add_char w (Char.chr v)
+  else begin
+    Buffer.add_char w (Char.chr (0x80 lor (v land 0x7f)));
+    put_varint w (v lsr 7)
+  end
+
+let put_bytes w b =
+  put_varint w (Bytes.length b);
+  Buffer.add_bytes w b
+
+let reader buf = { buf; pos = 0 }
+
+let get_varint r =
+  let rec go shift acc =
+    if r.pos >= Bytes.length r.buf then failwith "Serialize: truncated varint";
+    let c = Char.code (Bytes.get r.buf r.pos) in
+    r.pos <- r.pos + 1;
+    let acc = acc lor ((c land 0x7f) lsl shift) in
+    if c land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let get_bytes r =
+  let len = get_varint r in
+  if r.pos + len > Bytes.length r.buf then failwith "Serialize: truncated bytes";
+  let b = Bytes.sub r.buf r.pos len in
+  r.pos <- r.pos + len;
+  b
+
+let remaining r = Bytes.length r.buf - r.pos
+
+type envelope = { func : int; args : bytes list }
+
+let encode e =
+  let w = writer () in
+  put_varint w e.func;
+  put_varint w (List.length e.args);
+  List.iter (put_bytes w) e.args;
+  contents w
+
+let decode buf =
+  let r = reader buf in
+  let func = get_varint r in
+  let n = get_varint r in
+  let args = List.init n (fun _ -> get_bytes r) in
+  { func; args }

@@ -1,0 +1,26 @@
+(** Minimal protobuf-style wire format for the pass-by-value RPC baseline.
+
+    The paper's Fig 8 baseline uses "Simple RPC protobuf"; we reproduce the
+    essential costs: varint-encoded tag/length framing and a full copy of
+    every argument into the wire buffer (and back out on the other side). *)
+
+type writer
+type reader
+
+val writer : unit -> writer
+val contents : writer -> bytes
+val put_varint : writer -> int -> unit
+val put_bytes : writer -> bytes -> unit
+(** Length-prefixed byte field. *)
+
+val reader : bytes -> reader
+val get_varint : reader -> int
+val get_bytes : reader -> bytes
+val remaining : reader -> int
+
+(** {1 RPC envelope} *)
+
+type envelope = { func : int; args : bytes list }
+
+val encode : envelope -> bytes
+val decode : bytes -> envelope

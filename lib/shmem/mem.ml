@@ -1,0 +1,158 @@
+exception Wild_pointer of { addr : int; words : int }
+
+type t = {
+  cells : int Atomic.t array;
+  tier : Latency.tier;
+  model : Latency.t;
+}
+
+let words_per_line = 8 (* 64-byte cache line / 8-byte words *)
+
+let create ?(tier = Latency.Cxl) ~words () =
+  if words <= 0 then invalid_arg "Mem.create: words must be positive";
+  {
+    cells = Array.init words (fun _ -> Atomic.make 0);
+    tier;
+    model = Latency.of_tier tier;
+  }
+
+let words t = Array.length t.cells
+let tier t = t.tier
+let cost_model t = t.model
+let in_bounds t p = p >= 0 && p < Array.length t.cells
+
+let check t p =
+  if not (in_bounds t p) then
+    raise (Wild_pointer { addr = p; words = Array.length t.cells })
+
+(* Classify the access: CPU-cache hit (CXL memory is cacheable, so a
+   recently-touched line costs an L1/L2 access), sequential (same or next
+   line — the prefetcher hides stream crossings), or a random link round
+   trip — mirroring Table 1's seq/rand split. *)
+let count_access (st : Stats.t) p =
+  let line = p / words_per_line in
+  let cached = Stats.note_line st line in
+  (if line = st.last_line || line = st.last_line + 1 then
+     (* streaming: same or next line — L1-resident or prefetched *)
+     st.seq_accesses <- st.seq_accesses + 1
+   else if cached then st.cache_hits <- st.cache_hits + 1
+   else st.rand_accesses <- st.rand_accesses + 1);
+  st.last_line <- line
+
+let load t ~st:(st : Stats.t) p =
+  check t p;
+  count_access st p;
+  Atomic.get t.cells.(p)
+
+let store t ~st:(st : Stats.t) p v =
+  check t p;
+  count_access st p;
+  Atomic.set t.cells.(p) v
+
+let cas t ~st:(st : Stats.t) p ~expected ~desired =
+  check t p;
+  (* a CAS on a line this client already caches is a local atomic; a cold
+     or stolen line pays the coherence round trip *)
+  if Stats.note_line st (p / words_per_line) then
+    st.cas_hit_ops <- st.cas_hit_ops + 1
+  else st.cas_ops <- st.cas_ops + 1;
+  st.last_line <- p / words_per_line;
+  let ok = Atomic.compare_and_set t.cells.(p) expected desired in
+  if not ok then st.cas_failures <- st.cas_failures + 1;
+  ok
+
+let fetch_add t ~st:(st : Stats.t) p n =
+  check t p;
+  if Stats.note_line st (p / words_per_line) then
+    st.cas_hit_ops <- st.cas_hit_ops + 1
+  else st.cas_ops <- st.cas_ops + 1;
+  st.last_line <- p / words_per_line;
+  Atomic.fetch_and_add t.cells.(p) n
+
+let fence _t ~st:(st : Stats.t) =
+  st.fences <- st.fences + 1
+
+let flush t ~st:(st : Stats.t) p =
+  check t p;
+  st.flushes <- st.flushes + 1
+
+let fill t ~st:(st : Stats.t) p ~len v =
+  if len < 0 then invalid_arg "Mem.fill: negative length";
+  check t p;
+  if len > 0 then check t (p + len - 1);
+  for i = p to p + len - 1 do
+    count_access st i;
+    Atomic.set t.cells.(i) v
+  done
+
+let load_bytes_word n = (n + 6) / 7
+let bytes_words n = (n + 6) / 7
+
+(* 7 payload bytes per 63-bit word keeps every stored word non-negative,
+   which the rest of the system assumes of packed header words too. *)
+let write_bytes t ~st:(st : Stats.t) p b =
+  let n = Bytes.length b in
+  let nwords = bytes_words n in
+  if nwords > 0 then begin
+    check t p;
+    check t (p + nwords - 1)
+  end;
+  for w = 0 to nwords - 1 do
+    let acc = ref 0 in
+    for k = 6 downto 0 do
+      let idx = (w * 7) + k in
+      let byte = if idx < n then Char.code (Bytes.unsafe_get b idx) else 0 in
+      acc := (!acc lsl 8) lor byte
+    done;
+    count_access st (p + w);
+    Atomic.set t.cells.(p + w) !acc
+  done
+
+let read_bytes t ~st:(st : Stats.t) p ~len =
+  if len < 0 then invalid_arg "Mem.read_bytes: negative length";
+  let nwords = bytes_words len in
+  if nwords > 0 then begin
+    check t p;
+    check t (p + nwords - 1)
+  end;
+  let b = Bytes.create len in
+  for w = 0 to nwords - 1 do
+    count_access st (p + w);
+    let v = Atomic.get t.cells.(p + w) in
+    for k = 0 to 6 do
+      let idx = (w * 7) + k in
+      if idx < len then
+        Bytes.unsafe_set b idx (Char.chr ((v lsr (8 * k)) land 0xff))
+    done
+  done;
+  b
+
+let blit t ~st ~src ~dst ~len =
+  if len < 0 then invalid_arg "Mem.blit: negative length";
+  if len > 0 then begin
+    check t src;
+    check t (src + len - 1);
+    check t dst;
+    check t (dst + len - 1)
+  end;
+  for i = 0 to len - 1 do
+    count_access st (src + i);
+    let v = Atomic.get t.cells.(src + i) in
+    count_access st (dst + i);
+    Atomic.set t.cells.(dst + i) v
+  done
+
+let unsafe_peek t p =
+  check t p;
+  Atomic.get t.cells.(p)
+
+let unsafe_poke t p v =
+  check t p;
+  Atomic.set t.cells.(p) v
+
+let snapshot t = Array.map Atomic.get t.cells
+
+let restore t words =
+  if Array.length words <> Array.length t.cells then
+    invalid_arg "Mem.restore: size mismatch";
+  Array.iteri (fun i v -> Atomic.set t.cells.(i) v) words

@@ -1,0 +1,78 @@
+(** Simulated CXL-attached shared memory.
+
+    The arena is an array of 63-bit words, each an [Atomic.t], shared by all
+    OCaml domains of the process. This gives the exact primitive set the
+    paper requires of the underlying RDSM (§3): load, store, CAS, fence and
+    flush over a byte-addressable pool — with *real* atomicity and real
+    interleavings across domains, not a replayed trace.
+
+    Every operation is attributed to a caller-supplied {!Stats.t} so modeled
+    time can be computed per client. Out-of-bounds accesses raise
+    {!Wild_pointer}: in the simulator a wild pointer is detected rather than
+    silently corrupting, which the correctness tests rely on. *)
+
+exception Wild_pointer of { addr : int; words : int }
+
+type t
+
+val create : ?tier:Latency.tier -> words:int -> unit -> t
+(** Fresh zeroed arena of [words] 8-byte words. Default tier is [Cxl]. *)
+
+val words : t -> int
+val tier : t -> Latency.tier
+val cost_model : t -> Latency.t
+
+val words_per_line : int
+(** Words per simulated 64-byte cache line. *)
+
+(** {1 Primitive operations} *)
+
+val load : t -> st:Stats.t -> Pptr.t -> int
+val store : t -> st:Stats.t -> Pptr.t -> int -> unit
+
+val cas : t -> st:Stats.t -> Pptr.t -> expected:int -> desired:int -> bool
+(** Single-word compare-and-swap, the primitive the era algorithm builds on. *)
+
+val fetch_add : t -> st:Stats.t -> Pptr.t -> int -> int
+(** Atomic fetch-and-add; returns the previous value. *)
+
+val fence : t -> st:Stats.t -> unit
+(** Store fence (sfence). Orders this client's prior stores before later
+    ones. Atomics already give sequential consistency in OCaml, so the fence
+    only needs to be *counted* — but it still matters: the fault-injection
+    harness uses fence positions as the boundaries where a crash may observe
+    reordered stores. *)
+
+val flush : t -> st:Stats.t -> Pptr.t -> unit
+(** Cache-line write-back (clwb) of the line containing the address. *)
+
+(** {1 Bulk operations} *)
+
+val fill : t -> st:Stats.t -> Pptr.t -> len:int -> int -> unit
+val load_bytes_word : int -> int  (** words needed to store [n] bytes *)
+
+val write_bytes : t -> st:Stats.t -> Pptr.t -> bytes -> unit
+(** Pack a byte string into consecutive words (7 payload bytes per word, so
+    every stored word stays non-negative). Use [read_bytes] to recover it. *)
+
+val read_bytes : t -> st:Stats.t -> Pptr.t -> len:int -> bytes
+val bytes_words : int -> int
+(** Words consumed by [write_bytes] for a payload of [n] bytes. *)
+
+val blit : t -> st:Stats.t -> src:Pptr.t -> dst:Pptr.t -> len:int -> unit
+(** Word-wise copy inside the arena. *)
+
+(** {1 Validation / introspection (simulator-only, not part of the RDSM)} *)
+
+val unsafe_peek : t -> Pptr.t -> int
+(** Read without stats attribution — for validators and debug printers. *)
+
+val unsafe_poke : t -> Pptr.t -> int -> unit
+
+val snapshot : t -> int array
+(** Copy of every word (quiesced use only) — the pool's durable image. *)
+
+val restore : t -> int array -> unit
+(** Overwrite the arena with a {!snapshot} of identical size. *)
+
+val in_bounds : t -> Pptr.t -> bool

@@ -1,0 +1,109 @@
+type t = {
+  mutable cache_hits : int;
+  mutable seq_accesses : int;
+  mutable rand_accesses : int;
+  mutable cas_ops : int;
+  mutable cas_hit_ops : int;
+  mutable cas_failures : int;
+  mutable fences : int;
+  mutable flushes : int;
+  mutable last_line : int;
+  cache_tags : int array;
+}
+
+let cache_lines = 16_384 (* ~1 MB of 64-B lines, an L2-ish window *)
+
+let create () =
+  {
+    cache_hits = 0;
+    seq_accesses = 0;
+    rand_accesses = 0;
+    cas_ops = 0;
+    cas_hit_ops = 0;
+    cas_failures = 0;
+    fences = 0;
+    flushes = 0;
+    last_line = -1;
+    cache_tags = Array.make cache_lines (-1);
+  }
+
+let note_line t line =
+  let slot = line land (cache_lines - 1) in
+  let hit = t.cache_tags.(slot) = line in
+  t.cache_tags.(slot) <- line;
+  hit
+
+let reset t =
+  t.cache_hits <- 0;
+  t.seq_accesses <- 0;
+  t.rand_accesses <- 0;
+  t.cas_ops <- 0;
+  t.cas_hit_ops <- 0;
+  t.cas_failures <- 0;
+  t.fences <- 0;
+  t.flushes <- 0;
+  t.last_line <- -1;
+  Array.fill t.cache_tags 0 cache_lines (-1)
+
+let copy t =
+  {
+    cache_hits = t.cache_hits;
+    seq_accesses = t.seq_accesses;
+    rand_accesses = t.rand_accesses;
+    cas_ops = t.cas_ops;
+    cas_hit_ops = t.cas_hit_ops;
+    cas_failures = t.cas_failures;
+    fences = t.fences;
+    flushes = t.flushes;
+    last_line = t.last_line;
+    cache_tags = Array.copy t.cache_tags;
+  }
+
+let add acc s =
+  acc.cache_hits <- acc.cache_hits + s.cache_hits;
+  acc.seq_accesses <- acc.seq_accesses + s.seq_accesses;
+  acc.rand_accesses <- acc.rand_accesses + s.rand_accesses;
+  acc.cas_ops <- acc.cas_ops + s.cas_ops;
+  acc.cas_hit_ops <- acc.cas_hit_ops + s.cas_hit_ops;
+  acc.cas_failures <- acc.cas_failures + s.cas_failures;
+  acc.fences <- acc.fences + s.fences;
+  acc.flushes <- acc.flushes + s.flushes
+
+let diff after before =
+  {
+    cache_hits = after.cache_hits - before.cache_hits;
+    seq_accesses = after.seq_accesses - before.seq_accesses;
+    rand_accesses = after.rand_accesses - before.rand_accesses;
+    cas_ops = after.cas_ops - before.cas_ops;
+    cas_hit_ops = after.cas_hit_ops - before.cas_hit_ops;
+    cas_failures = after.cas_failures - before.cas_failures;
+    fences = after.fences - before.fences;
+    flushes = after.flushes - before.flushes;
+    last_line = after.last_line;
+    cache_tags = Array.copy after.cache_tags;
+  }
+
+let total_accesses t =
+  t.cache_hits + t.seq_accesses + t.rand_accesses + t.cas_ops + t.cas_hit_ops
+
+let breakdown_ns (m : Latency.t) t =
+  let access =
+    (float_of_int t.cache_hits *. m.hit_ns)
+    +. (float_of_int t.seq_accesses *. m.seq_ns)
+    +. (float_of_int t.rand_accesses *. m.rand_ns)
+    +. (float_of_int t.cas_ops *. m.cas_ns)
+    +. (float_of_int t.cas_hit_ops *. m.cas_hit_ns)
+  in
+  let fence = float_of_int t.fences *. m.fence_ns in
+  let flush = float_of_int t.flushes *. m.flush_ns in
+  (access, fence, flush)
+
+let modeled_ns m t =
+  let access, fence, flush = breakdown_ns m t in
+  access +. fence +. flush
+
+let pp ppf t =
+  Format.fprintf ppf
+    "hit=%d seq=%d rand=%d cas=%d+%dh(fail %d) fence=%d flush=%d" t.cache_hits
+    t.seq_accesses t.rand_accesses t.cas_ops t.cas_hit_ops t.cas_failures
+    t.fences t.flushes

@@ -1,0 +1,50 @@
+(** Per-client memory-event counters.
+
+    Every operation on {!Mem} is attributed to a [Stats.t]; the counters are
+    combined with a {!Latency} cost model to compute modeled execution time.
+    Counters distinguish sequential-ish accesses (within the same cache line
+    as the previous access by this client) from random accesses, mirroring
+    the seq/rand split of Table 1. *)
+
+type t = {
+  mutable cache_hits : int;
+  mutable seq_accesses : int;
+  mutable rand_accesses : int;
+  mutable cas_ops : int;  (** CAS on cold lines *)
+  mutable cas_hit_ops : int;  (** CAS on lines already cached *)
+  mutable cas_failures : int;
+  mutable fences : int;
+  mutable flushes : int;
+  mutable last_line : int;  (** last cache line touched, for seq detection *)
+  cache_tags : int array;
+      (** direct-mapped recently-touched-line filter modelling the CPU
+          cache in front of the (cacheable) CXL link *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+
+val add : t -> t -> unit
+(** [add acc s] accumulates [s] into [acc] (counter-wise sum). *)
+
+val diff : t -> t -> t
+(** [diff after before] is the per-counter difference. *)
+
+val total_accesses : t -> int
+(** Loads + stores + CAS (cache hits included). *)
+
+val cache_lines : int
+(** Size of the per-client line filter. *)
+
+val note_line : t -> int -> bool
+(** Record a touch of cache line [line]; [true] if it was already cached.
+    Used by {!Mem}; exposed for tests. *)
+
+val modeled_ns : Latency.t -> t -> float
+(** Modeled execution time in nanoseconds under the given cost model. *)
+
+val breakdown_ns : Latency.t -> t -> float * float * float
+(** [(access_ns, fence_ns, flush_ns)] — the Fig 7 decomposition. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+type field = { shift : int; bits : int; mask : int }
+
+let max_word_bits = 62
+
+let field ~shift ~bits =
+  if shift < 0 || bits <= 0 || shift + bits > max_word_bits then
+    invalid_arg
+      (Printf.sprintf "Word.field: shift=%d bits=%d exceeds %d usable bits"
+         shift bits max_word_bits);
+  { shift; bits; mask = (1 lsl bits) - 1 }
+
+let get f w = (w lsr f.shift) land f.mask
+let max_value f = f.mask
+let fits f v = v >= 0 && v <= f.mask
+
+let set f w v =
+  if not (fits f v) then
+    invalid_arg
+      (Printf.sprintf "Word.set: value %d does not fit in %d bits" v f.bits);
+  w land lnot (f.mask lsl f.shift) lor (v lsl f.shift)

@@ -1,0 +1,63 @@
+module Mem = Cxlshm_shmem.Mem
+
+(* Layout: +0 magic, +1 capacity, +2 head, +3 tail, +8.. slots.
+   Head/tail are monotonically increasing; slot = index mod capacity. *)
+let magic = 0x5053_5143 (* "SPSC" *)
+let hdr_words = 8
+
+type t = { mem : Mem.t; base : int; cap : int }
+
+let words_needed ~capacity = hdr_words + capacity
+
+let create mem ~st ~base ~capacity =
+  if capacity < 1 then invalid_arg "Spsc_queue.create: capacity must be >= 1";
+  Mem.store mem ~st (base + 1) capacity;
+  Mem.store mem ~st (base + 2) 0;
+  Mem.store mem ~st (base + 3) 0;
+  Mem.fence mem ~st;
+  Mem.store mem ~st base magic;
+  { mem; base; cap = capacity }
+
+let attach mem ~st ~base =
+  if Mem.load mem ~st base <> magic then
+    invalid_arg "Spsc_queue.attach: no queue at this address";
+  { mem; base; cap = Mem.load mem ~st (base + 1) }
+
+let capacity t = t.cap
+let head t ~st = Mem.load t.mem ~st (t.base + 2)
+let tail t ~st = Mem.load t.mem ~st (t.base + 3)
+let slot t i = t.base + hdr_words + (i mod t.cap)
+
+let try_push t ~st v =
+  let tl = tail t ~st in
+  if tl - head t ~st >= t.cap then false
+  else begin
+    Mem.store t.mem ~st (slot t tl) v;
+    Mem.fence t.mem ~st;
+    Mem.store t.mem ~st (t.base + 3) (tl + 1);
+    true
+  end
+
+let try_pop t ~st =
+  let hd = head t ~st in
+  if hd = tail t ~st then None
+  else begin
+    let v = Mem.load t.mem ~st (slot t hd) in
+    Mem.store t.mem ~st (t.base + 2) (hd + 1);
+    Some v
+  end
+
+let rec push t ~st v =
+  if not (try_push t ~st v) then begin
+    Domain.cpu_relax ();
+    push t ~st v
+  end
+
+let rec pop t ~st =
+  match try_pop t ~st with
+  | Some v -> v
+  | None ->
+      Domain.cpu_relax ();
+      pop t ~st
+
+let length t ~st = tail t ~st - head t ~st

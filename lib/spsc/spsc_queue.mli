@@ -1,0 +1,39 @@
+(** Lock-free single-producer single-consumer ring on shared memory.
+
+    The plain-word cousin of the reference-transfer queue (§5.2): it moves
+    uncounted 63-bit words (typically process-independent pointers whose
+    lifetime is managed elsewhere). Used as the communication channel of the
+    inter-thread baseline in Fig 8 ("pure SPSC reference exchange") and by
+    the RPC layer for completion notifications.
+
+    Lamport's classic algorithm: the producer owns [tail], the consumer owns
+    [head]; both are plain word slots in the shared arena, so two domains on
+    two simulated "machines" can use one queue. *)
+
+type t
+
+val words_needed : capacity:int -> int
+(** Shared words to reserve for a queue of [capacity] slots. *)
+
+val create :
+  Cxlshm_shmem.Mem.t ->
+  st:Cxlshm_shmem.Stats.t ->
+  base:Cxlshm_shmem.Pptr.t ->
+  capacity:int ->
+  t
+(** Format a queue at [base] (words [base, base + words_needed)). *)
+
+val attach :
+  Cxlshm_shmem.Mem.t -> st:Cxlshm_shmem.Stats.t -> base:Cxlshm_shmem.Pptr.t -> t
+(** Open an existing queue (the peer's side). *)
+
+val capacity : t -> int
+val try_push : t -> st:Cxlshm_shmem.Stats.t -> int -> bool
+val try_pop : t -> st:Cxlshm_shmem.Stats.t -> int option
+val push : t -> st:Cxlshm_shmem.Stats.t -> int -> unit
+(** Spin until there is room. *)
+
+val pop : t -> st:Cxlshm_shmem.Stats.t -> int
+(** Spin until an element arrives. *)
+
+val length : t -> st:Cxlshm_shmem.Stats.t -> int

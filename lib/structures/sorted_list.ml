@@ -1,0 +1,148 @@
+open Cxlshm
+
+(* Node layout: emb slot 0 = next; data +1 = key, +2.. = value words.
+   The sentinel head is a node with key = min_int. *)
+type t = {
+  ctx : Ctx.t;
+  head : Cxl_ref.t;
+  value_words : int;
+  mutable deferred : int list;
+}
+
+let node_next obj = Obj_header.emb_slot obj 0
+let node_key (ctx : Ctx.t) obj = Ctx.load ctx (Obj_header.data_of_obj obj + 1)
+let node_val_addr obj i = Obj_header.data_of_obj obj + 2 + i
+
+let value_words_of (ctx : Ctx.t) obj =
+  Obj_header.meta_data_words (Ctx.load ctx (Obj_header.meta_of_obj obj)) - 2
+
+let create ctx ~value_words =
+  if value_words < 1 then invalid_arg "Sorted_list.create";
+  let head = Shm.cxl_malloc_words ctx ~data_words:(2 + value_words) ~emb_cnt:1 () in
+  Ctx.store ctx (Obj_header.data_of_obj (Cxl_ref.obj head) + 1) min_int;
+  { ctx; head; value_words; deferred = [] }
+
+let handle_ref t = t.head
+
+let attach ctx r =
+  { ctx; head = r; value_words = value_words_of ctx (Cxl_ref.obj r); deferred = [] }
+
+let quiesce t =
+  List.iter (fun n -> Alloc.free_obj_block t.ctx n) t.deferred;
+  t.deferred <- []
+
+let close t =
+  quiesce t;
+  Cxl_ref.drop t.head
+
+(* Find the rightmost node with key < [key]; returns (pred, succ). *)
+let locate t ~key =
+  let rec go pred =
+    let succ = Ctx.load t.ctx (node_next pred) in
+    if succ = 0 || node_key t.ctx succ >= key then (pred, succ) else go succ
+  in
+  go (Cxl_ref.obj t.head)
+
+let write_value t node value =
+  for i = 0 to t.value_words - 1 do
+    Ctx.store t.ctx (node_val_addr node i) (value + i)
+  done
+
+let alloc_node t ~key ~value =
+  let rr, node =
+    Alloc.alloc_obj t.ctx ~data_words:(2 + t.value_words) ~emb_cnt:1
+  in
+  Ctx.store t.ctx (Obj_header.data_of_obj node + 1) key;
+  write_value t node value;
+  (rr, node)
+
+(* Splice [node] between [pred] and [succ]: link node.next -> succ first,
+   then atomically re-point pred.next from succ to node (§5.4), so readers
+   always see a complete list. *)
+let splice t ~pred ~succ ~node ~rr =
+  if succ <> 0 then Refc.attach t.ctx ~ref_addr:(node_next node) ~refed:succ;
+  (if succ = 0 then Refc.attach t.ctx ~ref_addr:(node_next pred) ~refed:node
+   else ignore (Refc.change t.ctx ~ref_addr:(node_next pred) ~from_obj:succ ~to_obj:node));
+  Reclaim.release_rootref t.ctx rr
+
+let insert t ~key ~value =
+  let pred, succ = locate t ~key in
+  if succ <> 0 && node_key t.ctx succ = key then false
+  else begin
+    let rr, node = alloc_node t ~key ~value in
+    splice t ~pred ~succ ~node ~rr;
+    true
+  end
+
+let retire t node =
+  Reclaim.teardown_children t.ctx ~as_cid:t.ctx.Ctx.cid ~obj:node;
+  t.deferred <- node :: t.deferred
+
+let replace t ~key ~value =
+  let pred, succ = locate t ~key in
+  if succ <> 0 && node_key t.ctx succ = key then begin
+    (* out-of-place replace: readers never see a torn value *)
+    let rr, node = alloc_node t ~key ~value in
+    let after = Ctx.load t.ctx (node_next succ) in
+    if after <> 0 then Refc.attach t.ctx ~ref_addr:(node_next node) ~refed:after;
+    let n = Refc.change t.ctx ~ref_addr:(node_next pred) ~from_obj:succ ~to_obj:node in
+    if n = 0 then retire t succ;
+    Reclaim.release_rootref t.ctx rr
+  end
+  else begin
+    let rr, node = alloc_node t ~key ~value in
+    splice t ~pred ~succ ~node ~rr
+  end
+
+let delete t ~key =
+  let pred, succ = locate t ~key in
+  if succ = 0 || node_key t.ctx succ <> key then false
+  else begin
+    let after = Ctx.load t.ctx (node_next succ) in
+    let n =
+      if after = 0 then Refc.detach t.ctx ~ref_addr:(node_next pred) ~refed:succ
+      else Refc.change t.ctx ~ref_addr:(node_next pred) ~from_obj:succ ~to_obj:after
+    in
+    if n = 0 then retire t succ;
+    true
+  end
+
+let find t ~key =
+  let _, succ = locate t ~key in
+  if succ <> 0 && node_key t.ctx succ = key then
+    Some (Ctx.load t.ctx (node_val_addr succ 0))
+  else None
+
+let min_binding t =
+  let first = Ctx.load t.ctx (node_next (Cxl_ref.obj t.head)) in
+  if first = 0 then None
+  else Some (node_key t.ctx first, Ctx.load t.ctx (node_val_addr first 0))
+
+let iter t f =
+  let rec go node =
+    if node <> 0 then begin
+      f ~key:(node_key t.ctx node) ~value:(Ctx.load t.ctx (node_val_addr node 0));
+      go (Ctx.load t.ctx (node_next node))
+    end
+  in
+  go (Ctx.load t.ctx (node_next (Cxl_ref.obj t.head)))
+
+let range t ~lo ~hi =
+  let pred, _ = locate t ~key:lo in
+  let rec go node acc =
+    if node = 0 then List.rev acc
+    else
+      let k = node_key t.ctx node in
+      if k >= hi then List.rev acc
+      else
+        go
+          (Ctx.load t.ctx (node_next node))
+          (if k >= lo then (k, Ctx.load t.ctx (node_val_addr node 0)) :: acc
+           else acc)
+  in
+  go (Ctx.load t.ctx (node_next pred)) []
+
+let length t =
+  let n = ref 0 in
+  iter t (fun ~key:_ ~value:_ -> incr n);
+  !n

@@ -1,0 +1,44 @@
+(** Ordered map: a sorted linked list of shared records (§2.2.2).
+
+    The second dynamic data structure the paper's RDSM pitch enables —
+    "the capability of atomically modifying link pointers embedded in
+    shared objects". Nodes are CXLObjs whose single embedded reference is
+    the [next] pointer; insertion splices with the Fig 4 attach/§5.4
+    change transactions, so every intermediate state a latch-free reader
+    can observe is a consistent list. Single writer, any number of
+    readers; ordered iteration and range queries come for free.
+
+    Like CXL-KV, a node unlinked by the writer is parked until
+    {!quiesce} so concurrent readers never step on recycled memory. *)
+
+type t
+
+val create : Cxlshm.Ctx.t -> value_words:int -> t
+(** Allocate the list head (a sentinel). The creator's handle owns a
+    counted reference; {!attach} shares it. *)
+
+val handle_ref : t -> Cxlshm.Cxl_ref.t
+(** The sentinel's reference — share it (queues / named roots) and
+    {!attach} on the other side. *)
+
+val attach : Cxlshm.Ctx.t -> Cxlshm.Cxl_ref.t -> t
+(** Wrap a received sentinel reference as a (reader or writer) handle. *)
+
+val close : t -> unit
+
+val insert : t -> key:int -> value:int -> bool
+(** [false] if the key already exists (use {!replace}). Writer only. *)
+
+val replace : t -> key:int -> value:int -> unit
+(** Insert or atomically replace (§5.4 change on the predecessor's next).
+    Writer only. *)
+
+val delete : t -> key:int -> bool
+val find : t -> key:int -> int option
+val min_binding : t -> (int * int) option
+val iter : t -> (key:int -> value:int -> unit) -> unit
+val range : t -> lo:int -> hi:int -> (int * int) list
+(** Bindings with [lo <= key < hi], ascending. *)
+
+val length : t -> int
+val quiesce : t -> unit

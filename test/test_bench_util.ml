@@ -1,0 +1,90 @@
+(* Benchmark utilities: table rendering, runner accounting, workload op
+   counting. *)
+
+module Stats = Cxlshm_shmem.Stats
+module Latency = Cxlshm_shmem.Latency
+module Runner = Cxlshm_bench_util.Runner
+module Table = Cxlshm_bench_util.Table
+module Workloads = Cxlshm_bench_util.Workloads
+
+let test_table_rendering () =
+  let t = Table.create ~title:"demo" ~columns:[ "A"; "Blong"; "C" ] in
+  Table.add_row t [ "1"; "2"; "3" ];
+  Table.add_row t [ "wide-cell"; "x"; "y" ];
+  let s = Table.to_string t in
+  Alcotest.(check bool) "title present" true
+    (String.length s > 0 && String.sub s 0 8 = "== demo ");
+  (* all rows render with the same width per column: every line of the
+     body has the same length *)
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' s) |> List.tl
+  in
+  let lens = List.map String.length lines in
+  List.iter
+    (fun l -> Alcotest.(check int) "aligned" (List.hd lens) l)
+    (List.tl lens)
+
+let test_cell_formatting () =
+  Alcotest.(check string) "integral" "43" (Table.cell_f 43.0);
+  Alcotest.(check string) "big" "117.2" (Table.cell_f 117.2);
+  Alcotest.(check string) "small" "0.0310" (Table.cell_f 0.031);
+  Alcotest.(check string) "unit" "3.14" (Table.cell_f 3.14)
+
+let test_runner_modeled_max () =
+  (* two threads with unequal work: modeled time = the slower one *)
+  let stats = [| Stats.create (); Stats.create () |] in
+  let model = Latency.of_tier Latency.Cxl in
+  let r =
+    Runner.run_parallel ~threads:2 ~ops_per_thread:10 ~model
+      (fun tid -> stats.(tid))
+      (fun tid ->
+        stats.(tid).Stats.rand_accesses <- (if tid = 0 then 100 else 10))
+  in
+  Alcotest.(check (float 1.0)) "max of threads" (100.0 *. model.Latency.rand_ns)
+    r.Runner.modeled_ns;
+  Alcotest.(check int) "total ops" 20 r.Runner.ops
+
+let test_runner_serial_adds () =
+  let stats = [| Stats.create () |] in
+  let serial = Stats.create () in
+  serial.Stats.rand_accesses <- 50;
+  let model = Latency.of_tier Latency.Local_numa in
+  let r =
+    Runner.run_parallel ~threads:1 ~ops_per_thread:1 ~model
+      ~serial:(fun () -> serial)
+      (fun _ -> stats.(0))
+      (fun _ -> stats.(0).Stats.rand_accesses <- 10)
+  in
+  Alcotest.(check (float 1.0)) "parallel + serial"
+    (60.0 *. model.Latency.rand_ns) r.Runner.modeled_ns
+
+let test_workload_op_counts () =
+  (* the ops the accounting claims must equal the alloc+free calls made *)
+  let allocs = ref 0 and frees = ref 0 in
+  Workloads.threadtest
+    ~alloc:(fun _ -> incr allocs)
+    ~free:(fun () -> incr frees)
+    ~write:(fun () -> ())
+    ~rounds:7 ~batch:13;
+  Alcotest.(check int) "threadtest ops" (Workloads.threadtest_ops ~rounds:7 ~batch:13)
+    (!allocs + !frees);
+  Alcotest.(check int) "balanced" !allocs !frees;
+  let allocs = ref 0 and frees = ref 0 in
+  Workloads.shbench
+    ~alloc:(fun s ->
+      Alcotest.(check bool) "size in range" true (s >= 64 && s <= 400);
+      incr allocs)
+    ~free:(fun () -> incr frees)
+    ~write:(fun () -> ())
+    ~seed:3 ~ops:500;
+  Alcotest.(check int) "shbench allocs" 500 !allocs;
+  Alcotest.(check int) "shbench frees everything" !allocs !frees
+
+let suite =
+  [
+    Alcotest.test_case "table rendering" `Quick test_table_rendering;
+    Alcotest.test_case "cell formatting" `Quick test_cell_formatting;
+    Alcotest.test_case "runner modeled max" `Quick test_runner_modeled_max;
+    Alcotest.test_case "runner serial adds" `Quick test_runner_serial_adds;
+    Alcotest.test_case "workload op counts" `Quick test_workload_op_counts;
+  ]

@@ -1,0 +1,269 @@
+(* Real-parallelism stress: multiple domains hammering the same arena.
+   These tests exercise the lock-free claims with genuine interleavings
+   (CAS races, cross-client frees, recovery running concurrently with
+   live allocation). *)
+
+open Cxlshm
+
+let stress_cfg =
+  {
+    Config.default with
+    Config.max_clients = 8;
+    num_segments = 128;
+    pages_per_segment = 8;
+    page_words = 512;
+  }
+
+let test_parallel_allocators () =
+  (* N domains allocate and free without any sharing: the fast path must
+     never interfere across clients. *)
+  let arena = Shm.create ~cfg:stress_cfg () in
+  let n = 4 and per = 2_000 in
+  let worker () =
+    let ctx = Shm.join arena () in
+    for i = 1 to per do
+      let r = Shm.cxl_malloc ctx ~size_bytes:(8 + (i mod 64)) () in
+      Cxl_ref.write_word r 0 i;
+      if Cxl_ref.read_word r 0 <> i then failwith "corruption";
+      Cxl_ref.drop r
+    done;
+    Shm.leave ctx;
+    true
+  in
+  let ds = List.init n (fun _ -> Domain.spawn worker) in
+  Alcotest.(check bool) "all domains ok" true
+    (List.for_all Fun.id (List.map Domain.join ds));
+  let v = Shm.validate arena in
+  Alcotest.(check bool) ("clean: " ^ String.concat ";" v.Validate.errors) true
+    (Validate.is_clean v);
+  Alcotest.(check int) "nothing left" 0 v.Validate.live_objects
+
+let test_parallel_refcount_storm () =
+  (* Domains race attach/detach on one shared object: the count must end
+     exactly where it started and every era transaction must commit. *)
+  let arena = Shm.create ~cfg:stress_cfg () in
+  let owner = Shm.join arena () in
+  let base = Shm.cxl_malloc owner ~size_bytes:8 () in
+  let obj = Cxl_ref.obj base in
+  let n = 3 and per = 1_500 in
+  let worker () =
+    let ctx = Shm.join arena () in
+    for _ = 1 to per do
+      let rr = Alloc.alloc_rootref ctx in
+      Refc.attach ctx ~ref_addr:(Rootref.pptr_slot rr) ~refed:obj;
+      Reclaim.release_rootref ctx rr
+    done;
+    Shm.leave ctx;
+    true
+  in
+  let ds = List.init n (fun _ -> Domain.spawn worker) in
+  Alcotest.(check bool) "workers ok" true
+    (List.for_all Fun.id (List.map Domain.join ds));
+  Alcotest.(check int) "count back to 1" 1 (Refc.ref_cnt owner obj);
+  Cxl_ref.drop base;
+  Alcotest.(check bool) "clean" true (Validate.is_clean (Shm.validate arena))
+
+let test_recovery_does_not_block_live_clients () =
+  (* The §3.2 claim: while one client's recovery runs, another client keeps
+     allocating and reading successfully. *)
+  let arena = Shm.create ~cfg:stress_cfg () in
+  let dead = Shm.join arena () in
+  let _ = List.init 3_000 (fun _ -> Shm.cxl_malloc dead ~size_bytes:32 ()) in
+  Client.declare_failed (Shm.service_ctx arena) ~cid:dead.Ctx.cid;
+  let live_done = Atomic.make false in
+  let live_progress = Atomic.make 0 in
+  let live =
+    Domain.spawn (fun () ->
+        let ctx = Shm.join arena () in
+        let ok = ref true in
+        for i = 1 to 3_000 do
+          let r = Shm.cxl_malloc ctx ~size_bytes:16 () in
+          Cxl_ref.write_word r 0 i;
+          if Cxl_ref.read_word r 0 <> i then ok := false;
+          Cxl_ref.drop r;
+          Atomic.incr live_progress
+        done;
+        Shm.leave ctx;
+        Atomic.set live_done true;
+        !ok)
+  in
+  let report = Shm.recover arena ~failed_cid:dead.Ctx.cid in
+  Alcotest.(check int) "recovery reaped everything" 3_000
+    report.Recovery.rootrefs_released;
+  Alcotest.(check bool) "live client made progress during recovery" true
+    (Atomic.get live_progress > 0);
+  Alcotest.(check bool) "live client unaffected" true (Domain.join live);
+  ignore (Shm.scan_leaking arena);
+  Alcotest.(check bool) "clean" true (Validate.is_clean (Shm.validate arena))
+
+let test_parallel_transfer_pipeline () =
+  (* producer -> consumer across domains through the §5.2 queue, with the
+     consumer freeing into the producer's segments (cross-client stack). *)
+  let arena = Shm.create ~cfg:stress_cfg () in
+  let producer_ctx = Shm.join arena () in
+  let n = 3_000 in
+  let consumer =
+    Domain.spawn (fun () ->
+        let ctx = Shm.join arena () in
+        let rec open_q () =
+          match Transfer.open_from ctx ~sender:producer_ctx.Ctx.cid with
+          | Some q -> q
+          | None ->
+              Domain.cpu_relax ();
+              open_q ()
+        in
+        let q = open_q () in
+        let sum = ref 0 in
+        let rec drain received =
+          if received < n then
+            match Transfer.receive q with
+            | Transfer.Received r ->
+                sum := !sum + Cxl_ref.read_word r 0;
+                Cxl_ref.drop r;
+                drain (received + 1)
+            | Transfer.Empty ->
+                Domain.cpu_relax ();
+                drain received
+            | Transfer.Drained -> received |> ignore
+          else ()
+        in
+        drain 0;
+        Transfer.close q;
+        Shm.leave ctx;
+        !sum)
+  in
+  let q = Transfer.connect producer_ctx ~receiver:(producer_ctx.Ctx.cid + 1) ~capacity:32 in
+  (* NB: consumer cid is producer cid + 1 because it joined second *)
+  for i = 1 to n do
+    let r = Shm.cxl_malloc producer_ctx ~size_bytes:8 () in
+    Cxl_ref.write_word r 0 i;
+    let rec push () =
+      match Transfer.send q r with
+      | Transfer.Sent -> ()
+      | Transfer.Full ->
+          Domain.cpu_relax ();
+          push ()
+      | Transfer.Closed -> failwith "closed early"
+    in
+    push ();
+    Cxl_ref.drop r;
+    (* reclaim blocks the consumer freed into our segments *)
+    if i mod 256 = 0 then Alloc.collect_deferred producer_ctx
+  done;
+  let sum = Domain.join consumer in
+  Alcotest.(check int) "all values arrived exactly once" (n * (n + 1) / 2) sum;
+  Transfer.close q;
+  Alloc.collect_deferred producer_ctx;
+  Shm.leave producer_ctx;
+  ignore (Shm.scan_leaking arena);
+  let v = Shm.validate arena in
+  Alcotest.(check bool) ("clean: " ^ String.concat ";" v.Validate.errors) true
+    (Validate.is_clean v)
+
+let test_parallel_kv_readers_during_writes () =
+  let arena = Shm.create ~cfg:stress_cfg () in
+  let w = Shm.join arena () in
+  let store, h = Cxlshm_kv.Cxl_kv.create w ~buckets:128 ~partitions:1 ~value_words:1 in
+  assert (Cxlshm_kv.Cxl_kv.claim_partition h 0);
+  for k = 0 to 199 do
+    Cxlshm_kv.Cxl_kv.put h ~key:k ~value:k
+  done;
+  let stop = Atomic.make false in
+  let progress = Array.init 2 (fun _ -> Atomic.make 0) in
+  let reader i () =
+    let ctx = Shm.join arena () in
+    let hr = Cxlshm_kv.Cxl_kv.open_store ctx store in
+    let bad = ref 0 in
+    let reads = ref 0 in
+    while not (Atomic.get stop) do
+      let k = !reads mod 200 in
+      (match Cxlshm_kv.Cxl_kv.get hr ~key:k with
+      | Some v when v = k || v >= 1_000 -> () (* original or updated *)
+      | Some _ -> incr bad
+      | None -> incr bad (* in-place updates never unlink *));
+      incr reads;
+      Atomic.set progress.(i) !reads
+    done;
+    Cxlshm_kv.Cxl_kv.close hr;
+    Shm.leave ctx;
+    (!bad, !reads)
+  in
+  let readers = List.init 2 (fun i -> Domain.spawn (reader i)) in
+  (* writer keeps updating in place until every reader has made progress
+     (the host may have a single core; readers need timeslices) *)
+  let deadline = Unix.gettimeofday () +. 20.0 in
+  let round = ref 0 in
+  let all_progressed () =
+    Array.for_all (fun p -> Atomic.get p > 100) progress
+  in
+  while (not (all_progressed ())) && Unix.gettimeofday () < deadline do
+    incr round;
+    for k = 0 to 199 do
+      Cxlshm_kv.Cxl_kv.put h ~key:k ~value:(1_000 + (!round * 200) + k)
+    done
+  done;
+  Atomic.set stop true;
+  List.iter
+    (fun d ->
+      let bad, reads = Domain.join d in
+      Alcotest.(check int) "no torn/missing reads" 0 bad;
+      Alcotest.(check bool) "reader made progress" true (reads > 0))
+    readers;
+  Cxlshm_kv.Cxl_kv.close h;
+  Shm.leave w;
+  ignore (Shm.scan_leaking arena);
+  Alcotest.(check bool) "clean" true (Validate.is_clean (Shm.validate arena))
+
+(* Recovery races live transactions on the very object the dead client was
+   touching: the resume path's Conditions must coexist with concurrent
+   commits from a live peer (the §4.3 "rare corner case"). *)
+let test_recovery_races_live_txns () =
+  for seed = 1 to 8 do
+    let arena = Shm.create ~cfg:stress_cfg () in
+    let dead = Shm.join arena () in
+    let live = Shm.join arena () in
+    let base = Shm.cxl_malloc live ~size_bytes:8 () in
+    let obj = Cxl_ref.obj base in
+    (* dead client crashes mid-attach on the shared object *)
+    let parent = Shm.cxl_malloc dead ~size_bytes:8 ~emb_cnt:1 () in
+    dead.Ctx.fault <- Fault.at Fault.Txn_after_cas ~nth:1;
+    (try Cxl_ref.set_emb parent 0 base with Fault.Crashed _ -> ());
+    dead.Ctx.fault <- Fault.none;
+    Client.declare_failed (Shm.service_ctx arena) ~cid:dead.Ctx.cid;
+    (* live client hammers the same object while recovery runs *)
+    let stop = Atomic.make false in
+    let hammer =
+      Domain.spawn (fun () ->
+          let n = ref 0 in
+          while not (Atomic.get stop) do
+            let rr = Alloc.alloc_rootref live in
+            Refc.attach live ~ref_addr:(Rootref.pptr_slot rr) ~refed:obj;
+            Reclaim.release_rootref live rr;
+            incr n
+          done;
+          !n)
+    in
+    ignore (Shm.recover arena ~failed_cid:dead.Ctx.cid);
+    Atomic.set stop true;
+    let spins = Domain.join hammer in
+    ignore seed;
+    Alcotest.(check bool) "hammer ran" true (spins >= 0);
+    Alcotest.(check int) "count settled to exactly ours" 1
+      (Refc.ref_cnt live obj);
+    Cxl_ref.drop base;
+    ignore (Shm.scan_leaking arena);
+    let v = Shm.validate arena in
+    Alcotest.(check bool)
+      ("clean: " ^ String.concat ";" v.Validate.errors)
+      true (Validate.is_clean v)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "recovery races live txns" `Slow test_recovery_races_live_txns;
+    Alcotest.test_case "parallel allocators" `Slow test_parallel_allocators;
+    Alcotest.test_case "parallel refcount storm" `Slow test_parallel_refcount_storm;
+    Alcotest.test_case "recovery does not block" `Slow test_recovery_does_not_block_live_clients;
+    Alcotest.test_case "parallel transfer pipeline" `Slow test_parallel_transfer_pipeline;
+    Alcotest.test_case "kv readers during writes" `Slow test_parallel_kv_readers_during_writes;
+  ]

@@ -1,0 +1,193 @@
+(* Allocation fast/slow path, size classes, huge objects, reclamation. *)
+
+open Cxlshm
+
+let small_arena () = Shm.create ~cfg:Config.small ()
+
+let test_alloc_basic () =
+  let arena = small_arena () in
+  let a = Shm.join arena () in
+  let r = Shm.cxl_malloc a ~size_bytes:64 () in
+  Alcotest.(check bool) "live" true (Cxl_ref.is_live r);
+  Alcotest.(check int) "refcount 1" 1 (Refc.ref_cnt a (Cxl_ref.obj r));
+  Cxl_ref.write_bytes r (Bytes.of_string "payload");
+  Alcotest.(check string) "data roundtrip" "payload"
+    (Bytes.to_string (Cxl_ref.read_bytes r ~len:7));
+  Cxl_ref.drop r;
+  let v = Shm.validate arena in
+  Alcotest.(check bool) ("clean: " ^ String.concat "; " v.Validate.errors) true
+    (Validate.is_clean v);
+  Alcotest.(check int) "no live objects" 0 v.Validate.live_objects
+
+let test_clone_semantics () =
+  let arena = small_arena () in
+  let a = Shm.join arena () in
+  let r = Shm.cxl_malloc a ~size_bytes:16 () in
+  let r2 = Cxl_ref.clone r in
+  (* Same-thread clone touches only the RootRef local count (§5.2). *)
+  Alcotest.(check int) "obj count still 1" 1 (Refc.ref_cnt a (Cxl_ref.obj r));
+  Cxl_ref.drop r;
+  Alcotest.(check bool) "r2 still live" true (Cxl_ref.is_live r2);
+  Alcotest.(check int) "obj alive" 1 (Refc.ref_cnt a (Cxl_ref.obj r2));
+  Cxl_ref.drop r2;
+  Alcotest.(check bool) "clean" true (Validate.is_clean (Shm.validate arena))
+
+let test_double_drop_raises () =
+  let arena = small_arena () in
+  let a = Shm.join arena () in
+  let r = Shm.cxl_malloc a ~size_bytes:16 () in
+  Cxl_ref.drop r;
+  Alcotest.check_raises "double drop" (Invalid_argument "Cxl_ref: use after drop")
+    (fun () -> Cxl_ref.drop r)
+
+let test_many_allocs_reuse () =
+  let arena = small_arena () in
+  let a = Shm.join arena () in
+  (* Allocate and free far more objects than the arena could hold live:
+     blocks must be reused through the free lists. *)
+  for _ = 1 to 10_000 do
+    let r = Shm.cxl_malloc a ~size_bytes:32 () in
+    Cxl_ref.drop r
+  done;
+  let v = Shm.validate arena in
+  Alcotest.(check bool) ("clean: " ^ String.concat "; " v.Validate.errors) true
+    (Validate.is_clean v)
+
+let test_size_classes () =
+  let arena = small_arena () in
+  let a = Shm.join arena () in
+  let refs =
+    List.map
+      (fun sz -> (sz, Shm.cxl_malloc a ~size_bytes:sz ()))
+      [ 1; 8; 16; 17; 64; 100; 200; 400 ]
+  in
+  List.iter
+    (fun (sz, r) ->
+      let b = Bytes.init sz (fun i -> Char.chr (i land 0x7f)) in
+      Cxl_ref.write_bytes r b;
+      Alcotest.(check bytes)
+        (Printf.sprintf "size %d roundtrip" sz)
+        b
+        (Cxl_ref.read_bytes r ~len:sz))
+    refs;
+  List.iter (fun (_, r) -> Cxl_ref.drop r) refs;
+  Alcotest.(check bool) "clean" true (Validate.is_clean (Shm.validate arena))
+
+let test_huge_object () =
+  let arena = small_arena () in
+  let a = Shm.join arena () in
+  (* Bigger than the largest size class of the small config. *)
+  let words = Config.max_class_data_words Config.small * 4 in
+  let r = Shm.cxl_malloc_words a ~data_words:words () in
+  Cxl_ref.write_word r (words - 1) 9999;
+  Alcotest.(check int) "tail word" 9999 (Cxl_ref.read_word r (words - 1));
+  let before = Shm.free_segments arena in
+  Cxl_ref.drop r;
+  let after = Shm.free_segments arena in
+  Alcotest.(check bool) "segments returned" true (after > before);
+  Alcotest.(check bool) "clean" true (Validate.is_clean (Shm.validate arena))
+
+let test_out_of_memory () =
+  let arena = small_arena () in
+  let a = Shm.join arena () in
+  let live = ref [] in
+  Alcotest.check_raises "oom" Alloc.Out_of_shared_memory (fun () ->
+      for _ = 1 to 1_000_000 do
+        live := Shm.cxl_malloc a ~size_bytes:400 () :: !live
+      done);
+  (* Free everything; the arena must be fully usable again. *)
+  List.iter Cxl_ref.drop !live;
+  let r = Shm.cxl_malloc a ~size_bytes:400 () in
+  Cxl_ref.drop r;
+  Alcotest.(check bool) "clean after oom" true
+    (Validate.is_clean (Shm.validate arena))
+
+let test_cross_client_free () =
+  let arena = small_arena () in
+  let a = Shm.join arena () in
+  let b = Shm.join arena () in
+  (* A allocates; B becomes the last holder and frees into A's segment. *)
+  let ra = Shm.cxl_malloc a ~size_bytes:32 () in
+  let q = Transfer.connect a ~receiver:b.Ctx.cid ~capacity:4 in
+  Alcotest.(check bool) "sent" true (Transfer.send q ra = Transfer.Sent);
+  let rb =
+    match
+      let qb = Transfer.open_from b ~sender:a.Ctx.cid in
+      Option.map Transfer.receive qb
+    with
+    | Some (Transfer.Received r) -> r
+    | _ -> Alcotest.fail "receive failed"
+  in
+  Cxl_ref.drop ra;
+  Alcotest.(check int) "b holds it" 1 (Refc.ref_cnt b (Cxl_ref.obj rb));
+  Cxl_ref.drop rb;
+  (* The block went to A's segment cross-client stack; A's slow path
+     collects it. *)
+  Alloc.collect_deferred a;
+  let v = Shm.validate arena in
+  Alcotest.(check int) "one live object left (queue)" 1 v.Validate.live_objects;
+  Alcotest.(check int) "two rootrefs left (queue endpoints)" 2
+    v.Validate.live_rootrefs;
+  Alcotest.(check bool) ("clean: " ^ String.concat "; " v.Validate.errors) true
+    (Validate.is_clean v)
+
+let test_emb_refs_basic () =
+  let arena = small_arena () in
+  let a = Shm.join arena () in
+  let parent = Shm.cxl_malloc a ~size_bytes:8 ~emb_cnt:2 () in
+  let child1 = Shm.cxl_malloc a ~size_bytes:8 () in
+  let child2 = Shm.cxl_malloc a ~size_bytes:8 () in
+  Cxl_ref.set_emb parent 0 child1;
+  Alcotest.(check int) "child1 count 2" 2 (Refc.ref_cnt a (Cxl_ref.obj child1));
+  Cxl_ref.set_emb parent 1 child2;
+  (* Drop our handles: children stay alive through the parent. *)
+  let c1_obj = Cxl_ref.obj child1 in
+  Cxl_ref.drop child1;
+  Cxl_ref.drop child2;
+  Alcotest.(check int) "child1 kept alive" 1 (Refc.ref_cnt a c1_obj);
+  (* Dropping the parent releases the whole subtree. *)
+  Cxl_ref.drop parent;
+  let v = Shm.validate arena in
+  Alcotest.(check int) "all gone" 0 v.Validate.live_objects;
+  Alcotest.(check bool) ("clean: " ^ String.concat "; " v.Validate.errors) true
+    (Validate.is_clean v)
+
+let test_change_emb () =
+  let arena = small_arena () in
+  let a = Shm.join arena () in
+  let parent = Shm.cxl_malloc a ~size_bytes:8 ~emb_cnt:1 () in
+  let x = Shm.cxl_malloc a ~size_bytes:8 () in
+  let y = Shm.cxl_malloc a ~size_bytes:8 () in
+  Cxl_ref.set_emb parent 0 x;
+  (* §5.4 atomic re-pointing. *)
+  Cxl_ref.change_emb parent 0 y;
+  Alcotest.(check int) "slot points to y" (Cxl_ref.obj y) (Cxl_ref.get_emb parent 0);
+  Alcotest.(check int) "x count back to 1" 1 (Refc.ref_cnt a (Cxl_ref.obj x));
+  Alcotest.(check int) "y count 2" 2 (Refc.ref_cnt a (Cxl_ref.obj y));
+  List.iter Cxl_ref.drop [ parent; x; y ];
+  Alcotest.(check bool) "clean" true (Validate.is_clean (Shm.validate arena))
+
+let test_word_access_guards () =
+  let arena = small_arena () in
+  let a = Shm.join arena () in
+  let r = Shm.cxl_malloc a ~size_bytes:8 ~emb_cnt:1 () in
+  (try
+     ignore (Cxl_ref.read_word r 0);
+     Alcotest.fail "reading an emb slot as data must fail"
+   with Invalid_argument _ -> ());
+  Cxl_ref.drop r
+
+let suite =
+  [
+    Alcotest.test_case "alloc basic" `Quick test_alloc_basic;
+    Alcotest.test_case "clone semantics" `Quick test_clone_semantics;
+    Alcotest.test_case "double drop raises" `Quick test_double_drop_raises;
+    Alcotest.test_case "many allocs reuse" `Quick test_many_allocs_reuse;
+    Alcotest.test_case "size classes" `Quick test_size_classes;
+    Alcotest.test_case "huge object" `Quick test_huge_object;
+    Alcotest.test_case "out of memory" `Quick test_out_of_memory;
+    Alcotest.test_case "cross-client free" `Quick test_cross_client_free;
+    Alcotest.test_case "embedded refs basic" `Quick test_emb_refs_basic;
+    Alcotest.test_case "change emb (§5.4)" `Quick test_change_emb;
+    Alcotest.test_case "word access guards" `Quick test_word_access_guards;
+  ]

@@ -1,0 +1,176 @@
+(* §6.2.2 crash-consistency validation: run a randomized multi-client
+   workload with a crash injected at every reachable critical point, then
+   recover and check the arena for leaks, double frees and wild pointers. *)
+
+open Cxlshm
+
+(* A deterministic workload: clients allocate, clone, link embedded refs,
+   re-point them, exchange references through queues, and release — the
+   full §5 surface. Returns when [steps] operations ran or a client
+   crashed. *)
+let run_workload ~seed ~steps ~(plan : int -> Fault.plan) =
+  let arena = Shm.create ~cfg:Config.small () in
+  let n_clients = 3 in
+  let clients = Array.init n_clients (fun _ -> Shm.join arena ()) in
+  Array.iteri (fun i c -> c.Ctx.fault <- plan i) clients;
+  let rng = Random.State.make [| seed |] in
+  let held = Array.make n_clients [] in
+  (* Reference counting cannot collect cycles (a limitation the paper
+     inherits), so the workload keeps the object graph acyclic: an embedded
+     link is only created from an older object to a newer one. *)
+  let birth : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let birth_counter = ref 0 in
+  let stamp obj = try Hashtbl.find birth obj with Not_found -> max_int in
+  let send_queues : (int * int, Transfer.t) Hashtbl.t = Hashtbl.create 8 in
+  let recv_queues : (int * int, Transfer.t) Hashtbl.t = Hashtbl.create 8 in
+  let crashed = ref None in
+  let step who =
+    let c = clients.(who) in
+    match Random.State.int rng 8 with
+    | 0 | 1 ->
+        let emb = Random.State.int rng 3 in
+        let r = Shm.cxl_malloc c ~size_bytes:(8 + Random.State.int rng 56) ~emb_cnt:emb () in
+        incr birth_counter;
+        Hashtbl.replace birth (Cxl_ref.obj r) !birth_counter;
+        held.(who) <- r :: held.(who)
+    | 2 -> (
+        match held.(who) with
+        | r :: _ -> held.(who) <- Cxl_ref.clone r :: held.(who)
+        | [] -> ())
+    | 3 -> (
+        match held.(who) with
+        | r :: rest ->
+            held.(who) <- rest;
+            Cxl_ref.drop r
+        | [] -> ())
+    | 4 -> (
+        (* link an embedded ref parent -> child *)
+        match held.(who) with
+        | p :: ch :: _
+          when Cxl_ref.emb_cnt p > 0
+               && stamp (Cxl_ref.obj p) < stamp (Cxl_ref.obj ch) ->
+            let i = Random.State.int rng (Cxl_ref.emb_cnt p) in
+            if Cxl_ref.get_emb p i = 0 then Cxl_ref.set_emb p i ch
+            else if stamp (Cxl_ref.get_emb p i) < stamp (Cxl_ref.obj ch) then
+              Cxl_ref.change_emb p i ch
+        | _ -> ())
+    | 5 -> (
+        match held.(who) with
+        | p :: _ when Cxl_ref.emb_cnt p > 0 ->
+            Cxl_ref.clear_emb p (Random.State.int rng (Cxl_ref.emb_cnt p))
+        | _ -> ())
+    | 6 -> (
+        (* send to a random other client *)
+        let peer = (who + 1 + Random.State.int rng (n_clients - 1)) mod n_clients in
+        match held.(who) with
+        | r :: _ ->
+            let q =
+              match Hashtbl.find_opt send_queues (who, peer) with
+              | Some q -> q
+              | None ->
+                  let q = Transfer.connect c ~receiver:clients.(peer).Ctx.cid ~capacity:4 in
+                  Hashtbl.replace send_queues (who, peer) q;
+                  q
+            in
+            ignore (Transfer.send q r)
+        | [] -> ())
+    | 7 -> (
+        (* receive from a random sender *)
+        let peer = (who + 1 + Random.State.int rng (n_clients - 1)) mod n_clients in
+        match Hashtbl.find_opt recv_queues (peer, who) with
+        | Some q -> (
+            match Transfer.receive q with
+            | Transfer.Received r -> held.(who) <- r :: held.(who)
+            | Transfer.Empty | Transfer.Drained -> ())
+        | None -> (
+            match Transfer.open_from c ~sender:clients.(peer).Ctx.cid with
+            | Some q -> Hashtbl.replace recv_queues (peer, who) q
+            | None -> ()))
+    | _ -> ()
+  in
+  (try
+     for s = 0 to steps - 1 do
+       (* Every shared-memory effect in a step belongs to the stepping
+          client, so a Crashed exception identifies it. *)
+       try step (s mod n_clients)
+       with Fault.Crashed p -> raise (Fault.Crashed (Printf.sprintf "%d:%s" (s mod n_clients) p))
+     done
+   with Fault.Crashed tagged ->
+     let who = int_of_string (List.hd (String.split_on_char ':' tagged)) in
+     crashed := Some who);
+  (arena, clients, held, !crashed)
+
+let finish_and_validate ~label (arena, clients, held, crashed) =
+  let svc = Shm.service_ctx arena in
+  (match crashed with
+  | Some who ->
+      Client.declare_failed svc ~cid:clients.(who).Ctx.cid;
+      ignore (Recovery.recover svc ~failed_cid:clients.(who).Ctx.cid)
+  | None -> ());
+  (* Survivors exit cleanly: drop everything they hold. *)
+  Array.iteri
+    (fun i c ->
+      if crashed <> Some i then begin
+        c.Ctx.fault <- Fault.none;
+        List.iter (fun r -> if Cxl_ref.is_live r then Cxl_ref.drop r) held.(i)
+      end)
+    clients;
+  (* Declare everyone else dead too so queue endpoints get reaped; this
+     models the end of the run, not additional crashes. *)
+  Array.iteri
+    (fun i c ->
+      if crashed <> Some i then begin
+        Client.declare_failed svc ~cid:c.Ctx.cid;
+        ignore (Recovery.recover svc ~failed_cid:c.Ctx.cid)
+      end)
+    clients;
+  ignore (Reclaim.scan_all svc ~is_client_alive:(fun _ -> false));
+  let v = Shm.validate arena in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %s" label
+       (String.concat "; " (match v.Validate.errors with [] -> [ "clean" ] | e -> e)))
+    true
+    (Validate.is_clean v);
+  Alcotest.(check int) (label ^ ": nothing left alive") 0 v.Validate.live_objects
+
+let test_no_crash_baseline () =
+  let r = run_workload ~seed:42 ~steps:400 ~plan:(fun _ -> Fault.none) in
+  finish_and_validate ~label:"baseline" r
+
+let test_crash_sweep () =
+  (* For several seeds, crash client 0 at the n-th crash point it reaches,
+     sweeping n until the workload completes without crashing. *)
+  List.iter
+    (fun seed ->
+      let rec sweep n =
+        if n <= 400 then begin
+          let ((_, _, _, crashed) as r) =
+            run_workload ~seed ~steps:150 ~plan:(fun i ->
+                if i = 0 then Fault.nth_point ~seed ~n else Fault.none)
+          in
+          finish_and_validate
+            ~label:(Printf.sprintf "seed %d crash@%d" seed n)
+            r;
+          if crashed <> None then sweep (n + 7)
+        end
+      in
+      sweep 1)
+    [ 1; 2; 3 ]
+
+let test_random_crash_storm () =
+  (* Every client can crash with low probability at any point. *)
+  List.iter
+    (fun seed ->
+      let r =
+        run_workload ~seed ~steps:300 ~plan:(fun i ->
+            Fault.random ~seed:(seed + i) ~probability:0.002)
+      in
+      finish_and_validate ~label:(Printf.sprintf "storm seed %d" seed) r)
+    [ 11; 12; 13; 14; 15 ]
+
+let suite =
+  [
+    Alcotest.test_case "baseline (no crash)" `Quick test_no_crash_baseline;
+    Alcotest.test_case "crash sweep" `Slow test_crash_sweep;
+    Alcotest.test_case "random crash storm" `Quick test_random_crash_storm;
+  ]

@@ -1,0 +1,114 @@
+(* Fault injection at the application layer: CXL-KV writers crash at every
+   reachable crash point mid-put/delete; a surviving writer takes over the
+   partition and the store (and arena) must remain fully consistent. *)
+
+open Cxlshm
+module Kv = Cxlshm_kv.Cxl_kv
+
+let kv_cfg = { Config.small with Config.num_segments = 16; pages_per_segment = 8 }
+
+(* Run [steps] deterministic KV ops as the writer, with a crash plan; track
+   the model only up to the *last completed* operation — an op interrupted
+   by a crash may or may not have applied (both are legal outcomes the
+   validator-level checks don't depend on; key-level checks below handle
+   the ambiguity). *)
+let run_with_crash ~seed ~n =
+  let arena = Shm.create ~cfg:kv_cfg () in
+  let w0 = Shm.join arena () in
+  let w1 = Shm.join arena () in
+  let store, h0 = Kv.create w0 ~buckets:32 ~partitions:1 ~value_words:2 in
+  assert (Kv.claim_partition h0 0);
+  (* the standby writer attaches up front: if the creator held the only
+     reference, its death would (correctly!) reclaim the whole store —
+     survivors must hold a reference, or the store must be a named root *)
+  let h1 = Kv.open_store w1 store in
+  (* preload survives outside the crash window *)
+  for key = 0 to 19 do
+    Kv.put h0 ~key ~value:(100 + key)
+  done;
+  let model = Hashtbl.create 32 in
+  for key = 0 to 19 do
+    Hashtbl.replace model key (100 + key)
+  done;
+  w0.Ctx.fault <- Fault.nth_point ~seed ~n;
+  let rng = Random.State.make [| seed |] in
+  let in_flight = ref None in
+  let crashed = ref false in
+  (try
+     for _ = 1 to 60 do
+       let key = Random.State.int rng 30 in
+       match Random.State.int rng 4 with
+       | 0 ->
+           let v = Random.State.int rng 10_000 in
+           in_flight := Some (`Put (key, v));
+           Kv.put h0 ~key ~value:v;
+           Hashtbl.replace model key v;
+           in_flight := None
+       | 1 ->
+           let v = Random.State.int rng 10_000 in
+           in_flight := Some (`Put (key, v));
+           Kv.put_cow h0 ~key ~value:v;
+           Hashtbl.replace model key v;
+           in_flight := None
+       | 2 ->
+           in_flight := Some (`Delete key);
+           ignore (Kv.delete h0 ~key);
+           Hashtbl.remove model key;
+           in_flight := None
+       | _ -> ignore (Kv.get h0 ~key)
+     done
+   with Fault.Crashed _ -> crashed := true);
+  (* writer 0 dies; recovery + takeover *)
+  let svc = Shm.service_ctx arena in
+  Client.declare_failed svc ~cid:w0.Ctx.cid;
+  ignore (Recovery.recover svc ~failed_cid:w0.Ctx.cid);
+  assert (Kv.takeover_partition h1 0);
+  (* key-level consistency: every key must read as the model value, except
+     the in-flight op's key which may hold either old or new state *)
+  let exempt =
+    match !in_flight with
+    | Some (`Put (k, _)) | Some (`Delete k) when !crashed -> Some k
+    | _ -> None
+  in
+  for key = 0 to 29 do
+    if exempt <> Some key then
+      let expect = Hashtbl.find_opt model key in
+      let got = Kv.get h1 ~key in
+      if got <> expect then
+        Alcotest.failf "key %d: expected %s, got %s (seed %d crash %d)" key
+          (match expect with Some v -> string_of_int v | None -> "-")
+          (match got with Some v -> string_of_int v | None -> "-")
+          seed n
+  done;
+  (* the new writer operates normally *)
+  Kv.put h1 ~key:0 ~value:31_337;
+  Alcotest.(check (option int)) "post-takeover write" (Some 31_337)
+    (Kv.get h1 ~key:0);
+  Kv.quiesce h1;
+  Kv.close h1;
+  Client.declare_failed svc ~cid:w1.Ctx.cid;
+  ignore (Recovery.recover svc ~failed_cid:w1.Ctx.cid);
+  ignore (Reclaim.scan_all svc ~is_client_alive:(fun _ -> false));
+  let v = Shm.validate arena in
+  if not (Validate.is_clean v) then
+    Alcotest.failf "arena not clean after seed %d crash %d: %s" seed n
+      (String.concat "; " v.Validate.errors);
+  !crashed
+
+let test_kv_crash_sweep () =
+  List.iter
+    (fun seed ->
+      let rec sweep n =
+        if n <= 300 && run_with_crash ~seed ~n then sweep (n + 11)
+      in
+      sweep 1)
+    [ 21; 22; 23 ]
+
+let test_kv_no_crash_baseline () =
+  ignore (run_with_crash ~seed:99 ~n:1_000_000)
+
+let suite =
+  [
+    Alcotest.test_case "kv crash sweep" `Slow test_kv_crash_sweep;
+    Alcotest.test_case "kv baseline (no crash)" `Quick test_kv_no_crash_baseline;
+  ]

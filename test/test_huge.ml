@@ -1,0 +1,116 @@
+(* Huge objects: contiguous segment runs, §5.1 retry-and-rollback claim,
+   sharing, recovery. *)
+
+open Cxlshm
+
+let cfg = Config.small
+let setup () =
+  let arena = Shm.create ~cfg () in
+  (arena, Shm.join arena (), Shm.join arena ())
+
+let huge_words = Config.max_class_data_words cfg + 100
+
+let test_single_segment_huge () =
+  let arena, a, _ = setup () in
+  let r = Shm.cxl_malloc_words a ~data_words:huge_words () in
+  for i = 0 to huge_words - 1 do
+    Cxl_ref.write_word r i (i * 3)
+  done;
+  for i = 0 to huge_words - 1 do
+    if Cxl_ref.read_word r i <> i * 3 then Alcotest.fail "payload corrupted"
+  done;
+  Cxl_ref.drop r;
+  Alcotest.(check bool) "clean" true (Validate.is_clean (Shm.validate arena))
+
+let test_multi_segment_huge () =
+  let arena, a, _ = setup () in
+  let lay = Shm.layout arena in
+  (* warm up so the RootRef-page segment is already claimed *)
+  let warm = Shm.cxl_malloc a ~size_bytes:8 () in
+  Cxl_ref.drop warm;
+  (* bigger than one segment: spans a contiguous run *)
+  let words = lay.Layout.segment_words + 500 in
+  let before = Shm.free_segments arena in
+  let r = Shm.cxl_malloc_words a ~data_words:words () in
+  Alcotest.(check bool) "multiple segments claimed" true
+    (before - Shm.free_segments arena >= 2);
+  Cxl_ref.write_word r (words - 1) 424242;
+  Alcotest.(check int) "last word across segments" 424242
+    (Cxl_ref.read_word r (words - 1));
+  Cxl_ref.drop r;
+  Alcotest.(check int) "segments returned" before (Shm.free_segments arena);
+  Alcotest.(check bool) "clean" true (Validate.is_clean (Shm.validate arena))
+
+let test_huge_shared_across_clients () =
+  let arena, a, b = setup () in
+  let r = Shm.cxl_malloc_words a ~data_words:huge_words () in
+  Cxl_ref.write_word r 5 999;
+  let q = Transfer.connect a ~receiver:b.Ctx.cid ~capacity:2 in
+  assert (Transfer.send q r = Transfer.Sent);
+  let qb = Option.get (Transfer.open_from b ~sender:a.Ctx.cid) in
+  let rb = match Transfer.receive qb with Transfer.Received x -> x | _ -> assert false in
+  Alcotest.(check int) "b reads huge" 999 (Cxl_ref.read_word rb 5);
+  Cxl_ref.drop r;
+  (* b keeps the huge object alive after a's reference is gone *)
+  Alcotest.(check int) "count 1" 1 (Refc.ref_cnt b (Cxl_ref.obj rb));
+  Cxl_ref.drop rb;
+  Transfer.close q;
+  Transfer.close qb;
+  ignore (Shm.scan_leaking arena);
+  let v = Shm.validate arena in
+  Alcotest.(check int) "reclaimed" 0 v.Validate.live_objects;
+  Alcotest.(check bool) "clean" true (Validate.is_clean v)
+
+let test_huge_owner_crash () =
+  let arena, a, _ = setup () in
+  let before = Shm.free_segments arena in
+  let _r = Shm.cxl_malloc_words a ~data_words:huge_words () in
+  let svc = Shm.service_ctx arena in
+  Client.declare_failed svc ~cid:a.Ctx.cid;
+  ignore (Recovery.recover svc ~failed_cid:a.Ctx.cid);
+  ignore (Shm.scan_leaking arena);
+  Alcotest.(check int) "segments recovered" before (Shm.free_segments arena);
+  Alcotest.(check bool) "clean" true (Validate.is_clean (Shm.validate arena))
+
+let test_huge_survives_owner_crash_when_shared () =
+  let arena, a, b = setup () in
+  let r = Shm.cxl_malloc_words a ~data_words:huge_words () in
+  Cxl_ref.write_word r 0 31337;
+  let q = Transfer.connect a ~receiver:b.Ctx.cid ~capacity:2 in
+  assert (Transfer.send q r = Transfer.Sent);
+  let qb = Option.get (Transfer.open_from b ~sender:a.Ctx.cid) in
+  let rb = match Transfer.receive qb with Transfer.Received x -> x | _ -> assert false in
+  let svc = Shm.service_ctx arena in
+  Client.declare_failed svc ~cid:a.Ctx.cid;
+  ignore (Recovery.recover svc ~failed_cid:a.Ctx.cid);
+  Alcotest.(check int) "huge data intact" 31337 (Cxl_ref.read_word rb 0);
+  Cxl_ref.drop rb;
+  Transfer.close qb;
+  ignore (Shm.scan_leaking arena);
+  Alcotest.(check bool) "clean" true (Validate.is_clean (Shm.validate arena))
+
+let test_huge_oom () =
+  let arena, a, _ = setup () in
+  let lay = Shm.layout arena in
+  Alcotest.check_raises "run larger than arena" Alloc.Out_of_shared_memory
+    (fun () ->
+      ignore
+        (Shm.cxl_malloc_words a
+           ~data_words:(lay.Layout.segment_words * (cfg.Config.num_segments + 1))
+           ()));
+  (* a fragmented arena cannot host a full-run huge object *)
+  let blockers =
+    List.init cfg.Config.num_segments (fun _ -> Shm.cxl_malloc a ~size_bytes:16 ())
+  in
+  ignore blockers;
+  ignore arena
+
+let suite =
+  [
+    Alcotest.test_case "single-segment huge" `Quick test_single_segment_huge;
+    Alcotest.test_case "multi-segment huge" `Quick test_multi_segment_huge;
+    Alcotest.test_case "huge shared across clients" `Quick test_huge_shared_across_clients;
+    Alcotest.test_case "huge owner crash" `Quick test_huge_owner_crash;
+    Alcotest.test_case "huge survives crash when shared" `Quick test_huge_survives_owner_crash_when_shared;
+    Alcotest.test_case "huge OOM" `Quick test_huge_oom;
+  ]

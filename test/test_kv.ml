@@ -1,0 +1,338 @@
+(* CXL-KV, the baselines, and the Fig 10 workload generators. *)
+
+open Cxlshm
+module Cxl_kv = Cxlshm_kv.Cxl_kv
+module Tbb_kv = Cxlshm_kv.Tbb_kv
+module Lightning_kv = Cxlshm_kv.Lightning_kv
+module Zipf = Cxlshm_kv.Zipf
+module Ycsb = Cxlshm_kv.Ycsb
+module Tatp = Cxlshm_kv.Tatp
+module Smallbank = Cxlshm_kv.Smallbank
+module Kv_intf = Cxlshm_kv.Kv_intf
+
+let kv_cfg = { Config.small with Config.num_segments = 32; pages_per_segment = 8 }
+
+let fresh () =
+  let arena = Shm.create ~cfg:kv_cfg () in
+  let a = Shm.join arena () in
+  let store, h = Cxl_kv.create a ~buckets:64 ~partitions:4 ~value_words:2 in
+  Alcotest.(check bool) "claim p0" true (Cxl_kv.claim_partition h 0);
+  Alcotest.(check bool) "claim p1" true (Cxl_kv.claim_partition h 1);
+  Alcotest.(check bool) "claim p2" true (Cxl_kv.claim_partition h 2);
+  Alcotest.(check bool) "claim p3" true (Cxl_kv.claim_partition h 3);
+  (arena, a, store, h)
+
+let test_put_get_delete () =
+  let arena, _a, _store, h = fresh () in
+  Alcotest.(check (option int)) "miss" None (Cxl_kv.get h ~key:5);
+  Cxl_kv.put h ~key:5 ~value:500;
+  Alcotest.(check (option int)) "hit" (Some 500) (Cxl_kv.get h ~key:5);
+  Cxl_kv.put h ~key:5 ~value:777;
+  Alcotest.(check (option int)) "in-place update" (Some 777) (Cxl_kv.get h ~key:5);
+  Alcotest.(check bool) "delete" true (Cxl_kv.delete h ~key:5);
+  Alcotest.(check (option int)) "gone" None (Cxl_kv.get h ~key:5);
+  Alcotest.(check bool) "delete again" false (Cxl_kv.delete h ~key:5);
+  Cxl_kv.close h;
+  ignore (Shm.scan_leaking arena);
+  let v = Shm.validate arena in
+  Alcotest.(check bool) ("clean: " ^ String.concat ";" v.Validate.errors) true
+    (Validate.is_clean v);
+  Alcotest.(check int) "store fully reclaimed" 0 v.Validate.live_objects
+
+let test_collision_chains () =
+  let arena, _a, _store, h = fresh () in
+  (* 64 buckets, 500 keys: plenty of collisions. *)
+  for k = 0 to 499 do
+    Cxl_kv.put h ~key:k ~value:(k * 3)
+  done;
+  Alcotest.(check int) "size" 500 (Cxl_kv.size_estimate h);
+  for k = 0 to 499 do
+    Alcotest.(check (option int)) (Printf.sprintf "key %d" k) (Some (k * 3))
+      (Cxl_kv.get h ~key:k)
+  done;
+  (* delete every third key *)
+  for k = 0 to 499 do
+    if k mod 3 = 0 then Alcotest.(check bool) "del" true (Cxl_kv.delete h ~key:k)
+  done;
+  for k = 0 to 499 do
+    let expect = if k mod 3 = 0 then None else Some (k * 3) in
+    Alcotest.(check (option int)) (Printf.sprintf "after del %d" k) expect
+      (Cxl_kv.get h ~key:k)
+  done;
+  Cxl_kv.quiesce h;
+  Cxl_kv.close h;
+  ignore (Shm.scan_leaking arena);
+  Alcotest.(check bool) "clean" true (Validate.is_clean (Shm.validate arena))
+
+let test_put_cow_relocates () =
+  let arena, _a, _store, h = fresh () in
+  Cxl_kv.put h ~key:3 ~value:30;
+  let before = Cxl_kv.get_all_words h ~key:3 in
+  (* in-place update keeps the record where it is *)
+  Cxl_kv.put h ~key:3 ~value:31;
+  Alcotest.(check (option int)) "in place" (Some 31) (Cxl_kv.get h ~key:3);
+  (* copy-on-write replaces the record atomically *)
+  Cxl_kv.put_cow h ~key:3 ~value:99;
+  Alcotest.(check (option int)) "after cow" (Some 99) (Cxl_kv.get h ~key:3);
+  ignore before;
+  Cxl_kv.quiesce h;
+  Cxl_kv.close h;
+  ignore (Shm.scan_leaking arena);
+  let v = Shm.validate arena in
+  Alcotest.(check bool) ("clean: " ^ String.concat ";" v.Validate.errors) true
+    (Validate.is_clean v)
+
+let test_multi_value_words () =
+  let arena, _a, _store, h = fresh () in
+  Cxl_kv.put h ~key:9 ~value:100;
+  (match Cxl_kv.get_all_words h ~key:9 with
+  | Some [| a; b |] ->
+      Alcotest.(check int) "word0" 100 a;
+      Alcotest.(check int) "word1" 101 b
+  | _ -> Alcotest.fail "expected 2 value words");
+  Cxl_kv.close h;
+  ignore arena
+
+let test_single_writer_enforced () =
+  let arena, _a, store, h = fresh () in
+  let b = Shm.join arena () in
+  let hb = Cxl_kv.open_store b store in
+  (* b is not a writer of any partition. *)
+  (try
+     Cxl_kv.put hb ~key:1 ~value:1;
+     Alcotest.fail "expected writer check to fire"
+   with Failure _ -> ());
+  (* but b reads everything (shared-everything). *)
+  Cxl_kv.put h ~key:1 ~value:11;
+  Alcotest.(check (option int)) "remote read" (Some 11) (Cxl_kv.get hb ~key:1);
+  Cxl_kv.close hb;
+  Cxl_kv.close h
+
+let test_writer_failover () =
+  (* §6.4.1: dead writer's partition is taken over with one CAS; no data
+     moves; the new writer continues in place. *)
+  let arena, a, store, h = fresh () in
+  Cxl_kv.put h ~key:0 ~value:111;
+  Cxl_kv.put h ~key:4 ~value:444;
+  let b = Shm.join arena () in
+  let hb = Cxl_kv.open_store b store in
+  (* writer a dies *)
+  let svc = Shm.service_ctx arena in
+  Client.declare_failed svc ~cid:a.Ctx.cid;
+  ignore (Recovery.recover svc ~failed_cid:a.Ctx.cid);
+  (* data survives: the index holds the records *)
+  Alcotest.(check (option int)) "data survives crash" (Some 111)
+    (Cxl_kv.get hb ~key:0);
+  Alcotest.(check bool) "takeover" true (Cxl_kv.takeover_partition hb 0);
+  Alcotest.(check (option int)) "writer id updated" (Some b.Ctx.cid)
+    (Cxl_kv.writer_of_partition hb 0);
+  Cxl_kv.put hb ~key:0 ~value:999;
+  Alcotest.(check (option int)) "new writer writes" (Some 999)
+    (Cxl_kv.get hb ~key:0);
+  Cxl_kv.close hb;
+  ignore (Shm.scan_leaking arena);
+  let v = Shm.validate arena in
+  Alcotest.(check bool) ("clean: " ^ String.concat ";" v.Validate.errors) true
+    (Validate.is_clean v)
+
+let test_concurrent_readers () =
+  let arena, _a, store, h = fresh () in
+  for k = 0 to 199 do
+    Cxl_kv.put h ~key:k ~value:k
+  done;
+  let reader () =
+    let c = Shm.join arena () in
+    let hr = Cxl_kv.open_store c store in
+    let ok = ref true in
+    for k = 0 to 199 do
+      match Cxl_kv.get hr ~key:k with
+      | Some v when v = k -> ()
+      | _ -> ok := false
+    done;
+    Cxl_kv.close hr;
+    Shm.leave c;
+    !ok
+  in
+  let ds = List.init 3 (fun _ -> Domain.spawn reader) in
+  let all = List.for_all Fun.id (List.map Domain.join ds) in
+  Alcotest.(check bool) "all readers consistent" true all;
+  Cxl_kv.close h
+
+(* Model-based property: CXL-KV behaves like a Hashtbl under random op
+   sequences. *)
+let prop_kv_model =
+  QCheck.Test.make ~name:"cxl-kv matches model" ~count:40
+    QCheck.(list_of_size Gen.(1 -- 120) (pair (int_bound 60) (int_bound 2)))
+    (fun ops ->
+      let arena = Shm.create ~cfg:kv_cfg () in
+      let a = Shm.join arena () in
+      let _store, h = Cxl_kv.create a ~buckets:16 ~partitions:2 ~value_words:1 in
+      ignore (Cxl_kv.claim_partition h 0);
+      ignore (Cxl_kv.claim_partition h 1);
+      let model = Hashtbl.create 64 in
+      let ok =
+        List.for_all
+          (fun (key, kind) ->
+            match kind with
+            | 0 ->
+                Cxl_kv.put h ~key ~value:(key * 7);
+                Hashtbl.replace model key (key * 7);
+                true
+            | 1 ->
+                let got = Cxl_kv.delete h ~key in
+                let expect = Hashtbl.mem model key in
+                Hashtbl.remove model key;
+                got = expect
+            | _ -> Cxl_kv.get h ~key = Hashtbl.find_opt model key)
+          ops
+      in
+      Cxl_kv.close h;
+      ignore (Shm.scan_leaking arena);
+      ok && Validate.is_clean (Shm.validate arena))
+
+let test_baselines_agree () =
+  (* TBB-KV and Lightning-KV produce the same results as a model. *)
+  let tbb = Tbb_kv.create ~buckets:32 ~value_words:1 ~capacity:1000 ~threads:1 in
+  let th = Tbb_kv.handle tbb 0 in
+  let lkv = Lightning_kv.create ~buckets:32 ~value_words:1 ~words:65_536 ~threads:1 in
+  let lh = Lightning_kv.handle lkv 0 in
+  let model = Hashtbl.create 64 in
+  let rng = Random.State.make [| 7 |] in
+  for _ = 1 to 500 do
+    let key = Random.State.int rng 50 in
+    match Random.State.int rng 3 with
+    | 0 ->
+        let v = Random.State.int rng 10_000 in
+        Tbb_kv.put th ~key ~value:v;
+        Lightning_kv.put lh ~key ~value:v;
+        Hashtbl.replace model key v
+    | 1 ->
+        let e = Hashtbl.mem model key in
+        Hashtbl.remove model key;
+        Alcotest.(check bool) "tbb delete" e (Tbb_kv.delete th ~key);
+        Alcotest.(check bool) "lightning delete" e (Lightning_kv.delete lh ~key)
+    | _ ->
+        let e = Hashtbl.find_opt model key in
+        Alcotest.(check (option int)) "tbb get" e (Tbb_kv.get th ~key);
+        Alcotest.(check (option int)) "lightning get" e (Lightning_kv.get lh ~key)
+  done
+
+let test_zipf_shape () =
+  let z = Zipf.create ~n:1000 ~theta:0.99 ~seed:1 in
+  let counts = Array.make 1000 0 in
+  let samples = 50_000 in
+  for _ = 1 to samples do
+    let k = Zipf.sample z in
+    counts.(k) <- counts.(k) + 1
+  done;
+  let top1 = float_of_int counts.(0) /. float_of_int samples in
+  let expected = Zipf.expected_top1_mass z in
+  Alcotest.(check bool)
+    (Printf.sprintf "top-1 mass %.3f ≈ %.3f" top1 expected)
+    true
+    (Float.abs (top1 -. expected) < 0.02);
+  (* skew: hottest beats the tail decisively *)
+  Alcotest.(check bool) "skewed" true (counts.(0) > 10 * counts.(500));
+  let u = Zipf.create ~n:1000 ~theta:0.0 ~seed:1 in
+  let uc = Array.make 1000 0 in
+  for _ = 1 to samples do
+    let k = Zipf.sample u in
+    uc.(k) <- uc.(k) + 1
+  done;
+  Alcotest.(check bool) "uniform is flat-ish" true
+    (uc.(0) < 3 * (samples / 1000))
+
+let test_ycsb_presets () =
+  List.iter
+    (fun (preset, expect_writes) ->
+      let w = Ycsb.of_preset ~keys:100 ~seed:5 preset in
+      let n = 4_000 in
+      let writes = ref 0 in
+      for _ = 1 to n do
+        if Kv_intf.is_write (Ycsb.next w) then incr writes
+      done;
+      let ratio = float_of_int !writes /. float_of_int n in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %.3f ≈ %.2f" (Ycsb.preset_name preset) ratio
+           expect_writes)
+        true
+        (Float.abs (ratio -. expect_writes) < 0.03))
+    [ (Ycsb.A, 0.5); (Ycsb.B, 0.05); (Ycsb.C, 0.0); (Ycsb.F, 0.5) ]
+
+let test_kv_iter () =
+  let arena, _a, _store, h = fresh () in
+  for k = 0 to 49 do
+    Cxl_kv.put h ~key:k ~value:(k * 2)
+  done;
+  Alcotest.(check (list int)) "keys sorted" (List.init 50 Fun.id) (Cxl_kv.keys h);
+  let sum = ref 0 in
+  Cxl_kv.iter h (fun ~key:_ ~value -> sum := !sum + value);
+  Alcotest.(check int) "value sum" (49 * 50) !sum;
+  Cxl_kv.close h;
+  ignore arena
+
+let test_ycsb_mix () =
+  let w = Ycsb.create ~keys:100 ~write_ratio:0.1 ~theta:0.5 ~seed:3 in
+  let n = 10_000 in
+  let writes = ref 0 in
+  for _ = 1 to n do
+    if Kv_intf.is_write (Ycsb.next w) then incr writes
+  done;
+  let ratio = float_of_int !writes /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "write ratio %.3f ≈ 0.1" ratio)
+    true
+    (Float.abs (ratio -. 0.1) < 0.02)
+
+let test_tatp_mix () =
+  let t = Tatp.create ~subscribers:100 ~seed:4 in
+  let txns = 10_000 in
+  let reads = ref 0 in
+  for _ = 1 to txns do
+    let ops = Tatp.next t in
+    if List.for_all (fun o -> not (Kv_intf.is_write o)) ops then incr reads
+  done;
+  let frac = float_of_int !reads /. float_of_int txns in
+  Alcotest.(check bool)
+    (Printf.sprintf "read-only fraction %.3f ≈ 0.8" frac)
+    true
+    (Float.abs (frac -. Tatp.read_fraction) < 0.02)
+
+let test_smallbank_runs () =
+  let sb = Smallbank.create ~accounts:50 ~seed:5 in
+  let tbb = Tbb_kv.create ~buckets:64 ~value_words:1 ~capacity:500 ~threads:1 in
+  let th = Tbb_kv.handle tbb 0 in
+  List.iter
+    (function
+      | Kv_intf.Insert (k, v) | Kv_intf.Update (k, v) -> Tbb_kv.put th ~key:k ~value:v
+      | Kv_intf.Read k -> ignore (Tbb_kv.get th ~key:k)
+      | Kv_intf.Delete k -> ignore (Tbb_kv.delete th ~key:k))
+    (Smallbank.load_ops sb);
+  for _ = 1 to 1000 do
+    List.iter
+      (function
+        | Kv_intf.Insert (k, v) | Kv_intf.Update (k, v) ->
+            Tbb_kv.put th ~key:k ~value:v
+        | Kv_intf.Read k -> ignore (Tbb_kv.get th ~key:k)
+        | Kv_intf.Delete k -> ignore (Tbb_kv.delete th ~key:k))
+      (Smallbank.next sb)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "put/get/delete" `Quick test_put_get_delete;
+    Alcotest.test_case "collision chains" `Quick test_collision_chains;
+    Alcotest.test_case "put_cow relocates" `Quick test_put_cow_relocates;
+    Alcotest.test_case "multi-word values" `Quick test_multi_value_words;
+    Alcotest.test_case "single-writer enforced" `Quick test_single_writer_enforced;
+    Alcotest.test_case "writer failover (§6.4.1)" `Quick test_writer_failover;
+    Alcotest.test_case "concurrent readers" `Quick test_concurrent_readers;
+    QCheck_alcotest.to_alcotest prop_kv_model;
+    Alcotest.test_case "baselines agree" `Quick test_baselines_agree;
+    Alcotest.test_case "zipf shape" `Quick test_zipf_shape;
+    Alcotest.test_case "ycsb mix" `Quick test_ycsb_mix;
+    Alcotest.test_case "ycsb presets" `Quick test_ycsb_presets;
+    Alcotest.test_case "kv iter/keys" `Quick test_kv_iter;
+    Alcotest.test_case "tatp mix" `Quick test_tatp_mix;
+    Alcotest.test_case "smallbank runs" `Quick test_smallbank_runs;
+  ]

@@ -1,0 +1,101 @@
+(* Client lifecycle + heartbeat monitor (§3.2). *)
+
+open Cxlshm
+
+let test_register_limits () =
+  let cfg = { Config.small with Config.max_clients = 3 } in
+  let arena = Shm.create ~cfg () in
+  let _a = Shm.join arena () in
+  let _b = Shm.join arena () in
+  let _c = Shm.join arena () in
+  Alcotest.check_raises "no free slot" (Failure "Client.register: no free client slot")
+    (fun () -> ignore (Shm.join arena ()))
+
+let test_register_specific_cid () =
+  let arena = Shm.create ~cfg:Config.small () in
+  let a = Shm.join arena ~cid:3 () in
+  Alcotest.(check int) "got requested cid" 3 a.Ctx.cid;
+  Alcotest.check_raises "slot taken" (Failure "Client.register: no free client slot")
+    (fun () -> ignore (Shm.join arena ~cid:3 ()))
+
+let test_clean_exit_releases_segments () =
+  let arena = Shm.create ~cfg:Config.small () in
+  let before = Shm.free_segments arena in
+  let a = Shm.join arena () in
+  let r = Shm.cxl_malloc a ~size_bytes:32 () in
+  Cxl_ref.drop r;
+  Shm.leave a;
+  Alcotest.(check int) "segments all returned" before (Shm.free_segments arena);
+  (* the slot is reusable *)
+  let a2 = Shm.join arena ~cid:a.Ctx.cid () in
+  Shm.leave a2
+
+let test_monitor_detects_silence () =
+  let arena = Shm.create ~cfg:Config.small () in
+  let a = Shm.join arena () in
+  let b = Shm.join arena () in
+  let _ = List.init 5 (fun _ -> Shm.cxl_malloc a ~size_bytes:16 ()) in
+  let mon = Shm.monitor arena ~misses:2 () in
+  (* b heartbeats, a goes silent *)
+  Client.heartbeat a;
+  Client.heartbeat b;
+  Alcotest.(check (list int)) "nobody suspected yet" [] (Monitor.check_once mon);
+  Client.heartbeat b;
+  Alcotest.(check (list int)) "one miss tolerated" [] (Monitor.check_once mon);
+  Client.heartbeat b;
+  Alcotest.(check (list int)) "a suspected after 2 misses" [ a.Ctx.cid ]
+    (Monitor.check_once mon);
+  Alcotest.(check bool) "a declared failed" true
+    (Client.status b ~cid:a.Ctx.cid = Client.Failed);
+  let reports = Monitor.recover_suspects mon in
+  Alcotest.(check int) "one recovery ran" 1 (List.length reports);
+  (match reports with
+  | [ (cid, r) ] ->
+      Alcotest.(check int) "recovered a" a.Ctx.cid cid;
+      Alcotest.(check int) "reaped the rootrefs" 5 r.Recovery.rootrefs_released
+  | _ -> Alcotest.fail "expected one report");
+  ignore (Shm.scan_leaking arena);
+  Alcotest.(check bool) "clean" true (Validate.is_clean (Shm.validate arena));
+  Alcotest.(check bool) "b still alive" true (Client.is_alive b ~cid:b.Ctx.cid)
+
+let test_monitor_background_domain () =
+  let arena = Shm.create ~cfg:Config.small () in
+  let a = Shm.join arena () in
+  let _ = List.init 3 (fun _ -> Shm.cxl_malloc a ~size_bytes:16 ()) in
+  let mon = Shm.monitor arena ~misses:1 () in
+  let domain, stop = Monitor.run_in_domain mon ~interval:0.01 in
+  (* a never heartbeats: the monitor should reap it *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec wait () =
+    if Client.status (Shm.service_ctx arena) ~cid:a.Ctx.cid = Client.Slot_free
+    then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail "monitor never recovered the silent client"
+    else begin
+      Unix.sleepf 0.01;
+      wait ()
+    end
+  in
+  wait ();
+  Atomic.set stop true;
+  Domain.join domain;
+  Alcotest.(check bool) "clean after async recovery" true
+    (Validate.is_clean (Shm.validate arena))
+
+let test_heartbeat_monotone () =
+  let arena = Shm.create ~cfg:Config.small () in
+  let a = Shm.join arena () in
+  let h0 = Client.heartbeat_value a ~cid:a.Ctx.cid in
+  Client.heartbeat a;
+  Client.heartbeat a;
+  Alcotest.(check int) "two beats" (h0 + 2) (Client.heartbeat_value a ~cid:a.Ctx.cid)
+
+let suite =
+  [
+    Alcotest.test_case "register limits" `Quick test_register_limits;
+    Alcotest.test_case "register specific cid" `Quick test_register_specific_cid;
+    Alcotest.test_case "clean exit releases segments" `Quick test_clean_exit_releases_segments;
+    Alcotest.test_case "monitor detects silence" `Quick test_monitor_detects_silence;
+    Alcotest.test_case "monitor background domain" `Quick test_monitor_background_domain;
+    Alcotest.test_case "heartbeat monotone" `Quick test_heartbeat_monotone;
+  ]

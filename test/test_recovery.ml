@@ -1,0 +1,294 @@
+(* Directed recovery scenarios: dead-client reaping, transaction resume
+   through Conditions 1 & 2, queue-endpoint cleanup, restartability. *)
+
+open Cxlshm
+
+let setup () =
+  let arena = Shm.create ~cfg:Config.small () in
+  (arena, Shm.join arena (), Shm.join arena ())
+
+let check_clean arena label =
+  let v = Shm.validate arena in
+  Alcotest.(check bool)
+    (label ^ ": " ^ String.concat "; " v.Validate.errors)
+    true (Validate.is_clean v)
+
+let test_reap_simple () =
+  let arena, a, _b = setup () in
+  (* A allocates objects and "crashes" without freeing anything. *)
+  let _leaked = List.init 20 (fun _ -> Shm.cxl_malloc a ~size_bytes:32 ()) in
+  Client.declare_failed (Shm.service_ctx arena) ~cid:a.Ctx.cid;
+  let r = Shm.recover arena ~failed_cid:a.Ctx.cid in
+  Alcotest.(check int) "20 rootrefs released" 20 r.Recovery.rootrefs_released;
+  ignore (Shm.scan_leaking arena);
+  let v = Shm.validate arena in
+  Alcotest.(check int) "nothing alive" 0 v.Validate.live_objects;
+  check_clean arena "after reap"
+
+let test_reap_preserves_shared () =
+  let arena, a, b = setup () in
+  (* A allocates and shares with B, then dies: B's reference must keep the
+     object alive (the §1.2 double-free scenario). *)
+  let ra = Shm.cxl_malloc a ~size_bytes:32 () in
+  Cxl_ref.write_bytes ra (Bytes.of_string "survives");
+  let q = Transfer.connect a ~receiver:b.Ctx.cid ~capacity:4 in
+  Alcotest.(check bool) "sent" true (Transfer.send q ra = Transfer.Sent);
+  let qb = Option.get (Transfer.open_from b ~sender:a.Ctx.cid) in
+  let rb =
+    match Transfer.receive qb with
+    | Transfer.Received r -> r
+    | _ -> Alcotest.fail "receive"
+  in
+  (* A dies. Note: no drop of ra / q — they are lost local handles. *)
+  Client.declare_failed (Shm.service_ctx arena) ~cid:a.Ctx.cid;
+  ignore (Shm.recover arena ~failed_cid:a.Ctx.cid);
+  ignore (Shm.scan_leaking arena);
+  Alcotest.(check string) "B still reads the data" "survives"
+    (Bytes.to_string (Cxl_ref.read_bytes rb ~len:8));
+  Alcotest.(check int) "exactly B's reference" 1 (Refc.ref_cnt b (Cxl_ref.obj rb));
+  check_clean arena "shared object preserved";
+  (* B finishes; everything must now be reclaimable. *)
+  Transfer.close qb;
+  Cxl_ref.drop rb;
+  ignore (Shm.scan_leaking arena);
+  let v = Shm.validate arena in
+  Alcotest.(check int) "all reclaimed" 0 v.Validate.live_objects;
+  check_clean arena "after B exits"
+
+let test_resume_attach_after_cas () =
+  let arena, a, _b = setup () in
+  let parent = Shm.cxl_malloc a ~size_bytes:8 ~emb_cnt:1 () in
+  let child = Shm.cxl_malloc a ~size_bytes:8 () in
+  (* Crash right after the commit CAS of the attach: ModifyRefCnt done,
+     ModifyRef pending. *)
+  a.Ctx.fault <- Fault.at Fault.Txn_after_cas ~nth:1;
+  (try
+     Cxl_ref.set_emb parent 0 child;
+     Alcotest.fail "expected crash"
+   with Fault.Crashed _ -> ());
+  a.Ctx.fault <- Fault.none;
+  (* The count was incremented but the slot not yet written. *)
+  Alcotest.(check int) "count already 2" 2 (Refc.ref_cnt a (Cxl_ref.obj child));
+  Alcotest.(check int) "slot still null" 0 (Cxl_ref.get_emb parent 0);
+  Client.declare_failed (Shm.service_ctx arena) ~cid:a.Ctx.cid;
+  let r = Shm.recover arena ~failed_cid:a.Ctx.cid in
+  Alcotest.(check bool) "txn resumed" true r.Recovery.resumed_txn;
+  ignore (Shm.scan_leaking arena);
+  let v = Shm.validate arena in
+  Alcotest.(check int) "nothing alive" 0 v.Validate.live_objects;
+  check_clean arena "resume attach"
+
+let test_resume_not_committed () =
+  let arena, a, _b = setup () in
+  let parent = Shm.cxl_malloc a ~size_bytes:8 ~emb_cnt:1 () in
+  let child = Shm.cxl_malloc a ~size_bytes:8 () in
+  (* Crash after writing the redo record but before the CAS: the commit
+     never happened, recovery must NOT redo the ModifyRef. *)
+  a.Ctx.fault <- Fault.at Fault.Txn_after_redo ~nth:1;
+  (try
+     Cxl_ref.set_emb parent 0 child;
+     Alcotest.fail "expected crash"
+   with Fault.Crashed _ -> ());
+  a.Ctx.fault <- Fault.none;
+  Alcotest.(check int) "count still 1" 1 (Refc.ref_cnt a (Cxl_ref.obj child));
+  Client.declare_failed (Shm.service_ctx arena) ~cid:a.Ctx.cid;
+  let r = Shm.recover arena ~failed_cid:a.Ctx.cid in
+  Alcotest.(check bool) "txn NOT resumed" false r.Recovery.resumed_txn;
+  ignore (Shm.scan_leaking arena);
+  check_clean arena "uncommitted attach"
+
+let test_resume_change_mid () =
+  let arena, a, _b = setup () in
+  let parent = Shm.cxl_malloc a ~size_bytes:8 ~emb_cnt:1 () in
+  let x = Shm.cxl_malloc a ~size_bytes:8 () in
+  let y = Shm.cxl_malloc a ~size_bytes:8 () in
+  Cxl_ref.set_emb parent 0 x;
+  let x_obj = Cxl_ref.obj x and y_obj = Cxl_ref.obj y in
+  (* Crash between the two CAS of the §5.4 change. *)
+  a.Ctx.fault <- Fault.at Fault.Change_after_first_era ~nth:1;
+  (try
+     Cxl_ref.change_emb parent 0 y;
+     Alcotest.fail "expected crash"
+   with Fault.Crashed _ -> ());
+  a.Ctx.fault <- Fault.none;
+  Alcotest.(check int) "x already decremented" 1 (Refc.ref_cnt a x_obj);
+  Alcotest.(check int) "y not yet incremented" 1 (Refc.ref_cnt a y_obj);
+  Client.declare_failed (Shm.service_ctx arena) ~cid:a.Ctx.cid;
+  let r = Shm.recover arena ~failed_cid:a.Ctx.cid in
+  Alcotest.(check bool) "change resumed" true r.Recovery.resumed_txn;
+  ignore (Shm.scan_leaking arena);
+  check_clean arena "mid-change crash"
+
+let test_alloc_crash_windows () =
+  List.iter
+    (fun point ->
+      let arena, a, _b = setup () in
+      (* Warm up so the crash hits the fast path, not page setup. *)
+      let warm = Shm.cxl_malloc a ~size_bytes:32 () in
+      Cxl_ref.drop warm;
+      a.Ctx.fault <- Fault.at point ~nth:1;
+      (try
+         ignore (Shm.cxl_malloc a ~size_bytes:32 ());
+         Alcotest.fail "expected crash"
+       with Fault.Crashed _ -> ());
+      a.Ctx.fault <- Fault.none;
+      Client.declare_failed (Shm.service_ctx arena) ~cid:a.Ctx.cid;
+      ignore (Shm.recover arena ~failed_cid:a.Ctx.cid);
+      ignore (Shm.scan_leaking arena);
+      check_clean arena ("alloc crash at " ^ Fault.point_name point))
+    [
+      Fault.Alloc_after_rootref;
+      Fault.Alloc_after_link;
+      Fault.Alloc_after_advance;
+      Fault.Alloc_after_header;
+    ]
+
+let test_sender_crash_mid_send () =
+  let arena, a, b = setup () in
+  let ra = Shm.cxl_malloc a ~size_bytes:16 () in
+  let q = Transfer.connect a ~receiver:b.Ctx.cid ~capacity:4 in
+  (* Crash after the slot attach but before publishing the tail: the
+     reference is in the queue but ownership never transferred (§5.2). *)
+  a.Ctx.fault <- Fault.at Fault.Send_after_attach ~nth:1;
+  (try
+     ignore (Transfer.send q ra);
+     Alcotest.fail "expected crash"
+   with Fault.Crashed _ -> ());
+  a.Ctx.fault <- Fault.none;
+  Client.declare_failed (Shm.service_ctx arena) ~cid:a.Ctx.cid;
+  ignore (Shm.recover arena ~failed_cid:a.Ctx.cid);
+  (* B opens the (now sender-closed) queue: nothing must arrive. *)
+  (match Transfer.open_from b ~sender:a.Ctx.cid with
+  | None -> () (* queue already fully reclaimed *)
+  | Some qb ->
+      (match Transfer.receive qb with
+      | Transfer.Drained | Transfer.Empty -> ()
+      | Transfer.Received _ -> Alcotest.fail "unpublished send must not arrive");
+      Transfer.close qb);
+  ignore (Shm.scan_leaking arena);
+  let v = Shm.validate arena in
+  Alcotest.(check int) "no stranded objects" 0 v.Validate.live_objects;
+  check_clean arena "sender crash mid-send"
+
+let test_receiver_crash_windows () =
+  List.iter
+    (fun point ->
+      let arena, a, b = setup () in
+      let ra = Shm.cxl_malloc a ~size_bytes:16 () in
+      let q = Transfer.connect a ~receiver:b.Ctx.cid ~capacity:4 in
+      Alcotest.(check bool) "sent" true (Transfer.send q ra = Transfer.Sent);
+      Cxl_ref.drop ra;
+      let qb = Option.get (Transfer.open_from b ~sender:a.Ctx.cid) in
+      b.Ctx.fault <- Fault.at point ~nth:1;
+      (try
+         ignore (Transfer.receive qb);
+         Alcotest.fail "expected crash"
+       with Fault.Crashed _ -> ());
+      b.Ctx.fault <- Fault.none;
+      Client.declare_failed (Shm.service_ctx arena) ~cid:b.Ctx.cid;
+      ignore (Shm.recover arena ~failed_cid:b.Ctx.cid);
+      (* Sender closes; everything reclaimable. *)
+      Transfer.close q;
+      ignore (Shm.scan_leaking arena);
+      let v = Shm.validate arena in
+      Alcotest.(check int)
+        ("no stranded objects at " ^ Fault.point_name point)
+        0 v.Validate.live_objects;
+      check_clean arena ("receiver crash at " ^ Fault.point_name point))
+    [ Fault.Recv_after_attach; Fault.Recv_after_detach ]
+
+let test_recovery_is_idempotent () =
+  let arena, a, _b = setup () in
+  let _ = List.init 10 (fun _ -> Shm.cxl_malloc a ~size_bytes:32 ()) in
+  Client.declare_failed (Shm.service_ctx arena) ~cid:a.Ctx.cid;
+  ignore (Shm.recover arena ~failed_cid:a.Ctx.cid);
+  (* Run it again: nothing further must change, nothing must break. *)
+  let r2 = Shm.recover arena ~failed_cid:a.Ctx.cid in
+  Alcotest.(check int) "second pass finds nothing" 0 r2.Recovery.rootrefs_released;
+  ignore (Shm.scan_leaking arena);
+  check_clean arena "double recovery"
+
+let test_recovery_restartable () =
+  (* Crash the recovery service itself mid-way, then restart it. *)
+  let arena, a, _b = setup () in
+  let parent = Shm.cxl_malloc a ~size_bytes:8 ~emb_cnt:2 () in
+  let c1 = Shm.cxl_malloc a ~size_bytes:8 () in
+  let c2 = Shm.cxl_malloc a ~size_bytes:8 () in
+  Cxl_ref.set_emb parent 0 c1;
+  Cxl_ref.set_emb parent 1 c2;
+  Cxl_ref.drop c1;
+  Cxl_ref.drop c2;
+  Client.declare_failed (Shm.service_ctx arena) ~cid:a.Ctx.cid;
+  let svc = Shm.service_ctx arena in
+  let crashed = ref 0 in
+  (* Keep crashing the service at successive points until it completes. *)
+  let rec attempt n =
+    if n > 200 then Alcotest.fail "recovery never completed";
+    svc.Ctx.fault <- Fault.nth_point ~seed:0 ~n;
+    match Recovery.resume_interrupted svc with
+    | exception Fault.Crashed _ ->
+        incr crashed;
+        svc.Ctx.fault <- Fault.none;
+        attempt (n + 1)
+    | Some _ -> ()
+    | None -> (
+        match Recovery.recover svc ~failed_cid:a.Ctx.cid with
+        | _ -> ()
+        | exception Fault.Crashed _ ->
+            incr crashed;
+            svc.Ctx.fault <- Fault.none;
+            attempt (n + 1))
+  in
+  attempt 1;
+  svc.Ctx.fault <- Fault.none;
+  Alcotest.(check bool) "service did crash at least once" true (!crashed > 0);
+  ignore (Shm.scan_leaking arena);
+  let v = Shm.validate arena in
+  Alcotest.(check int) "everything reclaimed" 0 v.Validate.live_objects;
+  check_clean arena "restartable recovery"
+
+let test_segments_released_after_recovery () =
+  let arena, a, _b = setup () in
+  let before = Shm.free_segments arena in
+  let _ = List.init 30 (fun _ -> Shm.cxl_malloc a ~size_bytes:64 ()) in
+  Alcotest.(check bool) "segments consumed" true (Shm.free_segments arena < before);
+  Client.declare_failed (Shm.service_ctx arena) ~cid:a.Ctx.cid;
+  ignore (Shm.recover arena ~failed_cid:a.Ctx.cid);
+  ignore (Shm.scan_leaking arena);
+  Alcotest.(check int) "all segments back" before (Shm.free_segments arena)
+
+let test_slot_reuse_after_recovery () =
+  let arena, a, b = setup () in
+  let cid = a.Ctx.cid in
+  let _ = List.init 5 (fun _ -> Shm.cxl_malloc a ~size_bytes:16 ()) in
+  Client.declare_failed (Shm.service_ctx arena) ~cid;
+  ignore (Shm.recover arena ~failed_cid:cid);
+  (* The slot must be reusable, and eras must stay monotone so Condition 2
+     can never confuse the new incarnation with the old one. *)
+  let a2 = Shm.join arena ~cid () in
+  Alcotest.(check bool) "era continues, not reset" true
+    (Era.self a2 > Era.initial);
+  let r = Shm.cxl_malloc a2 ~size_bytes:16 () in
+  (* Cross-client txn still behaves. *)
+  let rrb = Alloc.alloc_rootref b in
+  Refc.attach b ~ref_addr:(Rootref.pptr_slot rrb) ~refed:(Cxl_ref.obj r);
+  Reclaim.release_rootref b rrb;
+  Cxl_ref.drop r;
+  ignore (Shm.scan_leaking arena);
+  check_clean arena "slot reuse"
+
+let suite =
+  [
+    Alcotest.test_case "reap simple" `Quick test_reap_simple;
+    Alcotest.test_case "reap preserves shared" `Quick test_reap_preserves_shared;
+    Alcotest.test_case "resume attach after CAS" `Quick test_resume_attach_after_cas;
+    Alcotest.test_case "uncommitted not redone" `Quick test_resume_not_committed;
+    Alcotest.test_case "resume change mid-way" `Quick test_resume_change_mid;
+    Alcotest.test_case "alloc crash windows" `Quick test_alloc_crash_windows;
+    Alcotest.test_case "sender crash mid-send" `Quick test_sender_crash_mid_send;
+    Alcotest.test_case "receiver crash windows" `Quick test_receiver_crash_windows;
+    Alcotest.test_case "recovery idempotent" `Quick test_recovery_is_idempotent;
+    Alcotest.test_case "recovery restartable" `Quick test_recovery_restartable;
+    Alcotest.test_case "segments released" `Quick test_segments_released_after_recovery;
+    Alcotest.test_case "slot reuse after recovery" `Quick test_slot_reuse_after_recovery;
+  ]

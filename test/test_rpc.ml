@@ -1,0 +1,150 @@
+(* CXL-RPC and the RDMA baseline: serialization, zero-copy calls,
+   concurrency, failure of a client mid-call. *)
+
+open Cxlshm
+open Cxlshm_rpc
+
+let mid_cfg =
+  { Config.small with Config.num_segments = 16; pages_per_segment = 8 }
+
+let test_serialize_roundtrip () =
+  let e =
+    { Serialize.func = 42; args = [ Bytes.of_string "alpha"; Bytes.of_string "" ] }
+  in
+  let d = Serialize.decode (Serialize.encode e) in
+  Alcotest.(check int) "func" 42 d.Serialize.func;
+  Alcotest.(check (list string)) "args" [ "alpha"; "" ]
+    (List.map Bytes.to_string d.Serialize.args)
+
+let prop_serialize_roundtrip =
+  QCheck.Test.make ~name:"serialize roundtrip" ~count:200
+    QCheck.(pair (int_bound 10_000) (list (string_of_size Gen.(0 -- 64))))
+    (fun (func, args) ->
+      let e = { Serialize.func; args = List.map Bytes.of_string args } in
+      let d = Serialize.decode (Serialize.encode e) in
+      d.Serialize.func = func
+      && List.map Bytes.to_string d.Serialize.args = args)
+
+let test_rdma_rpc () =
+  let cl, sv = Rdma_rpc.pair () in
+  let stop = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        Rdma_rpc.serve_loop sv ~stop ~handler:(fun ~func ~args ->
+            match args with
+            | [ a ] ->
+                Bytes.of_string
+                  (Printf.sprintf "f%d:%s" func (Bytes.to_string a))
+            | _ -> Bytes.of_string "bad"))
+  in
+  let r = Rdma_rpc.call cl ~func:7 ~args:[ Bytes.of_string "ping" ] in
+  Alcotest.(check string) "reply" "f7:ping" (Bytes.to_string r);
+  Alcotest.(check bool) "client clock advanced" true
+    (Rdma_rpc.client_modeled_ns cl >= Rdma_sim.message_latency_ns);
+  Atomic.set stop true;
+  Domain.join server
+
+let test_cxl_rpc_inline () =
+  (* Client and server driven from one thread — deterministic. *)
+  let arena = Shm.create ~cfg:mid_cfg () in
+  let c = Shm.join arena () in
+  let s = Shm.join arena () in
+  let server = Cxl_rpc.accept s ~client_cid:c.Ctx.cid ~capacity:8 in
+  let client = Cxl_rpc.connect c ~server_cid:s.Ctx.cid ~capacity:8 in
+  let arg = Shm.cxl_malloc c ~size_bytes:32 () in
+  Cxl_ref.write_bytes arg (Bytes.of_string "zero copy!");
+  let p = Cxl_rpc.call_async client ~func:5 ~args:[ arg ] ~output_bytes:32 in
+  Alcotest.(check bool) "not done before serve" false (Cxl_rpc.is_done p);
+  let served =
+    Cxl_rpc.serve_one server ~handler:(fun ~func ~args ~output ->
+        Alcotest.(check int) "func" 5 func;
+        match args with
+        | [ a ] ->
+            let payload = Message.read_bytes a ~len:10 in
+            Message.write_bytes output
+              (Bytes.of_string (String.uppercase_ascii (Bytes.to_string payload)))
+        | _ -> Alcotest.fail "one arg expected")
+  in
+  Alcotest.(check bool) "served" true served;
+  Alcotest.(check bool) "done after serve" true (Cxl_rpc.is_done p);
+  let out = Cxl_rpc.finish p in
+  Alcotest.(check string) "in-place result" "ZERO COPY!"
+    (Bytes.to_string (Cxl_ref.read_bytes out ~len:10));
+  Cxl_ref.drop arg;
+  Cxl_ref.drop out;
+  Cxl_rpc.close_client client;
+  Cxl_rpc.close_server server;
+  let v = Shm.validate arena in
+  Alcotest.(check bool) ("clean: " ^ String.concat ";" v.Validate.errors) true
+    (Validate.is_clean v);
+  Alcotest.(check int) "nothing left" 0 v.Validate.live_objects
+
+let test_cxl_rpc_parallel () =
+  let arena = Shm.create ~cfg:mid_cfg () in
+  let c = Shm.join arena () in
+  let stop = Atomic.make false in
+  let server_cid = Atomic.make (-1) in
+  let server =
+    Domain.spawn (fun () ->
+        let s = Shm.join arena () in
+        Atomic.set server_cid s.Ctx.cid;
+        let srv = Cxl_rpc.accept s ~client_cid:c.Ctx.cid ~capacity:8 in
+        Cxl_rpc.serve_until srv ~stop ~handler:(fun ~func ~args ~output ->
+            match args with
+            | [ a ] ->
+                Message.write_word output 0 (func + Message.read_word a 0)
+            | _ -> failwith "bad");
+        Cxl_rpc.close_server srv)
+  in
+  let rec wait_cid () =
+    let v = Atomic.get server_cid in
+    if v < 0 then (Domain.cpu_relax (); wait_cid ()) else v
+  in
+  let client = Cxl_rpc.connect c ~server_cid:(wait_cid ()) ~capacity:8 in
+  for i = 1 to 100 do
+    let arg = Shm.cxl_malloc c ~size_bytes:8 () in
+    Cxl_ref.write_word arg 0 (i * 10);
+    let out = Cxl_rpc.call client ~func:3 ~args:[ arg ] ~output_bytes:8 in
+    Alcotest.(check int)
+      (Printf.sprintf "call %d" i)
+      ((i * 10) + 3)
+      (Cxl_ref.read_word out 0);
+    Cxl_ref.drop arg;
+    Cxl_ref.drop out
+  done;
+  Atomic.set stop true;
+  Domain.join server;
+  Cxl_rpc.close_client client
+
+let test_client_dies_mid_call () =
+  (* Client fires a request then dies; recovery must reap the in-flight
+     message, its argument and the output object. *)
+  let arena = Shm.create ~cfg:mid_cfg () in
+  let c = Shm.join arena () in
+  let s = Shm.join arena () in
+  let _server = Cxl_rpc.accept s ~client_cid:c.Ctx.cid ~capacity:8 in
+  let client = Cxl_rpc.connect c ~server_cid:s.Ctx.cid ~capacity:8 in
+  let arg = Shm.cxl_malloc c ~size_bytes:16 () in
+  let _p = Cxl_rpc.call_async client ~func:1 ~args:[ arg ] ~output_bytes:16 in
+  (* c crashes before the server touches the queue. *)
+  let svc = Shm.service_ctx arena in
+  Client.declare_failed svc ~cid:c.Ctx.cid;
+  ignore (Recovery.recover svc ~failed_cid:c.Ctx.cid);
+  (* server also exits *)
+  Client.declare_failed svc ~cid:s.Ctx.cid;
+  ignore (Recovery.recover svc ~failed_cid:s.Ctx.cid);
+  ignore (Shm.scan_leaking arena);
+  let v = Shm.validate arena in
+  Alcotest.(check bool) ("clean: " ^ String.concat ";" v.Validate.errors) true
+    (Validate.is_clean v);
+  Alcotest.(check int) "everything reaped" 0 v.Validate.live_objects
+
+let suite =
+  [
+    Alcotest.test_case "serialize roundtrip" `Quick test_serialize_roundtrip;
+    QCheck_alcotest.to_alcotest prop_serialize_roundtrip;
+    Alcotest.test_case "rdma rpc" `Quick test_rdma_rpc;
+    Alcotest.test_case "cxl rpc inline" `Quick test_cxl_rpc_inline;
+    Alcotest.test_case "cxl rpc parallel" `Quick test_cxl_rpc_parallel;
+    Alcotest.test_case "client dies mid-call" `Quick test_client_dies_mid_call;
+  ]

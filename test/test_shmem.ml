@@ -1,0 +1,178 @@
+(* Unit + property tests for the shared-memory substrate. *)
+
+open Cxlshm_shmem
+
+let st () = Stats.create ()
+
+let test_word_roundtrip () =
+  let f = Word.field ~shift:10 ~bits:8 in
+  let w = Word.set f 0 255 in
+  Alcotest.(check int) "get back" 255 (Word.get f w);
+  let g = Word.field ~shift:0 ~bits:10 in
+  let w = Word.set g w 1023 in
+  Alcotest.(check int) "field f intact" 255 (Word.get f w);
+  Alcotest.(check int) "field g" 1023 (Word.get g w)
+
+let test_word_bounds () =
+  Alcotest.check_raises "overflow rejected"
+    (Invalid_argument "Word.set: value 256 does not fit in 8 bits") (fun () ->
+      ignore (Word.set (Word.field ~shift:0 ~bits:8) 0 256));
+  Alcotest.check_raises "field too wide"
+    (Invalid_argument "Word.field: shift=60 bits=8 exceeds 62 usable bits")
+    (fun () -> ignore (Word.field ~shift:60 ~bits:8))
+
+let test_mem_basic () =
+  let m = Mem.create ~words:64 () in
+  let s = st () in
+  Mem.store m ~st:s 3 42;
+  Alcotest.(check int) "load back" 42 (Mem.load m ~st:s 3);
+  Alcotest.(check bool) "cas ok" true
+    (Mem.cas m ~st:s 3 ~expected:42 ~desired:7);
+  Alcotest.(check bool) "cas stale" false
+    (Mem.cas m ~st:s 3 ~expected:42 ~desired:9);
+  Alcotest.(check int) "after cas" 7 (Mem.load m ~st:s 3)
+
+let test_mem_bounds () =
+  let m = Mem.create ~words:8 () in
+  let s = st () in
+  (try
+     ignore (Mem.load m ~st:s 8);
+     Alcotest.fail "expected Wild_pointer"
+   with Mem.Wild_pointer { addr; words } ->
+     Alcotest.(check int) "addr" 8 addr;
+     Alcotest.(check int) "words" 8 words);
+  (try
+     ignore (Mem.store m ~st:s (-1) 0);
+     Alcotest.fail "expected Wild_pointer"
+   with Mem.Wild_pointer _ -> ())
+
+let test_mem_bytes_roundtrip () =
+  let m = Mem.create ~words:64 () in
+  let s = st () in
+  let payload = Bytes.of_string "hello, CXL shared memory!" in
+  Mem.write_bytes m ~st:s 5 payload;
+  let back = Mem.read_bytes m ~st:s 5 ~len:(Bytes.length payload) in
+  Alcotest.(check string) "roundtrip" (Bytes.to_string payload)
+    (Bytes.to_string back)
+
+let test_fetch_add () =
+  let m = Mem.create ~words:8 () in
+  let s = st () in
+  Alcotest.(check int) "prev 0" 0 (Mem.fetch_add m ~st:s 0 5);
+  Alcotest.(check int) "prev 5" 5 (Mem.fetch_add m ~st:s 0 2);
+  Alcotest.(check int) "now 7" 7 (Mem.load m ~st:s 0)
+
+let test_stats_counting () =
+  let m = Mem.create ~words:64 () in
+  let s = st () in
+  ignore (Mem.load m ~st:s 0);
+  (* line 0: prefetch-adjacent to the initial state -> seq *)
+  ignore (Mem.load m ~st:s 1);
+  (* same line -> seq (streaming) *)
+  ignore (Mem.load m ~st:s 32);
+  (* line 4: non-adjacent cold line -> rand *)
+  ignore (Mem.load m ~st:s 3);
+  (* back to line 0: non-adjacent but cached -> hit *)
+  ignore (Mem.cas m ~st:s 5 ~expected:0 ~desired:1);
+  (* line 0 is cached, so this is a local (hit) CAS *)
+  ignore (Mem.cas m ~st:s 48 ~expected:0 ~desired:1);
+  (* line 6 is cold: a coherence round trip *)
+  Mem.fence m ~st:s;
+  Mem.flush m ~st:s 0;
+  Alcotest.(check int) "seq" 2 s.Stats.seq_accesses;
+  Alcotest.(check int) "hit" 1 s.Stats.cache_hits;
+  Alcotest.(check int) "rand" 1 s.Stats.rand_accesses;
+  Alcotest.(check int) "cas cold" 1 s.Stats.cas_ops;
+  Alcotest.(check int) "cas hit" 1 s.Stats.cas_hit_ops;
+  Alcotest.(check int) "fence" 1 s.Stats.fences;
+  Alcotest.(check int) "flush" 1 s.Stats.flushes
+
+let test_cache_filter () =
+  let s = st () in
+  Alcotest.(check bool) "first touch misses" false (Cxlshm_shmem.Stats.note_line s 7);
+  Alcotest.(check bool) "second touch hits" true (Cxlshm_shmem.Stats.note_line s 7);
+  (* conflict: same direct-mapped slot *)
+  Alcotest.(check bool) "conflicting line evicts" false
+    (Cxlshm_shmem.Stats.note_line s (7 + Cxlshm_shmem.Stats.cache_lines));
+  Alcotest.(check bool) "original line evicted" false
+    (Cxlshm_shmem.Stats.note_line s 7)
+
+let test_latency_table1 () =
+  (* The model must reproduce Table 1's ordering and magnitudes. *)
+  let seq_l, rand_l, cas_l = Latency.table1_mops Latency.Local_numa in
+  let seq_c, rand_c, cas_c = Latency.table1_mops Latency.Cxl in
+  Alcotest.(check bool) "seq local > cxl" true (seq_l > seq_c);
+  Alcotest.(check bool) "rand local > cxl" true (rand_l > rand_c);
+  Alcotest.(check (float 0.1)) "cas flat" cas_l cas_c;
+  Alcotest.(check (float 1.0)) "local latency" 110.0
+    (Latency.table1_latency_ns Latency.Local_numa);
+  Alcotest.(check (float 1.0)) "cxl latency" 390.0
+    (Latency.table1_latency_ns Latency.Cxl)
+
+let test_modeled_time_monotone () =
+  let s = st () in
+  s.Stats.rand_accesses <- 100;
+  let local = Stats.modeled_ns (Latency.of_tier Latency.Local_numa) s in
+  let cxl = Stats.modeled_ns (Latency.of_tier Latency.Cxl) s in
+  Alcotest.(check bool) "cxl slower" true (cxl > local)
+
+(* Property: byte payloads of arbitrary content round-trip. *)
+let prop_bytes_roundtrip =
+  QCheck.Test.make ~name:"mem bytes roundtrip" ~count:200
+    QCheck.(string_of_size Gen.(0 -- 100))
+    (fun payload ->
+      let m = Mem.create ~words:64 () in
+      let s = st () in
+      let b = Bytes.of_string payload in
+      Mem.write_bytes m ~st:s 2 b;
+      Bytes.to_string (Mem.read_bytes m ~st:s 2 ~len:(Bytes.length b))
+      = payload)
+
+(* Property: packing fields never bleeds between them. *)
+let prop_word_fields_independent =
+  QCheck.Test.make ~name:"word fields independent" ~count:500
+    QCheck.(triple (int_bound 1023) (int_bound 0xFFFF) (int_bound 0xFF))
+    (fun (a, b, c) ->
+      let fa = Word.field ~shift:0 ~bits:10 in
+      let fb = Word.field ~shift:10 ~bits:16 in
+      let fc = Word.field ~shift:26 ~bits:8 in
+      let w = Word.set fc (Word.set fb (Word.set fa 0 a) b) c in
+      Word.get fa w = a && Word.get fb w = b && Word.get fc w = c && w >= 0)
+
+(* Property: concurrent CAS from two domains never loses an increment. *)
+let prop_cas_atomic_across_domains =
+  QCheck.Test.make ~name:"cas atomic across domains" ~count:5
+    QCheck.(int_range 100 1000)
+    (fun n ->
+      let m = Mem.create ~words:8 () in
+      let bump () =
+        let s = st () in
+        for _ = 1 to n do
+          let rec loop () =
+            let v = Mem.load m ~st:s 0 in
+            if not (Mem.cas m ~st:s 0 ~expected:v ~desired:(v + 1)) then loop ()
+          in
+          loop ()
+        done
+      in
+      let d1 = Domain.spawn bump and d2 = Domain.spawn bump in
+      Domain.join d1;
+      Domain.join d2;
+      Mem.load m ~st:(st ()) 0 = 2 * n)
+
+let suite =
+  [
+    Alcotest.test_case "word roundtrip" `Quick test_word_roundtrip;
+    Alcotest.test_case "word bounds" `Quick test_word_bounds;
+    Alcotest.test_case "mem basic" `Quick test_mem_basic;
+    Alcotest.test_case "mem bounds" `Quick test_mem_bounds;
+    Alcotest.test_case "mem bytes roundtrip" `Quick test_mem_bytes_roundtrip;
+    Alcotest.test_case "fetch_add" `Quick test_fetch_add;
+    Alcotest.test_case "stats counting" `Quick test_stats_counting;
+    Alcotest.test_case "cache filter" `Quick test_cache_filter;
+    Alcotest.test_case "latency table1" `Quick test_latency_table1;
+    Alcotest.test_case "modeled time monotone" `Quick test_modeled_time_monotone;
+    QCheck_alcotest.to_alcotest prop_bytes_roundtrip;
+    QCheck_alcotest.to_alcotest prop_word_fields_independent;
+    QCheck_alcotest.to_alcotest prop_cas_atomic_across_domains;
+  ]

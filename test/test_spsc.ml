@@ -1,0 +1,91 @@
+(* SPSC ring: FIFO order, capacity, cross-domain safety. *)
+
+open Cxlshm_shmem
+module Spsc = Cxlshm_spsc.Spsc_queue
+
+let test_fifo () =
+  let mem = Mem.create ~words:64 () in
+  let st = Stats.create () in
+  let q = Spsc.create mem ~st ~base:8 ~capacity:4 in
+  Alcotest.(check bool) "push 1" true (Spsc.try_push q ~st 10);
+  Alcotest.(check bool) "push 2" true (Spsc.try_push q ~st 20);
+  Alcotest.(check (option int)) "pop 1" (Some 10) (Spsc.try_pop q ~st);
+  Alcotest.(check bool) "push 3" true (Spsc.try_push q ~st 30);
+  Alcotest.(check (option int)) "pop 2" (Some 20) (Spsc.try_pop q ~st);
+  Alcotest.(check (option int)) "pop 3" (Some 30) (Spsc.try_pop q ~st);
+  Alcotest.(check (option int)) "empty" None (Spsc.try_pop q ~st)
+
+let test_capacity () =
+  let mem = Mem.create ~words:64 () in
+  let st = Stats.create () in
+  let q = Spsc.create mem ~st ~base:8 ~capacity:2 in
+  Alcotest.(check bool) "1" true (Spsc.try_push q ~st 1);
+  Alcotest.(check bool) "2" true (Spsc.try_push q ~st 2);
+  Alcotest.(check bool) "full" false (Spsc.try_push q ~st 3);
+  ignore (Spsc.try_pop q ~st);
+  Alcotest.(check bool) "room again" true (Spsc.try_push q ~st 3)
+
+let test_attach () =
+  let mem = Mem.create ~words:64 () in
+  let st = Stats.create () in
+  let _q = Spsc.create mem ~st ~base:8 ~capacity:4 in
+  let q2 = Spsc.attach mem ~st ~base:8 in
+  Alcotest.(check int) "capacity via attach" 4 (Spsc.capacity q2);
+  Alcotest.check_raises "attach elsewhere fails"
+    (Invalid_argument "Spsc_queue.attach: no queue at this address") (fun () ->
+      ignore (Spsc.attach mem ~st ~base:32))
+
+let test_cross_domain () =
+  let mem = Mem.create ~words:128 () in
+  let st0 = Stats.create () in
+  let q = Spsc.create mem ~st:st0 ~base:8 ~capacity:8 in
+  let n = 50_000 in
+  let producer =
+    Domain.spawn (fun () ->
+        let st = Stats.create () in
+        let q = Spsc.attach mem ~st ~base:8 in
+        for i = 1 to n do
+          Spsc.push q ~st i
+        done)
+  in
+  let sum = ref 0 in
+  let st = Stats.create () in
+  for _ = 1 to n do
+    sum := !sum + Spsc.pop q ~st
+  done;
+  Domain.join producer;
+  Alcotest.(check int) "all values, in total" (n * (n + 1) / 2) !sum
+
+(* Property: any push/pop interleaving from one thread behaves like a
+   FIFO. *)
+let prop_fifo_model =
+  QCheck.Test.make ~name:"spsc matches queue model" ~count:200
+    QCheck.(list (pair bool (int_bound 1000)))
+    (fun ops ->
+      let mem = Mem.create ~words:128 () in
+      let st = Stats.create () in
+      let q = Spsc.create mem ~st ~base:8 ~capacity:8 in
+      let model = Queue.create () in
+      List.for_all
+        (fun (is_push, v) ->
+          if is_push then begin
+            let ok = Spsc.try_push q ~st v in
+            let model_ok = Queue.length model < 8 in
+            if model_ok then Queue.push v model;
+            ok = model_ok
+          end
+          else
+            match (Spsc.try_pop q ~st, Queue.take_opt model) with
+            | Some a, Some b -> a = b
+            | None, None -> true
+            | Some _, None | None, Some _ -> false)
+        ops)
+
+let suite =
+  [
+    Alcotest.test_case "fifo" `Quick test_fifo;
+    Alcotest.test_case "capacity" `Quick test_capacity;
+    Alcotest.test_case "attach" `Quick test_attach;
+    Alcotest.test_case "cross-domain" `Quick test_cross_domain;
+    QCheck_alcotest.to_alcotest prop_fifo_model;
+  ]

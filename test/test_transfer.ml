@@ -1,0 +1,194 @@
+(* Reference-transfer queues (§5.2): capacity, ordering, closing, cleanup,
+   directory behaviour. *)
+
+open Cxlshm
+
+let setup () =
+  let arena = Shm.create ~cfg:Config.small () in
+  (arena, Shm.join arena (), Shm.join arena ())
+
+let mk ctx v =
+  let r = Shm.cxl_malloc ctx ~size_bytes:8 () in
+  Cxl_ref.write_word r 0 v;
+  r
+
+let test_fifo_order () =
+  let arena, a, b = setup () in
+  let q = Transfer.connect a ~receiver:b.Ctx.cid ~capacity:8 in
+  let sent = List.init 5 (fun i -> mk a (100 + i)) in
+  List.iter (fun r -> assert (Transfer.send q r = Transfer.Sent)) sent;
+  List.iter Cxl_ref.drop sent;
+  let qb = Option.get (Transfer.open_from b ~sender:a.Ctx.cid) in
+  List.iteri
+    (fun i _ ->
+      match Transfer.receive qb with
+      | Transfer.Received r ->
+          Alcotest.(check int) (Printf.sprintf "msg %d" i) (100 + i)
+            (Cxl_ref.read_word r 0);
+          Cxl_ref.drop r
+      | Transfer.Empty | Transfer.Drained -> Alcotest.fail "expected message")
+    sent;
+  Transfer.close q;
+  Transfer.close qb;
+  ignore (Shm.scan_leaking arena);
+  Alcotest.(check bool) "clean" true (Validate.is_clean (Shm.validate arena))
+
+let test_pending_count () =
+  let _, a, b = setup () in
+  let q = Transfer.connect a ~receiver:b.Ctx.cid ~capacity:4 in
+  Alcotest.(check int) "empty" 0 (Transfer.pending q);
+  let r = mk a 1 in
+  ignore (Transfer.send q r);
+  ignore (Transfer.send q r);
+  Alcotest.(check int) "two pending" 2 (Transfer.pending q);
+  let qb = Option.get (Transfer.open_from b ~sender:a.Ctx.cid) in
+  (match Transfer.receive qb with Transfer.Received x -> Cxl_ref.drop x | _ -> ());
+  Alcotest.(check int) "one after receive" 1 (Transfer.pending qb);
+  Cxl_ref.drop r
+
+let test_capacity_full () =
+  let _, a, b = setup () in
+  let q = Transfer.connect a ~receiver:b.Ctx.cid ~capacity:2 in
+  let r = mk a 1 in
+  Alcotest.(check bool) "1" true (Transfer.send q r = Transfer.Sent);
+  Alcotest.(check bool) "2" true (Transfer.send q r = Transfer.Sent);
+  Alcotest.(check bool) "full" true (Transfer.send q r = Transfer.Full);
+  (* consuming makes room *)
+  let qb = Option.get (Transfer.open_from b ~sender:a.Ctx.cid) in
+  (match Transfer.receive qb with
+  | Transfer.Received x -> Cxl_ref.drop x
+  | _ -> Alcotest.fail "recv");
+  Alcotest.(check bool) "room again" true (Transfer.send q r = Transfer.Sent);
+  Cxl_ref.drop r
+
+let test_send_shares_not_moves () =
+  let _, a, b = setup () in
+  let q = Transfer.connect a ~receiver:b.Ctx.cid ~capacity:4 in
+  let r = mk a 7 in
+  assert (Transfer.send q r = Transfer.Sent);
+  (* the sender's handle is still usable after sending *)
+  Alcotest.(check int) "sender still reads" 7 (Cxl_ref.read_word r 0);
+  Alcotest.(check int) "count: rootref + queue slot" 2
+    (Refc.ref_cnt a (Cxl_ref.obj r));
+  Cxl_ref.drop r
+
+let test_receiver_sees_sender_close () =
+  let _, a, b = setup () in
+  let q = Transfer.connect a ~receiver:b.Ctx.cid ~capacity:4 in
+  let r = mk a 9 in
+  assert (Transfer.send q r = Transfer.Sent);
+  Cxl_ref.drop r;
+  let qb = Option.get (Transfer.open_from b ~sender:a.Ctx.cid) in
+  Transfer.close q;
+  (* in-flight message still delivered, then Drained *)
+  (match Transfer.receive qb with
+  | Transfer.Received x -> Cxl_ref.drop x
+  | _ -> Alcotest.fail "in-flight message lost");
+  (match Transfer.receive qb with
+  | Transfer.Drained -> ()
+  | _ -> Alcotest.fail "expected Drained");
+  Transfer.close qb
+
+let test_sender_sees_receiver_close () =
+  let _, a, b = setup () in
+  let q = Transfer.connect a ~receiver:b.Ctx.cid ~capacity:4 in
+  let qb = Option.get (Transfer.open_from b ~sender:a.Ctx.cid) in
+  Transfer.close qb;
+  let r = mk a 3 in
+  Alcotest.(check bool) "closed" true (Transfer.send q r = Transfer.Closed);
+  Cxl_ref.drop r;
+  Transfer.close q
+
+let test_both_close_frees_everything () =
+  let arena, a, b = setup () in
+  let q = Transfer.connect a ~receiver:b.Ctx.cid ~capacity:4 in
+  (* leave an unconsumed message in the ring *)
+  let r = mk a 4 in
+  assert (Transfer.send q r = Transfer.Sent);
+  Cxl_ref.drop r;
+  let qb = Option.get (Transfer.open_from b ~sender:a.Ctx.cid) in
+  Transfer.close q;
+  Transfer.close qb;
+  ignore (Shm.scan_leaking arena);
+  let v = Shm.validate arena in
+  Alcotest.(check int) "ring message reclaimed with the queue" 0
+    v.Validate.live_objects;
+  Alcotest.(check bool) "clean" true (Validate.is_clean v)
+
+let test_multiple_queues_between_pairs () =
+  let arena, a, b = setup () in
+  let c = Shm.join arena () in
+  let qab = Transfer.connect a ~receiver:b.Ctx.cid ~capacity:4 in
+  let qac = Transfer.connect a ~receiver:c.Ctx.cid ~capacity:4 in
+  let qba = Transfer.connect b ~receiver:a.Ctx.cid ~capacity:4 in
+  let rb = mk a 1 and rc = mk a 2 and ra = mk b 3 in
+  assert (Transfer.send qab rb = Transfer.Sent);
+  assert (Transfer.send qac rc = Transfer.Sent);
+  assert (Transfer.send qba ra = Transfer.Sent);
+  let qb = Option.get (Transfer.open_from b ~sender:a.Ctx.cid) in
+  let qc = Option.get (Transfer.open_from c ~sender:a.Ctx.cid) in
+  let qa = Option.get (Transfer.open_from a ~sender:b.Ctx.cid) in
+  let recv q =
+    match Transfer.receive q with
+    | Transfer.Received r ->
+        let v = Cxl_ref.read_word r 0 in
+        Cxl_ref.drop r;
+        v
+    | _ -> Alcotest.fail "recv"
+  in
+  Alcotest.(check int) "a->b" 1 (recv qb);
+  Alcotest.(check int) "a->c" 2 (recv qc);
+  Alcotest.(check int) "b->a" 3 (recv qa);
+  List.iter Cxl_ref.drop [ rb; rc; ra ];
+  List.iter Transfer.close [ qab; qac; qba; qb; qc; qa ];
+  ignore (Shm.scan_leaking arena);
+  Alcotest.(check bool) "clean" true (Validate.is_clean (Shm.validate arena))
+
+let test_directory_exhaustion () =
+  let cfg = { Config.small with Config.queue_slots = 2 } in
+  let arena = Shm.create ~cfg () in
+  let a = Shm.join arena () in
+  let b = Shm.join arena () in
+  let q1 = Transfer.connect a ~receiver:b.Ctx.cid ~capacity:2 in
+  let q2 = Transfer.connect a ~receiver:b.Ctx.cid ~capacity:2 in
+  Alcotest.check_raises "directory full"
+    (Failure "Transfer.connect: queue directory full") (fun () ->
+      ignore (Transfer.connect a ~receiver:b.Ctx.cid ~capacity:2));
+  (* closing a pair frees the slot for reuse *)
+  let qb1 = Option.get (Transfer.open_from b ~sender:a.Ctx.cid) in
+  Transfer.close q1;
+  Transfer.close qb1;
+  let q3 = Transfer.connect a ~receiver:b.Ctx.cid ~capacity:2 in
+  Transfer.close q2;
+  Transfer.close q3
+
+let test_wraparound () =
+  let _, a, b = setup () in
+  let q = Transfer.connect a ~receiver:b.Ctx.cid ~capacity:3 in
+  let qb = ref None in
+  for round = 1 to 20 do
+    let r = mk a round in
+    assert (Transfer.send q r = Transfer.Sent);
+    Cxl_ref.drop r;
+    if !qb = None then qb := Transfer.open_from b ~sender:a.Ctx.cid;
+    match Transfer.receive (Option.get !qb) with
+    | Transfer.Received x ->
+        Alcotest.(check int) (Printf.sprintf "round %d" round) round
+          (Cxl_ref.read_word x 0);
+        Cxl_ref.drop x
+    | _ -> Alcotest.fail "recv"
+  done
+
+let suite =
+  [
+    Alcotest.test_case "fifo order" `Quick test_fifo_order;
+    Alcotest.test_case "pending count" `Quick test_pending_count;
+    Alcotest.test_case "capacity / Full" `Quick test_capacity_full;
+    Alcotest.test_case "send shares (not moves)" `Quick test_send_shares_not_moves;
+    Alcotest.test_case "receiver sees sender close" `Quick test_receiver_sees_sender_close;
+    Alcotest.test_case "sender sees receiver close" `Quick test_sender_sees_receiver_close;
+    Alcotest.test_case "both close frees all" `Quick test_both_close_frees_everything;
+    Alcotest.test_case "multiple queues" `Quick test_multiple_queues_between_pairs;
+    Alcotest.test_case "directory exhaustion" `Quick test_directory_exhaustion;
+    Alcotest.test_case "ring wraparound" `Quick test_wraparound;
+  ]
