@@ -1398,6 +1398,90 @@ let bechamel_suite () =
   Cxl_ref.drop child
 
 (* ------------------------------------------------------------------ *)
+(* Backends: flat vs striped multi-device pools                        *)
+(* ------------------------------------------------------------------ *)
+
+(* One client runs an alloc/write/drop loop on each backend. The single-
+   device variants measure the dispatch overhead of the backend seam (their
+   modeled clocks must agree); the 4-device variants contrast placement on a
+   pool with one DRAM-class device among CXL expanders: the first joiner's
+   home device (cid 0 -> device 0) is the near device in one case and a far
+   one in the other, with the difference carried by the xdev counters.
+   Results also land in BENCH_backends.json for machines to read. *)
+let bench_backends () =
+  let striped devices tiers = Mem.Striped { devices; stripe_words = 0; tiers } in
+  let cases =
+    [
+      ("flat", Latency.Cxl, Mem.Flat);
+      ("striped-1dev", Latency.Cxl, striped 1 [||]);
+      ("striped-4dev-uniform", Latency.Cxl, striped 4 [||]);
+      ( "striped-4dev-near-home",
+        Latency.Local_numa,
+        striped 4 [| Latency.Local_numa; Latency.Cxl; Latency.Cxl; Latency.Cxl |]
+      );
+      ( "striped-4dev-far-home",
+        Latency.Local_numa,
+        striped 4 [| Latency.Cxl; Latency.Local_numa; Latency.Cxl; Latency.Cxl |]
+      );
+      ("counting-fast", Latency.Cxl, Mem.Counting_fast);
+    ]
+  in
+  let rounds = quick 30_000 6_000 in
+  let run_case (label, tier, backend) =
+    let cfg = { (cxl_shm_cfg 1) with Config.tier; backend } in
+    let arena = Shm.create ~cfg () in
+    let a = Shm.join arena () in
+    let before = Stats.copy a.Ctx.st in
+    let (), wall_ns =
+      Runner.time_wall (fun () ->
+          let held = Array.make 64 None in
+          for i = 0 to rounds - 1 do
+            let slot = i mod 64 in
+            (match held.(slot) with Some r -> Cxl_ref.drop r | None -> ());
+            let r = Shm.cxl_malloc a ~size_bytes:64 () in
+            Cxl_ref.write_word r 0 i;
+            held.(slot) <- Some r
+          done;
+          Array.iter (function Some r -> Cxl_ref.drop r | None -> ()) held)
+    in
+    let d = Stats.diff a.Ctx.st before in
+    let modeled_ns = Stats.modeled_ns (Latency.of_tier tier) d in
+    let name = Mem.backend_name (Shm.mem arena) in
+    Shm.leave a;
+    (label, name, wall_ns, modeled_ns, d.Stats.xdev_accesses, d.Stats.xdev_ns)
+  in
+  let rows = List.map run_case cases in
+  Printf.printf "single client, %d alloc/write/drop rounds\n" rounds;
+  Printf.printf "%-24s %-14s %10s %12s %14s\n" "case" "backend" "Mops(wall)"
+    "ns/op(model)" "xdev";
+  List.iter
+    (fun (label, name, wall_ns, modeled_ns, xa, xns) ->
+      Printf.printf "%-24s %-14s %10.2f %12.1f %8d %+.0fns\n" label name
+        (float_of_int rounds /. (wall_ns /. 1e3))
+        (modeled_ns /. float_of_int rounds)
+        xa xns)
+    rows;
+  let oc = open_out "BENCH_backends.json" in
+  Printf.fprintf oc "{\n  \"experiment\": \"backends\",\n  \"rounds\": %d,\n  \"results\": [\n"
+    rounds;
+  List.iteri
+    (fun i (label, name, wall_ns, modeled_ns, xa, xns) ->
+      Printf.fprintf oc
+        "    {\"case\": %S, \"backend\": %S, \"ops\": %d, \"wall_ns\": %.0f, \
+         \"ops_per_sec\": %.0f, \"modeled_ns\": %.1f, \"modeled_ns_per_op\": \
+         %.2f, \"xdev_accesses\": %d, \"xdev_ns\": %.1f}%s\n"
+        label name rounds wall_ns
+        (float_of_int rounds /. (wall_ns /. 1e9))
+        modeled_ns
+        (modeled_ns /. float_of_int rounds)
+        xa xns
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_backends.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1421,6 +1505,7 @@ let experiments =
     ("repartition", bench_repartition);
     ("structures", bench_structures);
     ("ycsb-presets", bench_ycsb_presets);
+    ("backends", bench_backends);
   ]
 
 let () =

@@ -9,13 +9,14 @@
 open Cxlshm
 open Cmdliner
 
-let geometry segments pages page_words clients =
+let geometry segments pages page_words clients backend =
   {
     Config.default with
     Config.num_segments = segments;
     pages_per_segment = pages;
     page_words;
     max_clients = clients;
+    backend;
   }
 
 let seg_arg =
@@ -30,10 +31,60 @@ let pw_arg =
 let clients_arg =
   Arg.(value & opt int 16 & info [ "clients" ] ~doc:"Maximum clients (M).")
 
+(* ---- memory backend selection ---- *)
+
+let backend_kind_arg =
+  Arg.(
+    value
+    & opt (enum [ ("flat", `Flat); ("striped", `Striped); ("counting", `Counting) ]) `Flat
+    & info [ "backend" ]
+        ~doc:
+          "Memory backend: $(b,flat) (one device), $(b,striped) (sharded \
+           multi-device pool) or $(b,counting) (fast non-atomic, \
+           single-domain only).")
+
+let devices_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "devices" ] ~doc:"Devices in the striped pool.")
+
+let stripe_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "stripe-words" ]
+        ~doc:"Stripe granularity in words (0 = one segment per stripe).")
+
+let tier_enum =
+  [
+    ("local", Cxlshm_shmem.Latency.Local_numa);
+    ("remote", Cxlshm_shmem.Latency.Remote_numa);
+    ("cxl", Cxlshm_shmem.Latency.Cxl);
+  ]
+
+let tiers_arg =
+  Arg.(
+    value
+    & opt (list (enum tier_enum)) []
+    & info [ "device-tiers" ]
+        ~doc:
+          "Comma-separated per-device tiers (local|remote|cxl), one per \
+           device; empty = every device at the pool tier.")
+
+let backend_spec kind devices stripe tiers =
+  match kind with
+  | `Flat -> Cxlshm_shmem.Mem.Flat
+  | `Counting -> Cxlshm_shmem.Mem.Counting_fast
+  | `Striped ->
+      Cxlshm_shmem.Mem.Striped
+        { devices; stripe_words = stripe; tiers = Array.of_list tiers }
+
+let backend_term =
+  Term.(const backend_spec $ backend_kind_arg $ devices_arg $ stripe_arg $ tiers_arg)
+
 (* ---- stats ---- *)
 
-let stats segments pages page_words clients =
-  let cfg = geometry segments pages page_words clients in
+let stats segments pages page_words clients backend =
+  let cfg = geometry segments pages page_words clients backend in
   let lay = Layout.make cfg in
   Printf.printf "arena geometry\n";
   Printf.printf "  total words        %d (%d MiB simulated)\n"
@@ -50,17 +101,36 @@ let stats segments pages page_words clients =
   Printf.printf "  era matrix         %dx%d\n" cfg.Config.max_clients
     cfg.Config.max_clients;
   Printf.printf "  queue directory    %d slots\n" cfg.Config.queue_slots;
+  let arena = Shm.create ~cfg () in
+  let mem = Shm.mem arena in
+  let module Mem = Cxlshm_shmem.Mem in
+  Printf.printf "  backend            %s\n" (Mem.backend_name mem);
+  let ndev = Mem.num_devices mem in
+  if ndev > 1 then begin
+    (* how segments land on devices under the resolved stripe granularity *)
+    let per_dev = Array.make ndev 0 in
+    for s = 0 to cfg.Config.num_segments - 1 do
+      let d = Mem.device_of mem (Layout.segment_base lay s) in
+      per_dev.(d) <- per_dev.(d) + 1
+    done;
+    Array.iteri
+      (fun d n ->
+        Printf.printf "  device %-2d          %-6s %d segments\n" d
+          (Cxlshm_shmem.Latency.tier_name (Mem.device_tier mem d))
+          n)
+      per_dev
+  end;
   0
 
 let stats_cmd =
   Cmd.v
     (Cmd.info "stats" ~doc:"Print the arena layout for a configuration.")
-    Term.(const stats $ seg_arg $ pages_arg $ pw_arg $ clients_arg)
+    Term.(const stats $ seg_arg $ pages_arg $ pw_arg $ clients_arg $ backend_term)
 
 (* ---- demo ---- *)
 
-let demo objects =
-  let arena = Shm.create () in
+let demo objects backend =
+  let arena = Shm.create ~cfg:{ Config.default with Config.backend } () in
   let a = Shm.join arena () in
   let b = Shm.join arena () in
   Printf.printf "joined clients %d and %d\n" a.Ctx.cid b.Ctx.cid;
@@ -101,12 +171,13 @@ let demo_cmd =
     (Cmd.info "demo" ~doc:"Allocate/share/crash/recover walk-through.")
     Term.(
       const demo
-      $ Arg.(value & opt int 100 & info [ "objects" ] ~doc:"Objects to pass."))
+      $ Arg.(value & opt int 100 & info [ "objects" ] ~doc:"Objects to pass.")
+      $ backend_term)
 
 (* ---- drill ---- *)
 
-let drill_one point =
-  let arena = Shm.create ~cfg:Config.small () in
+let drill_one backend point =
+  let arena = Shm.create ~cfg:{ Config.small with Config.backend } () in
   let a = Shm.join arena () in
   a.Ctx.fault <- Fault.at point ~nth:1;
   (try
@@ -126,7 +197,7 @@ let drill_one point =
     (if Validate.is_clean v then "clean" else "VIOLATION");
   Validate.is_clean v
 
-let drill point_name =
+let drill point_name backend =
   let points =
     match point_name with
     | None -> Fault.all_points
@@ -139,7 +210,7 @@ let drill point_name =
             Printf.eprintf "unknown crash point %s\n" n;
             exit 2)
   in
-  if List.for_all drill_one points then 0 else 1
+  if List.for_all (drill_one backend) points then 0 else 1
 
 let drill_cmd =
   Cmd.v
@@ -149,12 +220,13 @@ let drill_cmd =
       $ Arg.(
           value
           & opt (some string) None
-          & info [ "point" ] ~doc:"Single crash point name."))
+          & info [ "point" ] ~doc:"Single crash point name.")
+      $ backend_term)
 
 (* ---- validate ---- *)
 
-let validate_run seed steps =
-  let arena = Shm.create ~cfg:Config.small () in
+let validate_run seed steps backend =
+  let arena = Shm.create ~cfg:{ Config.small with Config.backend } () in
   let a = Shm.join arena () in
   let rng = Random.State.make [| seed |] in
   let held = ref [] in
@@ -185,12 +257,13 @@ let validate_cmd =
     Term.(
       const validate_run
       $ Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
-      $ Arg.(value & opt int 1000 & info [ "steps" ] ~doc:"Workload steps."))
+      $ Arg.(value & opt int 1000 & info [ "steps" ] ~doc:"Workload steps.")
+      $ backend_term)
 
 (* ---- dump ---- *)
 
-let dump seed steps =
-  let arena = Shm.create ~cfg:Config.small () in
+let dump seed steps backend =
+  let arena = Shm.create ~cfg:{ Config.small with Config.backend } () in
   let a = Shm.join arena () in
   let b = Shm.join arena () in
   let rng = Random.State.make [| seed |] in
@@ -216,7 +289,8 @@ let dump_cmd =
     Term.(
       const dump
       $ Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
-      $ Arg.(value & opt int 200 & info [ "steps" ] ~doc:"Workload steps."))
+      $ Arg.(value & opt int 200 & info [ "steps" ] ~doc:"Workload steps.")
+      $ backend_term)
 
 let () =
   let info = Cmd.info "cxlshm" ~doc:"CXL-SHM simulated-arena driver." in

@@ -22,20 +22,38 @@ let set_current_page ctx idx gid = Ctx.store ctx (head_slot ctx idx) (gid + 1)
 (* Slow path: segments and pages                                       *)
 (* ------------------------------------------------------------------ *)
 
+let segment_device (ctx : Ctx.t) s =
+  Cxlshm_shmem.Mem.device_of ctx.Ctx.mem (Layout.segment_base ctx.Ctx.lay s)
+
 let claim_any_segment (ctx : Ctx.t) =
   let n = (Ctx.cfg ctx).Config.num_segments in
   (* Randomised start index spreads concurrent claimers apart. *)
   let start = Random.State.int ctx.rng n in
-  let rec try_from k adopting =
-    if k >= n then
-      if adopting then None
-      else try_from 0 true (* second pass: adopt orphans *)
-    else
-      let s = (start + k) mod n in
-      let ok = if adopting then Segment.adopt ctx s else Segment.claim ctx s in
-      if ok then Some s else try_from (k + 1) adopting
+  (* On a multi-device pool, prefer fresh segments served by the client's
+     home device before spilling to remote devices; adopting orphans stays
+     the last resort on every topology. *)
+  let passes =
+    if Cxlshm_shmem.Mem.num_devices ctx.Ctx.mem > 1 then
+      [ `Home; `Any; `Adopt ]
+    else [ `Any; `Adopt ]
   in
-  match try_from 0 false with
+  let try_pass pass =
+    let rec go k =
+      if k >= n then None
+      else
+        let s = (start + k) mod n in
+        let ok =
+          match pass with
+          | `Home ->
+              segment_device ctx s = ctx.Ctx.home_dev && Segment.claim ctx s
+          | `Any -> Segment.claim ctx s
+          | `Adopt -> Segment.adopt ctx s
+        in
+        if ok then Some s else go (k + 1)
+    in
+    go 0
+  in
+  match List.find_map try_pass passes with
   | Some s ->
       Ctx.crash_point ctx Fault.Slowpath_after_segment_claim;
       Ctx.store ctx (Layout.client_cur_segment ctx.lay ctx.cid) (s + 1);

@@ -51,3 +51,8 @@ val huge_span : Ctx.t -> head_seg:int -> int
 
 val obj_page : Ctx.t -> Cxlshm_shmem.Pptr.t -> int
 (** Global page id of the page containing an object. *)
+
+val segment_device : Ctx.t -> int -> int
+(** Pool device serving a segment (the device of its base word) — the
+    segment→device map SegmentAllocationVec claims use to prefer the
+    client's home device before spilling. *)

@@ -6,6 +6,7 @@ type t = {
   queue_slots : int;
   worklist_words : int;
   tier : Cxlshm_shmem.Latency.tier;
+  backend : Cxlshm_shmem.Mem.backend_spec;
   eadr : bool;
 }
 
@@ -18,6 +19,7 @@ let default =
     queue_slots = 64;
     worklist_words = 1024;
     tier = Cxlshm_shmem.Latency.Cxl;
+    backend = Cxlshm_shmem.Mem.Flat;
     eadr = false;
   }
 
@@ -30,6 +32,7 @@ let small =
     queue_slots = 16;
     worklist_words = 128;
     tier = Cxlshm_shmem.Latency.Cxl;
+    backend = Cxlshm_shmem.Mem.Flat;
     eadr = false;
   }
 
@@ -47,7 +50,20 @@ let validate t =
   if t.page_words land (t.page_words - 1) <> 0 then
     fail "page_words must be a power of two";
   if t.queue_slots < 1 then fail "queue_slots must be positive";
-  if t.worklist_words < 16 then fail "worklist_words must be >= 16"
+  if t.worklist_words < 16 then fail "worklist_words must be >= 16";
+  match t.backend with
+  | Cxlshm_shmem.Mem.Flat | Cxlshm_shmem.Mem.Counting_fast -> ()
+  | Cxlshm_shmem.Mem.Striped { devices; stripe_words; tiers } ->
+      if devices < 1 || devices > 1024 then
+        fail "backend devices must be in [1, 1024]";
+      if stripe_words < 0 then fail "stripe_words must be >= 0";
+      if Array.length tiers <> 0 && Array.length tiers <> devices then
+        fail "device tiers must be empty or one per device"
+
+let num_devices t =
+  match t.backend with
+  | Cxlshm_shmem.Mem.Striped { devices; _ } -> devices
+  | Cxlshm_shmem.Mem.Flat | Cxlshm_shmem.Mem.Counting_fast -> 1
 
 let num_classes t =
   let rec count n sz =

@@ -14,6 +14,13 @@ type t = {
   queue_slots : int;  (** transfer-queue directory capacity (§5.2) *)
   worklist_words : int;  (** persistent recovery worklist capacity *)
   tier : Cxlshm_shmem.Latency.tier;
+  backend : Cxlshm_shmem.Mem.backend_spec;
+      (** Memory backend for the pool (see {!Cxlshm_shmem.Mem.backend_spec}):
+          the seed's flat single-device array, a striped multi-device pool,
+          or the fast non-atomic test backend. For [Striped],
+          [stripe_words = 0] means "one segment per stripe" — {!Shm.create}
+          resolves it to the layout's segment size so stripes are
+          segment-granular. *)
   eadr : bool;
       (** CXL 3.0 / eADR-style platform: caches are flushed by hardware on
           failure, so the fast path's RootRef CLWB is unnecessary (§6.1:
@@ -29,6 +36,9 @@ val small : t
 
 val validate : t -> unit
 (** Raises [Invalid_argument] on nonsensical geometry. *)
+
+val num_devices : t -> int
+(** Devices in the configured pool (1 for [Flat]/[Counting_fast]). *)
 
 (** {1 Size classes}
 

@@ -5,6 +5,7 @@ type t = {
   mem : Mem.t;
   lay : Layout.t;
   cid : int;
+  home_dev : int;
   st : Stats.t;
   mutable fault : Fault.plan;
   rng : Random.State.t;
@@ -17,6 +18,7 @@ let make ~mem ~lay ~cid =
     mem;
     lay;
     cid;
+    home_dev = cid mod Mem.num_devices mem;
     st = Stats.create ();
     fault = Fault.none;
     rng = Random.State.make [| 0x5eed; cid |];

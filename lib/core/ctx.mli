@@ -9,6 +9,9 @@ type t = {
   mem : Cxlshm_shmem.Mem.t;
   lay : Layout.t;
   cid : int;
+  home_dev : int;
+      (** The client's home device in the pool ([cid mod num_devices]) —
+          segment claims prefer segments served by it before spilling. *)
   st : Cxlshm_shmem.Stats.t;
   mutable fault : Fault.plan;
   rng : Random.State.t;  (** client-local randomness (segment probing) *)

@@ -3,9 +3,22 @@ module Stats = Cxlshm_shmem.Stats
 
 type arena = { mem : Mem.t; lay : Layout.t; service : Ctx.t }
 
+(* Resolve the configured backend against the layout: a striped pool with
+   stripe_words = 0 stripes at segment granularity, so whole segments map to
+   one device and the home-device claim preference is meaningful. *)
+let backend_of cfg lay =
+  match cfg.Config.backend with
+  | Mem.Striped s when s.stripe_words = 0 ->
+      Mem.Striped { s with stripe_words = lay.Layout.segment_words }
+  | b -> b
+
+let mem_of cfg lay =
+  Mem.create ~tier:cfg.Config.tier ~backend:(backend_of cfg lay)
+    ~words:lay.Layout.total_words ()
+
 let create ?(cfg = Config.default) () =
   let lay = Layout.make cfg in
-  let mem = Mem.create ~tier:cfg.Config.tier ~words:lay.Layout.total_words () in
+  let mem = mem_of cfg lay in
   let service = Ctx.make ~mem ~lay ~cid:0 in
   (* Format the arena header; everything else starts zeroed. *)
   Mem.unsafe_poke mem (Layout.hdr_magic lay) Layout.magic;
@@ -13,6 +26,7 @@ let create ?(cfg = Config.default) () =
   { mem; lay; service }
 
 let mem t = t.mem
+let num_devices t = Mem.num_devices t.mem
 let layout t = t.lay
 let config t = t.lay.Layout.cfg
 let service_ctx t = t.service
@@ -64,7 +78,7 @@ let load ?cfg path =
   let lay = Layout.make cfg in
   if Array.length words <> lay.Layout.total_words then
     invalid_arg "Shm.load: image does not match the configuration";
-  let mem = Mem.create ~tier:cfg.Config.tier ~words:lay.Layout.total_words () in
+  let mem = mem_of cfg lay in
   Mem.restore mem words;
   if Mem.unsafe_peek mem (Layout.hdr_magic lay) <> Layout.magic then
     invalid_arg "Shm.load: not a CXL-SHM pool image";

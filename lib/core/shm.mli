@@ -17,6 +17,9 @@ val create : ?cfg:Config.t -> unit -> arena
 (** Build and format a fresh shared arena (the mmap'd CXL device). *)
 
 val mem : arena -> Cxlshm_shmem.Mem.t
+val num_devices : arena -> int
+(** Devices in the pool behind this arena (1 on the flat backend). *)
+
 val layout : arena -> Layout.t
 val config : arena -> Config.t
 

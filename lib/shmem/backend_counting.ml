@@ -1,0 +1,57 @@
+(* Non-atomic single-domain backend: a plain int array plus an exact count
+   of raw word operations. No Atomic boxes means no per-word indirection and
+   no memory-model traffic, so deterministic unit tests and single-threaded
+   benches run fast; the op counter gives tests an exact, repeatable measure
+   of how many words an algorithm touched.
+
+   NOT safe across domains — concurrent suites must use Backend_flat or
+   Backend_striped. *)
+
+type t = { cells : int array; tier : Latency.tier; mutable ops : int }
+
+let create ?(tier = Latency.Cxl) ~words () =
+  { cells = Array.make words 0; tier; ops = 0 }
+
+let ops t = t.ops
+let name _ = "counting-fast"
+let words t = Array.length t.cells
+let num_devices _ = 1
+let device_of _ _ = 0
+let device_tier t _ = t.tier
+
+let load t p =
+  t.ops <- t.ops + 1;
+  t.cells.(p)
+
+let store t p v =
+  t.ops <- t.ops + 1;
+  t.cells.(p) <- v
+
+let cas t p ~expected ~desired =
+  t.ops <- t.ops + 1;
+  if t.cells.(p) = expected then begin
+    t.cells.(p) <- desired;
+    true
+  end
+  else false
+
+let fetch_add t p n =
+  t.ops <- t.ops + 1;
+  let v = t.cells.(p) in
+  t.cells.(p) <- v + n;
+  v
+
+let fence _ = ()
+let flush _ _ = ()
+
+let fill t ~pos ~len v =
+  t.ops <- t.ops + len;
+  Array.fill t.cells pos len v
+
+let blit t ~src ~dst ~len =
+  t.ops <- t.ops + (2 * len);
+  (* Array.blit already has memmove semantics for overlapping ranges. *)
+  Array.blit t.cells src t.cells dst len
+
+let snapshot t = Array.copy t.cells
+let restore t ws = Array.blit ws 0 t.cells 0 (Array.length ws)

@@ -1,91 +1,200 @@
 exception Wild_pointer of { addr : int; words : int }
 
+type backend_spec =
+  | Flat
+  | Striped of { devices : int; stripe_words : int; tiers : Latency.tier array }
+  | Counting_fast
+
 type t = {
-  cells : int Atomic.t array;
+  b : Mem_intf.packed;
+  words : int;
   tier : Latency.tier;
   model : Latency.t;
+  dev_tiers : Latency.tier array;
+  dev_models : Latency.t array;
+  off_tier : bool array; (* device tier <> base tier *)
+  multi : bool; (* any off-tier device: per-access device pricing needed *)
+  counting : Backend_counting.t option;
 }
 
 let words_per_line = 8 (* 64-byte cache line / 8-byte words *)
 
-let create ?(tier = Latency.Cxl) ~words () =
+let pack (type a) (module B : Mem_intf.S with type t = a) (v : a) =
+  Mem_intf.Packed ((module B), v)
+
+let create ?(tier = Latency.Cxl) ?(backend = Flat) ~words () =
   if words <= 0 then invalid_arg "Mem.create: words must be positive";
+  let b, dev_tiers, counting =
+    match backend with
+    | Flat ->
+        ( pack (module Backend_flat) (Backend_flat.create ~tier ~words ()),
+          [| tier |],
+          None )
+    | Striped { devices; stripe_words; tiers } ->
+        let tiers =
+          if Array.length tiers = 0 then None else Some tiers
+        in
+        let s =
+          Backend_striped.create ~tier ~devices ~stripe_words ?tiers ~words ()
+        in
+        ( pack (module Backend_striped) s,
+          Array.init devices (Backend_striped.device_tier s),
+          None )
+    | Counting_fast ->
+        let c = Backend_counting.create ~tier ~words () in
+        (pack (module Backend_counting) c, [| tier |], Some c)
+  in
+  let off_tier = Array.map (fun dt -> dt <> tier) dev_tiers in
   {
-    cells = Array.init words (fun _ -> Atomic.make 0);
+    b;
+    words;
     tier;
     model = Latency.of_tier tier;
+    dev_tiers;
+    dev_models = Array.map Latency.of_tier dev_tiers;
+    off_tier;
+    multi = Array.exists Fun.id off_tier;
+    counting;
   }
 
-let words t = Array.length t.cells
+let words t = t.words
 let tier t = t.tier
 let cost_model t = t.model
-let in_bounds t p = p >= 0 && p < Array.length t.cells
+let in_bounds t p = p >= 0 && p < t.words
 
 let check t p =
-  if not (in_bounds t p) then
-    raise (Wild_pointer { addr = p; words = Array.length t.cells })
+  if not (in_bounds t p) then raise (Wild_pointer { addr = p; words = t.words })
+
+(* Backend dispatch shorthands. *)
+let b_load t p =
+  let (Mem_intf.Packed ((module B), bk)) = t.b in
+  B.load bk p
+
+let b_store t p v =
+  let (Mem_intf.Packed ((module B), bk)) = t.b in
+  B.store bk p v
+
+let b_cas t p ~expected ~desired =
+  let (Mem_intf.Packed ((module B), bk)) = t.b in
+  B.cas bk p ~expected ~desired
+
+let b_fetch_add t p n =
+  let (Mem_intf.Packed ((module B), bk)) = t.b in
+  B.fetch_add bk p n
+
+let b_device_of t p =
+  let (Mem_intf.Packed ((module B), bk)) = t.b in
+  B.device_of bk p
+
+let backend_name t =
+  let (Mem_intf.Packed ((module B), bk)) = t.b in
+  B.name bk
+
+let num_devices t =
+  let (Mem_intf.Packed ((module B), bk)) = t.b in
+  B.num_devices bk
+
+let device_of t p =
+  check t p;
+  b_device_of t p
+
+let device_tier t d =
+  if d < 0 || d >= Array.length t.dev_tiers then
+    invalid_arg "Mem.device_tier: device out of range";
+  t.dev_tiers.(d)
+
+let op_count t = Option.map Backend_counting.ops t.counting
+
+(* Re-price an access that landed on a device of a different tier than the
+   pool's base model: accumulate the per-kind cost delta so modeled_ns
+   charges the access at its device's tier. CPU-cache hits and hit-CAS stay
+   at base cost — the cache sits in front of the link, whichever device the
+   line came from. *)
+let charge t (st : Stats.t) p kind =
+  if t.multi then begin
+    let d = b_device_of t p in
+    if t.off_tier.(d) then begin
+      let dm = t.dev_models.(d) and m = t.model in
+      let delta =
+        match kind with
+        | `Seq -> dm.Latency.seq_ns -. m.Latency.seq_ns
+        | `Rand -> dm.Latency.rand_ns -. m.Latency.rand_ns
+        | `Cas -> dm.Latency.cas_ns -. m.Latency.cas_ns
+        | `Flush -> dm.Latency.flush_ns -. m.Latency.flush_ns
+      in
+      st.xdev_accesses <- st.xdev_accesses + 1;
+      st.xdev_ns <- st.xdev_ns +. delta
+    end
+  end
 
 (* Classify the access: CPU-cache hit (CXL memory is cacheable, so a
    recently-touched line costs an L1/L2 access), sequential (same or next
    line — the prefetcher hides stream crossings), or a random link round
    trip — mirroring Table 1's seq/rand split. *)
-let count_access (st : Stats.t) p =
+let count_access t (st : Stats.t) p =
   let line = p / words_per_line in
   let cached = Stats.note_line st line in
-  (if line = st.last_line || line = st.last_line + 1 then
+  (if line = st.last_line || line = st.last_line + 1 then begin
      (* streaming: same or next line — L1-resident or prefetched *)
-     st.seq_accesses <- st.seq_accesses + 1
+     st.seq_accesses <- st.seq_accesses + 1;
+     charge t st p `Seq
+   end
    else if cached then st.cache_hits <- st.cache_hits + 1
-   else st.rand_accesses <- st.rand_accesses + 1);
+   else begin
+     st.rand_accesses <- st.rand_accesses + 1;
+     charge t st p `Rand
+   end);
   st.last_line <- line
 
 let load t ~st:(st : Stats.t) p =
   check t p;
-  count_access st p;
-  Atomic.get t.cells.(p)
+  count_access t st p;
+  b_load t p
 
 let store t ~st:(st : Stats.t) p v =
   check t p;
-  count_access st p;
-  Atomic.set t.cells.(p) v
+  count_access t st p;
+  b_store t p v
 
-let cas t ~st:(st : Stats.t) p ~expected ~desired =
-  check t p;
+let count_cas t (st : Stats.t) p =
   (* a CAS on a line this client already caches is a local atomic; a cold
      or stolen line pays the coherence round trip *)
   if Stats.note_line st (p / words_per_line) then
     st.cas_hit_ops <- st.cas_hit_ops + 1
-  else st.cas_ops <- st.cas_ops + 1;
-  st.last_line <- p / words_per_line;
-  let ok = Atomic.compare_and_set t.cells.(p) expected desired in
+  else begin
+    st.cas_ops <- st.cas_ops + 1;
+    charge t st p `Cas
+  end;
+  st.last_line <- p / words_per_line
+
+let cas t ~st:(st : Stats.t) p ~expected ~desired =
+  check t p;
+  count_cas t st p;
+  let ok = b_cas t p ~expected ~desired in
   if not ok then st.cas_failures <- st.cas_failures + 1;
   ok
 
 let fetch_add t ~st:(st : Stats.t) p n =
   check t p;
-  if Stats.note_line st (p / words_per_line) then
-    st.cas_hit_ops <- st.cas_hit_ops + 1
-  else st.cas_ops <- st.cas_ops + 1;
-  st.last_line <- p / words_per_line;
-  Atomic.fetch_and_add t.cells.(p) n
+  count_cas t st p;
+  b_fetch_add t p n
 
-let fence _t ~st:(st : Stats.t) =
-  st.fences <- st.fences + 1
+let fence _t ~st:(st : Stats.t) = st.fences <- st.fences + 1
 
 let flush t ~st:(st : Stats.t) p =
   check t p;
-  st.flushes <- st.flushes + 1
+  st.flushes <- st.flushes + 1;
+  charge t st p `Flush
 
 let fill t ~st:(st : Stats.t) p ~len v =
   if len < 0 then invalid_arg "Mem.fill: negative length";
   check t p;
   if len > 0 then check t (p + len - 1);
   for i = p to p + len - 1 do
-    count_access st i;
-    Atomic.set t.cells.(i) v
+    count_access t st i;
+    b_store t i v
   done
 
-let load_bytes_word n = (n + 6) / 7
 let bytes_words n = (n + 6) / 7
 
 (* 7 payload bytes per 63-bit word keeps every stored word non-negative,
@@ -104,8 +213,8 @@ let write_bytes t ~st:(st : Stats.t) p b =
       let byte = if idx < n then Char.code (Bytes.unsafe_get b idx) else 0 in
       acc := (!acc lsl 8) lor byte
     done;
-    count_access st (p + w);
-    Atomic.set t.cells.(p + w) !acc
+    count_access t st (p + w);
+    b_store t (p + w) !acc
   done
 
 let read_bytes t ~st:(st : Stats.t) p ~len =
@@ -117,8 +226,8 @@ let read_bytes t ~st:(st : Stats.t) p ~len =
   end;
   let b = Bytes.create len in
   for w = 0 to nwords - 1 do
-    count_access st (p + w);
-    let v = Atomic.get t.cells.(p + w) in
+    count_access t st (p + w);
+    let v = b_load t (p + w) in
     for k = 0 to 6 do
       let idx = (w * 7) + k in
       if idx < len then
@@ -135,24 +244,36 @@ let blit t ~st ~src ~dst ~len =
     check t dst;
     check t (dst + len - 1)
   end;
-  for i = 0 to len - 1 do
-    count_access st (src + i);
-    let v = Atomic.get t.cells.(src + i) in
-    count_access st (dst + i);
-    Atomic.set t.cells.(dst + i) v
-  done
+  (* memmove: when the destination overlaps past the source a forward copy
+     would read already-overwritten words, so copy backward. *)
+  if src < dst && src + len > dst then
+    for i = len - 1 downto 0 do
+      count_access t st (src + i);
+      let v = b_load t (src + i) in
+      count_access t st (dst + i);
+      b_store t (dst + i) v
+    done
+  else
+    for i = 0 to len - 1 do
+      count_access t st (src + i);
+      let v = b_load t (src + i) in
+      count_access t st (dst + i);
+      b_store t (dst + i) v
+    done
 
 let unsafe_peek t p =
   check t p;
-  Atomic.get t.cells.(p)
+  b_load t p
 
 let unsafe_poke t p v =
   check t p;
-  Atomic.set t.cells.(p) v
+  b_store t p v
 
-let snapshot t = Array.map Atomic.get t.cells
+let snapshot t =
+  let (Mem_intf.Packed ((module B), bk)) = t.b in
+  B.snapshot bk
 
-let restore t words =
-  if Array.length words <> Array.length t.cells then
-    invalid_arg "Mem.restore: size mismatch";
-  Array.iteri (fun i v -> Atomic.set t.cells.(i) v) words
+let restore t ws =
+  if Array.length ws <> t.words then invalid_arg "Mem.restore: size mismatch";
+  let (Mem_intf.Packed ((module B), bk)) = t.b in
+  B.restore bk ws

@@ -1,25 +1,64 @@
 (** Simulated CXL-attached shared memory.
 
-    The arena is an array of 63-bit words, each an [Atomic.t], shared by all
-    OCaml domains of the process. This gives the exact primitive set the
-    paper requires of the underlying RDSM (§3): load, store, CAS, fence and
-    flush over a byte-addressable pool — with *real* atomicity and real
-    interleavings across domains, not a replayed trace.
+    The arena is a pool of 63-bit words addressed by global word offset and
+    served by a pluggable {e backend} (see {!Mem_intf.S}): a single flat
+    device, a sharded multi-device pool striped across N devices, or a fast
+    non-atomic single-domain array. Whatever the backend, the wrapper gives
+    the exact primitive set the paper requires of the underlying RDSM (§3):
+    load, store, CAS, fence and flush over a byte-addressable pool — with
+    *real* atomicity and real interleavings across domains on the atomic
+    backends, not a replayed trace.
 
     Every operation is attributed to a caller-supplied {!Stats.t} so modeled
-    time can be computed per client. Out-of-bounds accesses raise
-    {!Wild_pointer}: in the simulator a wild pointer is detected rather than
-    silently corrupting, which the correctness tests rely on. *)
+    time can be computed per client; on a multi-device pool, accesses that
+    land on a device of a different {!Latency.tier} than the pool's base
+    model are re-priced at their device's tier ({!Stats.t.xdev_ns}).
+    Out-of-bounds accesses raise {!Wild_pointer} on every backend: in the
+    simulator a wild pointer is detected rather than silently corrupting,
+    which the correctness tests rely on. *)
 
 exception Wild_pointer of { addr : int; words : int }
 
 type t
 
-val create : ?tier:Latency.tier -> words:int -> unit -> t
-(** Fresh zeroed arena of [words] 8-byte words. Default tier is [Cxl]. *)
+(** {1 Backends} *)
+
+type backend_spec =
+  | Flat  (** The seed backend: one flat atomic-word array (one device). *)
+  | Striped of { devices : int; stripe_words : int; tiers : Latency.tier array }
+      (** Multi-device pool (Fig 1): global addresses interleaved across
+          [devices] in stripes of [stripe_words] words. [tiers] gives each
+          device its own latency tier ([[||]] = every device at the pool's
+          base tier). Atomic across domains, like [Flat]. *)
+  | Counting_fast
+      (** Non-atomic plain-array backend with an exact op counter
+          ({!op_count}) — deterministic and fast, single-domain only. *)
+
+val create : ?tier:Latency.tier -> ?backend:backend_spec -> words:int -> unit -> t
+(** Fresh zeroed arena of [words] 8-byte words. Default tier is [Cxl];
+    default backend is [Flat], which is behavior-identical to the
+    pre-backend arena. *)
+
+val backend_name : t -> string
+val num_devices : t -> int
+
+val device_of : t -> Pptr.t -> int
+(** Device index in [\[0, num_devices)] serving a pool address — the
+    segment→device map allocation placement uses. Raises {!Wild_pointer}
+    out of bounds. *)
+
+val device_tier : t -> int -> Latency.tier
+(** Latency tier of one device. *)
+
+val op_count : t -> int option
+(** Exact number of raw word operations executed so far — [Counting_fast]
+    backend only ([None] otherwise). *)
 
 val words : t -> int
 val tier : t -> Latency.tier
+(** The pool's base tier: the cost model accesses are priced at unless their
+    device's tier differs. *)
+
 val cost_model : t -> Latency.t
 
 val words_per_line : int
@@ -49,18 +88,19 @@ val flush : t -> st:Stats.t -> Pptr.t -> unit
 (** {1 Bulk operations} *)
 
 val fill : t -> st:Stats.t -> Pptr.t -> len:int -> int -> unit
-val load_bytes_word : int -> int  (** words needed to store [n] bytes *)
 
 val write_bytes : t -> st:Stats.t -> Pptr.t -> bytes -> unit
 (** Pack a byte string into consecutive words (7 payload bytes per word, so
     every stored word stays non-negative). Use [read_bytes] to recover it. *)
 
 val read_bytes : t -> st:Stats.t -> Pptr.t -> len:int -> bytes
+
 val bytes_words : int -> int
 (** Words consumed by [write_bytes] for a payload of [n] bytes. *)
 
 val blit : t -> st:Stats.t -> src:Pptr.t -> dst:Pptr.t -> len:int -> unit
-(** Word-wise copy inside the arena. *)
+(** Word-wise copy inside the arena, with [memmove] semantics: overlapping
+    ranges copy correctly in either direction. *)
 
 (** {1 Validation / introspection (simulator-only, not part of the RDSM)} *)
 
@@ -70,7 +110,8 @@ val unsafe_peek : t -> Pptr.t -> int
 val unsafe_poke : t -> Pptr.t -> int -> unit
 
 val snapshot : t -> int array
-(** Copy of every word (quiesced use only) — the pool's durable image. *)
+(** Copy of every word in global address order (quiesced use only) — the
+    pool's durable image, portable across backends. *)
 
 val restore : t -> int array -> unit
 (** Overwrite the arena with a {!snapshot} of identical size. *)

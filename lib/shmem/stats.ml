@@ -7,6 +7,8 @@ type t = {
   mutable cas_failures : int;
   mutable fences : int;
   mutable flushes : int;
+  mutable xdev_accesses : int;
+  mutable xdev_ns : float;
   mutable last_line : int;
   cache_tags : int array;
 }
@@ -23,6 +25,8 @@ let create () =
     cas_failures = 0;
     fences = 0;
     flushes = 0;
+    xdev_accesses = 0;
+    xdev_ns = 0.0;
     last_line = -1;
     cache_tags = Array.make cache_lines (-1);
   }
@@ -42,6 +46,8 @@ let reset t =
   t.cas_failures <- 0;
   t.fences <- 0;
   t.flushes <- 0;
+  t.xdev_accesses <- 0;
+  t.xdev_ns <- 0.0;
   t.last_line <- -1;
   Array.fill t.cache_tags 0 cache_lines (-1)
 
@@ -55,6 +61,8 @@ let copy t =
     cas_failures = t.cas_failures;
     fences = t.fences;
     flushes = t.flushes;
+    xdev_accesses = t.xdev_accesses;
+    xdev_ns = t.xdev_ns;
     last_line = t.last_line;
     cache_tags = Array.copy t.cache_tags;
   }
@@ -67,7 +75,9 @@ let add acc s =
   acc.cas_hit_ops <- acc.cas_hit_ops + s.cas_hit_ops;
   acc.cas_failures <- acc.cas_failures + s.cas_failures;
   acc.fences <- acc.fences + s.fences;
-  acc.flushes <- acc.flushes + s.flushes
+  acc.flushes <- acc.flushes + s.flushes;
+  acc.xdev_accesses <- acc.xdev_accesses + s.xdev_accesses;
+  acc.xdev_ns <- acc.xdev_ns +. s.xdev_ns
 
 let diff after before =
   {
@@ -79,6 +89,8 @@ let diff after before =
     cas_failures = after.cas_failures - before.cas_failures;
     fences = after.fences - before.fences;
     flushes = after.flushes - before.flushes;
+    xdev_accesses = after.xdev_accesses - before.xdev_accesses;
+    xdev_ns = after.xdev_ns -. before.xdev_ns;
     last_line = after.last_line;
     cache_tags = Array.copy after.cache_tags;
   }
@@ -93,6 +105,7 @@ let breakdown_ns (m : Latency.t) t =
     +. (float_of_int t.rand_accesses *. m.rand_ns)
     +. (float_of_int t.cas_ops *. m.cas_ns)
     +. (float_of_int t.cas_hit_ops *. m.cas_hit_ns)
+    +. t.xdev_ns
   in
   let fence = float_of_int t.fences *. m.fence_ns in
   let flush = float_of_int t.flushes *. m.flush_ns in
@@ -104,6 +117,7 @@ let modeled_ns m t =
 
 let pp ppf t =
   Format.fprintf ppf
-    "hit=%d seq=%d rand=%d cas=%d+%dh(fail %d) fence=%d flush=%d" t.cache_hits
-    t.seq_accesses t.rand_accesses t.cas_ops t.cas_hit_ops t.cas_failures
-    t.fences t.flushes
+    "hit=%d seq=%d rand=%d cas=%d+%dh(fail %d) fence=%d flush=%d \
+     xdev=%d(%+.0fns)"
+    t.cache_hits t.seq_accesses t.rand_accesses t.cas_ops t.cas_hit_ops
+    t.cas_failures t.fences t.flushes t.xdev_accesses t.xdev_ns

@@ -15,6 +15,16 @@ type t = {
   mutable cas_failures : int;
   mutable fences : int;
   mutable flushes : int;
+  mutable xdev_accesses : int;
+      (** accesses that landed on a pool device whose tier differs from the
+          pool's base cost model — cross-device traffic in the Fig 1
+          multi-device topology. Each such access is {e also} counted in the
+          seq/rand/cas counters above; this field only annotates how many of
+          them were re-priced. *)
+  mutable xdev_ns : float;
+      (** summed pricing adjustment (device-tier cost minus base-tier cost)
+          for the [xdev_accesses]; {!modeled_ns} adds it so cross-device
+          accesses are charged at their device's tier. *)
   mutable last_line : int;  (** last cache line touched, for seq detection *)
   cache_tags : int array;
       (** direct-mapped recently-touched-line filter modelling the CPU

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "cxlshm"
     [
       ("shmem", Test_shmem.suite);
+      ("backends", Test_backends.suite);
       ("core-alloc", Test_core_alloc.suite);
       ("era", Test_era.suite);
       ("recovery", Test_recovery.suite);

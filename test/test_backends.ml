@@ -1,0 +1,186 @@
+(* Full-stack suites on the striped multi-device backend, plus cross-backend
+   equivalence: the backend seam must be invisible to allocation, transfer,
+   recovery and fault injection. *)
+
+open Cxlshm
+module Mem = Cxlshm_shmem.Mem
+module Latency = Cxlshm_shmem.Latency
+
+let striped_backend ?(tiers = [||]) devices =
+  (* stripe_words = 0: Shm.create resolves to segment-granular stripes *)
+  Mem.Striped { devices; stripe_words = 0; tiers }
+
+let striped_cfg = { Config.small with Config.backend = striped_backend 4 }
+
+let test_alloc_free_validate () =
+  let arena = Shm.create ~cfg:striped_cfg () in
+  Alcotest.(check int) "four devices" 4 (Shm.num_devices arena);
+  let a = Shm.join arena () in
+  let held =
+    List.init 40 (fun i ->
+        let r = Shm.cxl_malloc a ~size_bytes:(8 + (i mod 5 * 24)) () in
+        Cxl_ref.write_word r 0 (i * 7);
+        r)
+  in
+  List.iteri
+    (fun i r ->
+      Alcotest.(check int) (Printf.sprintf "payload %d" i) (i * 7)
+        (Cxl_ref.read_word r 0))
+    held;
+  (* huge path: too large for any size class of the small geometry *)
+  let huge = Shm.cxl_malloc_words a ~data_words:200 () in
+  Cxl_ref.write_word huge 150 99;
+  Alcotest.(check int) "huge payload" 99 (Cxl_ref.read_word huge 150);
+  Cxl_ref.drop huge;
+  List.iter Cxl_ref.drop held;
+  Shm.leave a;
+  let v = Shm.validate arena in
+  Alcotest.(check bool) "striped arena clean" true (Validate.is_clean v)
+
+let test_home_device_preference () =
+  let arena = Shm.create ~cfg:striped_cfg () in
+  let a = Shm.join arena () in
+  Alcotest.(check int) "home device" (a.Ctx.cid mod 4) a.Ctx.home_dev;
+  let r = Shm.cxl_malloc a ~size_bytes:32 () in
+  let owned = Segment.owned_by a ~cid:a.Ctx.cid in
+  Alcotest.(check bool) "claimed something" true (owned <> []);
+  List.iter
+    (fun s ->
+      Alcotest.(check int)
+        (Printf.sprintf "segment %d on home device" s)
+        a.Ctx.home_dev
+        (Alloc.segment_device a s))
+    owned;
+  Cxl_ref.drop r;
+  Shm.leave a
+
+let test_transfer_crash_recover () =
+  let arena = Shm.create ~cfg:striped_cfg () in
+  let a = Shm.join arena () in
+  let b = Shm.join arena () in
+  let q = Transfer.connect a ~receiver:b.Ctx.cid ~capacity:8 in
+  let qb = ref None in
+  let received = ref 0 in
+  for i = 1 to 30 do
+    let r = Shm.cxl_malloc a ~size_bytes:32 () in
+    Cxl_ref.write_word r 0 i;
+    (match Transfer.send q r with
+    | Transfer.Sent -> ()
+    | Transfer.Full | Transfer.Closed -> Alcotest.fail "send failed");
+    Cxl_ref.drop r;
+    if !qb = None then qb := Transfer.open_from b ~sender:a.Ctx.cid;
+    match !qb with
+    | Some queue -> (
+        match Transfer.receive queue with
+        | Transfer.Received rb ->
+            incr received;
+            Cxl_ref.drop rb
+        | Transfer.Empty | Transfer.Drained -> ())
+    | None -> ()
+  done;
+  Alcotest.(check bool) "received some" true (!received > 0);
+  (* client A dies with the queue open; recovery must repair the pool *)
+  Client.declare_failed (Shm.service_ctx arena) ~cid:a.Ctx.cid;
+  ignore (Shm.recover arena ~failed_cid:a.Ctx.cid);
+  (match !qb with Some queue -> Transfer.close queue | None -> ());
+  Shm.leave b;
+  ignore (Shm.scan_leaking arena);
+  let v = Shm.validate arena in
+  Alcotest.(check bool) "clean after crash+recover" true (Validate.is_clean v)
+
+let test_fault_drill_all_points () =
+  List.iter
+    (fun point ->
+      let arena = Shm.create ~cfg:striped_cfg () in
+      let a = Shm.join arena () in
+      a.Ctx.fault <- Fault.at point ~nth:1;
+      (try
+         let p = Shm.cxl_malloc a ~size_bytes:16 ~emb_cnt:1 () in
+         let c = Shm.cxl_malloc a ~size_bytes:16 () in
+         Cxl_ref.set_emb p 0 c;
+         Cxl_ref.clear_emb p 0;
+         Cxl_ref.drop c;
+         Cxl_ref.drop p
+       with Fault.Crashed _ -> ());
+      let svc = Shm.service_ctx arena in
+      Client.declare_failed svc ~cid:a.Ctx.cid;
+      ignore (Recovery.recover svc ~failed_cid:a.Ctx.cid);
+      ignore (Reclaim.scan_all svc ~is_client_alive:(fun _ -> false));
+      let v = Shm.validate arena in
+      Alcotest.(check bool)
+        (Printf.sprintf "clean after crash at %s" (Fault.point_name point))
+        true (Validate.is_clean v))
+    Fault.all_points
+
+(* The same scripted single-client workload must leave bit-identical pool
+   images on every single-device backend: Flat, one-device Striped and
+   Counting_fast are interchangeable transports. *)
+let scripted_image cfg =
+  let arena = Shm.create ~cfg () in
+  let a = Shm.join arena () in
+  let rng = Random.State.make [| 77 |] in
+  let held = ref [] in
+  for _ = 1 to 300 do
+    match Random.State.int rng 3 with
+    | 0 ->
+        held :=
+          Shm.cxl_malloc a ~size_bytes:(8 + Random.State.int rng 64) ()
+          :: !held
+    | 1 -> (
+        match !held with
+        | r :: rest ->
+            held := rest;
+            Cxl_ref.drop r
+        | [] -> ())
+    | _ -> (
+        match !held with
+        | r :: _ -> Cxl_ref.write_word r 0 (Random.State.int rng 1000)
+        | [] -> ())
+  done;
+  List.iter Cxl_ref.drop !held;
+  Mem.snapshot (Shm.mem arena)
+
+let test_single_device_backends_agree () =
+  let flat = scripted_image Config.small in
+  let striped1 =
+    scripted_image { Config.small with Config.backend = striped_backend 1 }
+  in
+  let counting =
+    scripted_image { Config.small with Config.backend = Mem.Counting_fast }
+  in
+  Alcotest.(check bool) "flat = striped-1" true (flat = striped1);
+  Alcotest.(check bool) "flat = counting-fast" true (flat = counting)
+
+let test_save_load_striped () =
+  let path = Filename.temp_file "cxlshm_striped" ".pool" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let arena = Shm.create ~cfg:striped_cfg () in
+      let a = Shm.join arena () in
+      let r = Shm.cxl_malloc a ~size_bytes:32 () in
+      Cxl_ref.write_word r 0 4242;
+      Shm.save arena path;
+      (* the image carries the backend spec: reload onto a striped pool *)
+      let arena2 = Shm.load path in
+      Alcotest.(check int) "backend survives the image" 4
+        (Shm.num_devices arena2);
+      let v = Shm.validate arena2 in
+      Alcotest.(check bool) "loaded pool clean" true (Validate.is_clean v);
+      Cxl_ref.drop r;
+      Shm.leave a)
+
+let suite =
+  [
+    Alcotest.test_case "striped alloc/free/validate" `Quick
+      test_alloc_free_validate;
+    Alcotest.test_case "home-device claim preference" `Quick
+      test_home_device_preference;
+    Alcotest.test_case "striped transfer+crash+recover" `Quick
+      test_transfer_crash_recover;
+    Alcotest.test_case "striped fault drill (all points)" `Quick
+      test_fault_drill_all_points;
+    Alcotest.test_case "single-device backends agree" `Quick
+      test_single_device_backends_agree;
+    Alcotest.test_case "striped save/load" `Quick test_save_load_striped;
+  ]

@@ -20,6 +20,7 @@ let gen_cfg =
         queue_slots;
         worklist_words;
         tier = Cxlshm_shmem.Latency.Cxl;
+        backend = Cxlshm_shmem.Mem.Flat;
         eadr = false;
       })
 

@@ -87,6 +87,57 @@ let test_stats_counting () =
   Alcotest.(check int) "fence" 1 s.Stats.fences;
   Alcotest.(check int) "flush" 1 s.Stats.flushes
 
+let test_blit_overlap () =
+  (* Regression: a forward word-by-word copy corrupts when src < dst and the
+     ranges overlap — blit must behave like memmove on every backend. *)
+  let backends =
+    [
+      ("flat", Mem.Flat);
+      ("striped", Mem.Striped { devices = 3; stripe_words = 5; tiers = [||] });
+      ("counting", Mem.Counting_fast);
+    ]
+  in
+  List.iter
+    (fun (name, backend) ->
+      let m = Mem.create ~backend ~words:64 () in
+      let s = st () in
+      for i = 0 to 7 do
+        Mem.store m ~st:s (10 + i) (100 + i)
+      done;
+      (* overlapping, src < dst: must copy backward *)
+      Mem.blit m ~st:s ~src:10 ~dst:14 ~len:8;
+      for i = 0 to 7 do
+        Alcotest.(check int)
+          (Printf.sprintf "%s fwd-overlap word %d" name i)
+          (100 + i)
+          (Mem.unsafe_peek m (14 + i))
+      done;
+      (* overlapping, src > dst: forward copy is correct *)
+      let m2 = Mem.create ~backend ~words:64 () in
+      for i = 0 to 7 do
+        Mem.store m2 ~st:s (20 + i) (200 + i)
+      done;
+      Mem.blit m2 ~st:s ~src:20 ~dst:17 ~len:8;
+      for i = 0 to 7 do
+        Alcotest.(check int)
+          (Printf.sprintf "%s bwd-overlap word %d" name i)
+          (200 + i)
+          (Mem.unsafe_peek m2 (17 + i))
+      done;
+      (* disjoint ranges still work *)
+      let m3 = Mem.create ~backend ~words:64 () in
+      for i = 0 to 3 do
+        Mem.store m3 ~st:s i (300 + i)
+      done;
+      Mem.blit m3 ~st:s ~src:0 ~dst:40 ~len:4;
+      for i = 0 to 3 do
+        Alcotest.(check int)
+          (Printf.sprintf "%s disjoint word %d" name i)
+          (300 + i)
+          (Mem.unsafe_peek m3 (40 + i))
+      done)
+    backends
+
 let test_cache_filter () =
   let s = st () in
   Alcotest.(check bool) "first touch misses" false (Cxlshm_shmem.Stats.note_line s 7);
@@ -115,6 +166,191 @@ let test_modeled_time_monotone () =
   let local = Stats.modeled_ns (Latency.of_tier Latency.Local_numa) s in
   let cxl = Stats.modeled_ns (Latency.of_tier Latency.Cxl) s in
   Alcotest.(check bool) "cxl slower" true (cxl > local)
+
+(* Exercise *every* Stats counter through real memory traffic, so the
+   round-trip checks below cover a counter the moment it exists. The striped
+   two-tier pool is what drives the xdev pair. *)
+let populated_stats () =
+  let m =
+    Mem.create ~tier:Latency.Local_numa
+      ~backend:
+        (Mem.Striped
+           {
+             devices = 2;
+             stripe_words = 8;
+             tiers = [| Latency.Local_numa; Latency.Cxl |];
+           })
+      ~words:256 ()
+  in
+  let s = st () in
+  ignore (Mem.load m ~st:s 0) (* seq *);
+  ignore (Mem.load m ~st:s 1) (* seq *);
+  ignore (Mem.load m ~st:s 32) (* rand *);
+  ignore (Mem.load m ~st:s 3) (* hit *);
+  ignore (Mem.cas m ~st:s 5 ~expected:0 ~desired:1) (* cas hit *);
+  ignore (Mem.cas m ~st:s 48 ~expected:9 ~desired:1) (* cas cold + failure *);
+  Mem.fence m ~st:s;
+  Mem.flush m ~st:s 0;
+  ignore (Mem.load m ~st:s 8) (* device 1: rand + xdev *);
+  (m, s)
+
+let check_all_counters_nonzero s =
+  Alcotest.(check bool) "seq populated" true (s.Stats.seq_accesses > 0);
+  Alcotest.(check bool) "rand populated" true (s.Stats.rand_accesses > 0);
+  Alcotest.(check bool) "hit populated" true (s.Stats.cache_hits > 0);
+  Alcotest.(check bool) "cas populated" true (s.Stats.cas_ops > 0);
+  Alcotest.(check bool) "cas-hit populated" true (s.Stats.cas_hit_ops > 0);
+  Alcotest.(check bool) "cas-fail populated" true (s.Stats.cas_failures > 0);
+  Alcotest.(check bool) "fence populated" true (s.Stats.fences > 0);
+  Alcotest.(check bool) "flush populated" true (s.Stats.flushes > 0);
+  Alcotest.(check bool) "xdev populated" true (s.Stats.xdev_accesses > 0);
+  Alcotest.(check bool) "xdev ns populated" true (s.Stats.xdev_ns > 0.0)
+
+let test_stats_add_diff_roundtrip () =
+  let m, s = populated_stats () in
+  check_all_counters_nonzero s;
+  (* acc = 0 + s + s; diff (acc) (s) must reproduce s exactly, counter for
+     counter. A counter missed by add or diff breaks one of the checks:
+     the per-field equality, the pp rendering, or the modeled total. *)
+  let acc = Stats.create () in
+  Stats.add acc s;
+  Stats.add acc s;
+  let d = Stats.diff acc s in
+  let fields x =
+    [
+      x.Stats.cache_hits;
+      x.Stats.seq_accesses;
+      x.Stats.rand_accesses;
+      x.Stats.cas_ops;
+      x.Stats.cas_hit_ops;
+      x.Stats.cas_failures;
+      x.Stats.fences;
+      x.Stats.flushes;
+      x.Stats.xdev_accesses;
+    ]
+  in
+  Alcotest.(check (list int)) "counters round-trip" (fields s) (fields d);
+  Alcotest.(check (float 1e-9)) "xdev ns round-trips" s.Stats.xdev_ns d.Stats.xdev_ns;
+  let render x = Format.asprintf "%a" Stats.pp x in
+  Alcotest.(check string) "pp round-trips" (render s) (render d);
+  let model = Mem.cost_model m in
+  Alcotest.(check (float 1e-6)) "modeled time round-trips"
+    (Stats.modeled_ns model s) (Stats.modeled_ns model d);
+  Alcotest.(check (float 1e-6)) "add doubles modeled time"
+    (2.0 *. Stats.modeled_ns model s)
+    (Stats.modeled_ns model acc)
+
+let test_stats_copy_independent () =
+  let _, s = populated_stats () in
+  let c = Stats.copy s in
+  (* counters are independent *)
+  s.Stats.cache_hits <- s.Stats.cache_hits + 1000;
+  Alcotest.(check bool) "counter copy independent" true
+    (c.Stats.cache_hits <> s.Stats.cache_hits);
+  (* cache_tags is a deep copy: touching a fresh line in the original must
+     not make it appear cached in the copy *)
+  let line = 4242 in
+  Alcotest.(check bool) "line cold in original" false (Stats.note_line s line);
+  Alcotest.(check bool) "line still cold in copy" false (Stats.note_line c line);
+  (* ... and vice versa, with a line the copy has now cached *)
+  Alcotest.(check bool) "copy caches it" true (Stats.note_line c line);
+  let line2 = 777 in
+  Alcotest.(check bool) "cold in copy" false (Stats.note_line c line2);
+  Alcotest.(check bool) "still cold in original" false (Stats.note_line s line2)
+
+let test_striped_roundtrip () =
+  (* Odd device count / stripe size / total so the last stripe is partial. *)
+  let backend = Mem.Striped { devices = 3; stripe_words = 5; tiers = [||] } in
+  let m = Mem.create ~backend ~words:64 () in
+  let s = st () in
+  Alcotest.(check string) "name" "striped-3x5" (Mem.backend_name m);
+  Alcotest.(check int) "devices" 3 (Mem.num_devices m);
+  for p = 0 to 63 do
+    Mem.store m ~st:s p (1000 + p)
+  done;
+  for p = 0 to 63 do
+    Alcotest.(check int) (Printf.sprintf "word %d" p) (1000 + p)
+      (Mem.load m ~st:s p)
+  done;
+  (* every device serves some address, and the mapping is stripe-periodic *)
+  let seen = Array.make 3 false in
+  for p = 0 to 63 do
+    let d = Mem.device_of m p in
+    seen.(d) <- true;
+    Alcotest.(check int) "stripe map" (p / 5 mod 3) d
+  done;
+  Array.iteri
+    (fun d hit -> Alcotest.(check bool) (Printf.sprintf "device %d used" d) true hit)
+    seen;
+  (* snapshots are in global order: restoring into a flat pool matches *)
+  let flat = Mem.create ~words:64 () in
+  Mem.restore flat (Mem.snapshot m);
+  for p = 0 to 63 do
+    Alcotest.(check int) "portable image" (1000 + p) (Mem.unsafe_peek flat p)
+  done;
+  (* Wild_pointer carries the same payload as on the flat backend *)
+  (try
+     ignore (Mem.load m ~st:s 64);
+     Alcotest.fail "expected Wild_pointer"
+   with Mem.Wild_pointer { addr; words } ->
+     Alcotest.(check int) "addr" 64 addr;
+     Alcotest.(check int) "words" 64 words)
+
+let test_counting_backend () =
+  let m = Mem.create ~backend:Mem.Counting_fast ~words:32 () in
+  let s = st () in
+  Alcotest.(check (option int)) "fresh count" (Some 0) (Mem.op_count m);
+  Mem.store m ~st:s 4 9;
+  Alcotest.(check int) "load back" 9 (Mem.load m ~st:s 4);
+  Alcotest.(check bool) "cas ok" true (Mem.cas m ~st:s 4 ~expected:9 ~desired:2);
+  Alcotest.(check bool) "cas stale" false
+    (Mem.cas m ~st:s 4 ~expected:9 ~desired:3);
+  Alcotest.(check int) "fetch_add prev" 2 (Mem.fetch_add m ~st:s 4 5);
+  Alcotest.(check (option int)) "exactly 5 raw ops" (Some 5) (Mem.op_count m);
+  Alcotest.(check (option int)) "flat has no op count" None
+    (Mem.op_count (Mem.create ~words:8 ()))
+
+let test_xdev_latency () =
+  (* 2 devices, stripe 8 words: even stripes (addresses 0-7, 16-23, ...) on
+     the near Local_numa device, odd stripes on the far CXL device. The same
+     access pattern aimed at the far device must cost more modeled time. *)
+  let m =
+    Mem.create ~tier:Latency.Local_numa
+      ~backend:
+        (Mem.Striped
+           {
+             devices = 2;
+             stripe_words = 8;
+             tiers = [| Latency.Local_numa; Latency.Cxl |];
+           })
+      ~words:4096 ()
+  in
+  let run base =
+    let s = st () in
+    let p = ref base in
+    while !p < 4096 do
+      ignore (Mem.load m ~st:s !p);
+      p := !p + 16 (* stride two lines: every access random, same device *)
+    done;
+    s
+  in
+  (* start past line 0: an access to line 0 right after reset would count
+     as sequential (last_line starts at -1) *)
+  let home = run 32 and far = run 40 in
+  Alcotest.(check int) "same rand volume" home.Stats.rand_accesses
+    far.Stats.rand_accesses;
+  Alcotest.(check int) "home pays no xdev" 0 home.Stats.xdev_accesses;
+  Alcotest.(check int) "far is all xdev" far.Stats.rand_accesses
+    far.Stats.xdev_accesses;
+  let model = Mem.cost_model m in
+  let home_ns = Stats.modeled_ns model home
+  and far_ns = Stats.modeled_ns model far in
+  Alcotest.(check bool) "cross-device access is dearer" true (far_ns > home_ns);
+  (* the far accesses are priced exactly at the CXL tier *)
+  let cxl = Latency.of_tier Latency.Cxl in
+  Alcotest.(check (float 1e-6)) "far = CXL pricing"
+    (float_of_int far.Stats.rand_accesses *. cxl.Latency.rand_ns)
+    far_ns
 
 (* Property: byte payloads of arbitrary content round-trip. *)
 let prop_bytes_roundtrip =
@@ -169,7 +405,15 @@ let suite =
     Alcotest.test_case "mem bytes roundtrip" `Quick test_mem_bytes_roundtrip;
     Alcotest.test_case "fetch_add" `Quick test_fetch_add;
     Alcotest.test_case "stats counting" `Quick test_stats_counting;
+    Alcotest.test_case "blit overlap (memmove)" `Quick test_blit_overlap;
     Alcotest.test_case "cache filter" `Quick test_cache_filter;
+    Alcotest.test_case "stats add/diff roundtrip" `Quick
+      test_stats_add_diff_roundtrip;
+    Alcotest.test_case "stats copy independent" `Quick
+      test_stats_copy_independent;
+    Alcotest.test_case "striped backend roundtrip" `Quick test_striped_roundtrip;
+    Alcotest.test_case "counting backend" `Quick test_counting_backend;
+    Alcotest.test_case "cross-device latency" `Quick test_xdev_latency;
     Alcotest.test_case "latency table1" `Quick test_latency_table1;
     Alcotest.test_case "modeled time monotone" `Quick test_modeled_time_monotone;
     QCheck_alcotest.to_alcotest prop_bytes_roundtrip;
