@@ -1057,7 +1057,7 @@ let bench_fault () =
     let arena = Shm.create ~cfg:Config.small () in
     let a = Shm.join arena () in
     let b = Shm.join arena () in
-    a.Ctx.fault <- Fault.nth_point ~seed ~n:(1 + (seed mod 37));
+    a.Ctx.fault <- Fault.nth_point ~n:(1 + (seed mod 37));
     let held = ref [] in
     (try
        for i = 1 to 60 do

@@ -4,7 +4,9 @@
      demo      allocate / share / crash / recover walk-through
      drill     run the §6.2.2 crash-window drill for one or all points
      stats     print arena geometry for a given configuration
-     validate  build a randomized workload and validate the arena *)
+     validate  build a randomized workload and validate the arena
+     fsck      verify (and optionally repair) a saved pool image
+     soak      crash-point x device-fault sweep with a JSON report *)
 
 open Cxlshm
 open Cmdliner
@@ -292,8 +294,179 @@ let dump_cmd =
       $ Arg.(value & opt int 200 & info [ "steps" ] ~doc:"Workload steps.")
       $ backend_term)
 
+(* ---- fsck ---- *)
+
+let fsck image repair out =
+  let arena = Shm.load_raw image in
+  let v = Fsck.check (Shm.mem arena) (Shm.layout arena) in
+  if Validate.is_clean v then begin
+    Printf.printf "%s: clean\n" image;
+    0
+  end
+  else begin
+    Format.printf "%s: DIRTY@.%a@." image Validate.pp v;
+    if not repair then 1
+    else begin
+      let report = Shm.fsck arena in
+      Format.printf "repair: %a@." Fsck.pp report;
+      let dest = Option.value out ~default:image in
+      Shm.save arena dest;
+      Printf.printf "repaired image written to %s\n" dest;
+      if Fsck.clean report then 0 else 1
+    end
+  end
+
+let fsck_cmd =
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Verify a saved pool image; with $(b,--repair), restore its \
+          structural invariants and write the result back.")
+    Term.(
+      const fsck
+      $ Arg.(
+          required
+          & pos 0 (some file) None
+          & info [] ~docv:"IMAGE" ~doc:"Pool image from $(b,save).")
+      $ Arg.(value & flag & info [ "repair" ] ~doc:"Repair, not just verify.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "out" ]
+              ~doc:"Write the repaired image here instead of in place."))
+
+(* ---- soak ---- *)
+
+let soak seed steps points schedules backends out =
+  let points =
+    match points with
+    | "all" -> None :: List.map Option.some Fault.all_points
+    | "none" -> [ None ]
+    | names ->
+        String.split_on_char ',' names
+        |> List.map (fun n ->
+               if n = "none" then None
+               else
+                 match
+                   List.find_opt
+                     (fun p -> Fault.point_name p = n)
+                     Fault.all_points
+                 with
+                 | Some p -> Some p
+                 | None ->
+                     Printf.eprintf "unknown crash point %s\n" n;
+                     exit 2)
+  in
+  let schedules =
+    match schedules with
+    | "all" -> Soak.default_schedules
+    | names ->
+        String.split_on_char ',' names
+        |> List.map (fun n ->
+               match
+                 List.find_opt
+                   (fun s -> s.Soak.sname = n)
+                   Soak.default_schedules
+               with
+               | Some s -> s
+               | None ->
+                   Printf.eprintf "unknown schedule %s\n" n;
+                   exit 2)
+  in
+  let backends =
+    match backends with
+    | "all" -> Soak.default_backends
+    | names ->
+        String.split_on_char ',' names
+        |> List.map (fun n ->
+               match
+                 List.find_opt
+                   (fun (bn, _) -> bn = n)
+                   Soak.default_backends
+               with
+               | Some b -> b
+               | None ->
+                   Printf.eprintf "unknown backend %s\n" n;
+                   exit 2)
+  in
+  let indexed l = List.mapi (fun i x -> (i, x)) l in
+  let runs =
+    List.concat_map
+      (fun (bi, backend) ->
+        List.concat_map
+          (fun (si, schedule) ->
+            List.map
+              (fun (pi, point) ->
+                let r =
+                  Soak.run_one ~backend ~schedule ~point
+                    ~seed:(Soak.mix_seed ~base:seed ~bi ~si ~pi)
+                    ~steps
+                in
+                Format.eprintf "%a@." Soak.pp_run r;
+                r)
+              (indexed points))
+          (indexed schedules))
+      (indexed backends)
+  in
+  let json = Soak.matrix_to_json ~seed runs in
+  (match out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc json;
+      output_char oc '\n';
+      close_out oc
+  | None -> print_endline json);
+  let fails = Soak.failures runs in
+  Printf.eprintf "soak: %d runs, %d failures\n" (List.length runs)
+    (List.length fails);
+  if fails = [] then 0 else 1
+
+let soak_cmd =
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Sweep crash points x device-fault schedules x backends; recover \
+          and fsck after each run and emit a JSON report.")
+    Term.(
+      const soak
+      $ Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base random seed.")
+      $ Arg.(
+          value & opt int 400
+          & info [ "steps" ] ~doc:"Workload steps per run.")
+      $ Arg.(
+          value & opt string "all"
+          & info [ "points" ]
+              ~doc:
+                "Crash points: $(b,all), $(b,none), or a comma-separated \
+                 list of point names.")
+      $ Arg.(
+          value & opt string "all"
+          & info [ "schedules" ]
+              ~doc:
+                "Fault schedules: $(b,all) or a comma-separated subset of \
+                 quiet, transient, stuck, offline.")
+      $ Arg.(
+          value & opt string "all"
+          & info [ "backends" ]
+              ~doc:
+                "Backends: $(b,all) or a comma-separated subset of flat, \
+                 striped4.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "out" ] ~doc:"Write the JSON report to this file."))
+
 let () =
   let info = Cmd.info "cxlshm" ~doc:"CXL-SHM simulated-arena driver." in
   exit
     (Cmd.eval'
-       (Cmd.group info [ demo_cmd; drill_cmd; stats_cmd; validate_cmd; dump_cmd ]))
+       (Cmd.group info
+          [
+            demo_cmd;
+            drill_cmd;
+            stats_cmd;
+            validate_cmd;
+            dump_cmd;
+            fsck_cmd;
+            soak_cmd;
+          ]))

@@ -31,10 +31,14 @@ let claim_any_segment (ctx : Ctx.t) =
   let start = Random.State.int ctx.rng n in
   (* On a multi-device pool, prefer fresh segments served by the client's
      home device before spilling to remote devices; adopting orphans stays
-     the last resort on every topology. *)
+     the last resort on every topology. Devices marked degraded (escalated
+     faults, see Ctx) are avoided until nothing else is claimable — a
+     degraded device still works, it just isn't trusted with new data. *)
+  let any_degraded = Ctx.degraded_devices ctx <> [] in
   let passes =
     if Cxlshm_shmem.Mem.num_devices ctx.Ctx.mem > 1 then
-      [ `Home; `Any; `Adopt ]
+      if any_degraded then [ `Home_healthy; `Healthy; `Any; `Adopt ]
+      else [ `Home; `Any; `Adopt ]
     else [ `Any; `Adopt ]
   in
   let try_pass pass =
@@ -42,10 +46,15 @@ let claim_any_segment (ctx : Ctx.t) =
       if k >= n then None
       else
         let s = (start + k) mod n in
+        let healthy () = not (Ctx.device_degraded ctx (segment_device ctx s)) in
         let ok =
           match pass with
           | `Home ->
               segment_device ctx s = ctx.Ctx.home_dev && Segment.claim ctx s
+          | `Home_healthy ->
+              segment_device ctx s = ctx.Ctx.home_dev
+              && healthy () && Segment.claim ctx s
+          | `Healthy -> healthy () && Segment.claim ctx s
           | `Any -> Segment.claim ctx s
           | `Adopt -> Segment.adopt ctx s
         in

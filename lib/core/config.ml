@@ -51,19 +51,40 @@ let validate t =
     fail "page_words must be a power of two";
   if t.queue_slots < 1 then fail "queue_slots must be positive";
   if t.worklist_words < 16 then fail "worklist_words must be >= 16";
-  match t.backend with
-  | Cxlshm_shmem.Mem.Flat | Cxlshm_shmem.Mem.Counting_fast -> ()
-  | Cxlshm_shmem.Mem.Striped { devices; stripe_words; tiers } ->
-      if devices < 1 || devices > 1024 then
-        fail "backend devices must be in [1, 1024]";
-      if stripe_words < 0 then fail "stripe_words must be >= 0";
-      if Array.length tiers <> 0 && Array.length tiers <> devices then
-        fail "device tiers must be empty or one per device"
+  let prob name p =
+    if p < 0. || p > 1. then fail (name ^ " must be a probability in [0, 1]")
+  in
+  let rec check_backend = function
+    | Cxlshm_shmem.Mem.Flat | Cxlshm_shmem.Mem.Counting_fast -> ()
+    | Cxlshm_shmem.Mem.Striped { devices; stripe_words; tiers } ->
+        if devices < 1 || devices > 1024 then
+          fail "backend devices must be in [1, 1024]";
+        if stripe_words < 0 then fail "stripe_words must be >= 0";
+        if Array.length tiers <> 0 && Array.length tiers <> devices then
+          fail "device tiers must be empty or one per device"
+    | Cxlshm_shmem.Mem.Faulty { base; fault_spec } ->
+        (match base with
+        | Cxlshm_shmem.Mem.Faulty _ -> fail "nested Faulty backends"
+        | _ -> ());
+        prob "read_poison" fault_spec.Cxlshm_shmem.Backend_faulty.read_poison;
+        prob "torn_write" fault_spec.Cxlshm_shmem.Backend_faulty.torn_write;
+        prob "stuck_word" fault_spec.Cxlshm_shmem.Backend_faulty.stuck_word;
+        List.iter
+          (fun (d, first, last) ->
+            if d < 0 || first < 0 || last < first then
+              fail "offline windows must be (dev >= 0, first <= last)")
+          fault_spec.Cxlshm_shmem.Backend_faulty.offline;
+        check_backend base
+  in
+  check_backend t.backend
 
 let num_devices t =
-  match t.backend with
-  | Cxlshm_shmem.Mem.Striped { devices; _ } -> devices
-  | Cxlshm_shmem.Mem.Flat | Cxlshm_shmem.Mem.Counting_fast -> 1
+  let rec devs = function
+    | Cxlshm_shmem.Mem.Striped { devices; _ } -> devices
+    | Cxlshm_shmem.Mem.Flat | Cxlshm_shmem.Mem.Counting_fast -> 1
+    | Cxlshm_shmem.Mem.Faulty { base; _ } -> devs base
+  in
+  devs t.backend
 
 let num_classes t =
   let rec count n sz =
@@ -96,3 +117,4 @@ let class_of_kind t k =
 
 let kind_rootref t = num_classes t + 1
 let kind_huge t = num_classes t + 2
+let kind_quarantined t = num_classes t + 3

@@ -70,3 +70,10 @@ val kind_of_class : int -> int
 val class_of_kind : t -> int -> int option
 val kind_rootref : t -> int
 val kind_huge : t -> int
+
+val kind_quarantined : t -> int
+(** Pages fsck has taken out of service (bad media, unrepairable
+    geometry). A quarantined page has zeroed metadata — no capacity, no
+    blocks — so validation and reclaim skip it and allocation never picks
+    it; only recycling its whole segment (a fresh format after the device
+    is serviced) brings the frame back. *)

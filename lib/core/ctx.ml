@@ -8,6 +8,7 @@ type t = {
   home_dev : int;
   st : Stats.t;
   mutable fault : Fault.plan;
+  mutable retry : Retry.policy;
   rng : Random.State.t;
 }
 
@@ -21,14 +22,54 @@ let make ~mem ~lay ~cid =
     home_dev = cid mod Mem.num_devices mem;
     st = Stats.create ();
     fault = Fault.none;
+    retry = Retry.default_policy;
     rng = Random.State.make [| 0x5eed; cid |];
   }
 
 let cfg t = t.lay.Layout.cfg
-let load t p = Mem.load t.mem ~st:t.st p
-let store t p v = Mem.store t.mem ~st:t.st p v
-let cas t p ~expected ~desired = Mem.cas t.mem ~st:t.st p ~expected ~desired
-let fetch_add t p n = Mem.fetch_add t.mem ~st:t.st p n
+
+(* Degraded-device bitmap (arena header): shared fault-status word the
+   escalation path sets and allocation placement reads. The word itself
+   lives on some device, so every access is best-effort — a pool that can't
+   even serve its header word is beyond steering. Accesses bypass the
+   injection/stats wrappers: marking a device bad must not itself retry. *)
+
+let max_degradable_devices = 62 (* bits of a 63-bit non-negative word *)
+
+let degraded_bitmap t = Mem.ctl_peek t.mem (Layout.hdr_dev_degraded t.lay)
+
+let device_degraded t dev =
+  dev < max_degradable_devices && (degraded_bitmap t lsr dev) land 1 = 1
+
+let degraded_devices t =
+  let bits = degraded_bitmap t in
+  List.filter
+    (fun d -> (bits lsr d) land 1 = 1)
+    (List.init (min (Mem.num_devices t.mem) max_degradable_devices) Fun.id)
+
+let mark_degraded t dev =
+  if dev >= 0 && dev < max_degradable_devices then
+    let p = Layout.hdr_dev_degraded t.lay in
+    Mem.ctl_poke t.mem p (Mem.ctl_peek t.mem p lor (1 lsl dev))
+
+let clear_degraded t = Mem.ctl_poke t.mem (Layout.hdr_dev_degraded t.lay) 0
+
+let on_escalate t ~dev = mark_degraded t dev
+
+let with_retries t f =
+  Retry.with_retries ~policy:t.retry ~st:t.st ~on_escalate:(on_escalate t) f
+
+(* A single word primitive has no interior commit point, so re-issuing it
+   after a transient fault is always safe — the commit marker is unused. *)
+let prim t f = with_retries t (fun _commit -> f ())
+
+let load t p = prim t (fun () -> Mem.load t.mem ~st:t.st p)
+let store t p v = prim t (fun () -> Mem.store t.mem ~st:t.st p v)
+
+let cas t p ~expected ~desired =
+  prim t (fun () -> Mem.cas t.mem ~st:t.st p ~expected ~desired)
+
+let fetch_add t p n = prim t (fun () -> Mem.fetch_add t.mem ~st:t.st p n)
 let fence t = Mem.fence t.mem ~st:t.st
-let flush t p = Mem.flush t.mem ~st:t.st p
+let flush t p = prim t (fun () -> Mem.flush t.mem ~st:t.st p)
 let crash_point t point = Fault.maybe_crash t.fault point

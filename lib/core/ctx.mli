@@ -14,6 +14,9 @@ type t = {
           segment claims prefer segments served by it before spilling. *)
   st : Cxlshm_shmem.Stats.t;
   mutable fault : Fault.plan;
+  mutable retry : Retry.policy;
+      (** retry/backoff budget for transient device faults; defaults to
+          {!Retry.default_policy}, set {!Retry.no_retry} to fail fast *)
   rng : Random.State.t;  (** client-local randomness (segment probing) *)
 }
 
@@ -21,7 +24,31 @@ val make : mem:Cxlshm_shmem.Mem.t -> lay:Layout.t -> cid:int -> t
 
 val cfg : t -> Config.t
 
-(** {1 Shared-memory shorthands} (attributed to this client's stats) *)
+(** {1 Degraded devices}
+
+    Escalated device faults set the device's bit in a shared arena-header
+    bitmap ({!Layout.hdr_dev_degraded}); segment claims steer away from
+    degraded devices and the monitor reports them. Cleared when the pool is
+    serviced ({!clear_degraded}). *)
+
+val device_degraded : t -> int -> bool
+val degraded_devices : t -> int list
+val mark_degraded : t -> int -> unit
+val clear_degraded : t -> unit
+
+val with_retries : t -> ((unit -> unit) -> 'a) -> 'a
+(** Run a section under this context's retry policy (see
+    {!Retry.with_retries}); escalations mark the faulting device degraded
+    in the shared bitmap. The section receives the commit marker and must
+    call it once its effects are visible to other clients — retries never
+    cross a commit point. *)
+
+(** {1 Shared-memory shorthands} (attributed to this client's stats)
+
+    Each primitive is a single word operation with no interior commit
+    point, so it is re-issued under the context's retry policy when the
+    device faults transiently; persistent faults and exhausted budgets
+    escalate as {!Cxlshm_shmem.Mem.Device_error}. *)
 
 val load : t -> Cxlshm_shmem.Pptr.t -> int
 val store : t -> Cxlshm_shmem.Pptr.t -> int -> unit

@@ -19,6 +19,7 @@ type point =
   | Recv_after_detach
   | Slowpath_after_page_claim
   | Slowpath_after_segment_claim
+  | Recovery_mid_phases
 
 let point_name = function
   | Alloc_after_rootref -> "alloc-after-rootref"
@@ -39,6 +40,7 @@ let point_name = function
   | Recv_after_detach -> "recv-after-detach"
   | Slowpath_after_page_claim -> "slowpath-after-page-claim"
   | Slowpath_after_segment_claim -> "slowpath-after-segment-claim"
+  | Recovery_mid_phases -> "recovery-mid-phases"
 
 let all_points =
   [
@@ -60,12 +62,13 @@ let all_points =
     Recv_after_detach;
     Slowpath_after_page_claim;
     Slowpath_after_segment_claim;
+    Recovery_mid_phases;
   ]
 
 type mode =
   | Never
   | At of point * int
-  | Random of Random.State.t * float
+  | Random of Random.State.t * int * float (* state, seed, probability *)
   | Nth of int
 
 type plan = { mode : mode; mutable seen : int; counts : (point, int) Hashtbl.t }
@@ -73,8 +76,11 @@ type plan = { mode : mode; mutable seen : int; counts : (point, int) Hashtbl.t }
 let make mode = { mode; seen = 0; counts = Hashtbl.create 8 }
 let none = make Never
 let at p ~nth = make (At (p, nth))
-let random ~seed ~probability = make (Random (Random.State.make [| seed |], probability))
-let nth_point ~seed:_ ~n = make (Nth n)
+
+let random ~seed ~probability =
+  make (Random (Random.State.make [| seed |], seed, probability))
+
+let nth_point ~n = make (Nth n)
 let hits plan = plan.seen
 
 let maybe_crash plan point =
@@ -85,7 +91,16 @@ let maybe_crash plan point =
     match plan.mode with
     | Never -> false
     | At (p, nth) -> p = point && count = nth
-    | Random (st, p) -> Random.State.float st 1.0 < p
+    | Random (st, _, p) -> Random.State.float st 1.0 < p
     | Nth n -> plan.seen = n
   in
-  if fire then raise (Crashed (point_name point))
+  if fire then
+    match plan.mode with
+    | Random (_, seed, _) ->
+        (* A random firing is only useful if it can be replayed: the n-th
+           overall hit is exactly what [nth_point ~n] re-fires. *)
+        raise
+          (Crashed
+             (Printf.sprintf "%s (replay: seed=%d, nth_point ~n:%d)"
+                (point_name point) seed plan.seen))
+    | Never | At _ | Nth _ -> raise (Crashed (point_name point))

@@ -33,6 +33,7 @@ type point =
   | Recv_after_detach            (** slot released, head not advanced *)
   | Slowpath_after_page_claim    (** page kind set, free chain incomplete *)
   | Slowpath_after_segment_claim (** segment CAS won, cursor not updated *)
+  | Recovery_mid_phases          (** recovery service dies mid-recovery *)
 
 val point_name : point -> string
 val all_points : point list
@@ -46,11 +47,14 @@ val at : point -> nth:int -> plan
 (** Crash at the [nth] (1-based) occurrence of [point]. *)
 
 val random : seed:int -> probability:float -> plan
-(** Crash independently at each point with the given probability. *)
+(** Crash independently at each point with the given probability. When such
+    a plan fires, the {!Crashed} message carries the seed and the overall
+    hit number so the crash replays deterministically via {!nth_point}. *)
 
-val nth_point : seed:int -> n:int -> plan
+val nth_point : n:int -> plan
 (** Crash at the [n]-th crash-point hit overall (1-based), whatever its
-    label — the paper's "inject at all the critical points" sweep. *)
+    label — the paper's "inject at all the critical points" sweep. The plan
+    is a pure function of the execution, so it needs no seed. *)
 
 val maybe_crash : plan -> point -> unit
 (** Raises {!Crashed} if the plan fires at this point. *)

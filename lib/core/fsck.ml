@@ -1,0 +1,445 @@
+(* Offline arena verifier and repairer.
+
+   [Validate] answers "is this arena consistent?"; this module makes it so
+   again after device-level damage that crash recovery alone cannot undo —
+   torn object headers, values swallowed by stuck media, wild pointers into
+   pages whose metadata no longer parses. It assumes the pool is quiesced
+   (no live clients, fault injection disarmed) and works in passes, each
+   idempotent, from raw structure up to the reference graph:
+
+     0. segment metadata sanity (state / occupied in range)
+     1. page geometry: a page whose kind/block_words/capacity disagree is
+        quarantined — metadata zeroed, kind set to [Config.kind_quarantined]
+        so allocation, validation and reclaim all skip the frame; torn
+        object headers (ref_cnt > 0 but implausible meta) are cleared
+     2. a crash-recovery sweep of every recorded client, exactly as
+        [Shm.load] does — half-done transactions resolve here
+     3. mark from the durable roots (RootRefs, queue directory, named
+        roots): wild references are cleared at their holder, unreachable
+        ref_cnt > 0 objects are freed, and every reachable object's count
+        is rewritten to its actual number of holders
+     4. free-structure rebuild: per-page free chains are reconstructed from
+        block liveness, cross-client free stacks and redo logs are zeroed,
+        orphaned huge-continuation segments are released
+     5. POTENTIAL_LEAKING scan, then a final [Validate.run]
+
+   Repair is deliberately lossy where the damage is lossy: a torn header
+   cannot be un-torn, so the block is either resurrected with its holder
+   count or freed; fsck restores the arena's invariants, not its data. *)
+
+module Mem = Cxlshm_shmem.Mem
+module Word = Cxlshm_shmem.Word
+
+type report = {
+  seg_meta_fixed : int;  (** out-of-range segment state/owner words reset *)
+  pages_quarantined : int;
+  page_meta_fixed : int;  (** stale metadata of unused pages normalised *)
+  torn_headers_cleared : int;
+  clients_swept : int;  (** recorded clients put through crash recovery *)
+  sweep_errors : int;  (** recovery attempts that raised (state too damaged) *)
+  wild_refs_cleared : int;
+  unreachable_freed : int;
+  counts_fixed : int;
+  chains_rebuilt : int;  (** pages whose free chain had to be reconstructed *)
+  stacks_cleared : int;  (** non-empty cross-client free stacks zeroed *)
+  validation : Validate.t;  (** final post-repair verdict *)
+}
+
+let clean r = Validate.is_clean r.validation
+
+let pp ppf r =
+  Format.fprintf ppf
+    "seg-meta=%d quarantined=%d page-meta=%d torn=%d swept=%d(sweep-errs=%d) \
+     wild=%d freed=%d counts=%d chains=%d stacks=%d | %a"
+    r.seg_meta_fixed r.pages_quarantined r.page_meta_fixed
+    r.torn_headers_cleared r.clients_swept r.sweep_errors r.wild_refs_cleared
+    r.unreachable_freed r.counts_fixed r.chains_rebuilt r.stacks_cleared
+    Validate.pp r.validation
+
+let check mem lay = Validate.run mem lay
+
+(* ------------------------------------------------------------------ *)
+
+type acc = {
+  mutable segf : int;
+  mutable quar : int;
+  mutable pmeta : int;
+  mutable torn : int;
+  mutable swept : int;
+  mutable swerr : int;
+  mutable wild : int;
+  mutable freed : int;
+  mutable counts : int;
+  mutable chains : int;
+  mutable stacks : int;
+}
+
+let repair (ctx : Ctx.t) =
+  let mem = ctx.Ctx.mem and lay = ctx.Ctx.lay in
+  let cfg = lay.Layout.cfg in
+  (* Offline servicing: no faults fire while fsck runs (the damage they
+     already did is exactly what we are here to fix). *)
+  Mem.set_fault_injection mem false;
+  let peek = Mem.unsafe_peek mem and poke = Mem.unsafe_poke mem in
+  let a =
+    { segf = 0; quar = 0; pmeta = 0; torn = 0; swept = 0; swerr = 0; wild = 0;
+      freed = 0; counts = 0; chains = 0; stacks = 0 }
+  in
+  let ns = cfg.Config.num_segments and pps = cfg.Config.pages_per_segment in
+  let rr_kind = Config.kind_rootref cfg in
+  let huge_kind = Config.kind_huge cfg in
+  let q_kind = Config.kind_quarantined cfg in
+  let seg_state s = peek (Layout.seg_state lay s) in
+  let page_kind gid = peek (Layout.page_kind lay ~gid) in
+  let huge_head s = seg_state s = 4 || page_kind (Layout.page_gid lay ~seg:s ~page:0) = huge_kind in
+  let huge_seg s = huge_head s || seg_state s = 5 in
+  let huge_obj s = Layout.segment_base lay s + lay.Layout.seg_hdr_words in
+
+  (* ---- pass 0: segment metadata sanity ---- *)
+  for s = 0 to ns - 1 do
+    let st = seg_state s in
+    if st < 0 || st > 5 then begin
+      (* unknown state: pessimistically POTENTIAL_LEAKING so the scan of
+         pass 5 walks the segment's blocks *)
+      poke (Layout.seg_state lay s) 3;
+      a.segf <- a.segf + 1
+    end;
+    let occ = peek (Layout.seg_occupied lay s) in
+    if occ < 0 || occ > cfg.Config.max_clients then begin
+      poke (Layout.seg_occupied lay s) 0;
+      a.segf <- a.segf + 1
+    end
+  done;
+
+  (* ---- pass 1: page geometry and torn headers ---- *)
+  let zero_page_meta gid =
+    poke (Layout.page_free lay ~gid) 0;
+    poke (Layout.page_used lay ~gid) 0;
+    poke (Layout.page_capacity lay ~gid) 0;
+    poke (Layout.page_block_words lay ~gid) 0;
+    poke (Layout.page_aux lay ~gid) 0
+  in
+  let quarantine gid =
+    zero_page_meta gid;
+    poke (Layout.page_kind lay ~gid) q_kind;
+    a.quar <- a.quar + 1
+  in
+  (* An in-use header whose meta word cannot describe an object of this
+     page's class is torn: clear it to "free block, empty meta" — the
+     mark pass then either resurrects it (it still has holders) or the
+     chain rebuild absorbs it. *)
+  let plausible_meta ~kind ~bw meta =
+    let dw = Obj_header.meta_data_words meta in
+    Obj_header.meta_kind meta = kind
+    && Obj_header.meta_emb_cnt meta <= dw
+    && dw >= 1
+    && Config.header_words + dw <= bw
+  in
+  let empty_meta ~kind ~bw =
+    Obj_header.pack_meta ~kind ~emb_cnt:0
+      ~data_words:(bw - Config.header_words)
+  in
+  for s = 0 to ns - 1 do
+    if not (huge_seg s) then
+      for p = 0 to pps - 1 do
+        let gid = Layout.page_gid lay ~seg:s ~page:p in
+        let k = page_kind gid in
+        let bw = peek (Layout.page_block_words lay ~gid) in
+        let cap = peek (Layout.page_capacity lay ~gid) in
+        if k = Config.kind_unused || k = q_kind then begin
+          if bw <> 0 || cap <> 0 || peek (Layout.page_free lay ~gid) <> 0
+          then begin
+            (* torn Page.init/reset: kind is published last, so a non-zero
+               remainder under an unused kind is half-written garbage *)
+            zero_page_meta gid;
+            a.pmeta <- a.pmeta + 1
+          end
+        end
+        else begin
+          let expect_bw =
+            if k = rr_kind then Some Config.rootref_words
+            else
+              match Config.class_of_kind cfg k with
+              | Some c -> Some (Config.class_block_words cfg c)
+              | None -> None (* huge kind outside a huge segment, or junk *)
+          in
+          match expect_bw with
+          | None -> quarantine gid
+          | Some ebw ->
+              if bw <> ebw || cap <> cfg.Config.page_words / ebw then
+                quarantine gid
+              else if k <> rr_kind then begin
+                let base = Layout.page_area lay ~gid in
+                for i = 0 to cap - 1 do
+                  let b = base + (i * bw) in
+                  if Obj_header.ref_cnt_of (peek b) > 0
+                     && not (plausible_meta ~kind:k ~bw (peek (b + 1)))
+                  then begin
+                    poke b 0;
+                    poke (b + 1) (empty_meta ~kind:k ~bw);
+                    a.torn <- a.torn + 1
+                  end
+                done
+              end
+              else begin
+                (* RootRef state words only carry {in_use, local_cnt};
+                   stray bits mean a torn store landed *)
+                let base = Layout.page_area lay ~gid in
+                for i = 0 to cap - 1 do
+                  let b = base + (i * bw) in
+                  if
+                    Rootref.peek_in_use mem b
+                    && not (Rootref.well_formed (peek b))
+                  then begin
+                    poke b 0;
+                    poke (b + 1) 0;
+                    a.torn <- a.torn + 1
+                  end
+                done
+              end
+        end
+      done
+    else if huge_head s then begin
+      let obj = huge_obj s in
+      if Obj_header.ref_cnt_of (peek obj) > 0
+         && Obj_header.meta_kind (peek (Obj_header.meta_of_obj obj))
+            <> huge_kind
+      then begin
+        poke obj 0;
+        (* left at count 0: the mark pass frees the whole run *)
+        a.torn <- a.torn + 1
+      end
+    end
+  done;
+
+  (* ---- pass 2: crash-recovery sweep of every recorded client ---- *)
+  let force_unlock () =
+    poke (Layout.recovery_lock lay) 0;
+    poke (Layout.recovery_failed lay) 0;
+    poke (Layout.recovery_phase lay) 0
+  in
+  (try ignore (Recovery.resume_interrupted ctx)
+   with _ ->
+     a.swerr <- a.swerr + 1;
+     force_unlock ());
+  for cid = 0 to cfg.Config.max_clients - 1 do
+    if Client.status ctx ~cid <> Client.Slot_free then begin
+      Client.declare_failed ctx ~cid;
+      try
+        ignore (Recovery.recover ctx ~failed_cid:cid);
+        a.swept <- a.swept + 1
+      with _ ->
+        (* recovery choked on damage it was never designed for; the later
+           structural passes still run, so just make the client slot and
+           the lock sane and move on *)
+        a.swerr <- a.swerr + 1;
+        Client.mark_recovered ctx ~cid;
+        force_unlock ()
+    end
+  done;
+
+  (* ---- pass 3: mark from durable roots ---- *)
+  let block_base_ok p =
+    if p <= 0 || p >= lay.Layout.total_words then false
+    else
+      match Layout.segment_of_addr lay p with
+      | exception Invalid_argument _ -> false
+      | seg ->
+          if huge_seg seg then p = huge_obj seg
+          else (
+            match Layout.page_gid_of_addr lay p with
+            | exception Invalid_argument _ -> false
+            | gid ->
+                let bw = peek (Layout.page_block_words lay ~gid) in
+                let base = Layout.page_area lay ~gid in
+                let k = page_kind gid in
+                k <> Config.kind_unused && k <> rr_kind && k <> q_kind
+                && bw > 0
+                && (p - base) mod bw = 0
+                && (p - base) / bw < peek (Layout.page_capacity lay ~gid))
+  in
+  let expected : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let work = Queue.create () in
+  let add_ref obj =
+    let seen = try Hashtbl.find expected obj with Not_found -> 0 in
+    Hashtbl.replace expected obj (seen + 1);
+    if seen = 0 then Queue.push obj work
+  in
+  (* RootRefs pointing at valid blocks are holders; wild ones are cleared.
+     (A dead client's RootRefs were already dropped by the recovery sweep;
+     what is left is either a ghost we keep as a holder — harmless — or
+     damage we clear here.) *)
+  for s = 0 to ns - 1 do
+    if not (huge_seg s) then
+      for p = 0 to pps - 1 do
+        let gid = Layout.page_gid lay ~seg:s ~page:p in
+        if page_kind gid = rr_kind then begin
+          let bw = peek (Layout.page_block_words lay ~gid) in
+          let cap = peek (Layout.page_capacity lay ~gid) in
+          let base = Layout.page_area lay ~gid in
+          for i = 0 to cap - 1 do
+            let rr = base + (i * bw) in
+            if Rootref.peek_in_use mem rr then begin
+              let obj = Rootref.peek_obj mem rr in
+              if obj <> 0 then
+                if block_base_ok obj then add_ref obj
+                else begin
+                  poke rr 0;
+                  poke (rr + 1) 0;
+                  a.wild <- a.wild + 1
+                end
+            end
+          done
+        end
+      done
+  done;
+  a.wild <-
+    a.wild + Transfer.clear_wild_directory_refs mem lay ~valid:block_base_ok;
+  a.wild <-
+    a.wild + Named_roots.clear_wild_directory_refs mem lay ~valid:block_base_ok;
+  List.iter add_ref (Transfer.directory_refs mem lay);
+  List.iter add_ref (Named_roots.directory_refs mem lay);
+  while not (Queue.is_empty work) do
+    let obj = Queue.pop work in
+    let meta = peek (Obj_header.meta_of_obj obj) in
+    for i = 0 to Obj_header.meta_emb_cnt meta - 1 do
+      let child = peek (Obj_header.emb_slot obj i) in
+      if child <> 0 then
+        if block_base_ok child then add_ref child
+        else begin
+          poke (Obj_header.emb_slot obj i) 0;
+          a.wild <- a.wild + 1
+        end
+    done
+  done;
+  (* Sweep: unreachable counted objects are freed, reachable ones get their
+     count rewritten to the number of holders actually found. lcid/lera are
+     reset to "never touched" — every transaction was resolved in pass 2. *)
+  let fix_count b =
+    let exp = try Hashtbl.find expected b with Not_found -> 0 in
+    let hdr = peek b in
+    let want =
+      Obj_header.pack { Obj_header.lcid = None; lera = 0; ref_cnt = exp }
+    in
+    if hdr <> want then begin
+      poke b want;
+      if Obj_header.ref_cnt_of hdr <> exp then a.counts <- a.counts + 1
+    end
+  in
+  let release_huge_run head =
+    (* trust segment states, not the (possibly stuck) aux span word *)
+    let rec span k = if head + k < ns && seg_state (head + k) = 5 then span (k + 1) else k in
+    let n = span 1 in
+    for p = 0 to pps - 1 do
+      let gid = Layout.page_gid lay ~seg:head ~page:p in
+      poke (Layout.page_kind lay ~gid) Config.kind_unused;
+      zero_page_meta gid
+    done;
+    for k = n - 1 downto 0 do
+      poke (Layout.seg_state lay (head + k)) 0;
+      poke (Layout.seg_occupied lay (head + k)) 0
+    done
+  in
+  for s = 0 to ns - 1 do
+    if huge_head s then begin
+      let obj = huge_obj s in
+      if Hashtbl.mem expected obj then fix_count obj
+      else begin
+        if Obj_header.ref_cnt_of (peek obj) > 0 then a.freed <- a.freed + 1;
+        release_huge_run s
+      end
+    end
+    else if not (huge_seg s) then
+      for p = 0 to pps - 1 do
+        let gid = Layout.page_gid lay ~seg:s ~page:p in
+        (match Config.class_of_kind cfg (page_kind gid) with
+        | None -> ()
+        | Some _ ->
+            let bw = peek (Layout.page_block_words lay ~gid) in
+            let cap = peek (Layout.page_capacity lay ~gid) in
+            let base = Layout.page_area lay ~gid in
+            for i = 0 to cap - 1 do
+              let b = base + (i * bw) in
+              if Hashtbl.mem expected b then fix_count b
+              else if Obj_header.ref_cnt_of (peek b) > 0 then begin
+                poke b 0;
+                poke (b + 1) (empty_meta ~kind:(page_kind gid) ~bw);
+                a.freed <- a.freed + 1
+              end
+            done)
+      done
+  done;
+  (* a released huge run may leave cont segments whose head was damaged
+     away; release them too (ascending order heals chains) *)
+  for s = 0 to ns - 1 do
+    if seg_state s = 5 && (s = 0 || not (huge_seg (s - 1))) then begin
+      poke (Layout.seg_state lay s) 0;
+      poke (Layout.seg_occupied lay s) 0;
+      a.segf <- a.segf + 1
+    end
+  done;
+
+  (* ---- pass 4: rebuild free structures from liveness ---- *)
+  for s = 0 to ns - 1 do
+    if peek (Layout.seg_client_free lay s) <> 0 then begin
+      poke (Layout.seg_client_free lay s) 0;
+      a.stacks <- a.stacks + 1
+    end
+  done;
+  for s = 0 to ns - 1 do
+    if not (huge_seg s) then
+      for p = 0 to pps - 1 do
+        let gid = Layout.page_gid lay ~seg:s ~page:p in
+        let k = page_kind gid in
+        let is_rr = k = rr_kind in
+        if is_rr || Config.class_of_kind cfg k <> None then begin
+          let bw = peek (Layout.page_block_words lay ~gid) in
+          let cap = peek (Layout.page_capacity lay ~gid) in
+          let base = Layout.page_area lay ~gid in
+          let off = Page.next_slot_offset ~kind_rootref:is_rr in
+          let live b =
+            if is_rr then Rootref.peek_in_use mem b
+            else Obj_header.ref_cnt_of (peek b) > 0
+          in
+          let old_head = peek (Layout.page_free lay ~gid) in
+          let old_used = peek (Layout.page_used lay ~gid) in
+          let head = ref 0 and nfree = ref 0 in
+          for i = cap - 1 downto 0 do
+            let b = base + (i * bw) in
+            if not (live b) then begin
+              poke b 0;
+              if not is_rr then poke (b + 1) 0;
+              poke (b + off) !head;
+              head := b;
+              incr nfree
+            end
+          done;
+          poke (Layout.page_free lay ~gid) !head;
+          poke (Layout.page_used lay ~gid) (cap - !nfree);
+          if old_head <> !head || old_used <> cap - !nfree then
+            a.chains <- a.chains + 1
+        end
+      done
+  done;
+  for cid = 0 to cfg.Config.max_clients - 1 do
+    Redo_log.clear_for ctx ~cid
+  done;
+  force_unlock ();
+
+  (* ---- pass 5: leak scan, then the verdict ---- *)
+  (try ignore (Reclaim.scan_all ctx ~is_client_alive:(fun _ -> false))
+   with _ -> a.swerr <- a.swerr + 1);
+  {
+    seg_meta_fixed = a.segf;
+    pages_quarantined = a.quar;
+    page_meta_fixed = a.pmeta;
+    torn_headers_cleared = a.torn;
+    clients_swept = a.swept;
+    sweep_errors = a.swerr;
+    wild_refs_cleared = a.wild;
+    unreachable_freed = a.freed;
+    counts_fixed = a.counts;
+    chains_rebuilt = a.chains;
+    stacks_cleared = a.stacks;
+    validation = Validate.run mem lay;
+  }

@@ -1,0 +1,47 @@
+(** Offline arena verifier and repairer ("fsck for the pool").
+
+    Crash recovery (§5) resolves interrupted {e transactions}; it assumes
+    the bytes it reads are the bytes somebody wrote. Device faults break
+    that assumption: stuck media swallows stores, torn writes leave
+    half-updated headers, and a page's metadata may stop describing its
+    blocks at all. {!repair} restores the arena's structural invariants in
+    idempotent passes — metadata sanity, page quarantine, a crash-recovery
+    sweep of every recorded client, mark/repair of the reference graph
+    from the durable roots, free-structure rebuild, leak scan — and ends
+    with a fresh {!Validate.run} as the verdict.
+
+    Must run offline: no live clients, fault injection disarmed ({!repair}
+    disarms it itself). Repair is lossy where the damage is lossy — it
+    restores invariants, not data. *)
+
+type report = {
+  seg_meta_fixed : int;  (** out-of-range segment state/owner words reset *)
+  pages_quarantined : int;
+      (** pages with unusable geometry taken out of service
+          ({!Config.kind_quarantined}) *)
+  page_meta_fixed : int;  (** stale metadata of unused pages normalised *)
+  torn_headers_cleared : int;
+  clients_swept : int;  (** recorded clients put through crash recovery *)
+  sweep_errors : int;  (** recovery attempts that raised *)
+  wild_refs_cleared : int;  (** references to invalid block bases dropped *)
+  unreachable_freed : int;  (** counted objects with no remaining holder *)
+  counts_fixed : int;  (** reference counts rewritten to holder counts *)
+  chains_rebuilt : int;  (** pages whose free chain was reconstructed *)
+  stacks_cleared : int;  (** non-empty cross-client free stacks zeroed *)
+  validation : Validate.t;  (** final post-repair verdict *)
+}
+
+val clean : report -> bool
+(** Did the post-repair validation come back clean? *)
+
+val pp : Format.formatter -> report -> unit
+
+val check : Cxlshm_shmem.Mem.t -> Layout.t -> Validate.t
+(** Read-only verification (alias of {!Validate.run}): use before
+    {!repair} to decide whether repair is needed, and to show that a
+    damaged arena indeed fails. *)
+
+val repair : Ctx.t -> report
+(** Full verify-and-repair pipeline on a quiesced arena. [ctx] should be a
+    service context (its stats absorb the repair traffic). Idempotent: a
+    second run finds nothing left to fix. *)

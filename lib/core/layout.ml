@@ -80,6 +80,7 @@ let make cfg =
 
 let hdr_magic t = t.arena_hdr
 let hdr_epoch t = t.arena_hdr + 1
+let hdr_dev_degraded t = t.arena_hdr + 2
 
 let check_seg t s =
   if s < 0 || s >= t.cfg.Config.num_segments then

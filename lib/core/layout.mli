@@ -41,6 +41,11 @@ val magic : int
 val hdr_magic : t -> Cxlshm_shmem.Pptr.t
 val hdr_epoch : t -> Cxlshm_shmem.Pptr.t
 
+val hdr_dev_degraded : t -> Cxlshm_shmem.Pptr.t
+(** Shared degraded-device bitmap: bit [d] set means device [d] exhausted a
+    retry budget (or faulted persistently) for some client and allocation
+    should steer new segment claims away from it until it is serviced. *)
+
 (** {1 SegmentAllocationVec}
 
     4 words per segment: occupied client id (0 = free, cid+1 otherwise),

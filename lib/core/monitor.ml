@@ -3,6 +3,8 @@ type t = {
   misses : int;
   last_seen : int array;  (** last heartbeat value per client *)
   stale : int array;  (** consecutive checks without progress *)
+  errors : int Atomic.t;  (** loop iterations that raised *)
+  last_error : exn option Atomic.t;
 }
 
 let create ~mem ~lay ?(misses = 3) () =
@@ -12,7 +14,14 @@ let create ~mem ~lay ?(misses = 3) () =
     misses;
     last_seen = Array.make m (-1);
     stale = Array.make m 0;
+    errors = Atomic.make 0;
+    last_error = Atomic.make None;
   }
+
+let ctx t = t.ctx
+let error_count t = Atomic.get t.errors
+let last_error t = Atomic.get t.last_error
+let degraded_devices t = Ctx.degraded_devices t.ctx
 
 let check_once t =
   let m = (Ctx.cfg t.ctx).Config.max_clients in
@@ -55,12 +64,25 @@ let run_in_domain t ~interval =
   let d =
     Domain.spawn (fun () ->
         while not (Atomic.get stop) do
-          ignore (check_once t);
-          ignore (recover_suspects t);
-          ignore
-            (Reclaim.scan_all t.ctx ~is_client_alive:(fun cid ->
-                 Client.is_alive t.ctx ~cid));
+          (* The monitor is the component everything else relies on for
+             liveness; one poisoned read or half-recovered client must not
+             silently kill its domain. Count the failure, remember it, and
+             keep watching — the next iteration retries from scratch. *)
+          (try
+             ignore (check_once t);
+             ignore (recover_suspects t);
+             ignore
+               (Reclaim.scan_all t.ctx ~is_client_alive:(fun cid ->
+                    Client.is_alive t.ctx ~cid))
+           with e ->
+             Atomic.incr t.errors;
+             Atomic.set t.last_error (Some e));
           Unix.sleepf interval
         done)
   in
   (d, stop)
+
+let stop_and_join (d, stop) t =
+  Atomic.set stop true;
+  Domain.join d;
+  last_error t

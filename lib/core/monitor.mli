@@ -19,4 +19,23 @@ val recover_suspects : t -> (int * Recovery.report) list
 
 val run_in_domain : t -> interval:float -> unit Domain.t * bool Atomic.t
 (** Spawn the monitor loop in its own domain; set the returned flag to stop
-    it. The loop checks, recovers, and runs the POTENTIAL_LEAKING scan. *)
+    it. The loop checks, recovers, and runs the POTENTIAL_LEAKING scan. An
+    exception in one iteration (a device fault, a half-recovered client) is
+    counted and remembered — see {!error_count}/{!last_error} — and the loop
+    keeps running; it never dies silently. *)
+
+val stop_and_join : unit Domain.t * bool Atomic.t -> t -> exn option
+(** Stop the loop started by {!run_in_domain}, wait for the domain to
+    finish, and return the last error any iteration raised (if any). *)
+
+val ctx : t -> Ctx.t
+(** The monitor's service context (useful for validation and fsck). *)
+
+val error_count : t -> int
+(** Loop iterations that raised since the monitor was created. *)
+
+val last_error : t -> exn option
+
+val degraded_devices : t -> int list
+(** Devices currently marked degraded in the shared bitmap (escalated
+    device faults steer allocation away from them). *)

@@ -119,3 +119,16 @@ let directory_refs mem lay =
       go (i + 1) (if phase_of w <> 0 && p <> 0 then p :: acc else acc)
   in
   go 0 []
+
+let clear_wild_directory_refs mem lay ~valid =
+  let cleared = ref 0 in
+  for i = 0 to Layout.root_slots - 1 do
+    let w = Mem.unsafe_peek mem (Layout.root_slot lay i) in
+    let p = Mem.unsafe_peek mem (Layout.root_slot lay i + 1) in
+    if phase_of w <> 0 && p <> 0 && not (valid p) then begin
+      Mem.unsafe_poke mem (Layout.root_slot lay i + 1) 0;
+      Mem.unsafe_poke mem (Layout.root_slot lay i) 0;
+      incr cleared
+    end
+  done;
+  !cleared

@@ -38,3 +38,8 @@ val recover_endpoints : Ctx.t -> failed_cid:int -> unit
 
 val directory_refs : Cxlshm_shmem.Mem.t -> Layout.t -> Cxlshm_shmem.Pptr.t list
 (** Validator helper: object pointers currently held by the directory. *)
+
+val clear_wild_directory_refs :
+  Cxlshm_shmem.Mem.t -> Layout.t -> valid:(Cxlshm_shmem.Pptr.t -> bool) -> int
+(** Fsck helper (offline use only): drop every published name whose object
+    pointer fails [valid]; returns how many slots were cleared. *)

@@ -35,12 +35,17 @@ let init (ctx : Ctx.t) ~gid ~kind:k ~block_words:bw =
   Ctx.store ctx (Layout.page_kind ctx.lay ~gid) k
 
 let reset (ctx : Ctx.t) ~gid =
-  Ctx.store ctx (Layout.page_kind ctx.lay ~gid) Config.kind_unused;
-  Ctx.fence ctx;
-  Ctx.store ctx (Layout.page_free ctx.lay ~gid) 0;
-  Ctx.store ctx (Layout.page_used ctx.lay ~gid) 0;
-  Ctx.store ctx (Layout.page_capacity ctx.lay ~gid) 0;
-  Ctx.store ctx (Layout.page_block_words ctx.lay ~gid) 0
+  (* A quarantined page records bad media, not allocation state: the mark
+     survives segment recycling so the page never re-enters service. Its
+     other metadata is already zeroed. *)
+  if kind ctx ~gid <> Config.kind_quarantined (Ctx.cfg ctx) then begin
+    Ctx.store ctx (Layout.page_kind ctx.lay ~gid) Config.kind_unused;
+    Ctx.fence ctx;
+    Ctx.store ctx (Layout.page_free ctx.lay ~gid) 0;
+    Ctx.store ctx (Layout.page_used ctx.lay ~gid) 0;
+    Ctx.store ctx (Layout.page_capacity ctx.lay ~gid) 0;
+    Ctx.store ctx (Layout.page_block_words ctx.lay ~gid) 0
+  end
 
 let pop_free (ctx : Ctx.t) ~gid ~rootref =
   let head = free_head ctx ~gid in

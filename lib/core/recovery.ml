@@ -323,6 +323,10 @@ let run_phases (ctx : Ctx.t) ~cid =
   scan_rootref_pages ctx ~cid report;
   let n = wl_process ctx ~as_cid:cid in
   report := { !report with worklist_processed = !report.worklist_processed + n };
+  (* The recovery service itself may die mid-recovery; every phase above is
+     idempotent and the recovery lock still names [cid], so the next service
+     instance resumes via [resume_interrupted]. *)
+  Ctx.crash_point ctx Fault.Recovery_mid_phases;
   handle_segments ctx ~cid report;
   Redo_log.clear_for ctx ~cid;
   Client.mark_recovered ctx ~cid;

@@ -1,0 +1,55 @@
+(* Bounded retry with exponential backoff over transient device faults.
+
+   The paper's RDSM hides most media errors behind the switch; what leaks
+   through to a client is either transient (poisoned read, torn store,
+   short offline window — a re-issue succeeds) or persistent (stuck media,
+   long outage). This module is the client-side policy: re-issue transient
+   faults a bounded number of times with exponentially growing (simulated)
+   backoff, and escalate everything else so the monitor can mark the
+   device degraded and steer allocation away from it.
+
+   The one rule that keeps retries safe in a system built on CAS commit
+   points: {e never retry across a commit}. A section hands its commit
+   marker to the fault when its effects become visible to other clients
+   (e.g. the ModifyRefCnt CAS landed); from then on a re-run would apply
+   the effects twice, so a later fault in the same section escalates
+   instead of retrying. Single-word primitives have no interior commit
+   point and are always safe to re-issue. *)
+
+module Mem = Cxlshm_shmem.Mem
+module Stats = Cxlshm_shmem.Stats
+
+type policy = {
+  max_attempts : int; (* total attempts, first try included *)
+  base_backoff_ns : float; (* simulated delay before the first retry *)
+  max_backoff_ns : float; (* exponential growth cap *)
+}
+
+let default_policy =
+  { max_attempts = 5; base_backoff_ns = 250.; max_backoff_ns = 64_000. }
+
+let no_retry = { max_attempts = 1; base_backoff_ns = 0.; max_backoff_ns = 0. }
+
+let backoff_ns policy attempt =
+  Float.min policy.max_backoff_ns
+    (policy.base_backoff_ns *. (2. ** float_of_int (attempt - 1)))
+
+let with_retries ?(policy = default_policy) ~(st : Stats.t) ~on_escalate f =
+  let committed = ref false in
+  let commit () = committed := true in
+  let rec go attempt =
+    try f commit
+    with Mem.Device_error { dev; transient; _ } as e ->
+      st.Stats.dev_faults <- st.Stats.dev_faults + 1;
+      if transient && (not !committed) && attempt < policy.max_attempts then begin
+        st.Stats.retries <- st.Stats.retries + 1;
+        st.Stats.backoff_ns <- st.Stats.backoff_ns +. backoff_ns policy attempt;
+        go (attempt + 1)
+      end
+      else begin
+        st.Stats.fault_escalations <- st.Stats.fault_escalations + 1;
+        on_escalate ~dev;
+        raise e
+      end
+  in
+  go 1

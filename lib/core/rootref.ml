@@ -19,3 +19,6 @@ let pptr_slot rr = rr + 1
 let obj ctx rr = Ctx.load ctx (pptr_slot rr)
 let peek_in_use mem rr = Word.get f_in_use (Mem.unsafe_peek mem rr) = 1
 let peek_obj mem rr = Mem.unsafe_peek mem (rr + 1)
+
+let well_formed w =
+  w = Word.set f_in_use (Word.set f_cnt 0 (Word.get f_cnt w)) (Word.get f_in_use w)

@@ -29,3 +29,7 @@ val obj : Ctx.t -> Cxlshm_shmem.Pptr.t -> Cxlshm_shmem.Pptr.t
 (** Simulator-side unattributed reads for validators. *)
 val peek_in_use : Cxlshm_shmem.Mem.t -> Cxlshm_shmem.Pptr.t -> bool
 val peek_obj : Cxlshm_shmem.Mem.t -> Cxlshm_shmem.Pptr.t -> Cxlshm_shmem.Pptr.t
+
+val well_formed : int -> bool
+(** Does the state word carry only the [in_use] and local-count fields?
+    Stray bits mean a torn store landed (fsck clears such RootRefs). *)

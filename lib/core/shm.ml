@@ -5,12 +5,16 @@ type arena = { mem : Mem.t; lay : Layout.t; service : Ctx.t }
 
 (* Resolve the configured backend against the layout: a striped pool with
    stripe_words = 0 stripes at segment granularity, so whole segments map to
-   one device and the home-device claim preference is meaningful. *)
+   one device and the home-device claim preference is meaningful. The
+   resolution recurses through a fault-injection wrapper. *)
 let backend_of cfg lay =
-  match cfg.Config.backend with
-  | Mem.Striped s when s.stripe_words = 0 ->
-      Mem.Striped { s with stripe_words = lay.Layout.segment_words }
-  | b -> b
+  let rec resolve = function
+    | Mem.Striped s when s.stripe_words = 0 ->
+        Mem.Striped { s with stripe_words = lay.Layout.segment_words }
+    | Mem.Faulty f -> Mem.Faulty { f with base = resolve f.base }
+    | b -> b
+  in
+  resolve cfg.Config.backend
 
 let mem_of cfg lay =
   Mem.create ~tier:cfg.Config.tier ~backend:(backend_of cfg lay)
@@ -48,6 +52,8 @@ let cxl_malloc_words ctx ~data_words ?(emb_cnt = 0) () =
   Cxl_ref.of_rootref ctx rr
 
 let validate t = Validate.run t.mem t.lay
+let fsck t = Fsck.repair t.service
+let set_fault_injection t on = Mem.set_fault_injection t.mem on
 let recover t ~failed_cid = Recovery.recover t.service ~failed_cid
 
 let scan_leaking t =
@@ -64,7 +70,9 @@ let save t path =
       Marshal.to_channel oc (config t) [];
       Marshal.to_channel oc (Mem.snapshot t.mem) [])
 
-let load ?cfg path =
+(* Re-attach without touching anything: no recovery, no leak scan. This is
+   what fsck wants — the damage must still be there when it looks. *)
+let load_raw ?cfg path =
   let ic = open_in_bin path in
   let saved_cfg, words =
     Fun.protect
@@ -82,7 +90,11 @@ let load ?cfg path =
   Mem.restore mem words;
   if Mem.unsafe_peek mem (Layout.hdr_magic lay) <> Layout.magic then
     invalid_arg "Shm.load: not a CXL-SHM pool image";
-  let t = { mem; lay; service = Ctx.make ~mem ~lay ~cid:0 } in
+  { mem; lay; service = Ctx.make ~mem ~lay ~cid:0 }
+
+let load ?cfg path =
+  let t = load_raw ?cfg path in
+  let cfg = t.lay.Layout.cfg in
   (* every client recorded alive in the image is gone: reap them *)
   (match Recovery.resume_interrupted t.service with Some _ -> () | None -> ());
   for cid = 0 to cfg.Config.max_clients - 1 do

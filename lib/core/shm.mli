@@ -38,6 +38,15 @@ val cxl_malloc_words : Ctx.t -> data_words:int -> ?emb_cnt:int -> unit -> Cxl_re
 (** {1 Operations} *)
 
 val validate : arena -> Validate.t
+
+val fsck : arena -> Fsck.report
+(** Offline verify-and-repair (see {!Fsck.repair}); disarms fault
+    injection first. *)
+
+val set_fault_injection : arena -> bool -> unit
+(** Arm/disarm the [Faulty] backend wrapper, if the arena has one
+    (no-op otherwise). *)
+
 val recover : arena -> failed_cid:int -> Recovery.report
 val scan_leaking : arena -> int
 (** Run the §5.3 asynchronous scan over recyclable segments. *)
@@ -57,6 +66,11 @@ val load : ?cfg:Config.t -> string -> arena
 (** Re-attach to a persisted pool image. All client slots found alive in
     the image are declared failed and recovered (they are gone by
     definition); named roots and their object graphs survive. *)
+
+val load_raw : ?cfg:Config.t -> string -> arena
+(** Re-attach without running recovery or the leak scan — the image is
+    presented exactly as saved. This is the loader fsck uses: whatever
+    damage the image carries must still be observable. *)
 
 val service_ctx : arena -> Ctx.t
 (** A context for maintenance operations (stats attribution only). *)

@@ -276,3 +276,19 @@ let directory_refs mem lay =
         go (q + 1) (if qptr = 0 then acc else qptr :: acc)
   in
   go 0 []
+
+let clear_wild_directory_refs mem lay ~valid =
+  let nslots = lay.Layout.cfg.Config.queue_slots in
+  let cleared = ref 0 in
+  for q = 0 to nslots - 1 do
+    let st = Mem.unsafe_peek mem (slot_state lay q) in
+    if phase_of st <> phase_free then begin
+      let qptr = Mem.unsafe_peek mem (slot_qptr lay q) in
+      if qptr <> 0 && not (valid qptr) then begin
+        Mem.unsafe_poke mem (slot_qptr lay q) 0;
+        Mem.unsafe_poke mem (slot_state lay q) phase_free;
+        incr cleared
+      end
+    end
+  done;
+  !cleared

@@ -64,3 +64,9 @@ val recover_endpoints : Ctx.t -> failed_cid:int -> unit
 val directory_refs : Cxlshm_shmem.Mem.t -> Layout.t -> Cxlshm_shmem.Pptr.t list
 (** Validator helper: the queue-object pointers currently held (counted) by
     directory slots. *)
+
+val clear_wild_directory_refs :
+  Cxlshm_shmem.Mem.t -> Layout.t -> valid:(Cxlshm_shmem.Pptr.t -> bool) -> int
+(** Fsck helper (offline use only): free every occupied directory slot whose
+    queue pointer fails [valid] — a wild reference left by corruption —
+    and return how many were cleared. *)

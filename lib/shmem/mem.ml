@@ -1,9 +1,21 @@
 exception Wild_pointer of { addr : int; words : int }
 
+type fault_class = Backend_faulty.fault_class =
+  | Read_poison
+  | Torn_write
+  | Stuck_word
+  | Offline
+
+exception Device_error = Backend_faulty.Device_error
+
+let fault_class_name = Backend_faulty.fault_class_name
+let all_fault_classes = Backend_faulty.all_fault_classes
+
 type backend_spec =
   | Flat
   | Striped of { devices : int; stripe_words : int; tiers : Latency.tier array }
   | Counting_fast
+  | Faulty of { base : backend_spec; fault_spec : Backend_faulty.spec }
 
 type t = {
   b : Mem_intf.packed;
@@ -15,6 +27,7 @@ type t = {
   off_tier : bool array; (* device tier <> base tier *)
   multi : bool; (* any off-tier device: per-access device pricing needed *)
   counting : Backend_counting.t option;
+  faulty : Backend_faulty.t option;
 }
 
 let words_per_line = 8 (* 64-byte cache line / 8-byte words *)
@@ -24,11 +37,11 @@ let pack (type a) (module B : Mem_intf.S with type t = a) (v : a) =
 
 let create ?(tier = Latency.Cxl) ?(backend = Flat) ~words () =
   if words <= 0 then invalid_arg "Mem.create: words must be positive";
-  let b, dev_tiers, counting =
-    match backend with
+  let rec build = function
     | Flat ->
         ( pack (module Backend_flat) (Backend_flat.create ~tier ~words ()),
           [| tier |],
+          None,
           None )
     | Striped { devices; stripe_words; tiers } ->
         let tiers =
@@ -39,11 +52,19 @@ let create ?(tier = Latency.Cxl) ?(backend = Flat) ~words () =
         in
         ( pack (module Backend_striped) s,
           Array.init devices (Backend_striped.device_tier s),
+          None,
           None )
     | Counting_fast ->
         let c = Backend_counting.create ~tier ~words () in
-        (pack (module Backend_counting) c, [| tier |], Some c)
+        (pack (module Backend_counting) c, [| tier |], Some c, None)
+    | Faulty { base; fault_spec } ->
+        let bp, dev_tiers, counting, _ = build base in
+        (* start disarmed: pool formatting and client registration happen on
+           healthy devices; the driver arms the campaign once set up *)
+        let f = Backend_faulty.create ~armed:false ~base:bp ~spec:fault_spec () in
+        (pack (module Backend_faulty) f, dev_tiers, counting, Some f)
   in
+  let b, dev_tiers, counting, faulty = build backend in
   let off_tier = Array.map (fun dt -> dt <> tier) dev_tiers in
   {
     b;
@@ -55,6 +76,7 @@ let create ?(tier = Latency.Cxl) ?(backend = Flat) ~words () =
     off_tier;
     multi = Array.exists Fun.id off_tier;
     counting;
+    faulty;
   }
 
 let words t = t.words
@@ -104,6 +126,18 @@ let device_tier t d =
   t.dev_tiers.(d)
 
 let op_count t = Option.map Backend_counting.ops t.counting
+let fault_injector t = t.faulty
+
+let set_fault_injection t on =
+  match t.faulty with
+  | Some f -> Backend_faulty.arm f on
+  | None -> ()
+
+let fault_injection_armed t =
+  match t.faulty with Some f -> Backend_faulty.is_armed f | None -> false
+
+let injected_faults t =
+  match t.faulty with Some f -> Backend_faulty.injected f | None -> []
 
 (* Re-price an access that landed on a device of a different tier than the
    pool's base model: accumulate the per-kind cost delta so modeled_ns
@@ -268,6 +302,21 @@ let unsafe_peek t p =
 let unsafe_poke t p v =
   check t p;
   b_store t p v
+
+(* Control-plane words (the degraded-device bitmap) are fabric-manager
+   metadata reached out of band: they stay accessible while the data path
+   faults, or escalation could be swallowed by the very fault it records. *)
+let ctl_peek t p =
+  check t p;
+  match t.faulty with
+  | Some f -> Backend_faulty.pristine_load f p
+  | None -> b_load t p
+
+let ctl_poke t p v =
+  check t p;
+  match t.faulty with
+  | Some f -> Backend_faulty.pristine_store f p v
+  | None -> b_store t p v
 
 let snapshot t =
   let (Mem_intf.Packed ((module B), bk)) = t.b in

@@ -19,6 +19,31 @@
 
 exception Wild_pointer of { addr : int; words : int }
 
+(** {1 Device faults}
+
+    Re-exported from {!Backend_faulty}: the [Faulty] backend wrapper raises
+    {!Device_error} on injected device faults (poisoned reads, torn writes,
+    stuck words, offline windows). Transient faults heal on retry; the
+    retry/backoff layer in [lib/core] decides when to give up and mark the
+    device degraded. *)
+
+type fault_class = Backend_faulty.fault_class =
+  | Read_poison  (** poisoned load; transient, no corruption *)
+  | Torn_write  (** store landed partially (low half only); transient *)
+  | Stuck_word  (** media dropped the store, address stuck; persistent *)
+  | Offline  (** whole device off the switch for an op-count window *)
+
+exception
+  Device_error of {
+    dev : int;
+    addr : int;
+    fault : fault_class;
+    transient : bool;
+  }
+
+val fault_class_name : fault_class -> string
+val all_fault_classes : fault_class list
+
 type t
 
 (** {1 Backends} *)
@@ -33,6 +58,9 @@ type backend_spec =
   | Counting_fast
       (** Non-atomic plain-array backend with an exact op counter
           ({!op_count}) — deterministic and fast, single-domain only. *)
+  | Faulty of { base : backend_spec; fault_spec : Backend_faulty.spec }
+      (** Any of the above wrapped in seed-scheduled device-fault injection
+          (see {!Backend_faulty}). *)
 
 val create : ?tier:Latency.tier -> ?backend:backend_spec -> words:int -> unit -> t
 (** Fresh zeroed arena of [words] 8-byte words. Default tier is [Cxl];
@@ -53,6 +81,21 @@ val device_tier : t -> int -> Latency.tier
 val op_count : t -> int option
 (** Exact number of raw word operations executed so far — [Counting_fast]
     backend only ([None] otherwise). *)
+
+val fault_injector : t -> Backend_faulty.t option
+(** The fault-injection wrapper, when the backend spec was [Faulty]. *)
+
+val set_fault_injection : t -> bool -> unit
+(** Arm or disarm fault injection. A [Faulty] pool starts {e disarmed} so
+    formatting and client registration happen on healthy devices — arm it
+    to begin the campaign. Disarming models servicing the device: no new
+    faults fire and stuck media is replaced, but values already swallowed
+    or torn stay corrupted. No-op on non-faulty backends. *)
+
+val fault_injection_armed : t -> bool
+
+val injected_faults : t -> (fault_class * int) list
+(** Per-class injected-fault counts ([[]] on non-faulty backends). *)
 
 val words : t -> int
 val tier : t -> Latency.tier
@@ -108,6 +151,14 @@ val unsafe_peek : t -> Pptr.t -> int
 (** Read without stats attribution — for validators and debug printers. *)
 
 val unsafe_poke : t -> Pptr.t -> int -> unit
+
+val ctl_peek : t -> Pptr.t -> int
+(** Control-plane read: fabric-manager metadata (the degraded-device
+    bitmap) travels out of band, so it never faults and does not advance
+    the injection schedule. Equivalent to {!unsafe_peek} on non-faulty
+    backends. *)
+
+val ctl_poke : t -> Pptr.t -> int -> unit
 
 val snapshot : t -> int array
 (** Copy of every word in global address order (quiesced use only) — the

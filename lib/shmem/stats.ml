@@ -9,6 +9,10 @@ type t = {
   mutable flushes : int;
   mutable xdev_accesses : int;
   mutable xdev_ns : float;
+  mutable dev_faults : int;
+  mutable retries : int;
+  mutable backoff_ns : float;
+  mutable fault_escalations : int;
   mutable last_line : int;
   cache_tags : int array;
 }
@@ -27,6 +31,10 @@ let create () =
     flushes = 0;
     xdev_accesses = 0;
     xdev_ns = 0.0;
+    dev_faults = 0;
+    retries = 0;
+    backoff_ns = 0.0;
+    fault_escalations = 0;
     last_line = -1;
     cache_tags = Array.make cache_lines (-1);
   }
@@ -48,6 +56,10 @@ let reset t =
   t.flushes <- 0;
   t.xdev_accesses <- 0;
   t.xdev_ns <- 0.0;
+  t.dev_faults <- 0;
+  t.retries <- 0;
+  t.backoff_ns <- 0.0;
+  t.fault_escalations <- 0;
   t.last_line <- -1;
   Array.fill t.cache_tags 0 cache_lines (-1)
 
@@ -63,6 +75,10 @@ let copy t =
     flushes = t.flushes;
     xdev_accesses = t.xdev_accesses;
     xdev_ns = t.xdev_ns;
+    dev_faults = t.dev_faults;
+    retries = t.retries;
+    backoff_ns = t.backoff_ns;
+    fault_escalations = t.fault_escalations;
     last_line = t.last_line;
     cache_tags = Array.copy t.cache_tags;
   }
@@ -77,7 +93,11 @@ let add acc s =
   acc.fences <- acc.fences + s.fences;
   acc.flushes <- acc.flushes + s.flushes;
   acc.xdev_accesses <- acc.xdev_accesses + s.xdev_accesses;
-  acc.xdev_ns <- acc.xdev_ns +. s.xdev_ns
+  acc.xdev_ns <- acc.xdev_ns +. s.xdev_ns;
+  acc.dev_faults <- acc.dev_faults + s.dev_faults;
+  acc.retries <- acc.retries + s.retries;
+  acc.backoff_ns <- acc.backoff_ns +. s.backoff_ns;
+  acc.fault_escalations <- acc.fault_escalations + s.fault_escalations
 
 let diff after before =
   {
@@ -91,6 +111,10 @@ let diff after before =
     flushes = after.flushes - before.flushes;
     xdev_accesses = after.xdev_accesses - before.xdev_accesses;
     xdev_ns = after.xdev_ns -. before.xdev_ns;
+    dev_faults = after.dev_faults - before.dev_faults;
+    retries = after.retries - before.retries;
+    backoff_ns = after.backoff_ns -. before.backoff_ns;
+    fault_escalations = after.fault_escalations - before.fault_escalations;
     last_line = after.last_line;
     cache_tags = Array.copy after.cache_tags;
   }
@@ -118,6 +142,7 @@ let modeled_ns m t =
 let pp ppf t =
   Format.fprintf ppf
     "hit=%d seq=%d rand=%d cas=%d+%dh(fail %d) fence=%d flush=%d \
-     xdev=%d(%+.0fns)"
+     xdev=%d(%+.0fns) faults=%d retries=%d(%.0fns backoff) esc=%d"
     t.cache_hits t.seq_accesses t.rand_accesses t.cas_ops t.cas_hit_ops
-    t.cas_failures t.fences t.flushes t.xdev_accesses t.xdev_ns
+    t.cas_failures t.fences t.flushes t.xdev_accesses t.xdev_ns t.dev_faults
+    t.retries t.backoff_ns t.fault_escalations

@@ -25,6 +25,16 @@ type t = {
       (** summed pricing adjustment (device-tier cost minus base-tier cost)
           for the [xdev_accesses]; {!modeled_ns} adds it so cross-device
           accesses are charged at their device's tier. *)
+  mutable dev_faults : int;
+      (** injected device faults ({!Mem.Device_error}) observed by this
+          client — transient and persistent alike. *)
+  mutable retries : int;
+      (** primitive operations re-issued after a transient device fault *)
+  mutable backoff_ns : float;
+      (** summed simulated backoff delay spent between retries *)
+  mutable fault_escalations : int;
+      (** faults that exhausted the retry budget (or were persistent) and
+          were escalated — the device gets marked degraded *)
   mutable last_line : int;  (** last cache line touched, for seq detection *)
   cache_tags : int array;
       (** direct-mapped recently-touched-line filter modelling the CPU

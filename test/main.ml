@@ -7,6 +7,8 @@ let () =
       ("era", Test_era.suite);
       ("recovery", Test_recovery.suite);
       ("fault-injection", Test_fault_injection.suite);
+      ("device-faults", Test_device_faults.suite);
+      ("fsck", Test_fsck.suite);
       ("spsc", Test_spsc.suite);
       ("allocators", Test_allocators.suite);
       ("rpc", Test_rpc.suite);

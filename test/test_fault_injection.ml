@@ -146,7 +146,7 @@ let test_crash_sweep () =
         if n <= 400 then begin
           let ((_, _, _, crashed) as r) =
             run_workload ~seed ~steps:150 ~plan:(fun i ->
-                if i = 0 then Fault.nth_point ~seed ~n else Fault.none)
+                if i = 0 then Fault.nth_point ~n else Fault.none)
           in
           finish_and_validate
             ~label:(Printf.sprintf "seed %d crash@%d" seed n)

@@ -30,7 +30,7 @@ let run_with_crash ~seed ~n =
   for key = 0 to 19 do
     Hashtbl.replace model key (100 + key)
   done;
-  w0.Ctx.fault <- Fault.nth_point ~seed ~n;
+  w0.Ctx.fault <- Fault.nth_point ~n;
   let rng = Random.State.make [| seed |] in
   let in_flight = ref None in
   let crashed = ref false in

@@ -82,6 +82,64 @@ let test_monitor_background_domain () =
   Alcotest.(check bool) "clean after async recovery" true
     (Validate.is_clean (Shm.validate arena))
 
+let test_monitor_survives_device_faults () =
+  (* The monitor is the component everything else relies on for liveness:
+     a poisoned read must not silently kill its domain. Drown it in device
+     faults, watch it count the failures and keep running, then service
+     the devices and check it still reaps a silent client. *)
+  let cfg =
+    {
+      Config.small with
+      Config.backend =
+        Cxlshm_shmem.Mem.Faulty
+          {
+            base = Cxlshm_shmem.Mem.Flat;
+            fault_spec =
+              {
+                Cxlshm_shmem.Backend_faulty.seed = 9;
+                read_poison = 0.9;
+                torn_write = 0.;
+                stuck_word = 0.;
+                offline = [];
+              };
+          };
+    }
+  in
+  let arena = Shm.create ~cfg () in
+  let a = Shm.join arena () in
+  let _held = List.init 3 (fun _ -> Shm.cxl_malloc a ~size_bytes:16 ()) in
+  Shm.set_fault_injection arena true;
+  let mon = Shm.monitor arena ~misses:1 () in
+  let handle = Monitor.run_in_domain mon ~interval:0.001 in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Monitor.error_count mon < 3 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.005
+  done;
+  Alcotest.(check bool) "loop iterations raised and were absorbed" true
+    (Monitor.error_count mon >= 3);
+  (* the devices get serviced; the same domain must still do its job *)
+  Shm.set_fault_injection arena false;
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec wait () =
+    if Client.status (Shm.service_ctx arena) ~cid:a.Ctx.cid = Client.Slot_free
+    then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail "monitor stopped working after device faults"
+    else begin
+      Unix.sleepf 0.005;
+      wait ()
+    end
+  in
+  wait ();
+  (match Monitor.stop_and_join handle mon with
+  | Some (Cxlshm_shmem.Mem.Device_error { transient; _ }) ->
+      Alcotest.(check bool) "remembered a device error" true transient
+  | Some e -> Alcotest.failf "unexpected last error: %s" (Printexc.to_string e)
+  | None -> Alcotest.fail "no error remembered despite injected faults");
+  ignore (Shm.scan_leaking arena);
+  Alcotest.(check bool) "clean after the storm" true
+    (Validate.is_clean (Shm.validate arena))
+
 let test_heartbeat_monotone () =
   let arena = Shm.create ~cfg:Config.small () in
   let a = Shm.join arena () in
@@ -98,4 +156,5 @@ let suite =
     Alcotest.test_case "monitor detects silence" `Quick test_monitor_detects_silence;
     Alcotest.test_case "monitor background domain" `Quick test_monitor_background_domain;
     Alcotest.test_case "heartbeat monotone" `Quick test_heartbeat_monotone;
+    Alcotest.test_case "monitor survives device faults" `Quick test_monitor_survives_device_faults;
   ]

@@ -224,7 +224,7 @@ let test_recovery_restartable () =
   (* Keep crashing the service at successive points until it completes. *)
   let rec attempt n =
     if n > 200 then Alcotest.fail "recovery never completed";
-    svc.Ctx.fault <- Fault.nth_point ~seed:0 ~n;
+    svc.Ctx.fault <- Fault.nth_point ~n;
     match Recovery.resume_interrupted svc with
     | exception Fault.Crashed _ ->
         incr crashed;
@@ -246,6 +246,42 @@ let test_recovery_restartable () =
   let v = Shm.validate arena in
   Alcotest.(check int) "everything reclaimed" 0 v.Validate.live_objects;
   check_clean arena "restartable recovery"
+
+let test_crash_at_mid_phases_then_resume () =
+  (* The directed version of restartability: the recovery service dies at
+     the dedicated Recovery_mid_phases window — after transaction resume,
+     before segment handling — and a fresh service finishes the job. *)
+  let arena, a, _b = setup () in
+  let parent = Shm.cxl_malloc a ~size_bytes:8 ~emb_cnt:1 () in
+  let child = Shm.cxl_malloc a ~size_bytes:8 () in
+  Cxl_ref.set_emb parent 0 child;
+  Cxl_ref.drop child;
+  (* A dies mid-transaction, leaving a redo log to resume. *)
+  a.Ctx.fault <- Fault.at Fault.Txn_after_cas ~nth:1;
+  (try Cxl_ref.clear_emb parent 0 with Fault.Crashed _ -> ());
+  Client.declare_failed (Shm.service_ctx arena) ~cid:a.Ctx.cid;
+  let svc = Shm.service_ctx arena in
+  svc.Ctx.fault <- Fault.at Fault.Recovery_mid_phases ~nth:1;
+  (match Recovery.recover svc ~failed_cid:a.Ctx.cid with
+  | _ -> Alcotest.fail "service must crash at recovery-mid-phases"
+  | exception Fault.Crashed p ->
+      Alcotest.(check string) "crashed at the new point" "recovery-mid-phases" p);
+  svc.Ctx.fault <- Fault.none;
+  (* The half-done recovery is recorded in the arena; a restarted service
+     picks it up. *)
+  (match Recovery.resume_interrupted svc with
+  | Some _ -> ()
+  | None -> Alcotest.fail "interrupted recovery not found on restart");
+  Alcotest.(check bool) "nothing left to resume" true
+    (Recovery.resume_interrupted svc = None);
+  (* Run the client's recovery once more: it must be a no-op, not a
+     double-apply. *)
+  let r2 = Shm.recover arena ~failed_cid:a.Ctx.cid in
+  Alcotest.(check int) "idempotent after resume" 0 r2.Recovery.rootrefs_released;
+  ignore (Shm.scan_leaking arena);
+  let v = Shm.validate arena in
+  Alcotest.(check int) "everything reclaimed" 0 v.Validate.live_objects;
+  check_clean arena "mid-phase crash resumed"
 
 let test_segments_released_after_recovery () =
   let arena, a, _b = setup () in
@@ -289,6 +325,7 @@ let suite =
     Alcotest.test_case "receiver crash windows" `Quick test_receiver_crash_windows;
     Alcotest.test_case "recovery idempotent" `Quick test_recovery_is_idempotent;
     Alcotest.test_case "recovery restartable" `Quick test_recovery_restartable;
+    Alcotest.test_case "crash at mid-phases, resume" `Quick test_crash_at_mid_phases_then_resume;
     Alcotest.test_case "segments released" `Quick test_segments_released_after_recovery;
     Alcotest.test_case "slot reuse after recovery" `Quick test_slot_reuse_after_recovery;
   ]

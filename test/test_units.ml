@@ -91,7 +91,7 @@ let test_fault_at_nth () =
   Alcotest.(check int) "hits counted" 4 (Fault.hits plan)
 
 let test_fault_nth_point () =
-  let plan = Fault.nth_point ~seed:0 ~n:2 in
+  let plan = Fault.nth_point ~n:2 in
   Fault.maybe_crash plan Fault.Alloc_after_link;
   (try
      Fault.maybe_crash plan Fault.Send_after_attach;
