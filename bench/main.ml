@@ -17,6 +17,7 @@ open Cxlshm
 module Mem = Cxlshm_shmem.Mem
 module Stats = Cxlshm_shmem.Stats
 module Latency = Cxlshm_shmem.Latency
+module Histogram = Cxlshm_shmem.Histogram
 module Spsc = Cxlshm_spsc.Spsc_queue
 module Runner = Cxlshm_bench_util.Runner
 module Table = Cxlshm_bench_util.Table
@@ -222,8 +223,8 @@ let bench_fig7 () =
       let _, stats = run_cxl_shm ~threads ~workload:`Threadtest in
       let acc = Stats.create () in
       Array.iter (fun s -> Stats.add acc s) stats;
-      let access, fence, flush = Stats.breakdown_ns model acc in
-      let total = access +. fence +. flush in
+      let access, fence, flush, backoff = Stats.breakdown_ns model acc in
+      let total = access +. fence +. flush +. backoff in
       Table.add_row t
         [
           Table.cell_i threads;
@@ -1188,8 +1189,10 @@ let bench_ablation_eadr () =
         ~write:(fun r -> Cxl_ref.write_word r 0 1)
         ~rounds:(tt_rounds ()) ~batch:tt_batch;
       let ns = Stats.modeled_ns model ctx.Ctx.st in
-      let access, fence, flush = Stats.breakdown_ns model ctx.Ctx.st in
-      let total = access +. fence +. flush in
+      let access, fence, flush, backoff =
+        Stats.breakdown_ns model ctx.Ctx.st
+      in
+      let total = access +. fence +. flush +. backoff in
       Table.add_row t
         [
           label;
@@ -1427,8 +1430,8 @@ let bench_backends () =
     ]
   in
   let rounds = quick 30_000 6_000 in
-  let run_case (label, tier, backend) =
-    let cfg = { (cxl_shm_cfg 1) with Config.tier; backend } in
+  let run_case ~trace (label, tier, backend) =
+    let cfg = { (cxl_shm_cfg 1) with Config.tier; backend; trace } in
     let arena = Shm.create ~cfg () in
     let a = Shm.join arena () in
     let before = Stats.copy a.Ctx.st in
@@ -1447,37 +1450,129 @@ let bench_backends () =
     let d = Stats.diff a.Ctx.st before in
     let modeled_ns = Stats.modeled_ns (Latency.of_tier tier) d in
     let name = Mem.backend_name (Shm.mem arena) in
+    let hists = a.Ctx.hists in
     Shm.leave a;
-    (label, name, wall_ns, modeled_ns, d.Stats.xdev_accesses, d.Stats.xdev_ns)
+    (label, name, wall_ns, modeled_ns, d.Stats.xdev_accesses, d.Stats.xdev_ns,
+     hists)
   in
-  let rows = List.map run_case cases in
+  let rows = List.map (run_case ~trace:false) cases in
+  (* Same cases with spans live: the histograms supply the percentiles and
+     the modeled clocks must come out identical (ring writes are
+     control-plane, never priced). *)
+  let rows_on = List.map (run_case ~trace:true) cases in
+  let clock_identical =
+    List.for_all2
+      (fun (_, _, _, m_off, _, _, _) (_, _, _, m_on, _, _, _) ->
+        Float.abs (m_off -. m_on) < 1e-6)
+      rows rows_on
+  in
+  (* Disabled-trace overhead, measured rather than asserted: the cost of the
+     span branch itself (with_span with tracing off vs a direct call),
+     scaled by the spans one alloc/write/drop round actually executes. *)
+  let span_branch_ns =
+    let arena = Shm.create ~cfg:(cxl_shm_cfg 1) () in
+    let a = Shm.join arena () in
+    let n = 2_000_000 in
+    let f () = Sys.opaque_identity 0 in
+    let (), base_ns =
+      Runner.time_wall (fun () ->
+          for _ = 1 to n do
+            ignore (f ())
+          done)
+    in
+    let (), span_ns =
+      Runner.time_wall (fun () ->
+          for _ = 1 to n do
+            ignore (Trace.with_span a Histogram.Rootref f)
+          done)
+    in
+    Shm.leave a;
+    Float.max 0. ((span_ns -. base_ns) /. float_of_int n)
+  in
+  let spans_per_round =
+    match rows_on with
+    | (_, _, _, _, _, _, hists) :: _ ->
+        let total =
+          Array.fold_left (fun acc h -> acc + Histogram.count h) 0 hists
+        in
+        float_of_int total /. float_of_int rounds
+    | [] -> 0.
+  in
+  let wall_off_flat =
+    match rows with (_, _, w, _, _, _, _) :: _ -> w | [] -> 1.
+  in
+  let disabled_overhead_pct =
+    span_branch_ns *. spans_per_round
+    /. (wall_off_flat /. float_of_int rounds)
+    *. 100.
+  in
+  let enabled_overhead_pct =
+    let sum sel l =
+      List.fold_left (fun acc r -> acc +. sel r) 0. l
+    in
+    let w_off = sum (fun (_, _, w, _, _, _, _) -> w) rows in
+    let w_on = sum (fun (_, _, w, _, _, _, _) -> w) rows_on in
+    (w_on -. w_off) /. w_off *. 100.
+  in
   Printf.printf "single client, %d alloc/write/drop rounds\n" rounds;
   Printf.printf "%-24s %-14s %10s %12s %14s\n" "case" "backend" "Mops(wall)"
     "ns/op(model)" "xdev";
   List.iter
-    (fun (label, name, wall_ns, modeled_ns, xa, xns) ->
+    (fun (label, name, wall_ns, modeled_ns, xa, xns, _) ->
       Printf.printf "%-24s %-14s %10.2f %12.1f %8d %+.0fns\n" label name
         (float_of_int rounds /. (wall_ns /. 1e3))
         (modeled_ns /. float_of_int rounds)
         xa xns)
     rows;
+  Printf.printf
+    "trace: span branch %.2fns x %.1f spans/round -> %.3f%% off-overhead; \
+     %+.1f%% wall when enabled; modeled clock identical: %b\n"
+    span_branch_ns spans_per_round disabled_overhead_pct enabled_overhead_pct
+    clock_identical;
+  let percentiles_json hists =
+    let parts =
+      List.filter_map
+        (fun op ->
+          let h = hists.(Histogram.op_index op) in
+          if Histogram.count h = 0 then None
+          else
+            Some
+              (Printf.sprintf
+                 "\"%s\": {\"count\": %d, \"p50\": %.1f, \"p95\": %.1f, \
+                  \"p99\": %.1f}"
+                 (Histogram.op_name op) (Histogram.count h) (Histogram.p50 h)
+                 (Histogram.p95 h) (Histogram.p99 h)))
+        Histogram.all_ops
+    in
+    "{" ^ String.concat ", " parts ^ "}"
+  in
   let oc = open_out "BENCH_backends.json" in
   Printf.fprintf oc "{\n  \"experiment\": \"backends\",\n  \"rounds\": %d,\n  \"results\": [\n"
     rounds;
   List.iteri
-    (fun i (label, name, wall_ns, modeled_ns, xa, xns) ->
+    (fun i ((label, name, wall_ns, modeled_ns, xa, xns, _),
+            (_, _, _, _, _, _, hists_on)) ->
       Printf.fprintf oc
         "    {\"case\": %S, \"backend\": %S, \"ops\": %d, \"wall_ns\": %.0f, \
          \"ops_per_sec\": %.0f, \"modeled_ns\": %.1f, \"modeled_ns_per_op\": \
-         %.2f, \"xdev_accesses\": %d, \"xdev_ns\": %.1f}%s\n"
+         %.2f, \"xdev_accesses\": %d, \"xdev_ns\": %.1f, \"percentiles\": \
+         %s}%s\n"
         label name rounds wall_ns
         (float_of_int rounds /. (wall_ns /. 1e9))
         modeled_ns
         (modeled_ns /. float_of_int rounds)
         xa xns
+        (percentiles_json hists_on)
         (if i = List.length rows - 1 then "" else ","))
-    rows;
-  Printf.fprintf oc "  ]\n}\n";
+    (List.combine rows rows_on);
+  Printf.fprintf oc
+    "  ],\n\
+    \  \"trace\": {\"span_branch_ns\": %.3f, \"spans_per_round\": %.2f, \
+     \"disabled_trace_overhead_pct\": %.4f, \"enabled_overhead_pct\": %.2f, \
+     \"modeled_clock_identical\": %b}\n\
+     }\n"
+    span_branch_ns spans_per_round disabled_overhead_pct enabled_overhead_pct
+    clock_identical;
   close_out oc;
   Printf.printf "wrote BENCH_backends.json\n"
 

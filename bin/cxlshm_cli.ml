@@ -6,7 +6,9 @@
      stats     print arena geometry for a given configuration
      validate  build a randomized workload and validate the arena
      fsck      verify (and optionally repair) a saved pool image
-     soak      crash-point x device-fault sweep with a JSON report *)
+     soak      crash-point x device-fault sweep with a JSON report
+     trace     replay a client's event ring from a saved image
+     top       per-op latency summary over every ring in a saved image *)
 
 open Cxlshm
 open Cmdliner
@@ -227,40 +229,187 @@ let drill_cmd =
 
 (* ---- validate ---- *)
 
-let validate_run seed steps backend =
-  let arena = Shm.create ~cfg:{ Config.small with Config.backend } () in
+let validate_run seed steps backend trace crash_point crash_nth out_image =
+  let arena =
+    Shm.create ~cfg:{ Config.small with Config.backend; trace } ()
+  in
   let a = Shm.join arena () in
+  (match crash_point with
+  | None -> ()
+  | Some n -> (
+      match
+        List.find_opt (fun p -> Fault.point_name p = n) Fault.all_points
+      with
+      | Some p -> a.Ctx.fault <- Fault.at p ~nth:crash_nth
+      | None ->
+          Printf.eprintf "unknown crash point %s\n" n;
+          exit 2));
   let rng = Random.State.make [| seed |] in
   let held = ref [] in
-  for _ = 1 to steps do
-    match Random.State.int rng 3 with
-    | 0 ->
-        held :=
-          Shm.cxl_malloc a ~size_bytes:(8 + Random.State.int rng 64) () :: !held
-    | 1 -> (
-        match !held with
-        | r :: rest ->
-            held := rest;
-            Cxl_ref.drop r
-        | [] -> ())
-    | _ -> (
-        match !held with
-        | r :: _ -> Cxl_ref.write_word r 0 (Random.State.int rng 1000)
-        | [] -> ())
-  done;
-  List.iter Cxl_ref.drop !held;
+  let crashed =
+    try
+      for _ = 1 to steps do
+        match Random.State.int rng 3 with
+        | 0 ->
+            held :=
+              Shm.cxl_malloc a ~size_bytes:(8 + Random.State.int rng 64) ()
+              :: !held
+        | 1 -> (
+            match !held with
+            | r :: rest ->
+                held := rest;
+                Cxl_ref.drop r
+            | [] -> ())
+        | _ -> (
+            match !held with
+            | r :: _ -> Cxl_ref.write_word r 0 (Random.State.int rng 1000)
+            | [] -> ())
+      done;
+      List.iter Cxl_ref.drop !held;
+      false
+    with Fault.Crashed msg ->
+      Printf.printf "client %d crashed at %s\n" a.Ctx.cid msg;
+      true
+  in
+  (* Save before recovery so the image holds the crash-time ring. *)
+  (match out_image with
+  | None -> ()
+  | Some path ->
+      Shm.save arena path;
+      Printf.printf "image saved to %s\n" path);
+  if crashed then begin
+    let svc = Shm.service_ctx arena in
+    Client.declare_failed svc ~cid:a.Ctx.cid;
+    ignore (Shm.recover arena ~failed_cid:a.Ctx.cid);
+    ignore (Shm.scan_leaking arena)
+  end;
   let v = Shm.validate arena in
   Format.printf "validation: %a@." Validate.pp v;
   if Validate.is_clean v then 0 else 1
 
 let validate_cmd =
   Cmd.v
-    (Cmd.info "validate" ~doc:"Random workload + whole-arena validation.")
+    (Cmd.info "validate"
+       ~doc:
+         "Random workload + whole-arena validation; optionally kill the \
+          client at a crash point and save the pre-recovery image.")
     Term.(
       const validate_run
       $ Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
       $ Arg.(value & opt int 1000 & info [ "steps" ] ~doc:"Workload steps.")
-      $ backend_term)
+      $ backend_term
+      $ Arg.(
+          value & flag
+          & info [ "trace" ] ~doc:"Enable the observability layer.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "crash-point" ]
+              ~doc:"Kill the client at this crash point (see $(b,drill)).")
+      $ Arg.(
+          value & opt int 1
+          & info [ "crash-nth" ]
+              ~doc:"Crash at the n-th occurrence of the point (1-based).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "out-image" ]
+              ~doc:
+                "Save the arena here before recovery runs (feed it to \
+                 $(b,trace)/$(b,top)/$(b,fsck))."))
+
+(* ---- trace / top ---- *)
+
+let trace_view image cid last =
+  let arena = Shm.load_raw image in
+  let mem = Shm.mem arena and lay = Shm.layout arena in
+  if cid < 0 || cid >= lay.Layout.cfg.Config.max_clients then begin
+    Printf.eprintf "cid %d out of range\n" cid;
+    exit 2
+  end;
+  let events = Trace.dump mem lay ~cid ?last () in
+  if events = [] then begin
+    Printf.printf "client %d: no trace events (tracing off?)\n" cid;
+    0
+  end
+  else begin
+    Printf.printf "client %d: %d events\n" cid (List.length events);
+    List.iter (fun e -> Format.printf "%a@." Trace.pp_event e) events;
+    0
+  end
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Replay a client's shared-memory event ring from a saved image \
+          (works on crashed, unrecovered images).")
+    Term.(
+      const trace_view
+      $ Arg.(
+          required
+          & pos 0 (some file) None
+          & info [] ~docv:"IMAGE" ~doc:"Pool image from $(b,save).")
+      $ Arg.(value & opt int 0 & info [ "cid" ] ~doc:"Client id.")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "last" ] ~doc:"Only the most recent K events."))
+
+let top image =
+  let module Histogram = Cxlshm_shmem.Histogram in
+  let arena = Shm.load_raw image in
+  let mem = Shm.mem arena and lay = Shm.layout arena in
+  let cfg = lay.Layout.cfg in
+  let hists = Histogram.create_set () in
+  let total = ref 0 in
+  for cid = 0 to cfg.Config.max_clients - 1 do
+    let events = Trace.dump mem lay ~cid () in
+    if events <> [] then begin
+      total := !total + List.length events;
+      Printf.printf "client %-3d %d events\n" cid (List.length events);
+      List.iter
+        (fun e ->
+          match e.Trace.phase with
+          | Trace.End ->
+              Histogram.record
+                hists.(Histogram.op_index e.Trace.op)
+                (float_of_int e.Trace.dur_ns)
+          | Trace.Begin | Trace.Err -> ())
+        events
+    end
+  done;
+  if !total = 0 then begin
+    Printf.printf "no trace events in %s (tracing off?)\n" image;
+    0
+  end
+  else begin
+    Printf.printf "%-14s %8s %10s %10s %10s %10s %10s\n" "op" "count"
+      "mean ns" "p50 ns" "p95 ns" "p99 ns" "max ns";
+    List.iter
+      (fun op ->
+        let h = hists.(Histogram.op_index op) in
+        if Histogram.count h > 0 then
+          Printf.printf "%-14s %8d %10.0f %10.0f %10.0f %10.0f %10.0f\n"
+            (Histogram.op_name op) (Histogram.count h) (Histogram.mean_ns h)
+            (Histogram.p50 h) (Histogram.p95 h) (Histogram.p99 h)
+            (Histogram.max_ns h))
+      Histogram.all_ops;
+    0
+  end
+
+let top_cmd =
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Aggregate every client's event ring in a saved image into per-op \
+          latency summaries (completed spans only).")
+    Term.(
+      const top
+      $ Arg.(
+          required
+          & pos 0 (some file) None
+          & info [] ~docv:"IMAGE" ~doc:"Pool image from $(b,save)."))
 
 (* ---- dump ---- *)
 
@@ -469,4 +618,6 @@ let () =
             dump_cmd;
             fsck_cmd;
             soak_cmd;
+            trace_cmd;
+            top_cmd;
           ]))

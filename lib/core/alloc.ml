@@ -1,5 +1,7 @@
 exception Out_of_shared_memory
 
+module Histogram = Cxlshm_shmem.Histogram
+
 let data_words_for _cfg ~size_bytes ~emb_cnt =
   if size_bytes < 0 || emb_cnt < 0 then
     invalid_arg "Alloc.data_words_for: negative size";
@@ -179,6 +181,7 @@ let rec ensure_page (ctx : Ctx.t) ~idx ~kind ~block_words ~fuel =
 (* ------------------------------------------------------------------ *)
 
 let alloc_rootref (ctx : Ctx.t) =
+  Trace.with_span ctx Histogram.Rootref @@ fun () ->
   let cfg = Ctx.cfg ctx in
   let kind = Config.kind_rootref cfg in
   let idx = Layout.(ctx.lay.num_classes) in
@@ -340,9 +343,16 @@ let alloc_obj (ctx : Ctx.t) ~data_words ~emb_cnt =
   if emb_cnt > data_words then
     invalid_arg "Alloc.alloc_obj: emb_cnt exceeds data_words";
   let cfg = Ctx.cfg ctx in
+  let cls = Config.class_of_data_words cfg data_words in
+  let op =
+    match cls with
+    | Some _ -> Histogram.Alloc_small
+    | None -> Histogram.Alloc_huge
+  in
+  Trace.with_span ctx op @@ fun () ->
   let rr = alloc_rootref ctx in
   Ctx.crash_point ctx Fault.Alloc_after_rootref;
-  match Config.class_of_data_words cfg data_words with
+  match cls with
   | Some c ->
       let obj =
         link_and_carve ctx rr ~idx:c ~kind:(Config.kind_of_class c)

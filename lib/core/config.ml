@@ -8,6 +8,8 @@ type t = {
   tier : Cxlshm_shmem.Latency.tier;
   backend : Cxlshm_shmem.Mem.backend_spec;
   eadr : bool;
+  trace : bool;
+  trace_slots : int;
 }
 
 let default =
@@ -21,6 +23,8 @@ let default =
     tier = Cxlshm_shmem.Latency.Cxl;
     backend = Cxlshm_shmem.Mem.Flat;
     eadr = false;
+    trace = false;
+    trace_slots = 256;
   }
 
 let small =
@@ -34,6 +38,8 @@ let small =
     tier = Cxlshm_shmem.Latency.Cxl;
     backend = Cxlshm_shmem.Mem.Flat;
     eadr = false;
+    trace = false;
+    trace_slots = 128;
   }
 
 let header_words = 2
@@ -51,6 +57,8 @@ let validate t =
     fail "page_words must be a power of two";
   if t.queue_slots < 1 then fail "queue_slots must be positive";
   if t.worklist_words < 16 then fail "worklist_words must be >= 16";
+  if t.trace_slots < 16 || t.trace_slots > 1 lsl 20 then
+    fail "trace_slots must be in [16, 2^20]";
   let prob name p =
     if p < 0. || p > 1. then fail (name ^ " must be a probability in [0, 1]")
   in

@@ -26,6 +26,15 @@ type t = {
           failure, so the fast path's RootRef CLWB is unnecessary (§6.1:
           "this flush may not be required in a CXL 3.0 based
           implementation"). Ablation knob for the bench harness. *)
+  trace : bool;
+      (** Enable the observability layer: per-op spans feed latency
+          histograms and write events into the client's shared-memory
+          event ring (see {!Trace}). Off by default; the ring region is
+          reserved in the layout either way, so images stay comparable,
+          but with [trace = false] every span is a single branch. *)
+  trace_slots : int;
+      (** Event-ring capacity per client (events kept); the ring wraps.
+          Must be in [16, 2^20]. *)
 }
 
 val default : t

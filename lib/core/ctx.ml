@@ -10,6 +10,8 @@ type t = {
   mutable fault : Fault.plan;
   mutable retry : Retry.policy;
   rng : Random.State.t;
+  mutable trace_on : bool;
+  hists : Cxlshm_shmem.Histogram.t array;
 }
 
 let make ~mem ~lay ~cid =
@@ -24,6 +26,8 @@ let make ~mem ~lay ~cid =
     fault = Fault.none;
     retry = Retry.default_policy;
     rng = Random.State.make [| 0x5eed; cid |];
+    trace_on = lay.Layout.cfg.Config.trace;
+    hists = Cxlshm_shmem.Histogram.create_set ();
   }
 
 let cfg t = t.lay.Layout.cfg

@@ -18,6 +18,12 @@ type t = {
       (** retry/backoff budget for transient device faults; defaults to
           {!Retry.default_policy}, set {!Retry.no_retry} to fail fast *)
   rng : Random.State.t;  (** client-local randomness (segment probing) *)
+  mutable trace_on : bool;
+      (** observability switch, seeded from [Config.trace]; when off every
+          {!Trace.with_span} is a single branch *)
+  hists : Cxlshm_shmem.Histogram.t array;
+      (** per-op latency histograms (local memory), indexed by
+          {!Cxlshm_shmem.Histogram.op_index}; fed by spans when tracing *)
 }
 
 val make : mem:Cxlshm_shmem.Mem.t -> lay:Layout.t -> cid:int -> t

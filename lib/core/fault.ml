@@ -17,6 +17,7 @@ type point =
   | Send_after_attach
   | Recv_after_attach
   | Recv_after_detach
+  | Recv_after_advance
   | Slowpath_after_page_claim
   | Slowpath_after_segment_claim
   | Recovery_mid_phases
@@ -38,6 +39,7 @@ let point_name = function
   | Send_after_attach -> "send-after-attach"
   | Recv_after_attach -> "recv-after-attach"
   | Recv_after_detach -> "recv-after-detach"
+  | Recv_after_advance -> "recv-after-advance"
   | Slowpath_after_page_claim -> "slowpath-after-page-claim"
   | Slowpath_after_segment_claim -> "slowpath-after-segment-claim"
   | Recovery_mid_phases -> "recovery-mid-phases"
@@ -60,6 +62,7 @@ let all_points =
     Send_after_attach;
     Recv_after_attach;
     Recv_after_detach;
+    Recv_after_advance;
     Slowpath_after_page_claim;
     Slowpath_after_segment_claim;
     Recovery_mid_phases;

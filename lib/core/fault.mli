@@ -31,6 +31,8 @@ type point =
   | Send_after_attach            (** queue slot holds the ref, tail not moved *)
   | Recv_after_attach            (** local RootRef linked, slot not released *)
   | Recv_after_detach            (** slot released, head not advanced *)
+  | Recv_after_advance           (** head advanced and flushed, result not
+                                     yet returned to the caller *)
   | Slowpath_after_page_claim    (** page kind set, free chain incomplete *)
   | Slowpath_after_segment_claim (** segment CAS won, cursor not updated *)
   | Recovery_mid_phases          (** recovery service dies mid-recovery *)

@@ -42,6 +42,7 @@ type report = {
   counts_fixed : int;
   chains_rebuilt : int;  (** pages whose free chain had to be reconstructed *)
   stacks_cleared : int;  (** non-empty cross-client free stacks zeroed *)
+  trace_rings_reset : int;  (** event rings zeroed (bad cursor / torn slot) *)
   validation : Validate.t;  (** final post-repair verdict *)
 }
 
@@ -50,11 +51,11 @@ let clean r = Validate.is_clean r.validation
 let pp ppf r =
   Format.fprintf ppf
     "seg-meta=%d quarantined=%d page-meta=%d torn=%d swept=%d(sweep-errs=%d) \
-     wild=%d freed=%d counts=%d chains=%d stacks=%d | %a"
+     wild=%d freed=%d counts=%d chains=%d stacks=%d rings=%d | %a"
     r.seg_meta_fixed r.pages_quarantined r.page_meta_fixed
     r.torn_headers_cleared r.clients_swept r.sweep_errors r.wild_refs_cleared
     r.unreachable_freed r.counts_fixed r.chains_rebuilt r.stacks_cleared
-    Validate.pp r.validation
+    r.trace_rings_reset Validate.pp r.validation
 
 let check mem lay = Validate.run mem lay
 
@@ -72,6 +73,7 @@ type acc = {
   mutable counts : int;
   mutable chains : int;
   mutable stacks : int;
+  mutable rings : int;
 }
 
 let repair (ctx : Ctx.t) =
@@ -83,7 +85,7 @@ let repair (ctx : Ctx.t) =
   let peek = Mem.unsafe_peek mem and poke = Mem.unsafe_poke mem in
   let a =
     { segf = 0; quar = 0; pmeta = 0; torn = 0; swept = 0; swerr = 0; wild = 0;
-      freed = 0; counts = 0; chains = 0; stacks = 0 }
+      freed = 0; counts = 0; chains = 0; stacks = 0; rings = 0 }
   in
   let ns = cfg.Config.num_segments and pps = cfg.Config.pages_per_segment in
   let rr_kind = Config.kind_rootref cfg in
@@ -209,6 +211,41 @@ let repair (ctx : Ctx.t) =
         (* left at count 0: the mark pass frees the whole run *)
         a.torn <- a.torn + 1
       end
+    end
+  done;
+
+  (* ---- pass 1.5: trace-ring integrity ----
+     Checked before the recovery sweep because the sweep itself may append
+     events (the service context traces its recovery spans). A ring with a
+     negative cursor or an undecodable published slot has been hit by the
+     same damage the other passes repair; the events are forensics, not
+     invariants, so the whole ring is simply zeroed. *)
+  let slots = cfg.Config.trace_slots in
+  for cid = 0 to cfg.Config.max_clients - 1 do
+    let cur = peek (Layout.trace_cursor lay cid) in
+    let window = if cur < 0 then 0 else min cur slots in
+    let bad = ref (cur < 0) in
+    for k = 0 to window - 1 do
+      let n = cur - 1 - k in
+      let slot = Layout.trace_slot lay cid (n mod slots) in
+      let tag = peek slot in
+      if
+        tag < 0
+        || tag >= Cxlshm_shmem.Histogram.num_ops * 4
+        || tag land 3 > 2
+        || peek (slot + 3) < 0
+        || peek (slot + 4) < 0
+      then bad := true
+    done;
+    if !bad then begin
+      poke (Layout.trace_cursor lay cid) 0;
+      for k = 0 to slots - 1 do
+        let slot = Layout.trace_slot lay cid k in
+        for w = 0 to Layout.trace_slot_words - 1 do
+          poke (slot + w) 0
+        done
+      done;
+      a.rings <- a.rings + 1
     end
   done;
 
@@ -441,5 +478,6 @@ let repair (ctx : Ctx.t) =
     counts_fixed = a.counts;
     chains_rebuilt = a.chains;
     stacks_cleared = a.stacks;
+    trace_rings_reset = a.rings;
     validation = Validate.run mem lay;
   }

@@ -28,6 +28,9 @@ type report = {
   counts_fixed : int;  (** reference counts rewritten to holder counts *)
   chains_rebuilt : int;  (** pages whose free chain was reconstructed *)
   stacks_cleared : int;  (** non-empty cross-client free stacks zeroed *)
+  trace_rings_reset : int;
+      (** per-client event rings zeroed because the cursor or a published
+          slot failed to decode (torn control-plane store) *)
   validation : Validate.t;  (** final post-repair verdict *)
 }
 

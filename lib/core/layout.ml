@@ -10,6 +10,8 @@ type t = {
   locks_base : int;
   roots_base : int;
   recovery_base : int;
+  trace_base : int;
+  trace_ring_words : int;
   segments_base : int;
   segment_words : int;
   seg_hdr_words : int;
@@ -27,6 +29,12 @@ let recovery_hdr_words = 16
 let lock_stripes = 64
 let root_slots = 64
 let root_slot_words = 2
+
+(* Per-client trace ring: a cursor word (monotone event counter; slot =
+   counter mod trace_slots) plus fixed-width event slots of
+   {tag, addr, era, dur_ns, t_ns}. *)
+let trace_hdr_words = 2
+let trace_slot_words = 5
 
 let align8 n = (n + 7) land lnot 7
 
@@ -51,8 +59,14 @@ let make cfg =
   in
   let roots_base = align8 (locks_base + lock_stripes) in
   let recovery_base = align8 (roots_base + (root_slots * root_slot_words)) in
-  let segments_base =
+  let trace_base =
     align8 (recovery_base + recovery_hdr_words + cfg.Config.worklist_words)
+  in
+  let trace_ring_words =
+    align8 (trace_hdr_words + (trace_slot_words * cfg.Config.trace_slots))
+  in
+  let segments_base =
+    align8 (trace_base + (trace_ring_words * cfg.Config.max_clients))
   in
   let seg_hdr_words =
     align8 (8 + (page_meta_words * cfg.Config.pages_per_segment))
@@ -72,6 +86,8 @@ let make cfg =
     locks_base;
     roots_base;
     recovery_base;
+    trace_base;
+    trace_ring_words;
     segments_base;
     segment_words;
     seg_hdr_words;
@@ -141,6 +157,17 @@ let recovery_wl_slot t i =
   if i < 0 || i >= recovery_wl_capacity t then
     invalid_arg "Layout.recovery_wl_slot: out of range";
   t.recovery_base + recovery_hdr_words + i
+
+let trace_ring t i =
+  check_cid t i;
+  t.trace_base + (i * t.trace_ring_words)
+
+let trace_cursor t i = trace_ring t i
+
+let trace_slot t i k =
+  if k < 0 || k >= t.cfg.Config.trace_slots then
+    invalid_arg "Layout.trace_slot: out of range";
+  trace_ring t i + trace_hdr_words + (k * trace_slot_words)
 
 let num_pages_total t = t.cfg.Config.num_segments * t.cfg.Config.pages_per_segment
 

@@ -11,6 +11,7 @@
     ClientLocalVec         one ClientLocalState per client
     queue directory        well-known transfer-queue registry (§5.2)
     recovery area          persistent DFS worklist + resume cursor
+    trace rings            per-client event rings (observability layer)
     segments               segment header (page metas) + page areas
     v}
 
@@ -27,6 +28,8 @@ type t = private {
   locks_base : int;
   roots_base : int;
   recovery_base : int;
+  trace_base : int;
+  trace_ring_words : int;
   segments_base : int;
   segment_words : int;
   seg_hdr_words : int;
@@ -115,6 +118,26 @@ val recovery_phase : t -> Cxlshm_shmem.Pptr.t
 val recovery_wl_top : t -> Cxlshm_shmem.Pptr.t
 val recovery_wl_slot : t -> int -> Cxlshm_shmem.Pptr.t
 val recovery_wl_capacity : t -> int
+
+(** {1 Trace rings}
+
+    One fixed-size event ring per client, written by the observability layer
+    ({!Trace}) with control-plane stores so a dead client's last events
+    survive in shared memory for the monitor and [cxlshm trace]. Ring layout:
+    a monotone write-cursor word, a reserved word, then
+    [Config.trace_slots] slots of {!trace_slot_words} words each
+    ({v tag, addr, era, dur_ns, t_ns v}); the slot for event [n] is
+    [n mod trace_slots]. *)
+
+val trace_hdr_words : int
+val trace_slot_words : int
+
+val trace_ring : t -> int -> Cxlshm_shmem.Pptr.t
+(** Base of client [i]'s ring (= its cursor word). *)
+
+val trace_cursor : t -> int -> Cxlshm_shmem.Pptr.t
+val trace_slot : t -> int -> int -> Cxlshm_shmem.Pptr.t
+(** [trace_slot lay cid k] — first word of slot [k] of client [cid]. *)
 
 (** {1 Segments, pages, blocks} *)
 

@@ -5,7 +5,11 @@ type t = {
   stale : int array;  (** consecutive checks without progress *)
   errors : int Atomic.t;  (** loop iterations that raised *)
   last_error : exn option Atomic.t;
+  mutable death_dumps : (int * Trace.event list) list;
+      (** newest first: (cid, last ring events) captured at declare-failed *)
 }
+
+let death_dump_events = 16
 
 let create ~mem ~lay ?(misses = 3) () =
   let m = lay.Layout.cfg.Config.max_clients in
@@ -16,9 +20,11 @@ let create ~mem ~lay ?(misses = 3) () =
     stale = Array.make m 0;
     errors = Atomic.make 0;
     last_error = Atomic.make None;
+    death_dumps = [];
   }
 
 let ctx t = t.ctx
+let death_dumps t = t.death_dumps
 let error_count t = Atomic.get t.errors
 let last_error t = Atomic.get t.last_error
 let degraded_devices t = Ctx.degraded_devices t.ctx
@@ -34,6 +40,13 @@ let check_once t =
           t.stale.(cid) <- t.stale.(cid) + 1;
           if t.stale.(cid) >= t.misses then begin
             Client.declare_failed t.ctx ~cid;
+            (* Forensics before recovery touches anything: the dead
+               client's last ring events show the op it died inside. *)
+            let events =
+              Trace.dump t.ctx.Ctx.mem t.ctx.Ctx.lay ~cid
+                ~last:death_dump_events ()
+            in
+            t.death_dumps <- (cid, events) :: t.death_dumps;
             suspects := cid :: !suspects
           end
         end

@@ -12,7 +12,13 @@ val create : mem:Cxlshm_shmem.Mem.t -> lay:Layout.t -> ?misses:int -> unit -> t
 
 val check_once : t -> int list
 (** Sample heartbeats; returns the clients newly suspected dead (they are
-    declared [Failed] but not yet recovered). *)
+    declared [Failed] but not yet recovered). Each newly declared failure
+    also captures the client's last trace-ring events (see
+    {!death_dumps}) before recovery touches the arena. *)
+
+val death_dumps : t -> (int * Trace.event list) list
+(** Event-ring dumps captured when clients were declared failed, newest
+    first. Empty events lists mean the client wasn't tracing. *)
 
 val recover_suspects : t -> (int * Recovery.report) list
 (** Run recovery for every client currently in [Failed] state. *)

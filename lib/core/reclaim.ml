@@ -113,6 +113,7 @@ let scan_segment (ctx : Ctx.t) seg =
   end
 
 let scan_all (ctx : Ctx.t) ~is_client_alive =
+  Trace.with_span ctx Cxlshm_shmem.Histogram.Recovery_scan @@ fun () ->
   let cfg = Ctx.cfg ctx in
   let recycled = ref 0 in
   for seg = 0 to cfg.Config.num_segments - 1 do

@@ -306,6 +306,7 @@ let handle_segments (ctx : Ctx.t) ~cid report =
 (* ------------------------------------------------------------------ *)
 
 let run_phases (ctx : Ctx.t) ~cid =
+  Trace.with_span ctx Cxlshm_shmem.Histogram.Recovery_scan @@ fun () ->
   let report = ref empty_report in
   Client.declare_failed ctx ~cid;
   let resumed = resume_txn ctx ~cid in

@@ -33,6 +33,8 @@ let modify_refcnt (ctx : Ctx.t) ~as_cid ~op ~ref_addr ~refed ~refed2 ~delta =
   loop ()
 
 let attach_as (ctx : Ctx.t) ~as_cid ~ref_addr ~refed =
+  Trace.with_span ctx Cxlshm_shmem.Histogram.Refc_attach ~addr:refed
+  @@ fun () ->
   let _ =
     modify_refcnt ctx ~as_cid ~op:Redo_log.Attach ~ref_addr ~refed ~refed2:0
       ~delta:1
@@ -43,6 +45,8 @@ let attach_as (ctx : Ctx.t) ~as_cid ~ref_addr ~refed =
   Era.advance_for ctx ~cid:as_cid
 
 let detach_as (ctx : Ctx.t) ~as_cid ~ref_addr ~refed =
+  Trace.with_span ctx Cxlshm_shmem.Histogram.Refc_detach ~addr:refed
+  @@ fun () ->
   let n =
     modify_refcnt ctx ~as_cid ~op:Redo_log.Detach ~ref_addr ~refed ~refed2:0
       ~delta:(-1)

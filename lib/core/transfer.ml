@@ -1,4 +1,5 @@
 module Mem = Cxlshm_shmem.Mem
+module Histogram = Cxlshm_shmem.Histogram
 
 type endpoint = Sender | Receiver
 
@@ -115,6 +116,8 @@ type send_result = Sent | Full | Closed
 
 let send t payload =
   assert (t.endpoint = Sender);
+  Trace.with_span t.ctx Histogram.Transfer_send ~addr:(Cxl_ref.obj t.qref)
+  @@ fun () ->
   let flags = qload t w_flags in
   if flags land flag_receiver_closed <> 0 then Closed
   else begin
@@ -138,6 +141,8 @@ type recv_result = Received of Cxl_ref.t | Empty | Drained
 
 let receive t =
   assert (t.endpoint = Receiver);
+  Trace.with_span t.ctx Histogram.Transfer_recv ~addr:(Cxl_ref.obj t.qref)
+  @@ fun () ->
   let head = qload t w_head in
   let tail = qload t w_tail in
   if head = tail then
@@ -154,7 +159,16 @@ let receive t =
     let n = Refc.detach t.ctx ~ref_addr:slot ~refed:obj in
     assert (n >= 1);
     Ctx.crash_point t.ctx Fault.Recv_after_detach;
+    (* The slot detach must be visible before the head store publishes the
+       slot back to the sender — and the head must be persistent before we
+       hand the result out, mirroring [send]'s fence + tail flush. Without
+       the fence a sender sees the advanced head while the slot still holds
+       the old reference; without the flush a crash here replays a message
+       the caller already consumed. *)
+    Ctx.fence t.ctx;
     qstore t w_head (head + 1);
+    Ctx.flush t.ctx (qword t.ctx qobj ~cap:t.capacity w_head);
+    Ctx.crash_point t.ctx Fault.Recv_after_advance;
     Received (Cxl_ref.of_rootref t.ctx rr)
   end
 

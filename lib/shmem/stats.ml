@@ -122,6 +122,9 @@ let diff after before =
 let total_accesses t =
   t.cache_hits + t.seq_accesses + t.rand_accesses + t.cas_ops + t.cas_hit_ops
 
+(* Backoff is part of the modeled clock: a retried transient device fault
+   really does stall the client for the simulated delay, so leaving it out
+   of breakdown_ns/modeled_ns under-reports faulty-backend runs. *)
 let breakdown_ns (m : Latency.t) t =
   let access =
     (float_of_int t.cache_hits *. m.hit_ns)
@@ -133,11 +136,50 @@ let breakdown_ns (m : Latency.t) t =
   in
   let fence = float_of_int t.fences *. m.fence_ns in
   let flush = float_of_int t.flushes *. m.flush_ns in
-  (access, fence, flush)
+  (access, fence, flush, t.backoff_ns)
 
 let modeled_ns m t =
-  let access, fence, flush = breakdown_ns m t in
-  access +. fence +. flush
+  let access, fence, flush, backoff = breakdown_ns m t in
+  access +. fence +. flush +. backoff
+
+(* Scalar snapshot for spans: capturing the handful of counters modeled_ns
+   depends on costs a record allocation, not a 16K-entry cache-tag copy, so
+   the tracing layer can probe around every hot-path operation. *)
+type probe = {
+  p_cache_hits : int;
+  p_seq : int;
+  p_rand : int;
+  p_cas : int;
+  p_cas_hit : int;
+  p_fences : int;
+  p_flushes : int;
+  p_xdev_ns : float;
+  p_backoff_ns : float;
+}
+
+let probe t =
+  {
+    p_cache_hits = t.cache_hits;
+    p_seq = t.seq_accesses;
+    p_rand = t.rand_accesses;
+    p_cas = t.cas_ops;
+    p_cas_hit = t.cas_hit_ops;
+    p_fences = t.fences;
+    p_flushes = t.flushes;
+    p_xdev_ns = t.xdev_ns;
+    p_backoff_ns = t.backoff_ns;
+  }
+
+let probe_ns (m : Latency.t) t ~since:p =
+  (float_of_int (t.cache_hits - p.p_cache_hits) *. m.hit_ns)
+  +. (float_of_int (t.seq_accesses - p.p_seq) *. m.seq_ns)
+  +. (float_of_int (t.rand_accesses - p.p_rand) *. m.rand_ns)
+  +. (float_of_int (t.cas_ops - p.p_cas) *. m.cas_ns)
+  +. (float_of_int (t.cas_hit_ops - p.p_cas_hit) *. m.cas_hit_ns)
+  +. (t.xdev_ns -. p.p_xdev_ns)
+  +. (float_of_int (t.fences - p.p_fences) *. m.fence_ns)
+  +. (float_of_int (t.flushes - p.p_flushes) *. m.flush_ns)
+  +. (t.backoff_ns -. p.p_backoff_ns)
 
 let pp ppf t =
   Format.fprintf ppf

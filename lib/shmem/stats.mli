@@ -62,9 +62,25 @@ val note_line : t -> int -> bool
     Used by {!Mem}; exposed for tests. *)
 
 val modeled_ns : Latency.t -> t -> float
-(** Modeled execution time in nanoseconds under the given cost model. *)
+(** Modeled execution time in nanoseconds under the given cost model,
+    including the simulated retry backoff ({!t.backoff_ns}). *)
 
-val breakdown_ns : Latency.t -> t -> float * float * float
-(** [(access_ns, fence_ns, flush_ns)] — the Fig 7 decomposition. *)
+val breakdown_ns : Latency.t -> t -> float * float * float * float
+(** [(access_ns, fence_ns, flush_ns, backoff_ns)] — the Fig 7
+    decomposition plus the simulated retry-backoff stall; their sum is
+    {!modeled_ns}. *)
+
+(** {1 Span probes}
+
+    A [probe] snapshots just the scalar counters {!modeled_ns} depends on
+    (no cache-tag copy), so per-operation spans can price the traffic they
+    bracket without perturbing the run. *)
+
+type probe
+
+val probe : t -> probe
+
+val probe_ns : Latency.t -> t -> since:probe -> float
+(** Modeled nanoseconds accumulated in [t] since the probe was taken. *)
 
 val pp : Format.formatter -> t -> unit

@@ -21,7 +21,11 @@ let create mem ~st ~base ~capacity =
 let attach mem ~st ~base =
   if Mem.load mem ~st base <> magic then
     invalid_arg "Spsc_queue.attach: no queue at this address";
-  { mem; base; cap = Mem.load mem ~st (base + 1) }
+  let cap = Mem.load mem ~st (base + 1) in
+  (* A corrupt header with the magic intact would otherwise surface later
+     as Division_by_zero in [slot]. *)
+  if cap < 1 then invalid_arg "Spsc_queue.attach: corrupt capacity";
+  { mem; base; cap }
 
 let capacity t = t.cap
 let head t ~st = Mem.load t.mem ~st (t.base + 2)
@@ -43,6 +47,10 @@ let try_pop t ~st =
   if hd = tail t ~st then None
   else begin
     let v = Mem.load t.mem ~st (slot t hd) in
+    (* The slot read must complete before the head store publishes the slot
+       back to the producer, mirroring the fence in [try_push]; without it
+       the producer may overwrite the slot while we still hold a stale [v]. *)
+    Mem.fence t.mem ~st;
     Mem.store t.mem ~st (t.base + 2) (hd + 1);
     Some v
   end

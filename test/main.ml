@@ -27,4 +27,5 @@ let () =
       ("units", Test_units.suite);
       ("gc-persist", Test_gc_persist.suite);
       ("structures", Test_structures.suite);
+      ("trace", Test_trace.suite);
     ]

@@ -207,6 +207,30 @@ let test_retry_never_crosses_commit () =
   Alcotest.(check int) "not re-run" 1 !calls;
   Alcotest.(check int) "escalated" 1 st.Stats.fault_escalations
 
+(* Regression: with_retries used to spin through its exponential backoff
+   without charging the stall to the modeled clock, so a fault-ridden run
+   reported the same modeled time as a clean one. backoff_ns must now be a
+   first-class component of the Fig 7 breakdown and of modeled_ns. *)
+let test_backoff_charged_to_modeled_clock () =
+  let st = Stats.create () in
+  let calls = ref 0 in
+  ignore
+    (Retry.with_retries ~st ~on_escalate:(fun ~dev:_ -> ())
+       (fun _commit ->
+         incr calls;
+         if !calls < 4 then raise (dev_err ~transient:true) else 0));
+  let model = Latency.of_tier Latency.Cxl in
+  let access, fence, flush, backoff = Stats.breakdown_ns model st in
+  Alcotest.(check bool) "backoff component present" true (backoff > 0.);
+  Alcotest.(check bool) "backoff equals the accumulated stall" true
+    (Float.abs (backoff -. st.Stats.backoff_ns) < 1e-9);
+  let total = Stats.modeled_ns model st in
+  Alcotest.(check bool) "breakdown sums to modeled_ns" true
+    (Float.abs (total -. (access +. fence +. flush +. backoff)) < 1e-6);
+  (* the same fault-free work is strictly cheaper: the stall is real time *)
+  Alcotest.(check bool) "modeled clock includes the stall" true
+    (total >= st.Stats.backoff_ns)
+
 let test_ctx_retries_absorb_poison () =
   let cfg = faulty_cfg (spec ~seed:5 ~rp:0.2 ()) in
   let arena = Shm.create ~cfg () in
@@ -295,6 +319,8 @@ let suite =
     Alcotest.test_case "retry: exhaustion escalates" `Quick test_retry_exhaustion_escalates;
     Alcotest.test_case "retry: persistent escalates" `Quick test_retry_persistent_escalates_immediately;
     Alcotest.test_case "retry: never crosses commit" `Quick test_retry_never_crosses_commit;
+    Alcotest.test_case "backoff charged to modeled clock" `Quick
+      test_backoff_charged_to_modeled_clock;
     Alcotest.test_case "ctx retries absorb poison" `Quick test_ctx_retries_absorb_poison;
     Alcotest.test_case "escalation marks degraded" `Quick test_escalation_marks_degraded;
     Alcotest.test_case "degraded steering" `Quick test_degraded_steering;

@@ -11,6 +11,7 @@ let gen_cfg =
     let* pw_exp = 4 -- 10 in
     let* queue_slots = 1 -- 32 in
     let* worklist_words = 16 -- 256 in
+    let* trace_slots = 16 -- 64 in
     return
       {
         Config.max_clients;
@@ -22,6 +23,8 @@ let gen_cfg =
         tier = Cxlshm_shmem.Latency.Cxl;
         backend = Cxlshm_shmem.Mem.Flat;
         eadr = false;
+        trace = false;
+        trace_slots;
       })
 
 let arb_cfg = QCheck.make gen_cfg
@@ -40,7 +43,14 @@ let prop_regions_ordered =
       && l.Layout.recovery_base
          >= l.Layout.queuedir_base
             + (Layout.queue_slot_words * cfg.Config.queue_slots)
-      && l.Layout.segments_base > l.Layout.recovery_base
+      && l.Layout.trace_base
+         >= l.Layout.recovery_base + 16 + cfg.Config.worklist_words
+      && l.Layout.trace_ring_words
+         >= Layout.trace_hdr_words
+            + (Layout.trace_slot_words * cfg.Config.trace_slots)
+      && l.Layout.segments_base
+         >= l.Layout.trace_base
+            + (l.Layout.trace_ring_words * cfg.Config.max_clients)
       && l.Layout.total_words
          = l.Layout.segments_base
            + (l.Layout.segment_words * cfg.Config.num_segments))

@@ -35,6 +35,63 @@ let test_attach () =
     (Invalid_argument "Spsc_queue.attach: no queue at this address") (fun () ->
       ignore (Spsc.attach mem ~st ~base:32))
 
+(* Regression: a header whose magic survived but whose capacity word was
+   damaged to 0 used to attach fine and then die with Division_by_zero on
+   the first push/pop; attach must reject it up front. *)
+let test_attach_corrupt_capacity () =
+  let mem = Mem.create ~words:64 () in
+  let st = Stats.create () in
+  let _q = Spsc.create mem ~st ~base:8 ~capacity:4 in
+  Mem.store mem ~st 9 0;
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Spsc_queue.attach: corrupt capacity") (fun () ->
+      ignore (Spsc.attach mem ~st ~base:8));
+  Mem.store mem ~st 9 (-3);
+  Alcotest.check_raises "negative capacity rejected"
+    (Invalid_argument "Spsc_queue.attach: corrupt capacity") (fun () ->
+      ignore (Spsc.attach mem ~st ~base:8))
+
+(* Regression: try_pop used to store the new head with no fence after the
+   slot load, so the consumer's slot read could be ordered past the store
+   that hands the slot back to the producer. The modeled clock must now
+   charge a fence per successful pop, exactly like push. *)
+let test_pop_charges_fence () =
+  let mem = Mem.create ~words:64 () in
+  let st = Stats.create () in
+  let q = Spsc.create mem ~st ~base:8 ~capacity:4 in
+  assert (Spsc.try_push q ~st 1);
+  let fences_before = st.Stats.fences in
+  Alcotest.(check (option int)) "popped" (Some 1) (Spsc.try_pop q ~st);
+  Alcotest.(check int) "pop fenced" (fences_before + 1) st.Stats.fences;
+  (* an empty pop does not fence (no slot was read) *)
+  let fences_before = st.Stats.fences in
+  Alcotest.(check (option int)) "empty" None (Spsc.try_pop q ~st);
+  Alcotest.(check int) "no fence when empty" fences_before st.Stats.fences
+
+(* Two domains hammering a minimal ring: with capacity 2 every slot is
+   reused thousands of times, so a producer racing past the (now fenced)
+   pop-side publication would corrupt the checksum. *)
+let test_cross_domain_tiny_ring () =
+  let mem = Mem.create ~words:64 () in
+  let st0 = Stats.create () in
+  let q = Spsc.create mem ~st:st0 ~base:8 ~capacity:2 in
+  let n = 20_000 in
+  let producer =
+    Domain.spawn (fun () ->
+        let st = Stats.create () in
+        let q = Spsc.attach mem ~st ~base:8 in
+        for i = 1 to n do
+          Spsc.push q ~st i
+        done)
+  in
+  let st = Stats.create () in
+  let ok = ref true in
+  for i = 1 to n do
+    if Spsc.pop q ~st <> i then ok := false
+  done;
+  Domain.join producer;
+  Alcotest.(check bool) "every value in order through 2 slots" true !ok
+
 let test_cross_domain () =
   let mem = Mem.create ~words:128 () in
   let st0 = Stats.create () in
@@ -86,6 +143,11 @@ let suite =
     Alcotest.test_case "fifo" `Quick test_fifo;
     Alcotest.test_case "capacity" `Quick test_capacity;
     Alcotest.test_case "attach" `Quick test_attach;
+    Alcotest.test_case "attach rejects corrupt capacity" `Quick
+      test_attach_corrupt_capacity;
+    Alcotest.test_case "pop charges a fence" `Quick test_pop_charges_fence;
+    Alcotest.test_case "cross-domain tiny ring" `Quick
+      test_cross_domain_tiny_ring;
     Alcotest.test_case "cross-domain" `Quick test_cross_domain;
     QCheck_alcotest.to_alcotest prop_fifo_model;
   ]

@@ -1,0 +1,288 @@
+(* Observability layer: latency histograms, the per-client event ring in
+   shared memory, crash forensics (the ring survives kills and image
+   round-trips), monitor death dumps, and fsck's ring repair. *)
+
+open Cxlshm
+module Mem = Cxlshm_shmem.Mem
+module Stats = Cxlshm_shmem.Stats
+module Histogram = Cxlshm_shmem.Histogram
+
+let traced_cfg = { Config.small with Config.trace = true }
+
+(* ---- histograms ---- *)
+
+let test_histogram_basics () =
+  let h = Histogram.create () in
+  Alcotest.(check int) "empty count" 0 (Histogram.count h);
+  Alcotest.(check (float 0.)) "empty p50" 0. (Histogram.p50 h);
+  List.iter (Histogram.record h) [ 10.; 20.; 30.; 40. ];
+  Alcotest.(check int) "count" 4 (Histogram.count h);
+  Alcotest.(check (float 0.)) "sum" 100. (Histogram.sum_ns h);
+  Alcotest.(check (float 0.)) "mean" 25. (Histogram.mean_ns h);
+  Alcotest.(check (float 0.)) "min" 10. (Histogram.min_ns h);
+  Alcotest.(check (float 0.)) "max" 40. (Histogram.max_ns h);
+  Histogram.record h (-5.);
+  Alcotest.(check (float 0.)) "negative clamps to 0" 0. (Histogram.min_ns h)
+
+let test_bucket_edges () =
+  Alcotest.(check int) "0ns" 0 (Histogram.bucket_of_ns 0.);
+  Alcotest.(check int) "0.5ns" 0 (Histogram.bucket_of_ns 0.5);
+  Alcotest.(check int) "1ns" 1 (Histogram.bucket_of_ns 1.);
+  Alcotest.(check int) "2ns" 2 (Histogram.bucket_of_ns 2.);
+  Alcotest.(check int) "3ns" 2 (Histogram.bucket_of_ns 3.);
+  Alcotest.(check int) "4ns" 3 (Histogram.bucket_of_ns 4.);
+  Alcotest.(check int) "1023ns" 10 (Histogram.bucket_of_ns 1023.);
+  Alcotest.(check int) "1024ns" 11 (Histogram.bucket_of_ns 1024.);
+  Alcotest.(check int) "huge clamps to last bucket" (Histogram.num_buckets - 1)
+    (Histogram.bucket_of_ns 1e30)
+
+let test_percentiles () =
+  let h = Histogram.create () in
+  (* 90 fast ops, 10 slow ones: the tail must separate from the median *)
+  for _ = 1 to 90 do
+    Histogram.record h 100.
+  done;
+  for _ = 1 to 10 do
+    Histogram.record h 10_000.
+  done;
+  let p50 = Histogram.p50 h and p95 = Histogram.p95 h and p99 = Histogram.p99 h in
+  Alcotest.(check bool) "p50 <= p95" true (p50 <= p95);
+  Alcotest.(check bool) "p95 <= p99" true (p95 <= p99);
+  Alcotest.(check bool) "p50 in the fast bucket" true (p50 >= 64. && p50 < 256.);
+  Alcotest.(check bool) "p99 in the slow bucket" true (p99 >= 8192.);
+  Alcotest.(check bool) "bounded by min/max" true
+    (p50 >= Histogram.min_ns h && p99 <= Histogram.max_ns h)
+
+let test_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  List.iter (Histogram.record a) [ 1.; 2.; 3. ];
+  List.iter (Histogram.record b) [ 100.; 200. ];
+  Histogram.merge ~into:a b;
+  Alcotest.(check int) "merged count" 5 (Histogram.count a);
+  Alcotest.(check (float 0.)) "merged sum" 306. (Histogram.sum_ns a);
+  Alcotest.(check (float 0.)) "merged min" 1. (Histogram.min_ns a);
+  Alcotest.(check (float 0.)) "merged max" 200. (Histogram.max_ns a)
+
+let test_op_names_roundtrip () =
+  Alcotest.(check int) "eight op classes" 8 Histogram.num_ops;
+  List.iteri
+    (fun i op ->
+      Alcotest.(check int) "index" i (Histogram.op_index op);
+      Alcotest.(check bool) "of_index" true (Histogram.op_of_index i = op);
+      Alcotest.(check bool)
+        ("name roundtrip: " ^ Histogram.op_name op)
+        true
+        (Histogram.op_of_name (Histogram.op_name op) = Some op))
+    Histogram.all_ops;
+  Alcotest.(check bool) "unknown name" true (Histogram.op_of_name "nope" = None)
+
+(* ---- the event ring ---- *)
+
+let test_ring_records_and_dumps () =
+  let arena = Shm.create ~cfg:traced_cfg () in
+  let a = Shm.join arena () in
+  let r = Shm.cxl_malloc a ~size_bytes:16 () in
+  Cxl_ref.drop r;
+  let events = Trace.dump (Shm.mem arena) (Shm.layout arena) ~cid:a.Ctx.cid () in
+  Alcotest.(check bool) "events recorded" true (List.length events >= 2);
+  (* oldest first, strictly increasing seq *)
+  let seqs = List.map (fun e -> e.Trace.seq) events in
+  Alcotest.(check (list int)) "seq is contiguous"
+    (List.init (List.length seqs) (fun i -> List.hd seqs + i))
+    seqs;
+  (* every Begin has its matching End in a serial run *)
+  let begins =
+    List.length (List.filter (fun e -> e.Trace.phase = Trace.Begin) events)
+  in
+  let ends =
+    List.length (List.filter (fun e -> e.Trace.phase = Trace.End) events)
+  in
+  Alcotest.(check int) "balanced begin/end" begins ends;
+  (* the alloc span is in there, and histograms saw the same operations *)
+  Alcotest.(check bool) "alloc span present" true
+    (List.exists (fun e -> e.Trace.op = Histogram.Alloc_small) events);
+  Alcotest.(check int) "histogram fed" 1
+    (Histogram.count a.Ctx.hists.(Histogram.op_index Histogram.Alloc_small))
+
+let test_ring_wraps () =
+  let arena = Shm.create ~cfg:traced_cfg () in
+  let a = Shm.join arena () in
+  let slots = traced_cfg.Config.trace_slots in
+  let extra = 10 in
+  for i = 0 to slots + extra - 1 do
+    Trace.emit a ~op:Histogram.Rootref ~phase:Trace.Begin ~addr:i ~dur_ns:0.
+  done;
+  let events = Trace.dump a.Ctx.mem a.Ctx.lay ~cid:a.Ctx.cid () in
+  Alcotest.(check int) "ring keeps exactly trace_slots" slots
+    (List.length events);
+  let first = List.hd events and last = List.nth events (slots - 1) in
+  Alcotest.(check int) "oldest surviving event" extra first.Trace.seq;
+  Alcotest.(check int) "newest event" (slots + extra - 1) last.Trace.seq;
+  (* addr carried through: the overwritten events are really the old ones *)
+  Alcotest.(check int) "payload of oldest" extra first.Trace.addr;
+  (* ?last trims from the old end *)
+  let tail = Trace.dump a.Ctx.mem a.Ctx.lay ~cid:a.Ctx.cid ~last:5 () in
+  Alcotest.(check int) "last 5" 5 (List.length tail);
+  Alcotest.(check int) "last 5 ends at the newest" (slots + extra - 1)
+    (List.nth tail 4).Trace.seq
+
+let workload ctx =
+  let parent = Shm.cxl_malloc ctx ~size_bytes:16 ~emb_cnt:1 () in
+  for _ = 1 to 20 do
+    let r = Shm.cxl_malloc ctx ~size_bytes:32 () in
+    Cxl_ref.set_emb parent 0 r;
+    Cxl_ref.clear_emb parent 0;
+    Cxl_ref.drop r
+  done;
+  Cxl_ref.drop parent
+
+let test_disabled_trace_is_invisible () =
+  (* same workload, tracing off vs on: the off run writes nothing to the
+     ring, and the modeled clock must be bit-identical — ring writes go
+     through the control plane and never touch the stats *)
+  let run ~trace =
+    let cfg = { Config.small with Config.trace = trace } in
+    let arena = Shm.create ~cfg () in
+    let a = Shm.join arena () in
+    workload a;
+    let events = Trace.dump a.Ctx.mem a.Ctx.lay ~cid:a.Ctx.cid () in
+    let ns = Stats.modeled_ns (Mem.cost_model a.Ctx.mem) a.Ctx.st in
+    (events, ns, a)
+  in
+  let ev_off, ns_off, a_off = run ~trace:false in
+  let ev_on, ns_on, a_on = run ~trace:true in
+  Alcotest.(check int) "trace off: empty ring" 0 (List.length ev_off);
+  Alcotest.(check int) "trace off: empty histograms" 0
+    (Array.fold_left (fun acc h -> acc + Histogram.count h) 0 a_off.Ctx.hists);
+  Alcotest.(check bool) "trace on: ring populated" true (List.length ev_on > 0);
+  Alcotest.(check bool) "trace on: histograms populated" true
+    (Array.fold_left (fun acc h -> acc + Histogram.count h) 0 a_on.Ctx.hists > 0);
+  Alcotest.(check (float 0.)) "modeled clock identical" ns_off ns_on
+
+let test_runtime_toggle () =
+  let arena = Shm.create ~cfg:Config.small () in
+  let a = Shm.join arena () in
+  Cxl_ref.drop (Shm.cxl_malloc a ~size_bytes:8 ());
+  Alcotest.(check int) "off by default" 0
+    (List.length (Trace.dump a.Ctx.mem a.Ctx.lay ~cid:a.Ctx.cid ()));
+  Trace.set a true;
+  Cxl_ref.drop (Shm.cxl_malloc a ~size_bytes:8 ());
+  let mid = List.length (Trace.dump a.Ctx.mem a.Ctx.lay ~cid:a.Ctx.cid ()) in
+  Alcotest.(check bool) "events after enabling" true (mid > 0);
+  Trace.set a false;
+  Cxl_ref.drop (Shm.cxl_malloc a ~size_bytes:8 ());
+  Alcotest.(check int) "quiet again after disabling" mid
+    (List.length (Trace.dump a.Ctx.mem a.Ctx.lay ~cid:a.Ctx.cid ()))
+
+(* ---- crash forensics ---- *)
+
+let tmp = Filename.temp_file "cxlshm_trace" ".pool"
+
+let test_crash_leaves_ring_behind () =
+  let arena = Shm.create ~cfg:traced_cfg () in
+  let a = Shm.join arena () in
+  (* enough traffic to lap the ring before the kill *)
+  for _ = 1 to 100 do
+    Cxl_ref.drop (Shm.cxl_malloc a ~size_bytes:32 ())
+  done;
+  let parent = Shm.cxl_malloc a ~size_bytes:16 ~emb_cnt:1 () in
+  let child = Shm.cxl_malloc a ~size_bytes:16 () in
+  a.Ctx.fault <- Fault.at Fault.Txn_after_cas ~nth:1;
+  (try
+     Cxl_ref.set_emb parent 0 child;
+     Alcotest.fail "expected crash"
+   with Fault.Crashed _ -> ());
+  a.Ctx.fault <- Fault.none;
+  (* the ring survives an image round trip exactly as the client left it *)
+  Shm.save arena tmp;
+  let loaded = Shm.load_raw tmp in
+  let events =
+    Trace.dump (Shm.mem loaded) (Shm.layout loaded) ~cid:a.Ctx.cid ()
+  in
+  Alcotest.(check bool) "at least 64 events replayable" true
+    (List.length events >= 64);
+  let last = List.nth events (List.length events - 1) in
+  Alcotest.(check bool) "last event is the fatal span" true
+    (last.Trace.phase = Trace.Err);
+  Alcotest.(check bool) "died in the attach" true
+    (last.Trace.op = Histogram.Refc_attach);
+  (* recovery on the original arena still works with the ring in place *)
+  Client.declare_failed (Shm.service_ctx arena) ~cid:a.Ctx.cid;
+  ignore (Shm.recover arena ~failed_cid:a.Ctx.cid);
+  ignore (Shm.scan_leaking arena);
+  Alcotest.(check bool) "clean after recovery" true
+    (Validate.is_clean (Shm.validate arena))
+
+let test_monitor_death_dump () =
+  let arena = Shm.create ~cfg:traced_cfg () in
+  let a = Shm.join arena () in
+  let b = Shm.join arena () in
+  for _ = 1 to 5 do
+    Cxl_ref.drop (Shm.cxl_malloc a ~size_bytes:16 ())
+  done;
+  let mon = Shm.monitor arena ~misses:1 () in
+  Client.heartbeat a;
+  Client.heartbeat b;
+  ignore (Monitor.check_once mon);
+  (* a goes silent; b keeps heartbeating *)
+  Client.heartbeat b;
+  Alcotest.(check (list int)) "a suspected" [ a.Ctx.cid ]
+    (Monitor.check_once mon);
+  (match Monitor.death_dumps mon with
+  | (cid, events) :: _ ->
+      Alcotest.(check int) "dump is for the dead client" a.Ctx.cid cid;
+      Alcotest.(check bool) "dump has events" true (events <> []);
+      Alcotest.(check bool) "dump bounded" true (List.length events <= 16)
+  | [] -> Alcotest.fail "monitor captured no death dump");
+  ignore (Monitor.recover_suspects mon);
+  ignore (Shm.scan_leaking arena);
+  Alcotest.(check bool) "clean" true (Validate.is_clean (Shm.validate arena))
+
+let test_fsck_repairs_torn_ring () =
+  let arena = Shm.create ~cfg:traced_cfg () in
+  let a = Shm.join arena () in
+  for _ = 1 to 10 do
+    Cxl_ref.drop (Shm.cxl_malloc a ~size_bytes:16 ())
+  done;
+  let mem = Shm.mem arena and lay = Shm.layout arena in
+  let cid = a.Ctx.cid in
+  Alcotest.(check bool) "ring populated" true
+    (Trace.dump mem lay ~cid () <> []);
+  Shm.leave a;
+  (* a torn control-plane store leaves garbage in a published slot *)
+  Mem.unsafe_poke mem (Layout.trace_slot lay cid 0) 9999;
+  let r = Shm.fsck arena in
+  Alcotest.(check bool) "repair verdict clean" true (Fsck.clean r);
+  Alcotest.(check bool) "ring reset counted" true (r.Fsck.trace_rings_reset >= 1);
+  (* the ring was zeroed before the recovery sweep; anything in it now is
+     the repair's own (traced) recovery spans, not the pre-damage workload *)
+  let after = Trace.dump mem lay ~cid () in
+  Alcotest.(check bool) "old workload events gone" true (List.length after < 10);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "only repair-era events remain" true
+        (e.Trace.op = Histogram.Recovery_scan))
+    after;
+  (* idempotent: nothing left to reset on a second pass *)
+  let r2 = Shm.fsck arena in
+  Alcotest.(check int) "second pass finds no torn rings" 0
+    r2.Fsck.trace_rings_reset
+
+let suite =
+  [
+    Alcotest.test_case "histogram basics" `Quick test_histogram_basics;
+    Alcotest.test_case "bucket edges" `Quick test_bucket_edges;
+    Alcotest.test_case "percentiles" `Quick test_percentiles;
+    Alcotest.test_case "merge" `Quick test_merge;
+    Alcotest.test_case "op names roundtrip" `Quick test_op_names_roundtrip;
+    Alcotest.test_case "ring records and dumps" `Quick test_ring_records_and_dumps;
+    Alcotest.test_case "ring wraps" `Quick test_ring_wraps;
+    Alcotest.test_case "disabled trace is invisible" `Quick
+      test_disabled_trace_is_invisible;
+    Alcotest.test_case "runtime toggle" `Quick test_runtime_toggle;
+    Alcotest.test_case "crash leaves ring behind" `Quick
+      test_crash_leaves_ring_behind;
+    Alcotest.test_case "monitor death dump" `Quick test_monitor_death_dump;
+    Alcotest.test_case "fsck repairs torn ring" `Quick
+      test_fsck_repairs_torn_ring;
+  ]

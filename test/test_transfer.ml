@@ -179,6 +179,108 @@ let test_wraparound () =
     | _ -> Alcotest.fail "recv"
   done
 
+(* Regression for the receive-side ordering fix: the head advance is now
+   fenced and flushed before control returns, with a crash point right
+   after. A receiver killed there has durably consumed the message — it
+   must count as gone immediately and must never be replayed after
+   recovery. *)
+let test_crash_recv_after_advance () =
+  let arena, a, b = setup () in
+  let q = Transfer.connect a ~receiver:b.Ctx.cid ~capacity:4 in
+  let r1 = mk a 1 and r2 = mk a 2 in
+  assert (Transfer.send q r1 = Transfer.Sent);
+  assert (Transfer.send q r2 = Transfer.Sent);
+  Cxl_ref.drop r1;
+  Cxl_ref.drop r2;
+  let qb = Option.get (Transfer.open_from b ~sender:a.Ctx.cid) in
+  b.Ctx.fault <- Fault.at Fault.Recv_after_advance ~nth:1;
+  (try
+     ignore (Transfer.receive qb);
+     Alcotest.fail "expected crash"
+   with Fault.Crashed _ -> ());
+  b.Ctx.fault <- Fault.none;
+  (* Head was published before the crash: exactly one message remains. *)
+  Alcotest.(check int) "head durably advanced" 1 (Transfer.pending q);
+  Client.declare_failed (Shm.service_ctx arena) ~cid:b.Ctx.cid;
+  ignore (Shm.recover arena ~failed_cid:b.Ctx.cid);
+  Alcotest.(check int) "recovery does not rewind the head" 1
+    (Transfer.pending q);
+  Transfer.close q;
+  ignore (Shm.scan_leaking arena);
+  let v = Shm.validate arena in
+  Alcotest.(check int) "no stranded objects" 0 v.Validate.live_objects;
+  Alcotest.(check bool) "clean" true (Validate.is_clean v)
+
+(* recover_endpoints with a live peer, sequential flavour: the monitor
+   closes the dead sender's half; the surviving receiver must still drain
+   every in-flight message in order before seeing Drained. *)
+let test_recover_dead_sender_live_receiver () =
+  let arena, a, b = setup () in
+  let q = Transfer.connect a ~receiver:b.Ctx.cid ~capacity:8 in
+  for i = 1 to 6 do
+    let r = mk a (10 + i) in
+    assert (Transfer.send q r = Transfer.Sent);
+    Cxl_ref.drop r
+  done;
+  let qb = Option.get (Transfer.open_from b ~sender:a.Ctx.cid) in
+  Client.declare_failed (Shm.service_ctx arena) ~cid:a.Ctx.cid;
+  ignore (Shm.recover arena ~failed_cid:a.Ctx.cid);
+  for i = 1 to 6 do
+    match Transfer.receive qb with
+    | Transfer.Received r ->
+        Alcotest.(check int) (Printf.sprintf "msg %d survives" i) (10 + i)
+          (Cxl_ref.read_word r 0);
+        Cxl_ref.drop r
+    | Transfer.Empty | Transfer.Drained ->
+        Alcotest.fail "in-flight message lost to sender recovery"
+  done;
+  (match Transfer.receive qb with
+  | Transfer.Drained -> ()
+  | _ -> Alcotest.fail "expected Drained after sender recovery");
+  Transfer.close qb;
+  ignore (Shm.scan_leaking arena);
+  Alcotest.(check bool) "clean" true (Validate.is_clean (Shm.validate arena))
+
+(* Same scenario, genuinely racing: the receiver drains from the main
+   domain while Shm.recover closes the dead sender's endpoint from another
+   domain. Whatever the interleaving, the receiver sees all six messages
+   in order and then Drained — never a lost or duplicated message. *)
+let test_recover_endpoints_races_live_receiver () =
+  for _round = 1 to 4 do
+    let arena, a, b = setup () in
+    let q = Transfer.connect a ~receiver:b.Ctx.cid ~capacity:8 in
+    for i = 1 to 6 do
+      let r = mk a (100 + i) in
+      assert (Transfer.send q r = Transfer.Sent);
+      Cxl_ref.drop r
+    done;
+    let qb = Option.get (Transfer.open_from b ~sender:a.Ctx.cid) in
+    Client.declare_failed (Shm.service_ctx arena) ~cid:a.Ctx.cid;
+    let recoverer =
+      Domain.spawn (fun () -> ignore (Shm.recover arena ~failed_cid:a.Ctx.cid))
+    in
+    let got = ref [] in
+    let drained = ref false in
+    while not !drained do
+      match Transfer.receive qb with
+      | Transfer.Received r ->
+          got := Cxl_ref.read_word r 0 :: !got;
+          Cxl_ref.drop r
+      | Transfer.Empty -> Domain.cpu_relax ()
+      | Transfer.Drained -> drained := true
+    done;
+    Domain.join recoverer;
+    Alcotest.(check (list int)) "all six, in order"
+      [ 101; 102; 103; 104; 105; 106 ]
+      (List.rev !got);
+    Transfer.close qb;
+    ignore (Shm.scan_leaking arena);
+    let v = Shm.validate arena in
+    Alcotest.(check bool)
+      ("clean: " ^ String.concat ";" v.Validate.errors)
+      true (Validate.is_clean v)
+  done
+
 let suite =
   [
     Alcotest.test_case "fifo order" `Quick test_fifo_order;
@@ -191,4 +293,10 @@ let suite =
     Alcotest.test_case "multiple queues" `Quick test_multiple_queues_between_pairs;
     Alcotest.test_case "directory exhaustion" `Quick test_directory_exhaustion;
     Alcotest.test_case "ring wraparound" `Quick test_wraparound;
+    Alcotest.test_case "crash at recv-after-advance" `Quick
+      test_crash_recv_after_advance;
+    Alcotest.test_case "dead sender, live receiver (sequential)" `Quick
+      test_recover_dead_sender_live_receiver;
+    Alcotest.test_case "recover_endpoints races live receiver" `Slow
+      test_recover_endpoints_races_live_receiver;
   ]
