@@ -605,6 +605,177 @@ let soak_cmd =
           & opt (some string) None
           & info [ "out" ] ~doc:"Write the JSON report to this file."))
 
+(* ---- explore: model-checking schedule exploration ---- *)
+
+module Check_explore = Cxlshm_check.Explore
+module Check_scenarios = Cxlshm_check.Scenarios
+module Check_schedule = Cxlshm_check.Schedule
+
+let explore_model_of_name ~capacity ~values ~rounds name =
+  match name with
+  | "spsc" -> Check_scenarios.spsc ?capacity ?values ()
+  | "transfer" -> Check_scenarios.transfer ?capacity ?values ()
+  | "refc" -> Check_scenarios.refc ?rounds ()
+  | n ->
+      Printf.eprintf "unknown model %s (have: spsc, transfer, refc)\n" n;
+      exit 2
+
+let set_mutation = function
+  | "none" -> ()
+  | "spsc-pop" -> Cxlshm_spsc.Spsc_queue.mutation_unfenced_pop := true
+  | "transfer-head" -> Cxlshm.Transfer.mutation_unfenced_advance := true
+  | m ->
+      Printf.eprintf
+        "unknown mutation %s (have: none, spsc-pop, transfer-head)\n" m;
+      exit 2
+
+let explore models mode seed schedules preemptions no_crash max_steps capacity
+    values rounds mutate replay log =
+  let crash = not no_crash in
+  set_mutation mutate;
+  let log_oc =
+    Option.map
+      (fun f -> open_out_gen [ Open_append; Open_creat ] 0o644 f)
+      log
+  in
+  let emit line =
+    print_endline line;
+    Option.iter
+      (fun oc ->
+        output_string oc line;
+        output_char oc '\n')
+      log_oc
+  in
+  let code =
+    match replay with
+    | Some sched_str ->
+        let s = Check_schedule.of_string sched_str in
+        let m =
+          explore_model_of_name ~capacity ~values ~rounds s.Check_schedule.model
+        in
+        let r = Check_explore.replay m ~max_steps s in
+        let replayed =
+          Check_schedule.to_string
+            { Check_schedule.model = m.Check_explore.name;
+              decisions = r.Check_explore.decisions }
+        in
+        (match r.Check_explore.outcome with
+        | Check_explore.Pass ->
+            emit (Printf.sprintf "replay PASS (%d steps): %s"
+                    r.Check_explore.steps replayed);
+            0
+        | Check_explore.Diverged ->
+            emit (Printf.sprintf "replay DIVERGED (fuel %d): %s" max_steps
+                    replayed);
+            0
+        | Check_explore.Fail reason ->
+            emit (Printf.sprintf "replay FAIL: %s" reason);
+            emit (Printf.sprintf "schedule: %s" replayed);
+            1)
+    | None ->
+        let names = String.split_on_char ',' models in
+        let failures = ref [] in
+        List.iter
+          (fun name ->
+            let m = explore_model_of_name ~capacity ~values ~rounds name in
+            let report =
+              match mode with
+              | "random" ->
+                  Check_explore.random ~seed ~schedules ~crash ~max_steps m
+              | "pct" -> Check_explore.pct ~seed ~schedules ~crash ~max_steps m
+              | "exhaustive" ->
+                  Check_explore.exhaustive ~preemptions ~crash ~max_steps m
+              | other ->
+                  Printf.eprintf
+                    "unknown mode %s (have: random, pct, exhaustive)\n" other;
+                  exit 2
+            in
+            emit (Format.asprintf "%a" Check_explore.pp_report report);
+            Option.iter
+              (fun f ->
+                failures :=
+                  Check_schedule.to_string f.Check_explore.schedule
+                  :: !failures)
+              report.Check_explore.failure)
+          names;
+        (match !failures with
+        | [] -> 0
+        | fs ->
+            List.iter
+              (fun f ->
+                emit
+                  (Printf.sprintf
+                     "reproduce with: cxlshm explore --replay '%s'" f))
+              (List.rev fs);
+            1)
+  in
+  Option.iter close_out log_oc;
+  code
+
+let explore_cmd =
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Model-check the concurrent protocols: run the built-in models \
+          (spsc, transfer, refc) under a controlled cooperative scheduler \
+          with seeded-random, PCT, or bounded-preemption exhaustive \
+          exploration and optional crash injection at any yield point. \
+          Every failure prints a schedule string that $(b,--replay) \
+          reproduces deterministically.")
+    Term.(
+      const explore
+      $ Arg.(
+          value
+          & opt string "spsc,transfer,refc"
+          & info [ "model" ] ~doc:"Comma-separated models to explore.")
+      $ Arg.(
+          value & opt string "random"
+          & info [ "mode" ]
+              ~doc:"Exploration mode: random, pct, or exhaustive.")
+      $ Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base random seed.")
+      $ Arg.(
+          value & opt int 500
+          & info [ "schedules" ]
+              ~doc:"Schedules to sample (random/pct modes).")
+      $ Arg.(
+          value & opt int 3
+          & info [ "preemptions" ]
+              ~doc:"Preemption bound (exhaustive mode).")
+      $ Arg.(
+          value & flag
+          & info [ "no-crash" ] ~doc:"Disable crash injection at yields.")
+      $ Arg.(
+          value & opt int 20_000
+          & info [ "max-steps" ]
+              ~doc:"Yield-point fuel per run; beyond it a run is Diverged.")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "capacity" ] ~doc:"Queue capacity override (spsc/transfer).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "values" ] ~doc:"Messages per run override (spsc/transfer).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "rounds" ] ~doc:"Alloc/free rounds override (refc).")
+      $ Arg.(
+          value & opt string "none"
+          & info [ "mutate" ]
+              ~doc:
+                "Re-introduce a historical ordering bug before exploring: \
+                 $(b,spsc-pop) or $(b,transfer-head) (self-check).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "replay" ]
+              ~doc:"Replay one schedule string exactly and report its outcome.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "log" ] ~doc:"Append the report lines to this file."))
+
 let () =
   let info = Cmd.info "cxlshm" ~doc:"CXL-SHM simulated-arena driver." in
   exit
@@ -620,4 +791,5 @@ let () =
             soak_cmd;
             trace_cmd;
             top_cmd;
+            explore_cmd;
           ]))

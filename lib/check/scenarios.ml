@@ -1,0 +1,229 @@
+(* The built-in models: small concurrent protocols whose every interleaving
+   (and every crash point) the explorer can enumerate, each paired with the
+   oracle that must hold afterwards.
+
+   Model sizing is deliberate: exhaustive search cost is roughly
+   C(branch points, preemptions) x clients^preemptions x crash positions,
+   so the defaults keep the branch-point count small — the SPSC model
+   branches at every word access of a tiny ring, the arena models branch at
+   labeled crash points and explicit poll yields (the paper's critical
+   windows), which is where the protocols' ordering decisions live. *)
+
+open Cxlshm
+module Mem = Cxlshm_shmem.Mem
+module Stats = Cxlshm_shmem.Stats
+module Spsc = Cxlshm_spsc.Spsc_queue
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+(* [1; 2; ...; m] consecutive-prefix oracle: FIFO queues may lose a suffix
+   to a crash but must never reorder, duplicate, or skip. *)
+let check_prefix ~what ~complete ~total got =
+  List.iteri
+    (fun i v ->
+      if v <> i + 1 then
+        fail "%s: position %d holds %d, want %d (reorder/dup/loss)" what i v
+          (i + 1))
+    got;
+  if complete && List.length got <> total then
+    fail "%s: received %d of %d with no crash" what (List.length got) total
+
+(* ---- spsc: the raw ring, every access a branch point ---- *)
+
+let spsc ?(capacity = 2) ?(values = 3) () : Explore.model =
+  let make () =
+    let words = Spsc.words_needed ~capacity + 8 in
+    let mem = Mem.create ~backend:(Mem.Sched Mem.Flat) ~words () in
+    let st_setup = Stats.create () in
+    let q = Spsc.create mem ~st:st_setup ~base:0 ~capacity in
+    let popped = ref [] in
+    let producer_alive = ref true and consumer_alive = ref true in
+    let producer () =
+      Fun.protect ~finally:(fun () -> producer_alive := false) @@ fun () ->
+      let st = Stats.create () in
+      try
+        for v = 1 to values do
+          while not (Spsc.try_push q ~st v) do
+            Sched.yield "push-full";
+            if not !consumer_alive then raise Exit
+          done
+        done
+      with Exit -> ()
+    in
+    let consumer () =
+      Fun.protect ~finally:(fun () -> consumer_alive := false) @@ fun () ->
+      let st = Stats.create () in
+      let got = ref 0 in
+      let looping = ref true in
+      while !looping do
+        match Spsc.try_pop q ~st with
+        | Some v ->
+            popped := v :: !popped;
+            incr got;
+            if !got = values then looping := false
+        | None ->
+            if (not !producer_alive) && Spsc.length q ~st = 0 then
+              looping := false
+            else Sched.yield "pop-empty"
+      done
+    in
+    let check ~crashed =
+      let got = List.rev !popped in
+      check_prefix ~what:"spsc" ~complete:(crashed = []) ~total:values got;
+      let head = Mem.unsafe_peek mem 2 and tail = Mem.unsafe_peek mem 3 in
+      if head > tail then fail "spsc: head %d ahead of tail %d" head tail;
+      if tail - head > capacity then
+        fail "spsc: %d in flight exceeds capacity %d" (tail - head) capacity;
+      (* head only advances on pops; a consumer crash can consume without
+         recording, so the recorded list is a lower bound *)
+      if head < List.length got then
+        fail "spsc: popped %d values but head is %d" (List.length got) head
+    in
+    { Explore.clients = [| producer; consumer |]; check }
+  in
+  { Explore.name = "spsc"; make; branch = (fun _ -> true) }
+
+(* ---- shared bits of the arena models ---- *)
+
+let arena_cfg = { Config.small with backend = Mem.Sched Mem.Flat }
+
+(* Post-run oracle for full-arena models: recover every crashed client the
+   way the monitor would, then require a leak-free, count-consistent,
+   fsck-clean pool and a causally-sane era matrix. *)
+let arena_check arena ~cids ~crashed =
+  let svc = Shm.service_ctx arena in
+  List.iter
+    (fun idx ->
+      let cid = cids.(idx) in
+      Client.declare_failed svc ~cid;
+      ignore (Shm.recover arena ~failed_cid:cid))
+    crashed;
+  ignore (Shm.scan_leaking arena);
+  (* Era causality: nobody can have observed an era a client never reached. *)
+  let everyone = 0 :: Array.to_list cids in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun j ->
+          let seen = Era.read svc ~i ~j and self = Era.self_of svc ~cid:j in
+          if seen > self then
+            fail "era: Era[%d][%d]=%d exceeds Era[%d][%d]=%d" i j seen j j self)
+        everyone)
+    everyone;
+  let detail v =
+    Format.asprintf "%a%s" Validate.pp v
+      (match v.Validate.errors with
+      | [] -> ""
+      | es -> " [" ^ String.concat "; " es ^ "]")
+  in
+  let v = Shm.validate arena in
+  if not (Validate.is_clean v) then fail "validate: %s" (detail v);
+  let f = Fsck.check (Shm.mem arena) (Shm.layout arena) in
+  if not (Validate.is_clean f) then fail "fsck: %s" (detail f)
+
+let arena_branch = function
+  | Sched.Crash_point _ | Sched.Label _ -> true
+  | Sched.Access _ -> false
+
+(* ---- transfer: exactly-once reference handoff through the ring ---- *)
+
+let transfer ?(capacity = 1) ?(values = 2) () : Explore.model =
+  let make () =
+    let arena = Shm.create ~cfg:arena_cfg () in
+    let a = Shm.join arena () in
+    let b = Shm.join arena () in
+    (* endpoint setup is part of the environment, not the explored race *)
+    let q = Transfer.connect a ~receiver:b.Ctx.cid ~capacity in
+    let qb = Option.get (Transfer.open_from b ~sender:a.Ctx.cid) in
+    let received = ref [] in
+    let a_alive = ref true and b_alive = ref true in
+    let sender () =
+      Fun.protect ~finally:(fun () -> a_alive := false) @@ fun () ->
+      try
+        for v = 1 to values do
+          let r = Shm.cxl_malloc a ~size_bytes:8 () in
+          Cxl_ref.write_word r 0 v;
+          let rec go () =
+            match Transfer.send q r with
+            | Transfer.Sent -> ()
+            | Transfer.Full ->
+                if !b_alive then begin
+                  Sched.yield "send-full";
+                  go ()
+                end
+                else raise Exit
+            | Transfer.Closed -> raise Exit
+          in
+          let sent = (try go (); true with Exit -> Cxl_ref.drop r; false) in
+          if not sent then raise Exit;
+          Cxl_ref.drop r
+        done
+      with Exit -> ()
+    in
+    let receiver () =
+      Fun.protect ~finally:(fun () -> b_alive := false) @@ fun () ->
+      try
+        let got = ref 0 in
+        while !got < values do
+          match Transfer.receive qb with
+          | Transfer.Received r ->
+              received := Cxl_ref.read_word r 0 :: !received;
+              incr got;
+              Cxl_ref.drop r
+          | Transfer.Empty ->
+              if !a_alive then Sched.yield "recv-empty" else raise Exit
+          | Transfer.Drained -> raise Exit
+        done
+      with Exit -> ()
+    in
+    let check ~crashed =
+      check_prefix ~what:"transfer" ~complete:(crashed = []) ~total:values
+        (List.rev !received);
+      arena_check arena ~cids:[| a.Ctx.cid; b.Ctx.cid |] ~crashed
+    in
+    { Explore.clients = [| sender; receiver |]; check }
+  in
+  { Explore.name = "transfer"; make; branch = arena_branch }
+
+(* ---- refc: era refcount transactions + allocator contention ---- *)
+
+let refc ?(rounds = 2) () : Explore.model =
+  let make () =
+    let arena = Shm.create ~cfg:arena_cfg () in
+    let a = Shm.join arena () in
+    let b = Shm.join arena () in
+    (* Each client churns its own two-object graph: allocate a parent with
+       an embedded slot, link a child (era attach), unlink it (era detach +
+       reclaim), release both. Both clients hammer the shared allocator
+       (segment/page claims) and advance eras concurrently; a crash lands in
+       any labeled window of alloc / txn / release / reclaim. *)
+    let client ctx () =
+      for _ = 1 to rounds do
+        let parent = Shm.cxl_malloc ctx ~size_bytes:8 ~emb_cnt:1 () in
+        let child = Shm.cxl_malloc ctx ~size_bytes:8 () in
+        Cxl_ref.write_word child 0 7;
+        Cxl_ref.set_emb parent 0 child;
+        Cxl_ref.drop child;
+        Cxl_ref.clear_emb parent 0;
+        Cxl_ref.drop parent
+      done
+    in
+    let check ~crashed =
+      arena_check arena ~cids:[| a.Ctx.cid; b.Ctx.cid |] ~crashed
+    in
+    { Explore.clients = [| client a; client b |]; check }
+  in
+  { Explore.name = "refc"; make; branch = arena_branch }
+
+(* ---- registry ---- *)
+
+let all () = [ spsc (); transfer (); refc () ]
+
+let find name =
+  match List.find_opt (fun m -> m.Explore.name = name) (all ()) with
+  | Some m -> m
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown model %s (have: %s)" name
+           (String.concat ", "
+              (List.map (fun m -> m.Explore.name) (all ()))))

@@ -1,0 +1,27 @@
+(** The built-in models: small concurrent protocols whose interleavings
+    (and crash points) the explorer enumerates, each paired with the
+    oracle that must hold afterwards.
+
+    The arena models ([transfer], [refc]) recover every crashed client the
+    way the monitor would, then require a leak-free, count-consistent,
+    fsck-clean pool and a causally sane era matrix. *)
+
+val spsc : ?capacity:int -> ?values:int -> unit -> Explore.model
+(** Producer pushes [1..values] through a [capacity]-slot ring, consumer
+    pops them. Branches at {e every} word access. Oracle: consecutive
+    FIFO prefix, head/tail sanity. *)
+
+val transfer : ?capacity:int -> ?values:int -> unit -> Explore.model
+(** Exactly-once reference handoff between two arena clients through a
+    {!Cxlshm.Transfer} queue. Branches at labeled crash points and poll
+    yields. *)
+
+val refc : ?rounds:int -> unit -> Explore.model
+(** Two clients churning parent/child object graphs: era refcount
+    transactions plus shared-allocator contention. Branches at labeled
+    crash points and poll yields. *)
+
+val all : unit -> Explore.model list
+
+val find : string -> Explore.model
+(** Raises [Invalid_argument] for an unknown model name. *)

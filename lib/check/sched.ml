@@ -1,0 +1,81 @@
+(* Effect-based cooperative fibers — the mechanism under the explorer.
+
+   A logical client is an ordinary [unit -> unit] function run under a deep
+   effect handler. Two hooks turn its shared-memory footprint into scheduling
+   points: [Backend_sched.hook] fires before every raw word operation of a
+   [Mem.Sched]-wrapped pool, and [Fault.on_point] fires at every labeled
+   crash point — both perform the [Yield] effect, suspending the fiber and
+   handing its continuation to whoever called [start]/[resume].
+
+   The hooks are installed only while fiber code is actually on the stack
+   (set on entry to [start]/[resume]/[kill], cleared when control comes
+   back), so scheduler and invariant-checker code reads the same pool
+   without yielding to itself. Everything here is single-domain by design:
+   fibers are coroutines, never real threads, which is exactly what makes
+   schedules enumerable and replayable. *)
+
+module Backend_sched = Cxlshm_shmem.Backend_sched
+module Fault = Cxlshm.Fault
+
+type point =
+  | Access of Backend_sched.access  (* raw word op on the Sched-wrapped pool *)
+  | Crash_point of Fault.point  (* labeled critical window in lib/core *)
+  | Label of string  (* explicit model yield, e.g. a poll-retry loop *)
+
+let point_name = function
+  | Access a -> Backend_sched.access_name a
+  | Crash_point p -> Fault.point_name p
+  | Label s -> s
+
+type _ Effect.t += Yield : point -> unit Effect.t
+
+let yield label = Effect.perform (Yield (Label label))
+
+type run_result =
+  | Yielded of point * (unit, run_result) Effect.Deep.continuation
+      (** Suspended {e before} executing the access at [point]. *)
+  | Completed
+  | Raised of exn
+
+let install () =
+  Backend_sched.hook := Some (fun a -> Effect.perform (Yield (Access a)));
+  Fault.on_point := Some (fun p -> Effect.perform (Yield (Crash_point p)))
+
+let uninstall () =
+  Backend_sched.hook := None;
+  Fault.on_point := None
+
+let handler : (unit, run_result) Effect.Deep.handler =
+  {
+    retc = (fun () -> Completed);
+    exnc = (fun e -> Raised e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Yield p ->
+            Some
+              (fun (k : (a, run_result) Effect.Deep.continuation) ->
+                Yielded (p, k))
+        | _ -> None);
+  }
+
+let start f =
+  install ();
+  let r = Effect.Deep.match_with f () handler in
+  uninstall ();
+  r
+
+let resume k =
+  install ();
+  let r = Effect.Deep.continue k () in
+  uninstall ();
+  r
+
+(* The injected exception is [Fault.Crashed], the same exception a labeled
+   crash plan raises, so model code and recovery treat scheduler-injected
+   deaths exactly like plan-injected ones. *)
+let kill k =
+  install ();
+  let r = Effect.Deep.discontinue k (Fault.Crashed "sched: injected crash") in
+  uninstall ();
+  r

@@ -1,0 +1,39 @@
+(** Effect-based cooperative fibers — the mechanism under the explorer.
+
+    A logical client runs as a coroutine; every shared-memory access of a
+    [Mem.Sched]-wrapped pool and every labeled crash point performs the
+    {!Yield} effect, suspending the fiber {e before} the access executes and
+    returning its continuation to the scheduler. Single-domain only. *)
+
+type point =
+  | Access of Cxlshm_shmem.Backend_sched.access
+      (** Raw word operation about to execute on the instrumented pool. *)
+  | Crash_point of Cxlshm.Fault.point
+      (** Labeled critical window ({!Cxlshm.Ctx.crash_point} call site). *)
+  | Label of string  (** Explicit model yield (see {!yield}). *)
+
+val point_name : point -> string
+
+type _ Effect.t += Yield : point -> unit Effect.t
+
+val yield : string -> unit
+(** Explicit scheduling point for model code — put one in every poll/retry
+    loop so coarse-granularity exploration can still preempt the spinner. *)
+
+type run_result =
+  | Yielded of point * (unit, run_result) Effect.Deep.continuation
+  | Completed
+  | Raised of exn
+
+val start : (unit -> unit) -> run_result
+(** Run a fiber until its first yield, completion, or uncaught exception.
+    Installs the memory/crash-point hooks for the duration. *)
+
+val resume : (unit, run_result) Effect.Deep.continuation -> run_result
+(** Continue a suspended fiber; the pending access then executes. *)
+
+val kill : (unit, run_result) Effect.Deep.continuation -> run_result
+(** Crash a suspended fiber: raises {!Cxlshm.Fault.Crashed} at its yield
+    point, so the pending access never executes and the fiber unwinds as if
+    the client died there. May return [Yielded] if cleanup code touches the
+    pool while unwinding — keep resuming until terminal. *)

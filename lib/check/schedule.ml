@@ -1,0 +1,38 @@
+(* A schedule is the replay token of one explored run: the model's name plus
+   the exact decision taken at every branch point, in order. The string form
+   is what a failing run prints and what `cxlshm explore --replay` parses —
+   it must round-trip bit-identically. *)
+
+type decision = Run of int | Crash of int
+
+type t = { model : string; decisions : decision list }
+
+let decision_to_string = function
+  | Run c -> string_of_int c
+  | Crash c -> "c" ^ string_of_int c
+
+let to_string t =
+  t.model ^ ":" ^ String.concat "," (List.map decision_to_string t.decisions)
+
+let decision_of_string s =
+  let fail () = invalid_arg ("Schedule.of_string: bad decision " ^ s) in
+  if s = "" then fail ()
+  else if s.[0] = 'c' then
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some c when c >= 0 -> Crash c
+    | _ -> fail ()
+  else
+    match int_of_string_opt s with Some c when c >= 0 -> Run c | _ -> fail ()
+
+let of_string s =
+  match String.index_opt s ':' with
+  | None -> invalid_arg "Schedule.of_string: missing model prefix (model:d,d,...)"
+  | Some i ->
+      let model = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      let decisions =
+        if rest = "" then []
+        else List.map decision_of_string (String.split_on_char ',' rest)
+      in
+      if model = "" then invalid_arg "Schedule.of_string: empty model name";
+      { model; decisions }

@@ -1,0 +1,16 @@
+(** Replay tokens: the exact decision sequence of one explored run.
+
+    String form is [model:d,d,...] where each decision is [N] (resume
+    client N at this branch point) or [cN] (crash client N). A failing run
+    prints this string; [cxlshm explore --replay] parses it back and
+    re-executes the run bit-identically. *)
+
+type decision = Run of int | Crash of int
+
+type t = { model : string; decisions : decision list }
+
+val to_string : t -> string
+
+val of_string : string -> t
+(** Raises [Invalid_argument] on a malformed string. Round-trips exactly
+    with {!to_string}. *)

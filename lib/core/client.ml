@@ -83,7 +83,11 @@ let unregister (ctx : Ctx.t) =
   List.iter
     (fun seg ->
       match Segment.state ctx seg with
-      | Segment.Active when segment_empty ctx seg ->
+      (* An empty POTENTIAL_LEAKING segment is releasable here: [used] only
+         reaches 0 once every carved block is back on a free list, and any
+         release still in flight (ours completed before leave; a peer's
+         keeps its block off-list) holds [used] above 0. *)
+      | (Segment.Active | Segment.Leaking) when segment_empty ctx seg ->
           let cfg = Ctx.cfg ctx in
           for p = 0 to cfg.Config.pages_per_segment - 1 do
             Page.reset ctx ~gid:(Layout.page_gid ctx.lay ~seg ~page:p)

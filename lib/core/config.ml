@@ -83,6 +83,11 @@ let validate t =
               fail "offline windows must be (dev >= 0, first <= last)")
           fault_spec.Cxlshm_shmem.Backend_faulty.offline;
         check_backend base
+    | Cxlshm_shmem.Mem.Sched base ->
+        (match base with
+        | Cxlshm_shmem.Mem.Sched _ -> fail "nested Sched backends"
+        | _ -> ());
+        check_backend base
   in
   check_backend t.backend
 
@@ -91,6 +96,7 @@ let num_devices t =
     | Cxlshm_shmem.Mem.Striped { devices; _ } -> devices
     | Cxlshm_shmem.Mem.Flat | Cxlshm_shmem.Mem.Counting_fast -> 1
     | Cxlshm_shmem.Mem.Faulty { base; _ } -> devs base
+    | Cxlshm_shmem.Mem.Sched base -> devs base
   in
   devs t.backend
 

@@ -86,7 +86,14 @@ let random ~seed ~probability =
 let nth_point ~n = make (Nth n)
 let hits plan = plan.seen
 
+(* Scheduler observation hook: the [lib/check] explorer registers here so
+   labeled crash points double as named yield points — even under a [Never]
+   plan, every critical window becomes a place the cooperative scheduler can
+   preempt or kill the running logical client. *)
+let on_point : (point -> unit) option ref = ref None
+
 let maybe_crash plan point =
+  (match !on_point with Some f -> f point | None -> ());
   plan.seen <- plan.seen + 1;
   let count = (try Hashtbl.find plan.counts point with Not_found -> 0) + 1 in
   Hashtbl.replace plan.counts point count;

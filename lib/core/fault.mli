@@ -61,5 +61,11 @@ val nth_point : n:int -> plan
 val maybe_crash : plan -> point -> unit
 (** Raises {!Crashed} if the plan fires at this point. *)
 
+val on_point : (point -> unit) option ref
+(** Observation hook called by {!maybe_crash} before the plan is consulted.
+    The [lib/check] scheduler installs itself here so every labeled crash
+    point is also a named preemption point; [None] (the default) costs one
+    branch. Global process state — single-domain harnesses only. *)
+
 val hits : plan -> int
 (** Number of crash points evaluated so far (to size [nth_point] sweeps). *)

@@ -16,11 +16,18 @@ let rec teardown_children (ctx : Ctx.t) ~as_cid ~obj =
 (* Release a reference we know is held (count >= 1). When we hold the sole
    reference, children are detached first so that a crash mid-teardown
    leaves the object alive and fully recoverable from its remaining
-   reference; otherwise the rare race-to-zero path leak-marks the segment
-   before tearing down (§5.3). *)
+   reference. Once the final detach lands the count is zero and nothing
+   reaches the block any more, so the segment is leak-marked first: a crash
+   anywhere between the decrement and the free then leaves the block in a
+   POTENTIAL_LEAKING segment for the §5.3 scan instead of leaking it in an
+   Active segment no recovery path revisits (the redo log cannot cover the
+   tail of this window — freeing zeroes the header, which breaks the
+   Condition 1 commit check). The rare race-to-zero path below does the
+   same. *)
 and release_held (ctx : Ctx.t) ~as_cid ~ref_addr ~obj =
   if Refc.ref_cnt ctx obj = 1 then begin
     teardown_children ctx ~as_cid ~obj;
+    mark_leaking_of ctx obj;
     let n = Refc.detach_as ctx ~as_cid ~ref_addr ~refed:obj in
     Ctx.crash_point ctx Fault.Release_before_reclaim;
     if n = 0 then Alloc.free_obj_block ctx obj

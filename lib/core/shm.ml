@@ -12,6 +12,7 @@ let backend_of cfg lay =
     | Mem.Striped s when s.stripe_words = 0 ->
         Mem.Striped { s with stripe_words = lay.Layout.segment_words }
     | Mem.Faulty f -> Mem.Faulty { f with base = resolve f.base }
+    | Mem.Sched b -> Mem.Sched (resolve b)
     | b -> b
   in
   resolve cfg.Config.backend

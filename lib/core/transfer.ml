@@ -15,6 +15,9 @@ let capacity t = t.capacity
 let endpoint t = t.endpoint
 let queue_ref t = t.qref
 
+(* Test-only: see the mutation comment in [receive]. *)
+let mutation_unfenced_advance = ref false
+
 (* Queue-object data layout: ring slots are the emb slots [0..cap-1];
    plain words after them hold the queue header fields of Fig 5. *)
 let w_capacity = 0
@@ -152,6 +155,13 @@ let receive t =
     let slot = Obj_header.emb_slot qobj (head mod t.capacity) in
     let obj = Ctx.load t.ctx slot in
     assert (obj <> 0);
+    (* Mutation self-check switch: re-introduces the pre-fix unfenced head
+       advance. As with [Spsc_queue.mutation_unfenced_pop], the simulator's
+       atomics are sequentially consistent, so the mutation applies the
+       reordering the missing fence permitted on hardware — the head store
+       becomes visible before the slot detach, handing the slot back to the
+       sender while it still holds the old counted reference. *)
+    if !mutation_unfenced_advance then qstore t w_head (head + 1);
     let rr = Alloc.alloc_rootref t.ctx in
     (* Attach-then-detach keeps the object's count >= 1 throughout. *)
     Refc.attach t.ctx ~ref_addr:(Rootref.pptr_slot rr) ~refed:obj;
@@ -165,9 +175,11 @@ let receive t =
        the fence a sender sees the advanced head while the slot still holds
        the old reference; without the flush a crash here replays a message
        the caller already consumed. *)
-    Ctx.fence t.ctx;
-    qstore t w_head (head + 1);
-    Ctx.flush t.ctx (qword t.ctx qobj ~cap:t.capacity w_head);
+    if not !mutation_unfenced_advance then begin
+      Ctx.fence t.ctx;
+      qstore t w_head (head + 1);
+      Ctx.flush t.ctx (qword t.ctx qobj ~cap:t.capacity w_head)
+    end;
     Ctx.crash_point t.ctx Fault.Recv_after_advance;
     Received (Cxl_ref.of_rootref t.ctx rr)
   end

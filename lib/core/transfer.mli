@@ -70,3 +70,9 @@ val clear_wild_directory_refs :
 (** Fsck helper (offline use only): free every occupied directory slot whose
     queue pointer fails [valid] — a wild reference left by corruption —
     and return how many were cleared. *)
+
+val mutation_unfenced_advance : bool ref
+(** {b Test-only.} Re-introduces the historical unfenced head advance in
+    {!receive} for the model checker's mutation self-check, expressed as the
+    reordering the missing fence permitted (head published before the slot
+    detach). Must stay [false] outside the explorer's mutation tests. *)

@@ -16,6 +16,7 @@ type backend_spec =
   | Striped of { devices : int; stripe_words : int; tiers : Latency.tier array }
   | Counting_fast
   | Faulty of { base : backend_spec; fault_spec : Backend_faulty.spec }
+  | Sched of backend_spec
 
 type t = {
   b : Mem_intf.packed;
@@ -28,6 +29,7 @@ type t = {
   multi : bool; (* any off-tier device: per-access device pricing needed *)
   counting : Backend_counting.t option;
   faulty : Backend_faulty.t option;
+  sched : Backend_sched.t option;
 }
 
 let words_per_line = 8 (* 64-byte cache line / 8-byte words *)
@@ -42,6 +44,7 @@ let create ?(tier = Latency.Cxl) ?(backend = Flat) ~words () =
         ( pack (module Backend_flat) (Backend_flat.create ~tier ~words ()),
           [| tier |],
           None,
+          None,
           None )
     | Striped { devices; stripe_words; tiers } ->
         let tiers =
@@ -53,18 +56,23 @@ let create ?(tier = Latency.Cxl) ?(backend = Flat) ~words () =
         ( pack (module Backend_striped) s,
           Array.init devices (Backend_striped.device_tier s),
           None,
+          None,
           None )
     | Counting_fast ->
         let c = Backend_counting.create ~tier ~words () in
-        (pack (module Backend_counting) c, [| tier |], Some c, None)
+        (pack (module Backend_counting) c, [| tier |], Some c, None, None)
     | Faulty { base; fault_spec } ->
-        let bp, dev_tiers, counting, _ = build base in
+        let bp, dev_tiers, counting, _, sched = build base in
         (* start disarmed: pool formatting and client registration happen on
            healthy devices; the driver arms the campaign once set up *)
         let f = Backend_faulty.create ~armed:false ~base:bp ~spec:fault_spec () in
-        (pack (module Backend_faulty) f, dev_tiers, counting, Some f)
+        (pack (module Backend_faulty) f, dev_tiers, counting, Some f, sched)
+    | Sched base ->
+        let bp, dev_tiers, counting, faulty, _ = build base in
+        let s = Backend_sched.create ~base:bp () in
+        (pack (module Backend_sched) s, dev_tiers, counting, faulty, Some s)
   in
-  let b, dev_tiers, counting, faulty = build backend in
+  let b, dev_tiers, counting, faulty, sched = build backend in
   let off_tier = Array.map (fun dt -> dt <> tier) dev_tiers in
   {
     b;
@@ -77,6 +85,7 @@ let create ?(tier = Latency.Cxl) ?(backend = Flat) ~words () =
     multi = Array.exists Fun.id off_tier;
     counting;
     faulty;
+    sched;
   }
 
 let words t = t.words
@@ -213,12 +222,20 @@ let fetch_add t ~st:(st : Stats.t) p n =
   count_cas t st p;
   b_fetch_add t p n
 
-let fence _t ~st:(st : Stats.t) = st.fences <- st.fences + 1
+(* Fence/flush only dispatch to the backend when the scheduler wrapper is
+   present: the simulation backends treat them as no-ops, and skipping the
+   dispatch keeps the faulty backend's op counter (and thus every existing
+   fault-schedule seed) exactly as it was. The sched wrapper needs to see
+   them because fences are ordering points the explorer schedules around. *)
+let fence t ~st:(st : Stats.t) =
+  st.fences <- st.fences + 1;
+  match t.sched with Some s -> Backend_sched.fence s | None -> ()
 
 let flush t ~st:(st : Stats.t) p =
   check t p;
   st.flushes <- st.flushes + 1;
-  charge t st p `Flush
+  charge t st p `Flush;
+  match t.sched with Some s -> Backend_sched.flush s p | None -> ()
 
 let fill t ~st:(st : Stats.t) p ~len v =
   if len < 0 then invalid_arg "Mem.fill: negative length";

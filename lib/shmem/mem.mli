@@ -61,6 +61,12 @@ type backend_spec =
   | Faulty of { base : backend_spec; fault_spec : Backend_faulty.spec }
       (** Any of the above wrapped in seed-scheduled device-fault injection
           (see {!Backend_faulty}). *)
+  | Sched of backend_spec
+      (** Any of the above wrapped in scheduler instrumentation: every raw
+          load/store/CAS/fetch-add/fence/flush first calls
+          {!Backend_sched.hook}, the preemption point the [lib/check] model
+          checker schedules around. Single-domain only (the hook is global
+          process state). *)
 
 val create : ?tier:Latency.tier -> ?backend:backend_spec -> words:int -> unit -> t
 (** Fresh zeroed arena of [words] 8-byte words. Default tier is [Cxl];

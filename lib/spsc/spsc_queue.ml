@@ -42,9 +42,22 @@ let try_push t ~st v =
     true
   end
 
+(* Mutation self-check switch: re-introduces the missing-fence pop bug this
+   queue shipped with for two PRs. OCaml atomics are sequentially
+   consistent, so simply deleting the fence below would change nothing in
+   simulation — instead the mutation applies the reordering the missing
+   fence *permits* on real hardware: the head store is issued before the
+   slot read, so the producer can reuse the slot while the consumer still
+   holds a stale value. Test-only; never set outside the explorer. *)
+let mutation_unfenced_pop = ref false
+
 let try_pop t ~st =
   let hd = head t ~st in
   if hd = tail t ~st then None
+  else if !mutation_unfenced_pop then begin
+    Mem.store t.mem ~st (t.base + 2) (hd + 1);
+    Some (Mem.load t.mem ~st (slot t hd))
+  end
   else begin
     let v = Mem.load t.mem ~st (slot t hd) in
     (* The slot read must complete before the head store publishes the slot

@@ -37,3 +37,9 @@ val pop : t -> st:Cxlshm_shmem.Stats.t -> int
 (** Spin until an element arrives. *)
 
 val length : t -> st:Cxlshm_shmem.Stats.t -> int
+
+val mutation_unfenced_pop : bool ref
+(** {b Test-only.} Re-introduces the historical missing-fence [try_pop] bug
+    for the model checker's mutation self-check, expressed as the store
+    reordering the missing fence permits (head published before the slot
+    read). Must stay [false] outside the explorer's mutation tests. *)

@@ -1,0 +1,61 @@
+(* Shared QCheck plumbing and generators for the test suite.
+
+   Every property test runs from one deterministic seed so a failure on any
+   machine reproduces everywhere. The seed comes from the QCHECK_SEED
+   environment variable when set; a failing run prints the exact
+   [QCHECK_SEED=n] needed to replay it inside the Alcotest failure. *)
+
+let default_seed = 0xc4ec
+
+let seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | None | Some "" -> default_seed
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n -> n
+      | None -> invalid_arg ("QCHECK_SEED is not an integer: " ^ s))
+
+(* Replacement for [QCheck_alcotest.to_alcotest]: same shape, but seeded
+   from [QCHECK_SEED] and failures carry the replay seed. *)
+let to_alcotest (QCheck2.Test.Test cell) =
+  let name = QCheck.Test.get_name cell in
+  Alcotest.test_case name `Quick (fun () ->
+      let rand = Random.State.make [| seed |] in
+      try QCheck.Test.check_cell_exn ~rand cell
+      with e ->
+        Alcotest.failf "%s@\n(replay with QCHECK_SEED=%d)@\n%s" name seed
+          (Printexc.to_string e))
+
+(* ---- generators shared across suites ---- *)
+
+(* Durations spanning the histogram's log buckets: sub-ns noise up to
+   seconds, plus the exact powers of two that sit on bucket edges. *)
+let duration_ns =
+  QCheck.(
+    oneof
+      [
+        map float_of_int (int_bound 1_000_000_000);
+        map (fun i -> Float.of_int (1 lsl i)) (int_bound 30);
+        map (fun f -> f /. 1000.) (map float_of_int (int_bound 10_000));
+      ])
+
+let duration_list = QCheck.list_of_size (QCheck.Gen.int_range 0 200) duration_ns
+
+(* Quantiles in [0, 1]. *)
+let quantile = QCheck.(map (fun n -> float_of_int n /. 1000.) (int_bound 1000))
+
+(* (words, src, dst, len) with both ranges in bounds and possibly
+   overlapping — for memmove-semantics properties over [Mem.blit]. *)
+let blit_spec =
+  let open QCheck.Gen in
+  let gen =
+    let* words = int_range 8 64 in
+    let* len = int_range 0 (words / 2) in
+    let* src = int_range 0 (words - len) in
+    let* dst = int_range 0 (words - len) in
+    return (words, src, dst, len)
+  in
+  QCheck.make
+    ~print:(fun (w, s, d, l) ->
+      Printf.sprintf "words=%d src=%d dst=%d len=%d" w s d l)
+    gen

@@ -28,4 +28,5 @@ let () =
       ("gc-persist", Test_gc_persist.suite);
       ("structures", Test_structures.suite);
       ("trace", Test_trace.suite);
+      ("check", Test_check.suite);
     ]

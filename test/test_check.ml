@@ -1,0 +1,169 @@
+(* The model checker checking itself.
+
+   Two layers: unit tests for the executor/schedule plumbing (round-trip
+   parsing, deterministic replay, crash accounting), and the mutation
+   self-check — re-introduce two real ordering bugs this repo has already
+   fixed, behind test-only flags, and require the explorer to find each
+   within a bounded, deterministic search. If these stay green the explorer
+   is actually capable of catching the class of bug it exists for. *)
+
+module Explore = Cxlshm_check.Explore
+module Scenarios = Cxlshm_check.Scenarios
+module Sched = Cxlshm_check.Sched
+module Schedule = Cxlshm_check.Schedule
+
+let with_flag flag f =
+  flag := true;
+  Fun.protect ~finally:(fun () -> flag := false) f
+
+(* ---- schedule strings ---- *)
+
+let test_schedule_roundtrip () =
+  let cases =
+    [
+      "spsc:";
+      "spsc:0";
+      "transfer:0,1,0,c1";
+      "refc:1,1,1,0,c0,1";
+    ]
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check string) s s (Schedule.to_string (Schedule.of_string s)))
+    cases;
+  List.iter
+    (fun s ->
+      match Schedule.of_string s with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "accepted malformed schedule %S" s)
+    [ ""; "nocolon"; ":0,1"; "spsc:x"; "spsc:c"; "spsc:-1"; "spsc:0,,1" ]
+
+(* ---- executor basics ---- *)
+
+let test_replay_deterministic () =
+  let m = Scenarios.spsc ~capacity:1 ~values:2 () in
+  (* the empty schedule = pure default policy; must terminate and pass *)
+  let empty = { Schedule.model = "spsc"; decisions = [] } in
+  let r1 = Explore.replay m ~max_steps:5_000 empty in
+  let r2 = Explore.replay m ~max_steps:5_000 empty in
+  (match r1.Explore.outcome with
+  | Explore.Pass -> ()
+  | Explore.Fail reason -> Alcotest.failf "default policy failed: %s" reason
+  | Explore.Diverged -> Alcotest.fail "default policy diverged");
+  Alcotest.(check int) "same step count" r1.Explore.steps r2.Explore.steps;
+  Alcotest.(check bool) "same decisions" true
+    (r1.Explore.decisions = r2.Explore.decisions)
+
+let test_random_is_reproducible () =
+  let run () =
+    Explore.random ~seed:42 ~schedules:50 ~crash:true ~max_steps:10_000
+      (Scenarios.transfer ())
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "schedules" a.Explore.schedules b.Explore.schedules;
+  Alcotest.(check int) "passed" a.Explore.passed b.Explore.passed;
+  Alcotest.(check int) "crashes" a.Explore.crashes_injected
+    b.Explore.crashes_injected
+
+let test_crash_is_recorded () =
+  (* Killing a client mid-protocol must surface in [crashed] and still
+     leave a recoverable arena (the oracle runs recovery itself). *)
+  let r =
+    Explore.random ~seed:7 ~schedules:100 ~crash:true ~max_steps:20_000
+      (Scenarios.refc ~rounds:1 ())
+  in
+  (match r.Explore.failure with
+  | None -> ()
+  | Some f ->
+      Alcotest.failf "refc with crashes failed: %s (replay: %s)"
+        f.Explore.reason
+        (Schedule.to_string f.Explore.schedule));
+  Alcotest.(check bool) "some schedules actually crashed" true
+    (r.Explore.crashes_injected > 0)
+
+let test_exhaustive_covers_clean_models () =
+  let m = Scenarios.spsc ~capacity:1 ~values:1 () in
+  let r = Explore.exhaustive ~preemptions:2 ~crash:true ~max_steps:5_000 m in
+  (match r.Explore.failure with
+  | None -> ()
+  | Some f -> Alcotest.failf "clean spsc failed: %s" f.Explore.reason);
+  Alcotest.(check bool) "explored more than the default schedule" true
+    (r.Explore.schedules > 10);
+  Alcotest.(check bool) "crash schedules included" true
+    (r.Explore.crashes_injected > 0)
+
+(* ---- mutation self-check ---- *)
+
+(* PR-3 regression, reintroduced: try_pop publishing the new head with no
+   fence after the slot read. The explorer models the reorder the missing
+   fence permits and must catch it with plain random search, fast. *)
+let test_finds_spsc_pop_mutation () =
+  with_flag Cxlshm_spsc.Spsc_queue.mutation_unfenced_pop @@ fun () ->
+  let m = Scenarios.spsc () in
+  let r = Explore.random ~seed:1 ~schedules:50 ~crash:true ~max_steps:20_000 m in
+  match r.Explore.failure with
+  | None -> Alcotest.fail "unfenced-pop mutation survived 50 random schedules"
+  | Some f ->
+      (* the replay string must reproduce the identical failure *)
+      let rr = Explore.replay m ~max_steps:20_000 f.Explore.schedule in
+      (match rr.Explore.outcome with
+      | Explore.Fail reason ->
+          Alcotest.(check string) "replay reproduces the same reason"
+            f.Explore.reason reason
+      | Explore.Pass | Explore.Diverged ->
+          Alcotest.fail "replay did not reproduce the failure")
+
+(* Pre-PR-3 Transfer bug, reintroduced: receive advancing the durable head
+   before the slot is consumed. Bounded exhaustive search must find it —
+   this is the acceptance bar for "verifies the transfer handoff". *)
+let test_finds_transfer_head_mutation () =
+  with_flag Cxlshm.Transfer.mutation_unfenced_advance @@ fun () ->
+  let m = Scenarios.transfer ~values:2 () in
+  let r = Explore.exhaustive ~preemptions:2 ~crash:true ~max_steps:40_000 m in
+  match r.Explore.failure with
+  | None -> Alcotest.fail "unfenced-advance mutation survived exhaustive search"
+  | Some f ->
+      let rr = Explore.replay m ~max_steps:40_000 f.Explore.schedule in
+      (match rr.Explore.outcome with
+      | Explore.Fail reason ->
+          Alcotest.(check string) "replay reproduces the same reason"
+            f.Explore.reason reason
+      | Explore.Pass | Explore.Diverged ->
+          Alcotest.fail "replay did not reproduce the failure")
+
+(* With the flags off, the very same searches must come back clean —
+   otherwise the self-check proves nothing. *)
+let test_unmutated_models_pass () =
+  let r1 =
+    Explore.random ~seed:1 ~schedules:50 ~crash:true ~max_steps:20_000
+      (Scenarios.spsc ())
+  in
+  (match r1.Explore.failure with
+  | None -> ()
+  | Some f -> Alcotest.failf "unmutated spsc failed: %s" f.Explore.reason);
+  let r2 =
+    Explore.exhaustive ~preemptions:2 ~crash:true ~max_steps:40_000
+      (Scenarios.transfer ~values:2 ())
+  in
+  match r2.Explore.failure with
+  | None -> ()
+  | Some f -> Alcotest.failf "unmutated transfer failed: %s" f.Explore.reason
+
+let suite =
+  [
+    Alcotest.test_case "schedule string roundtrip" `Quick
+      test_schedule_roundtrip;
+    Alcotest.test_case "replay is deterministic" `Quick
+      test_replay_deterministic;
+    Alcotest.test_case "random mode is reproducible" `Quick
+      test_random_is_reproducible;
+    Alcotest.test_case "crash injection recovers" `Quick test_crash_is_recorded;
+    Alcotest.test_case "exhaustive covers clean models" `Quick
+      test_exhaustive_covers_clean_models;
+    Alcotest.test_case "finds the unfenced-pop mutation" `Quick
+      test_finds_spsc_pop_mutation;
+    Alcotest.test_case "finds the unfenced-advance mutation" `Quick
+      test_finds_transfer_head_mutation;
+    Alcotest.test_case "unmutated models pass the same searches" `Quick
+      test_unmutated_models_pass;
+  ]

@@ -165,5 +165,5 @@ let suite =
     Alcotest.test_case "condition 2" `Quick test_committed_condition2;
     Alcotest.test_case "uncommitted not proven" `Quick test_uncommitted_not_proven;
     Alcotest.test_case "violations detected" `Quick test_refcount_violations_detected;
-    QCheck_alcotest.to_alcotest prop_refcount_balanced;
+    Generators.to_alcotest prop_refcount_balanced;
   ]

@@ -154,7 +154,7 @@ let suite =
     Alcotest.test_case "cycle leaks without gc" `Quick test_cycle_leaks_without_gc;
     Alcotest.test_case "gc collects cycle" `Quick test_gc_collects_cycle;
     Alcotest.test_case "gc roots: queues + named" `Quick test_gc_traces_through_queues_and_roots;
-    QCheck_alcotest.to_alcotest prop_gc_never_touches_reachable;
+    Generators.to_alcotest prop_gc_never_touches_reachable;
     Alcotest.test_case "save/load roundtrip" `Quick test_save_load_roundtrip;
     Alcotest.test_case "load reaps stale clients" `Quick test_load_reaps_stale_clients;
     Alcotest.test_case "load rejects garbage" `Quick test_load_rejects_garbage;

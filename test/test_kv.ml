@@ -327,7 +327,7 @@ let suite =
     Alcotest.test_case "single-writer enforced" `Quick test_single_writer_enforced;
     Alcotest.test_case "writer failover (§6.4.1)" `Quick test_writer_failover;
     Alcotest.test_case "concurrent readers" `Quick test_concurrent_readers;
-    QCheck_alcotest.to_alcotest prop_kv_model;
+    Generators.to_alcotest prop_kv_model;
     Alcotest.test_case "baselines agree" `Quick test_baselines_agree;
     Alcotest.test_case "zipf shape" `Quick test_zipf_shape;
     Alcotest.test_case "ycsb mix" `Quick test_ycsb_mix;

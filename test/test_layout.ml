@@ -137,10 +137,10 @@ let test_validate_rejects_bad_config () =
 
 let suite =
   [
-    QCheck_alcotest.to_alcotest prop_regions_ordered;
-    QCheck_alcotest.to_alcotest prop_page_areas_inside_segment;
-    QCheck_alcotest.to_alcotest prop_addr_roundtrips;
-    QCheck_alcotest.to_alcotest prop_era_cells_disjoint;
+    Generators.to_alcotest prop_regions_ordered;
+    Generators.to_alcotest prop_page_areas_inside_segment;
+    Generators.to_alcotest prop_addr_roundtrips;
+    Generators.to_alcotest prop_era_cells_disjoint;
     Alcotest.test_case "size-class geometry" `Quick test_class_geometry;
     Alcotest.test_case "config validation" `Quick test_validate_rejects_bad_config;
   ]

@@ -162,5 +162,5 @@ let suite =
     Alcotest.test_case "orphan adoption" `Quick test_orphan_adoption;
     Alcotest.test_case "deferred free returns blocks" `Quick test_deferred_free_returns_blocks;
     Alcotest.test_case "double rootref release raises" `Quick test_release_rootref_double_raise;
-    QCheck_alcotest.to_alcotest prop_reclaim_clean;
+    Generators.to_alcotest prop_reclaim_clean;
   ]

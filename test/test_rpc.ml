@@ -142,7 +142,7 @@ let test_client_dies_mid_call () =
 let suite =
   [
     Alcotest.test_case "serialize roundtrip" `Quick test_serialize_roundtrip;
-    QCheck_alcotest.to_alcotest prop_serialize_roundtrip;
+    Generators.to_alcotest prop_serialize_roundtrip;
     Alcotest.test_case "rdma rpc" `Quick test_rdma_rpc;
     Alcotest.test_case "cxl rpc inline" `Quick test_cxl_rpc_inline;
     Alcotest.test_case "cxl rpc parallel" `Quick test_cxl_rpc_parallel;

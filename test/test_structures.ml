@@ -231,7 +231,7 @@ let suite =
     Alcotest.test_case "sorted list range" `Quick test_sl_range;
     Alcotest.test_case "sorted list shared reader" `Quick test_sl_shared_reader;
     Alcotest.test_case "sorted list writer crash" `Quick test_sl_writer_crash;
-    QCheck_alcotest.to_alcotest prop_sl_matches_map;
+    Generators.to_alcotest prop_sl_matches_map;
     Alcotest.test_case "broadcast fan-out" `Quick test_bl_fanout;
     Alcotest.test_case "broadcast lag" `Quick test_bl_lag;
     Alcotest.test_case "broadcast holds entries" `Quick test_bl_subscriber_keeps_entry_alive;

@@ -268,6 +268,47 @@ let test_fsck_repairs_torn_ring () =
   Alcotest.(check int) "second pass finds no torn rings" 0
     r2.Fsck.trace_rings_reset
 
+(* Property: quantiles never cross — for any sample set, a higher quantile
+   reads a value at least as large — and every quantile stays within the
+   observed [min, max] envelope. *)
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"histogram percentiles are monotone" ~count:200
+    QCheck.(pair Generators.duration_list (pair Generators.quantile Generators.quantile))
+    (fun (samples, (q1, q2)) ->
+      let h = Histogram.create () in
+      List.iter (Histogram.record h) samples;
+      let lo = min q1 q2 and hi = max q1 q2 in
+      let p_lo = Histogram.percentile h lo and p_hi = Histogram.percentile h hi in
+      if samples = [] then p_lo = 0. && p_hi = 0.
+      else
+        p_lo <= p_hi
+        && p_lo >= Histogram.min_ns h
+        && p_hi <= Histogram.max_ns h)
+
+(* Property: merging two histograms is indistinguishable from recording
+   both sample sets into one — same counts, same per-bucket contents (so
+   same quantiles), same extrema. *)
+let prop_merge_roundtrip =
+  QCheck.Test.make ~name:"histogram merge equals combined recording"
+    ~count:200
+    QCheck.(pair Generators.duration_list Generators.duration_list)
+    (fun (xs, ys) ->
+      let a = Histogram.create () and b = Histogram.create () in
+      List.iter (Histogram.record a) xs;
+      List.iter (Histogram.record b) ys;
+      Histogram.merge ~into:a b;
+      let c = Histogram.create () in
+      List.iter (Histogram.record c) (xs @ ys);
+      let close x y = Float.abs (x -. y) <= 1e-6 *. (1. +. Float.abs y) in
+      Histogram.count a = Histogram.count c
+      && close (Histogram.sum_ns a) (Histogram.sum_ns c)
+      && close (Histogram.min_ns a) (Histogram.min_ns c)
+      && close (Histogram.max_ns a) (Histogram.max_ns c)
+      && List.for_all
+           (fun q ->
+             close (Histogram.percentile a q) (Histogram.percentile c q))
+           [ 0.; 0.5; 0.9; 0.95; 0.99; 1. ])
+
 let suite =
   [
     Alcotest.test_case "histogram basics" `Quick test_histogram_basics;
@@ -285,4 +326,6 @@ let suite =
     Alcotest.test_case "monitor death dump" `Quick test_monitor_death_dump;
     Alcotest.test_case "fsck repairs torn ring" `Quick
       test_fsck_repairs_torn_ring;
+    Generators.to_alcotest prop_percentile_monotone;
+    Generators.to_alcotest prop_merge_roundtrip;
   ]

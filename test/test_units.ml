@@ -174,10 +174,10 @@ let test_debug_dump_smoke () =
 
 let suite =
   [
-    QCheck_alcotest.to_alcotest prop_header_roundtrip;
+    Generators.to_alcotest prop_header_roundtrip;
     Alcotest.test_case "header zero" `Quick test_header_zero;
     Alcotest.test_case "header fields" `Quick test_header_field_access;
-    QCheck_alcotest.to_alcotest prop_meta_roundtrip;
+    Generators.to_alcotest prop_meta_roundtrip;
     Alcotest.test_case "emb slot addressing" `Quick test_emb_slot_addressing;
     Alcotest.test_case "redo roundtrip" `Quick test_redo_roundtrip;
     Alcotest.test_case "redo initially empty" `Quick test_redo_initially_empty;
