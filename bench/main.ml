@@ -1577,6 +1577,156 @@ let bench_backends () =
   Printf.printf "wrote BENCH_backends.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Fast path: client-local cache tier + batched transfer               *)
+(* ------------------------------------------------------------------ *)
+
+(* Exact shared-word traffic of the two fast paths (alloc/free and
+   reference transfer), measured on the counting backend with the cache
+   tier off vs on, and single-message vs batched transfer. Words/op are
+   raw backend word operations — deterministic, so the committed
+   BENCH_fastpath.json doubles as a regression baseline for CI. *)
+let bench_fastpath () =
+  let module Bc = Cxlshm_shmem.Backend_counting in
+  let model = Latency.of_tier Latency.Cxl in
+  let rounds = quick 20_000 4_000 in
+  let batch = 16 in
+  let msgs = rounds / batch * batch in
+  let fp_cfg cache =
+    { (cxl_shm_cfg 2) with Config.backend = Mem.Counting_fast; cache }
+  in
+  let bd_words (b : Bc.breakdown) = b.loads + b.stores + b.cass + b.faas in
+  let bd_sub (a : Bc.breakdown) (b : Bc.breakdown) : Bc.breakdown =
+    {
+      loads = a.loads - b.loads;
+      stores = a.stores - b.stores;
+      cass = a.cass - b.cass;
+      faas = a.faas - b.faas;
+      fences = a.fences - b.fences;
+      flushes = a.flushes - b.flushes;
+    }
+  in
+  (* alloc/free fast path: steady-state 64 B alloc + drop *)
+  let measure_alloc ~cache =
+    let arena = Shm.create ~cfg:(fp_cfg cache) () in
+    let a = Shm.join arena () in
+    let mem = Shm.mem arena in
+    for _ = 1 to 64 do
+      Cxl_ref.drop (Shm.cxl_malloc a ~size_bytes:64 ())
+    done;
+    let b0 = Option.get (Mem.op_breakdown mem) in
+    let st0 = Stats.copy a.Ctx.st in
+    for _ = 1 to rounds do
+      Cxl_ref.drop (Shm.cxl_malloc a ~size_bytes:64 ())
+    done;
+    let d = bd_sub (Option.get (Mem.op_breakdown mem)) b0 in
+    let ns = Stats.modeled_ns model (Stats.diff a.Ctx.st st0) in
+    let per c = float_of_int c /. float_of_int rounds in
+    (per (bd_words d), per d.Bc.fences, ns /. float_of_int rounds)
+  in
+  (* transfer fast path: sender publishes, receiver consumes, in lockstep *)
+  let measure_transfer ~cache ~batched =
+    let arena = Shm.create ~cfg:(fp_cfg cache) () in
+    let s = Shm.join arena () in
+    let r = Shm.join arena () in
+    let tx = Transfer.connect s ~receiver:r.Ctx.cid ~capacity:(2 * batch) in
+    let rx = Option.get (Transfer.open_from r ~sender:s.Ctx.cid) in
+    let payloads =
+      List.init batch (fun _ -> Shm.cxl_malloc s ~size_bytes:64 ())
+    in
+    let p0 = List.hd payloads in
+    let drain_one () =
+      match Transfer.receive rx with
+      | Transfer.Received rr -> Cxl_ref.drop rr
+      | Transfer.Empty | Transfer.Drained -> assert false
+    in
+    for _ = 1 to batch do
+      (match Transfer.send tx p0 with Transfer.Sent -> () | _ -> assert false);
+      drain_one ()
+    done;
+    let mem = Shm.mem arena in
+    let b0 = Option.get (Mem.op_breakdown mem) in
+    let st0s = Stats.copy s.Ctx.st and st0r = Stats.copy r.Ctx.st in
+    if batched then
+      for _ = 1 to msgs / batch do
+        let n, res = Transfer.send_batch tx payloads in
+        assert (n = batch && res = Transfer.Sent);
+        match Transfer.receive_batch rx ~max:batch with
+        | Transfer.Received_batch rs ->
+            assert (List.length rs = batch);
+            List.iter Cxl_ref.drop rs
+        | Transfer.Batch_empty | Transfer.Batch_drained -> assert false
+      done
+    else
+      for _ = 1 to msgs do
+        (match Transfer.send tx p0 with
+        | Transfer.Sent -> ()
+        | _ -> assert false);
+        drain_one ()
+      done;
+    let d = bd_sub (Option.get (Mem.op_breakdown mem)) b0 in
+    let acc = Stats.diff s.Ctx.st st0s in
+    Stats.add acc (Stats.diff r.Ctx.st st0r);
+    let ns = Stats.modeled_ns model acc in
+    let per c = float_of_int c /. float_of_int msgs in
+    (per (bd_words d), per d.Bc.fences, ns /. float_of_int msgs)
+  in
+  let aw_off, af_off, ans_off = measure_alloc ~cache:false in
+  let aw_on, af_on, ans_on = measure_alloc ~cache:true in
+  let tw_off, tf_off, tns_off = measure_transfer ~cache:false ~batched:false in
+  let tw_on, tf_on, tns_on = measure_transfer ~cache:true ~batched:false in
+  let bw_on, bf_on, bns_on = measure_transfer ~cache:true ~batched:true in
+  let red a b = 100.0 *. (a -. b) /. a in
+  let t =
+    Table.create ~title:"Fast path: shared-word traffic (counting backend)"
+      ~columns:[ "Path"; "words/op"; "fences/op"; "modeled ns/op" ]
+  in
+  List.iter
+    (fun (label, w, f, ns) ->
+      Table.add_row t
+        [ label; Table.cell_f w; Table.cell_f f; Table.cell_f ns ])
+    [
+      ("alloc+free, cache off", aw_off, af_off, ans_off);
+      ("alloc+free, cache on", aw_on, af_on, ans_on);
+      ("transfer single, cache off", tw_off, tf_off, tns_off);
+      ("transfer single, cache on", tw_on, tf_on, tns_on);
+      (Printf.sprintf "transfer batch=%d, cache on" batch, bw_on, bf_on, bns_on);
+    ];
+  Table.print t;
+  Printf.printf
+    "alloc words/op -%.1f%%, transfer single words/op -%.1f%%, batched \
+     -%.1f%% (vs cache-off single)\n"
+    (red aw_off aw_on) (red tw_off tw_on) (red tw_off bw_on);
+  let oc = open_out "BENCH_fastpath.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"fastpath\",\n\
+    \  \"rounds\": %d,\n\
+    \  \"batch\": %d,\n\
+    \  \"alloc\": {\n\
+    \    \"cache_off\": {\"words_per_op\": %.3f, \"fences_per_op\": %.3f, \
+     \"modeled_ns_per_op\": %.2f},\n\
+    \    \"cache_on\": {\"words_per_op\": %.3f, \"fences_per_op\": %.3f, \
+     \"modeled_ns_per_op\": %.2f},\n\
+    \    \"words_reduction_pct\": %.1f\n\
+    \  },\n\
+    \  \"transfer\": {\n\
+    \    \"single_cache_off\": {\"words_per_op\": %.3f, \"fences_per_op\": \
+     %.3f, \"modeled_ns_per_op\": %.2f},\n\
+    \    \"single_cache_on\": {\"words_per_op\": %.3f, \"fences_per_op\": \
+     %.3f, \"modeled_ns_per_op\": %.2f},\n\
+    \    \"batch_cache_on\": {\"words_per_op\": %.3f, \"fences_per_op\": \
+     %.3f, \"modeled_ns_per_op\": %.2f},\n\
+    \    \"words_reduction_pct\": %.1f,\n\
+    \    \"batched_words_reduction_pct\": %.1f\n\
+    \  }\n\
+     }\n"
+    rounds batch aw_off af_off ans_off aw_on af_on ans_on (red aw_off aw_on)
+    tw_off tf_off tns_off tw_on tf_on tns_on bw_on bf_on bns_on
+    (red tw_off tw_on) (red tw_off bw_on);
+  close_out oc;
+  Printf.printf "wrote BENCH_fastpath.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1601,6 +1751,7 @@ let experiments =
     ("structures", bench_structures);
     ("ycsb-presets", bench_ycsb_presets);
     ("backends", bench_backends);
+    ("fastpath", bench_fastpath);
   ]
 
 let () =

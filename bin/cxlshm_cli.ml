@@ -615,9 +615,14 @@ let explore_model_of_name ~capacity ~values ~rounds name =
   match name with
   | "spsc" -> Check_scenarios.spsc ?capacity ?values ()
   | "transfer" -> Check_scenarios.transfer ?capacity ?values ()
+  | "transfer-batch" ->
+      Check_scenarios.transfer ?capacity ?values ~batched:true ()
   | "refc" -> Check_scenarios.refc ?rounds ()
+  | "huge" -> Check_scenarios.huge ?rounds ()
   | n ->
-      Printf.eprintf "unknown model %s (have: spsc, transfer, refc)\n" n;
+      Printf.eprintf
+        "unknown model %s (have: spsc, transfer, transfer-batch, refc, huge)\n"
+        n;
       exit 2
 
 let set_mutation = function
@@ -717,7 +722,8 @@ let explore_cmd =
     (Cmd.info "explore"
        ~doc:
          "Model-check the concurrent protocols: run the built-in models \
-          (spsc, transfer, refc) under a controlled cooperative scheduler \
+          (spsc, transfer, transfer-batch, refc, huge) under a controlled \
+          cooperative scheduler \
           with seeded-random, PCT, or bounded-preemption exhaustive \
           exploration and optional crash injection at any yield point. \
           Every failure prints a schedule string that $(b,--replay) \
@@ -726,7 +732,7 @@ let explore_cmd =
       const explore
       $ Arg.(
           value
-          & opt string "spsc,transfer,refc"
+          & opt string "spsc,transfer,transfer-batch,refc,huge"
           & info [ "model" ] ~doc:"Comma-separated models to explore.")
       $ Arg.(
           value & opt string "random"

@@ -127,7 +127,9 @@ let arena_branch = function
 
 (* ---- transfer: exactly-once reference handoff through the ring ---- *)
 
-let transfer ?(capacity = 1) ?(values = 2) () : Explore.model =
+let transfer ?(capacity = 1) ?(values = 2) ?(batched = false) () :
+    Explore.model =
+  let name = if batched then "transfer-batch" else "transfer" in
   let make () =
     let arena = Shm.create ~cfg:arena_cfg () in
     let a = Shm.join arena () in
@@ -137,8 +139,7 @@ let transfer ?(capacity = 1) ?(values = 2) () : Explore.model =
     let qb = Option.get (Transfer.open_from b ~sender:a.Ctx.cid) in
     let received = ref [] in
     let a_alive = ref true and b_alive = ref true in
-    let sender () =
-      Fun.protect ~finally:(fun () -> a_alive := false) @@ fun () ->
+    let sender_single () =
       try
         for v = 1 to values do
           let r = Shm.cxl_malloc a ~size_bytes:8 () in
@@ -160,30 +161,76 @@ let transfer ?(capacity = 1) ?(values = 2) () : Explore.model =
         done
       with Exit -> ()
     in
+    (* Batched variant: the whole run is published through [send_batch],
+       retrying the unsent suffix when the ring is full — exercising every
+       crash window of the single-commit-point batch publish. *)
+    let sender_batched () =
+      let refs =
+        List.init values (fun i ->
+            let r = Shm.cxl_malloc a ~size_bytes:8 () in
+            Cxl_ref.write_word r 0 (i + 1);
+            r)
+      in
+      let rec go rest =
+        match rest with
+        | [] -> ()
+        | _ -> (
+            let n, res = Transfer.send_batch q rest in
+            let rest = List.filteri (fun i _ -> i >= n) rest in
+            match res with
+            | Transfer.Sent -> go rest
+            | Transfer.Full ->
+                if !b_alive then begin
+                  Sched.yield "send-full";
+                  go rest
+                end
+                else raise Exit
+            | Transfer.Closed -> raise Exit)
+      in
+      let ok = (try go refs; true with Exit -> false) in
+      List.iter Cxl_ref.drop refs;
+      ignore ok
+    in
+    let sender () =
+      Fun.protect ~finally:(fun () -> a_alive := false) @@ fun () ->
+      if batched then sender_batched () else sender_single ()
+    in
+    let record r =
+      received := Cxl_ref.read_word r 0 :: !received;
+      Cxl_ref.drop r
+    in
     let receiver () =
       Fun.protect ~finally:(fun () -> b_alive := false) @@ fun () ->
       try
         let got = ref 0 in
         while !got < values do
-          match Transfer.receive qb with
-          | Transfer.Received r ->
-              received := Cxl_ref.read_word r 0 :: !received;
-              incr got;
-              Cxl_ref.drop r
-          | Transfer.Empty ->
-              if !a_alive then Sched.yield "recv-empty" else raise Exit
-          | Transfer.Drained -> raise Exit
+          if batched then
+            match Transfer.receive_batch qb ~max:values with
+            | Transfer.Received_batch rs ->
+                got := !got + List.length rs;
+                List.iter record rs
+            | Transfer.Batch_empty ->
+                if !a_alive then Sched.yield "recv-empty" else raise Exit
+            | Transfer.Batch_drained -> raise Exit
+          else
+            match Transfer.receive qb with
+            | Transfer.Received r ->
+                incr got;
+                record r
+            | Transfer.Empty ->
+                if !a_alive then Sched.yield "recv-empty" else raise Exit
+            | Transfer.Drained -> raise Exit
         done
       with Exit -> ()
     in
     let check ~crashed =
-      check_prefix ~what:"transfer" ~complete:(crashed = []) ~total:values
+      check_prefix ~what:name ~complete:(crashed = []) ~total:values
         (List.rev !received);
       arena_check arena ~cids:[| a.Ctx.cid; b.Ctx.cid |] ~crashed
     in
     { Explore.clients = [| sender; receiver |]; check }
   in
-  { Explore.name = "transfer"; make; branch = arena_branch }
+  { Explore.name = name; make; branch = arena_branch }
 
 (* ---- refc: era refcount transactions + allocator contention ---- *)
 
@@ -215,9 +262,39 @@ let refc ?(rounds = 2) () : Explore.model =
   in
   { Explore.name = "refc"; make; branch = arena_branch }
 
+(* ---- huge: multi-segment object lifecycle under crashes ---- *)
+
+let huge ?(rounds = 1) () : Explore.model =
+  let make () =
+    let arena = Shm.create ~cfg:arena_cfg () in
+    let a = Shm.join arena () in
+    let b = Shm.join arena () in
+    (* Each object spans two segments (data_words = segment_words always
+       overflows the head segment's capacity), so every free walks the
+       tail-first release protocol through its [Free_huge_mid_release] /
+       [Free_huge_after_reset] crash windows while the peer races claims
+       on the same small segment pool. *)
+    let span_words = (Shm.layout arena).Layout.segment_words in
+    let client ctx () =
+      for i = 1 to rounds do
+        let r = Shm.cxl_malloc_words ctx ~data_words:span_words () in
+        Cxl_ref.write_word r 0 i;
+        Cxl_ref.write_word r (span_words - 1) (i * 7);
+        if Cxl_ref.read_word r 0 <> i then fail "huge: head word corrupted";
+        Cxl_ref.drop r
+      done
+    in
+    let check ~crashed =
+      arena_check arena ~cids:[| a.Ctx.cid; b.Ctx.cid |] ~crashed
+    in
+    { Explore.clients = [| client a; client b |]; check }
+  in
+  { Explore.name = "huge"; make; branch = arena_branch }
+
 (* ---- registry ---- *)
 
-let all () = [ spsc (); transfer (); refc () ]
+let all () =
+  [ spsc (); transfer (); transfer ~batched:true (); refc (); huge () ]
 
 let find name =
   match List.find_opt (fun m -> m.Explore.name = name) (all ()) with

@@ -11,15 +11,23 @@ val spsc : ?capacity:int -> ?values:int -> unit -> Explore.model
     pops them. Branches at {e every} word access. Oracle: consecutive
     FIFO prefix, head/tail sanity. *)
 
-val transfer : ?capacity:int -> ?values:int -> unit -> Explore.model
+val transfer :
+  ?capacity:int -> ?values:int -> ?batched:bool -> unit -> Explore.model
 (** Exactly-once reference handoff between two arena clients through a
     {!Cxlshm.Transfer} queue. Branches at labeled crash points and poll
-    yields. *)
+    yields. With [~batched:true] (model name ["transfer-batch"]) the run
+    moves through {!Cxlshm.Transfer.send_batch}/[receive_batch], exploring
+    the single-commit-point batch publish. *)
 
 val refc : ?rounds:int -> unit -> Explore.model
 (** Two clients churning parent/child object graphs: era refcount
     transactions plus shared-allocator contention. Branches at labeled
     crash points and poll yields. *)
+
+val huge : ?rounds:int -> unit -> Explore.model
+(** Two clients allocating and freeing two-segment huge objects on a small
+    segment pool: exercises the contiguous-run claim and the tail-first
+    [free_huge] release through its crash windows. *)
 
 val all : unit -> Explore.model list
 

@@ -11,21 +11,20 @@ let data_words_for _cfg ~size_bytes ~emb_cnt =
 (* Current-page table                                                  *)
 (* ------------------------------------------------------------------ *)
 
-(* Kind-table index: size class c at index c, RootRef class at index NC. *)
-let head_slot (ctx : Ctx.t) idx = Layout.class_head ctx.lay ctx.cid idx
-
+(* Kind-table index: size class c at index c, RootRef class at index NC.
+   Reads are served from the client-local cache tier (a client's heads have
+   no other live mutator); writes go through shared memory. *)
 let current_page ctx idx =
-  let v = Ctx.load ctx (head_slot ctx idx) in
+  let v = Ctx.load_class_head ctx idx in
   if v = 0 then None else Some (v - 1)
 
-let set_current_page ctx idx gid = Ctx.store ctx (head_slot ctx idx) (gid + 1)
+let set_current_page ctx idx gid = Ctx.store_class_head ctx idx (gid + 1)
 
 (* ------------------------------------------------------------------ *)
 (* Slow path: segments and pages                                       *)
 (* ------------------------------------------------------------------ *)
 
-let segment_device (ctx : Ctx.t) s =
-  Cxlshm_shmem.Mem.device_of ctx.Ctx.mem (Layout.segment_base ctx.Ctx.lay s)
+let segment_device = Ctx.segment_device
 
 let claim_any_segment (ctx : Ctx.t) =
   let n = (Ctx.cfg ctx).Config.num_segments in
@@ -67,7 +66,7 @@ let claim_any_segment (ctx : Ctx.t) =
   match List.find_map try_pass passes with
   | Some s ->
       Ctx.crash_point ctx Fault.Slowpath_after_segment_claim;
-      Ctx.store ctx (Layout.client_cur_segment ctx.lay ctx.cid) (s + 1);
+      Ctx.store_cur_segment ctx (s + 1);
       Some s
   | None -> None
 
@@ -196,7 +195,7 @@ let alloc_rootref (ctx : Ctx.t) =
      advancing, recovery sees an in_use list head and simply clears it. *)
   Rootref.set_state ctx rr ~in_use:true ~cnt:1;
   Ctx.fence ctx;
-  Ctx.store ctx (Layout.page_free ctx.lay ~gid) next;
+  Page.set_free_head ctx ~gid next;
   Ctx.store ctx (rr + 1) 0;
   Page.incr_used ctx ~gid;
   rr
@@ -224,26 +223,67 @@ let segs_needed (ctx : Ctx.t) total_words =
 
 let claim_huge_run (ctx : Ctx.t) n =
   let num = (Ctx.cfg ctx).Config.num_segments in
-  let rec attempt start =
-    if start + n > num then None
-    else begin
+  if n > num then None
+  else begin
+    let starts = num - n + 1 in
+    (* Same discipline as [claim_any_segment]: a randomised start keeps
+       concurrent huge allocators from colliding at the arena head, and the
+       pass order prefers runs on the client's home device and off degraded
+       devices before taking anything claimable. (No adopt pass — orphaned
+       segments hold live blocks and can never join a fresh run.) *)
+    let start = Random.State.int ctx.rng starts in
+    let any_degraded = Ctx.degraded_devices ctx <> [] in
+    let passes =
+      if Cxlshm_shmem.Mem.num_devices ctx.Ctx.mem > 1 then
+        if any_degraded then [ `Home_healthy; `Healthy; `Any ]
+        else [ `Home; `Any ]
+      else [ `Any ]
+    in
+    let healthy head =
+      let rec go k =
+        k >= n
+        || ((not (Ctx.device_degraded ctx (segment_device ctx (head + k))))
+           && go (k + 1))
+      in
+      go 0
+    in
+    let run_ok pass head =
+      match pass with
+      | `Home -> segment_device ctx head = ctx.Ctx.home_dev
+      | `Home_healthy ->
+          segment_device ctx head = ctx.Ctx.home_dev && healthy head
+      | `Healthy -> healthy head
+      | `Any -> true
+    in
+    let try_candidate head =
       let rec grab k =
         if k >= n then n
-        else if Segment.claim ctx (start + k) then grab (k + 1)
+        else if Segment.claim ctx (head + k) then grab (k + 1)
         else k
       in
       let got = grab 0 in
-      if got = n then Some start
-      else begin
-        (* rollback the prefix we won and retry past the conflict *)
+      got = n
+      ||
+      begin
+        (* rollback the prefix we won *)
         for k = 0 to got - 1 do
-          Segment.release ctx (start + k)
+          Segment.release ctx (head + k)
         done;
-        attempt (start + got + 1)
+        false
       end
-    end
-  in
-  attempt 0
+    in
+    let try_pass pass =
+      let rec go i =
+        if i >= starts then None
+        else
+          let head = (start + i) mod starts in
+          if run_ok pass head && try_candidate head then Some head
+          else go (i + 1)
+      in
+      go 0
+    in
+    List.find_map try_pass passes
+  end
 
 let alloc_huge (ctx : Ctx.t) ~data_words ~emb_cnt =
   let total = Config.header_words + data_words in
@@ -260,17 +300,24 @@ let alloc_huge (ctx : Ctx.t) ~data_words ~emb_cnt =
       let kind = Config.kind_huge (Ctx.cfg ctx) in
       for p = 0 to pps - 1 do
         let gid = Layout.page_gid lay ~seg:head ~page:p in
-        Ctx.store ctx (Layout.page_kind lay ~gid) kind;
-        Ctx.store ctx (Layout.page_free lay ~gid) 0;
-        Ctx.store ctx (Layout.page_capacity lay ~gid) (if p = 0 then 1 else 0);
-        Ctx.store ctx (Layout.page_used lay ~gid) (if p = 0 then 1 else 0);
-        Ctx.store ctx (Layout.page_block_words lay ~gid)
+        Ctx.store_pm ctx ~gid ~slot:0 (Layout.page_kind lay ~gid) kind;
+        Ctx.store_pm ctx ~gid ~slot:3 (Layout.page_free lay ~gid) 0;
+        Ctx.store_pm ctx ~gid ~slot:2 (Layout.page_capacity lay ~gid)
+          (if p = 0 then 1 else 0);
+        Ctx.store_pm ctx ~gid ~slot:4 (Layout.page_used lay ~gid)
+          (if p = 0 then 1 else 0);
+        Ctx.store_pm ctx ~gid ~slot:1 (Layout.page_block_words lay ~gid)
           (if p = 0 then total else 0);
-        Ctx.store ctx (Layout.page_aux lay ~gid) (if p = 0 then n else 0)
+        Ctx.store ctx (Layout.page_aux lay ~gid) (if p = 0 then n else 0);
+        (* The meta word's data_words field is narrower than a maximal run,
+           so the head page records the true length in its second spare
+           slot; readers go through [huge_data_words]. *)
+        Ctx.store ctx (Layout.page_aux2 lay ~gid) (if p = 0 then data_words else 0)
       done;
       let obj = Layout.segment_base lay head + lay.Layout.seg_hdr_words in
       Ctx.store ctx (Obj_header.meta_of_obj obj)
-        (Obj_header.pack_meta ~kind ~emb_cnt ~data_words:(min data_words ((1 lsl 24) - 1)));
+        (Obj_header.pack_meta ~kind ~emb_cnt
+           ~data_words:(min data_words Obj_header.max_meta_data_words));
       for i = 0 to emb_cnt - 1 do
         Ctx.store ctx (Obj_header.emb_slot obj i) 0
       done;
@@ -289,16 +336,34 @@ let huge_span (ctx : Ctx.t) ~head_seg =
   let gid = Layout.page_gid ctx.Ctx.lay ~seg:head_seg ~page:0 in
   Ctx.load ctx (Layout.page_aux ctx.Ctx.lay ~gid)
 
+let huge_data_words (ctx : Ctx.t) obj =
+  let head = Layout.segment_of_addr ctx.Ctx.lay obj in
+  let gid = Layout.page_gid ctx.Ctx.lay ~seg:head ~page:0 in
+  let true_dw = Ctx.load ctx (Layout.page_aux2 ctx.Ctx.lay ~gid) in
+  if true_dw > 0 then true_dw
+  else
+    (* Pre-[page_aux2] image (or a repaired one): the packed field is all
+       we have. *)
+    Obj_header.meta_data_words (Ctx.load ctx (Obj_header.meta_of_obj obj))
+
 let free_huge (ctx : Ctx.t) obj =
   let head = Layout.segment_of_addr ctx.Ctx.lay obj in
   let n = huge_span ctx ~head_seg:head in
+  (* Tail-first: continuation segments go back to the arena while the head
+     metadata (page kind + span) still sizes the run, so a crash anywhere
+     in this loop leaves a run that Recovery/Fsck can finish releasing. The
+     head — the only segment the rest of the run is discoverable from — is
+     wiped and released last. *)
+  for k = n - 1 downto 1 do
+    Segment.release ctx (head + k);
+    Ctx.crash_point ctx Fault.Free_huge_mid_release
+  done;
   let pps = (Ctx.cfg ctx).Config.pages_per_segment in
   for p = 0 to pps - 1 do
     Page.reset ctx ~gid:(Layout.page_gid ctx.Ctx.lay ~seg:head ~page:p)
   done;
-  for k = n - 1 downto 0 do
-    Segment.release ctx (head + k)
-  done
+  Ctx.crash_point ctx Fault.Free_huge_after_reset;
+  Segment.release ctx head
 
 (* ------------------------------------------------------------------ *)
 (* Object allocation (§5.1 steps 2-4)                                  *)
@@ -320,7 +385,7 @@ let link_and_carve (ctx : Ctx.t) rr ~idx ~kind ~block_words ~data_words ~emb_cnt
   Ctx.crash_point ctx Fault.Alloc_after_link;
   Ctx.fence ctx;
   (* Step 3: advance the thread-exclusive free pointer. *)
-  Ctx.store ctx (Layout.page_free ctx.lay ~gid) next;
+  Page.set_free_head ctx ~gid next;
   Page.incr_used ctx ~gid;
   Ctx.crash_point ctx Fault.Alloc_after_advance;
   (* Step 4: initialise the object. No CAS: the block is still private. *)

@@ -49,6 +49,12 @@ val is_huge : Ctx.t -> Cxlshm_shmem.Pptr.t -> bool
 val huge_span : Ctx.t -> head_seg:int -> int
 (** Number of segments occupied by the huge object headed at [head_seg]. *)
 
+val huge_data_words : Ctx.t -> Cxlshm_shmem.Pptr.t -> int
+(** True payload word count of a huge object, from the head page's
+    [page_aux2] slot — the packed meta word saturates at
+    {!Obj_header.max_meta_data_words} and must not be trusted for sizes
+    beyond it. Falls back to the meta word for pre-[page_aux2] images. *)
+
 val obj_page : Ctx.t -> Cxlshm_shmem.Pptr.t -> int
 (** Global page id of the page containing an object. *)
 

@@ -30,7 +30,9 @@ let init_slot (ctx : Ctx.t) =
   Ctx.store ctx (Layout.client_process lay cid) (Unix.getpid ())
 
 let register ~mem ~lay ?cid () =
-  let bootstrap = Ctx.make ~mem ~lay ~cid:0 in
+  (* The bootstrap context borrows cid 0 only to CAS registration flags;
+     it must not mirror client 0's private words. *)
+  let bootstrap = Ctx.make ~cache:false ~mem ~lay ~cid:0 () in
   let try_claim c =
     Ctx.cas bootstrap (Layout.client_flags lay c) ~expected:0 ~desired:1
   in
@@ -45,7 +47,7 @@ let register ~mem ~lay ?cid () =
   match claimed with
   | None -> failwith "Client.register: no free client slot"
   | Some c ->
-      let ctx = Ctx.make ~mem ~lay ~cid:c in
+      let ctx = Ctx.make ~mem ~lay ~cid:c () in
       init_slot ctx;
       ctx
 

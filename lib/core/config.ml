@@ -10,6 +10,7 @@ type t = {
   eadr : bool;
   trace : bool;
   trace_slots : int;
+  cache : bool;
 }
 
 let default =
@@ -25,6 +26,7 @@ let default =
     eadr = false;
     trace = false;
     trace_slots = 256;
+    cache = true;
   }
 
 let small =
@@ -40,6 +42,7 @@ let small =
     eadr = false;
     trace = false;
     trace_slots = 128;
+    cache = true;
   }
 
 let header_words = 2

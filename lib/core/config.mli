@@ -35,6 +35,13 @@ type t = {
   trace_slots : int;
       (** Event-ring capacity per client (events kept); the ring wraps.
           Must be in [16, 2^20]. *)
+  cache : bool;
+      (** Client-local volatile cache tier: per-{!Ctx} DRAM mirror of
+          owner-private and immutable shared words (class heads, owned
+          segments' page metadata, the ownership set, segment→device
+          mapping). Every mirror write is write-through, so shared memory
+          always holds the truth and recovery/fsck never consult the cache;
+          service contexts run with it off regardless. Ablation knob. *)
 }
 
 val default : t

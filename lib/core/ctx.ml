@@ -1,6 +1,27 @@
 module Mem = Cxlshm_shmem.Mem
 module Stats = Cxlshm_shmem.Stats
 
+(* Client-local volatile cache tier (DRAM mirror of shared words).
+
+   Mirroring rule: a shared word may live here only while this context is
+   its *sole mutator* — the client's own class heads and segment cursor,
+   page metadata of segments this client currently owns — or while it is
+   immutable (segment→device mapping). Every mirror update is paired with
+   the write-through store, so shared memory always holds the truth and a
+   crash loses nothing. The cache starts empty (a fresh attach) and is
+   filled lazily; [cache_drop] returns it to that state, which is how
+   recovery proves the tier is reconstructible. *)
+type cache = {
+  enabled : bool;
+  heads : int array;  (* class-head mirror, -1 = unknown *)
+  mutable cur_seg : int;  (* current-segment cursor mirror, -1 = unknown *)
+  mutable owned_valid : bool;
+  owned : bool array;  (* this client's segment-ownership set *)
+  pm : int array;  (* page-meta mirror: [gid * pm_slots + slot] *)
+  pmv : bool array;  (* per-word validity for [pm] *)
+  seg_dev : int array;  (* segment -> device, -1 = unknown (immutable) *)
+}
+
 type t = {
   mem : Mem.t;
   lay : Layout.t;
@@ -12,11 +33,22 @@ type t = {
   rng : Random.State.t;
   mutable trace_on : bool;
   hists : Cxlshm_shmem.Histogram.t array;
+  cache : cache;
 }
 
-let make ~mem ~lay ~cid =
+(* Mirrored page-meta slots: kind, block_words, capacity, free, used.
+   [page_aux]/[page_aux2] are huge-object slow-path words and stay
+   uncached. *)
+let pm_slots = 5
+
+let make ?cache ~mem ~lay ~cid () =
   if cid < 0 || cid >= lay.Layout.cfg.Config.max_clients then
     invalid_arg "Ctx.make: cid out of range";
+  let enabled =
+    match cache with Some b -> b | None -> lay.Layout.cfg.Config.cache
+  in
+  let nseg = lay.Layout.cfg.Config.num_segments in
+  let npages = Layout.num_pages_total lay in
   {
     mem;
     lay;
@@ -28,6 +60,17 @@ let make ~mem ~lay ~cid =
     rng = Random.State.make [| 0x5eed; cid |];
     trace_on = lay.Layout.cfg.Config.trace;
     hists = Cxlshm_shmem.Histogram.create_set ();
+    cache =
+      {
+        enabled;
+        heads = Array.make (lay.Layout.num_classes + 1) (-1);
+        cur_seg = -1;
+        owned_valid = false;
+        owned = Array.make nseg false;
+        pm = Array.make (npages * pm_slots) 0;
+        pmv = Array.make (npages * pm_slots) false;
+        seg_dev = Array.make nseg (-1);
+      };
   }
 
 let cfg t = t.lay.Layout.cfg
@@ -77,3 +120,133 @@ let fetch_add t p n = prim t (fun () -> Mem.fetch_add t.mem ~st:t.st p n)
 let fence t = Mem.fence t.mem ~st:t.st
 let flush t p = prim t (fun () -> Mem.flush t.mem ~st:t.st p)
 let crash_point t point = Fault.maybe_crash t.fault point
+
+(* {1 Cache tier} *)
+
+let cache_enabled t = t.cache.enabled
+
+let cache_drop t =
+  let c = t.cache in
+  Array.fill c.heads 0 (Array.length c.heads) (-1);
+  c.cur_seg <- -1;
+  c.owned_valid <- false;
+  Array.fill c.pmv 0 (Array.length c.pmv) false;
+  Array.fill c.seg_dev 0 (Array.length c.seg_dev) (-1)
+
+(* Class heads and the segment cursor: written only by this client while it
+   is alive (recovery rewrites them only for dead clients, whose contexts
+   are gone), so they are always mirrorable. *)
+
+let load_class_head t k =
+  let c = t.cache in
+  if c.enabled && c.heads.(k) >= 0 then c.heads.(k)
+  else
+    let v = load t (Layout.class_head t.lay t.cid k) in
+    if c.enabled then c.heads.(k) <- v;
+    v
+
+let store_class_head t k v =
+  store t (Layout.class_head t.lay t.cid k) v;
+  if t.cache.enabled then t.cache.heads.(k) <- v
+
+let load_cur_segment t =
+  let c = t.cache in
+  if c.enabled && c.cur_seg >= 0 then c.cur_seg
+  else
+    let v = load t (Layout.client_cur_segment t.lay t.cid) in
+    if c.enabled then c.cur_seg <- v;
+    v
+
+let store_cur_segment t v =
+  store t (Layout.client_cur_segment t.lay t.cid) v;
+  if t.cache.enabled then t.cache.cur_seg <- v
+
+(* Segment-ownership set. Maintained by [Segment.claim]/[adopt]/[release];
+   [orphan] leaves [seg_occupied] (and thus the set) unchanged. *)
+
+let cache_owned_known t = t.cache.enabled && t.cache.owned_valid
+
+let cache_owned_list t =
+  let c = t.cache in
+  let acc = ref [] in
+  for s = Array.length c.owned - 1 downto 0 do
+    if c.owned.(s) then acc := s :: !acc
+  done;
+  !acc
+
+let cache_install_owned t segs =
+  let c = t.cache in
+  if c.enabled then begin
+    Array.fill c.owned 0 (Array.length c.owned) false;
+    List.iter (fun s -> c.owned.(s) <- true) segs;
+    c.owned_valid <- true
+  end
+
+let cache_invalidate_pages t seg =
+  let c = t.cache in
+  let pps = t.lay.Layout.cfg.Config.pages_per_segment in
+  Array.fill c.pmv (seg * pps * pm_slots) (pps * pm_slots) false
+
+let cache_note_claim t seg =
+  let c = t.cache in
+  if c.enabled then begin
+    (* Page metadata cached under a previous tenancy of this segment is
+       dead; the entries were already dropped at release, but clearing here
+       keeps claim self-sufficient. *)
+    cache_invalidate_pages t seg;
+    if c.owned_valid then c.owned.(seg) <- true
+  end
+
+let cache_note_release t seg =
+  let c = t.cache in
+  if c.enabled then begin
+    cache_invalidate_pages t seg;
+    if c.owned_valid then c.owned.(seg) <- false
+  end
+
+(* Page metadata: mirrorable only while this client owns the segment — a
+   non-owned page's meta has another live mutator (its owner), so reads
+   and writes outside the ownership set go straight to shared memory and
+   drop any stale mirror entry. *)
+
+let cache_owns t seg =
+  let c = t.cache in
+  c.enabled && c.owned_valid && c.owned.(seg)
+
+let load_pm t ~gid ~slot addr =
+  let seg = gid / t.lay.Layout.cfg.Config.pages_per_segment in
+  if cache_owns t seg then begin
+    let c = t.cache in
+    let i = (gid * pm_slots) + slot in
+    if c.pmv.(i) then c.pm.(i)
+    else begin
+      let v = load t addr in
+      c.pm.(i) <- v;
+      c.pmv.(i) <- true;
+      v
+    end
+  end
+  else load t addr
+
+let store_pm t ~gid ~slot addr v =
+  store t addr v;
+  if t.cache.enabled then begin
+    let c = t.cache in
+    let seg = gid / t.lay.Layout.cfg.Config.pages_per_segment in
+    let i = (gid * pm_slots) + slot in
+    if cache_owns t seg then begin
+      c.pm.(i) <- v;
+      c.pmv.(i) <- true
+    end
+    else c.pmv.(i) <- false
+  end
+
+(* Segment -> device: pure layout arithmetic in the backend, hence
+   immutable and always mirrorable. *)
+let segment_device t seg =
+  let c = t.cache in
+  if c.enabled && c.seg_dev.(seg) >= 0 then c.seg_dev.(seg)
+  else
+    let d = Mem.device_of t.mem (Layout.segment_base t.lay seg) in
+    if c.enabled then c.seg_dev.(seg) <- d;
+    d

@@ -5,6 +5,14 @@
     its fault-injection plan. It is the OCaml-heap ("local memory") half of a
     client — everything that is lost when the client crashes. *)
 
+type cache
+(** Client-local volatile cache tier: a DRAM-side mirror of shared words
+    whose sole mutator is this client (class heads, segment cursor, owned
+    segments' page metadata, the ownership set) or that are immutable
+    (segment→device mapping). Write-through — shared memory always holds
+    the truth — and reconstructible: dropped on attach/recovery and
+    refilled lazily from shared state. *)
+
 type t = {
   mem : Cxlshm_shmem.Mem.t;
   lay : Layout.t;
@@ -24,9 +32,13 @@ type t = {
   hists : Cxlshm_shmem.Histogram.t array;
       (** per-op latency histograms (local memory), indexed by
           {!Cxlshm_shmem.Histogram.op_index}; fed by spans when tracing *)
+  cache : cache;  (** client-local cache tier (see {!type:cache}) *)
 }
 
-val make : mem:Cxlshm_shmem.Mem.t -> lay:Layout.t -> cid:int -> t
+val make :
+  ?cache:bool -> mem:Cxlshm_shmem.Mem.t -> lay:Layout.t -> cid:int -> unit -> t
+(** [?cache] overrides [Config.cache]; service/monitor contexts pass
+    [~cache:false] so repair paths always read shared truth. *)
 
 val cfg : t -> Config.t
 
@@ -63,3 +75,56 @@ val fetch_add : t -> Cxlshm_shmem.Pptr.t -> int -> int
 val fence : t -> unit
 val flush : t -> Cxlshm_shmem.Pptr.t -> unit
 val crash_point : t -> Fault.point -> unit
+
+(** {1 Client-local cache tier}
+
+    Strict mirroring rules: only words whose sole mutator is this client
+    (its class heads and segment cursor; page metadata of segments it
+    owns) or immutable facts (segment→device) may be mirrored; every
+    mirror write happens alongside the write-through store; the whole
+    tier drops to empty on attach/recovery and refills lazily. *)
+
+val cache_enabled : t -> bool
+
+val cache_drop : t -> unit
+(** Forget everything — the post-attach/post-recovery state. *)
+
+val load_class_head : t -> int -> int
+(** Cached read of this client's class-head word [k] (write-through pair:
+    {!store_class_head}). *)
+
+val store_class_head : t -> int -> int -> unit
+val load_cur_segment : t -> int
+val store_cur_segment : t -> int -> unit
+
+val cache_owned_known : t -> bool
+(** The ownership set is populated (a shared scan can be skipped). *)
+
+val cache_owned_list : t -> int list
+(** Owned segments in ascending order; meaningful only when
+    {!cache_owned_known}. *)
+
+val cache_install_owned : t -> int list -> unit
+(** Install the result of a shared ownership scan. *)
+
+val cache_note_claim : t -> int -> unit
+(** This client just claimed/adopted the segment. *)
+
+val cache_note_release : t -> int -> unit
+(** This client just released the segment (drops its page mirrors). *)
+
+val cache_owns : t -> int -> bool
+(** The mirror knows this client owns the segment (false when the set is
+    unpopulated — callers then fall back to shared reads). *)
+
+val load_pm : t -> gid:int -> slot:int -> Cxlshm_shmem.Pptr.t -> int
+(** Cached read of page-meta slot [slot] (0 = kind … 4 = used) of page
+    [gid] at shared address [addr]; mirrors only pages of owned
+    segments. *)
+
+val store_pm : t -> gid:int -> slot:int -> Cxlshm_shmem.Pptr.t -> int -> unit
+(** Write-through page-meta store; drops the mirror entry instead of
+    updating it when the segment is not (known to be) owned. *)
+
+val segment_device : t -> int -> int
+(** Device serving a segment (immutable layout fact, cached). *)

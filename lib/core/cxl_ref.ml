@@ -26,7 +26,16 @@ let drop t =
 
 let meta t = Ctx.load t.ctx (Obj_header.meta_of_obj (obj t))
 let emb_cnt t = Obj_header.meta_emb_cnt (meta t)
-let data_words t = Obj_header.meta_data_words (meta t)
+
+let data_words t =
+  let dw = Obj_header.meta_data_words (meta t) in
+  (* A saturated field means a huge object wider than the meta word can
+     represent: the head page's aux2 slot holds the true count. *)
+  if dw = Obj_header.max_meta_data_words then
+    let o = obj t in
+    if Alloc.is_huge t.ctx o then Alloc.huge_data_words t.ctx o else dw
+  else dw
+
 let data_addr t = Obj_header.data_of_obj (obj t)
 
 let check_word t i =

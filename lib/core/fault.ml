@@ -20,6 +20,8 @@ type point =
   | Recv_after_advance
   | Slowpath_after_page_claim
   | Slowpath_after_segment_claim
+  | Free_huge_mid_release
+  | Free_huge_after_reset
   | Recovery_mid_phases
 
 let point_name = function
@@ -42,6 +44,8 @@ let point_name = function
   | Recv_after_advance -> "recv-after-advance"
   | Slowpath_after_page_claim -> "slowpath-after-page-claim"
   | Slowpath_after_segment_claim -> "slowpath-after-segment-claim"
+  | Free_huge_mid_release -> "free-huge-mid-release"
+  | Free_huge_after_reset -> "free-huge-after-reset"
   | Recovery_mid_phases -> "recovery-mid-phases"
 
 let all_points =
@@ -65,6 +69,8 @@ let all_points =
     Recv_after_advance;
     Slowpath_after_page_claim;
     Slowpath_after_segment_claim;
+    Free_huge_mid_release;
+    Free_huge_after_reset;
     Recovery_mid_phases;
   ]
 

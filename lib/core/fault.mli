@@ -35,6 +35,10 @@ type point =
                                      yet returned to the caller *)
   | Slowpath_after_page_claim    (** page kind set, free chain incomplete *)
   | Slowpath_after_segment_claim (** segment CAS won, cursor not updated *)
+  | Free_huge_mid_release        (** huge free: some tail segments released,
+                                     head metadata still intact *)
+  | Free_huge_after_reset        (** huge free: head pages wiped, head
+                                     segment not yet released *)
   | Recovery_mid_phases          (** recovery service dies mid-recovery *)
 
 val point_name : point -> string

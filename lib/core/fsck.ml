@@ -119,7 +119,8 @@ let repair (ctx : Ctx.t) =
     poke (Layout.page_used lay ~gid) 0;
     poke (Layout.page_capacity lay ~gid) 0;
     poke (Layout.page_block_words lay ~gid) 0;
-    poke (Layout.page_aux lay ~gid) 0
+    poke (Layout.page_aux lay ~gid) 0;
+    poke (Layout.page_aux2 lay ~gid) 0
   in
   let quarantine gid =
     zero_page_meta gid;
@@ -210,6 +211,41 @@ let repair (ctx : Ctx.t) =
         poke obj 0;
         (* left at count 0: the mark pass frees the whole run *)
         a.torn <- a.torn + 1
+      end;
+      (* Cross-check the head page's span and true-length words against the
+         run the segment states actually describe. [span] counts the head
+         plus its consecutive Huge_cont segments — a run half-released by a
+         crashed [free_huge] shrinks here, so the span word is re-anchored
+         to what is still claimable — and the true length (page_aux2) must
+         fit span × segment_words and agree with the packed meta field
+         whenever that field is wide enough to hold it. *)
+      let gid0 = Layout.page_gid lay ~seg:s ~page:0 in
+      let rec count k =
+        if s + k < ns && seg_state (s + k) = 5 then count (k + 1) else k
+      in
+      let span = count 1 in
+      if peek (Layout.page_aux lay ~gid:gid0) <> span then begin
+        poke (Layout.page_aux lay ~gid:gid0) span;
+        a.pmeta <- a.pmeta + 1
+      end;
+      let max_dw =
+        lay.Layout.segment_words - lay.Layout.seg_hdr_words
+        + ((span - 1) * lay.Layout.segment_words)
+        - Config.header_words
+      in
+      let meta_dw =
+        Obj_header.meta_data_words (peek (Obj_header.meta_of_obj obj))
+      in
+      let truth = peek (Layout.page_aux2 lay ~gid:gid0) in
+      let truth_ok =
+        truth >= 1 && truth <= max_dw
+        && (truth = meta_dw
+           || (meta_dw = Obj_header.max_meta_data_words && truth >= meta_dw))
+      in
+      if not truth_ok then begin
+        poke (Layout.page_aux2 lay ~gid:gid0)
+          (if meta_dw >= 1 && meta_dw <= max_dw then meta_dw else max_dw);
+        a.pmeta <- a.pmeta + 1
       end
     end
   done;

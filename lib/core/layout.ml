@@ -199,6 +199,7 @@ let page_capacity t ~gid = page_meta t ~gid + 2
 let page_free t ~gid = page_meta t ~gid + 3
 let page_used t ~gid = page_meta t ~gid + 4
 let page_aux t ~gid = page_meta t ~gid + 5
+let page_aux2 t ~gid = page_meta t ~gid + 6
 
 let page_area t ~gid =
   let seg, page = page_of_gid t gid in

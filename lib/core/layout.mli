@@ -164,6 +164,11 @@ val page_used : t -> gid:int -> Cxlshm_shmem.Pptr.t
 val page_aux : t -> gid:int -> Cxlshm_shmem.Pptr.t
 (** Spare per-page meta word (huge objects store their segment span here). *)
 
+val page_aux2 : t -> gid:int -> Cxlshm_shmem.Pptr.t
+(** Second spare meta word. A huge run's head page stores the object's true
+    [data_words] here, since the packed meta word's field saturates (the
+    object header's data_words field is narrower than a maximal run). *)
+
 val page_area : t -> gid:int -> Cxlshm_shmem.Pptr.t
 val page_gid_of_addr : t -> Cxlshm_shmem.Pptr.t -> int
 (** Global page id of the page area containing [addr]. Raises

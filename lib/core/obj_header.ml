@@ -45,6 +45,7 @@ let pack_meta ~kind ~emb_cnt ~data_words =
 let meta_kind w = Word.get f_kind w
 let meta_emb_cnt w = Word.get f_emb w
 let meta_data_words w = Word.get f_dw w
+let max_meta_data_words = Word.max_value f_dw
 
 let header_of_obj p = p
 let meta_of_obj p = p + 1

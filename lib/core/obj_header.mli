@@ -37,6 +37,12 @@ val meta_kind : int -> int
 val meta_emb_cnt : int -> int
 val meta_data_words : int -> int
 
+val max_meta_data_words : int
+(** Largest value the meta word's [data_words] field can hold. A huge
+    object bigger than this saturates the field and records its true word
+    count in the head page's [page_aux2] slot — readers must go through
+    {!Alloc.huge_data_words}, not trust a saturated field. *)
+
 (** {1 Addressing} *)
 
 val header_of_obj : Cxlshm_shmem.Pptr.t -> Cxlshm_shmem.Pptr.t

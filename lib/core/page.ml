@@ -1,11 +1,33 @@
 let next_slot_offset ~kind_rootref = if kind_rootref then 1 else Config.header_words
 
-let kind (ctx : Ctx.t) ~gid = Ctx.load ctx (Layout.page_kind ctx.lay ~gid)
-let block_words (ctx : Ctx.t) ~gid = Ctx.load ctx (Layout.page_block_words ctx.lay ~gid)
-let capacity (ctx : Ctx.t) ~gid = Ctx.load ctx (Layout.page_capacity ctx.lay ~gid)
-let free_head (ctx : Ctx.t) ~gid = Ctx.load ctx (Layout.page_free ctx.lay ~gid)
-let used (ctx : Ctx.t) ~gid = Ctx.load ctx (Layout.page_used ctx.lay ~gid)
-let set_used (ctx : Ctx.t) ~gid n = Ctx.store ctx (Layout.page_used ctx.lay ~gid) n
+(* Page-meta accessors go through the client-local cache tier: reads of an
+   owned page's metadata are served from the DRAM mirror, every store is
+   write-through (see {!Ctx.load_pm}/{!Ctx.store_pm}). Mirror slot numbers
+   match the layout order kind/block_words/capacity/free/used. *)
+
+let kind (ctx : Ctx.t) ~gid =
+  Ctx.load_pm ctx ~gid ~slot:0 (Layout.page_kind ctx.lay ~gid)
+
+let set_kind (ctx : Ctx.t) ~gid k =
+  Ctx.store_pm ctx ~gid ~slot:0 (Layout.page_kind ctx.lay ~gid) k
+
+let block_words (ctx : Ctx.t) ~gid =
+  Ctx.load_pm ctx ~gid ~slot:1 (Layout.page_block_words ctx.lay ~gid)
+
+let capacity (ctx : Ctx.t) ~gid =
+  Ctx.load_pm ctx ~gid ~slot:2 (Layout.page_capacity ctx.lay ~gid)
+
+let free_head (ctx : Ctx.t) ~gid =
+  Ctx.load_pm ctx ~gid ~slot:3 (Layout.page_free ctx.lay ~gid)
+
+let set_free_head (ctx : Ctx.t) ~gid v =
+  Ctx.store_pm ctx ~gid ~slot:3 (Layout.page_free ctx.lay ~gid) v
+
+let used (ctx : Ctx.t) ~gid =
+  Ctx.load_pm ctx ~gid ~slot:4 (Layout.page_used ctx.lay ~gid)
+
+let set_used (ctx : Ctx.t) ~gid n =
+  Ctx.store_pm ctx ~gid ~slot:4 (Layout.page_used ctx.lay ~gid) n
 let incr_used ctx ~gid = set_used ctx ~gid (used ctx ~gid + 1)
 let decr_used ctx ~gid = set_used ctx ~gid (used ctx ~gid - 1)
 
@@ -25,26 +47,28 @@ let init (ctx : Ctx.t) ~gid ~kind:k ~block_words:bw =
     if not rootref then Ctx.store ctx (b + 1) 0;
     Ctx.store ctx (b + off) (if i = cap - 1 then 0 else base + ((i + 1) * bw))
   done;
-  Ctx.store ctx (Layout.page_block_words ctx.lay ~gid) bw;
-  Ctx.store ctx (Layout.page_capacity ctx.lay ~gid) cap;
+  Ctx.store_pm ctx ~gid ~slot:1 (Layout.page_block_words ctx.lay ~gid) bw;
+  Ctx.store_pm ctx ~gid ~slot:2 (Layout.page_capacity ctx.lay ~gid) cap;
   set_used ctx ~gid 0;
   Ctx.fence ctx;
-  Ctx.store ctx (Layout.page_free ctx.lay ~gid) base;
+  set_free_head ctx ~gid base;
   Ctx.fence ctx;
   (* kind is published last: kind <> unused implies the chain is complete. *)
-  Ctx.store ctx (Layout.page_kind ctx.lay ~gid) k
+  set_kind ctx ~gid k
 
 let reset (ctx : Ctx.t) ~gid =
   (* A quarantined page records bad media, not allocation state: the mark
      survives segment recycling so the page never re-enters service. Its
      other metadata is already zeroed. *)
   if kind ctx ~gid <> Config.kind_quarantined (Ctx.cfg ctx) then begin
-    Ctx.store ctx (Layout.page_kind ctx.lay ~gid) Config.kind_unused;
+    set_kind ctx ~gid Config.kind_unused;
     Ctx.fence ctx;
-    Ctx.store ctx (Layout.page_free ctx.lay ~gid) 0;
-    Ctx.store ctx (Layout.page_used ctx.lay ~gid) 0;
-    Ctx.store ctx (Layout.page_capacity ctx.lay ~gid) 0;
-    Ctx.store ctx (Layout.page_block_words ctx.lay ~gid) 0
+    set_free_head ctx ~gid 0;
+    set_used ctx ~gid 0;
+    Ctx.store_pm ctx ~gid ~slot:2 (Layout.page_capacity ctx.lay ~gid) 0;
+    Ctx.store_pm ctx ~gid ~slot:1 (Layout.page_block_words ctx.lay ~gid) 0;
+    Ctx.store ctx (Layout.page_aux ctx.lay ~gid) 0;
+    Ctx.store ctx (Layout.page_aux2 ctx.lay ~gid) 0
   end
 
 let pop_free (ctx : Ctx.t) ~gid ~rootref =
@@ -53,7 +77,7 @@ let pop_free (ctx : Ctx.t) ~gid ~rootref =
   else begin
     let off = next_slot_offset ~kind_rootref:rootref in
     let next = Ctx.load ctx (head + off) in
-    Ctx.store ctx (Layout.page_free ctx.lay ~gid) next;
+    set_free_head ctx ~gid next;
     incr_used ctx ~gid;
     Some head
   end
@@ -61,7 +85,7 @@ let pop_free (ctx : Ctx.t) ~gid ~rootref =
 let push_free (ctx : Ctx.t) ~gid ~rootref block =
   let off = next_slot_offset ~kind_rootref:rootref in
   Ctx.store ctx (block + off) (free_head ctx ~gid);
-  Ctx.store ctx (Layout.page_free ctx.lay ~gid) block;
+  set_free_head ctx ~gid block;
   decr_used ctx ~gid
 
 let blocks (ctx : Ctx.t) ~gid =

@@ -23,6 +23,11 @@ val kind : Ctx.t -> gid:int -> int
 val block_words : Ctx.t -> gid:int -> int
 val capacity : Ctx.t -> gid:int -> int
 val free_head : Ctx.t -> gid:int -> Cxlshm_shmem.Pptr.t
+
+val set_free_head : Ctx.t -> gid:int -> Cxlshm_shmem.Pptr.t -> unit
+(** Owner-side store of the free-list head ([Alloc] interleaves it with
+    RootRef linking per §5.1); write-through via the cache tier. *)
+
 val used : Ctx.t -> gid:int -> int
 val set_used : Ctx.t -> gid:int -> int -> unit
 val incr_used : Ctx.t -> gid:int -> unit

@@ -96,12 +96,26 @@ let scan_segment (ctx : Ctx.t) seg =
     if Obj_header.ref_cnt_of (Ctx.load ctx (Obj_header.header_of_obj obj)) = 0
     then begin
       let n = Alloc.huge_span ctx ~head_seg:seg in
+      (* Finish (or perform) the tail-first release order of
+         [Alloc.free_huge]: if the owner died mid-free, some continuation
+         segments are already back in the arena — and may have been
+         re-claimed by a live peer — so only segments still [Huge_cont]
+         under the run's owner belong to it. Tails first; the head page
+         metadata (the only thing that sizes the run) is wiped last, so a
+         crash here leaves a rerunnable state. *)
+      let owner0 = Segment.owner ctx seg in
+      for k = n - 1 downto 1 do
+        let s = seg + k in
+        if
+          s < cfg.Config.num_segments
+          && Segment.state ctx s = Segment.Huge_cont
+          && Segment.owner ctx s = owner0
+        then Segment.release ctx s
+      done;
       for p = 0 to pps - 1 do
         Page.reset ctx ~gid:(Layout.page_gid ctx.lay ~seg ~page:p)
       done;
-      for k = max 1 n - 1 downto 0 do
-        Segment.release ctx (seg + k)
-      done;
+      Segment.release ctx seg;
       true
     end
     else false

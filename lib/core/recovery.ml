@@ -261,27 +261,40 @@ let segment_empty (ctx : Ctx.t) seg =
 
 let handle_segments (ctx : Ctx.t) ~cid report =
   let cfg = Ctx.cfg ctx in
+  let handle_huge_head seg =
+    let obj =
+      Layout.segment_base ctx.Ctx.lay seg + ctx.Ctx.lay.Layout.seg_hdr_words
+    in
+    if Refc.ref_cnt ctx obj = 0 then begin
+      Segment.mark_leaking ctx seg;
+      if Reclaim.scan_segment ctx seg then
+        report :=
+          { !report with segments_released = !report.segments_released + 1 }
+    end
+    else begin
+      Segment.orphan ctx ~cid seg;
+      report :=
+        { !report with segments_orphaned = !report.segments_orphaned + 1 }
+    end
+  in
+  let huge_head seg =
+    Page.kind ctx ~gid:(Layout.page_gid ctx.Ctx.lay ~seg ~page:0)
+    = Config.kind_huge cfg
+  in
   List.iter
     (fun seg ->
       match Segment.state ctx seg with
-      | Segment.Huge_head ->
-          let obj =
-            Layout.segment_base ctx.Ctx.lay seg + ctx.Ctx.lay.Layout.seg_hdr_words
-          in
-          if Refc.ref_cnt ctx obj = 0 then begin
-            Segment.mark_leaking ctx seg;
-            if Reclaim.scan_segment ctx seg then
-              report :=
-                { !report with segments_released = !report.segments_released + 1 }
-          end
-          else begin
-            Segment.orphan ctx ~cid seg;
-            report :=
-              { !report with segments_orphaned = !report.segments_orphaned + 1 }
-          end
+      | Segment.Huge_head -> handle_huge_head seg
       | Segment.Huge_cont ->
           (* Handled alongside its head; ownership follows the head. *)
           ()
+      | (Segment.Active | Segment.Leaking | Segment.Orphaned)
+        when huge_head seg ->
+          (* A leak-marked huge head: the owner died inside [free_huge]
+             (the release path leak-marks before freeing). Finish the
+             tail-first run release — the plain-segment path below would
+             release the head alone and strand the continuations. *)
+          handle_huge_head seg
       | Segment.Active | Segment.Leaking | Segment.Orphaned ->
           if segment_empty ctx seg then begin
             for p = 0 to cfg.Config.pages_per_segment - 1 do

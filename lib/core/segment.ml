@@ -44,6 +44,7 @@ let claim (ctx : Ctx.t) s =
   if Ctx.cas ctx occ ~expected:0 ~desired:(ctx.cid + 1) then begin
     bump_version ctx s;
     set_state ctx s Active;
+    Ctx.cache_note_claim ctx s;
     true
   end
   else false
@@ -58,13 +59,15 @@ let adopt (ctx : Ctx.t) s =
       && begin
            bump_version ctx s;
            set_state ctx s Active;
+           Ctx.cache_note_claim ctx s;
            true
          end
 
 let release (ctx : Ctx.t) s =
   set_state ctx s Free;
   bump_version ctx s;
-  Ctx.store ctx (Layout.seg_occupied ctx.lay s) 0
+  Ctx.store ctx (Layout.seg_occupied ctx.lay s) 0;
+  Ctx.cache_note_release ctx s
 
 let orphan (ctx : Ctx.t) ~cid s =
   match owner ctx s with
@@ -79,12 +82,23 @@ let find_free (ctx : Ctx.t) =
   go 0
 
 let owned_by (ctx : Ctx.t) ~cid =
-  let n = (Ctx.cfg ctx).Config.num_segments in
-  let rec go s acc =
-    if s < 0 then acc
-    else go (s - 1) (if owner ctx s = Some cid then s :: acc else acc)
-  in
-  go (n - 1) []
+  (* The O(num_segments) shared scan is the price the cache tier removes:
+     a client's own ownership set is served from the mirror once populated
+     (claims/releases keep it current; [seg_occupied] for this client
+     changes only under this client's CAS while it is alive). Queries about
+     *other* clients always scan shared memory. *)
+  if cid = ctx.Ctx.cid && Ctx.cache_owned_known ctx then
+    Ctx.cache_owned_list ctx
+  else begin
+    let n = (Ctx.cfg ctx).Config.num_segments in
+    let rec go s acc =
+      if s < 0 then acc
+      else go (s - 1) (if owner ctx s = Some cid then s :: acc else acc)
+    in
+    let segs = go (n - 1) [] in
+    if cid = ctx.Ctx.cid then Ctx.cache_install_owned ctx segs;
+    segs
+  end
 
 (* Cross-client free stack. The head word packs a 16-bit tag with the block
    pointer; the tag increments on every pop-all, defeating ABA between a

@@ -140,6 +140,44 @@ let send t payload =
     end
   end
 
+(* Batched send: attach up to [room] payloads to consecutive tail slots,
+   then publish the whole prefix with ONE fence and ONE tail store. The
+   single tail advance is the only commit point, so the receiver either
+   sees none of the batch or a dense prefix of it — per-message
+   exactly-once semantics are untouched. A crash between an attach and the
+   tail store leaves the extra slot references owned by the queue object,
+   exactly like a crashed single [send]. *)
+let send_batch t payloads =
+  assert (t.endpoint = Sender);
+  Trace.with_span t.ctx Histogram.Transfer_send ~addr:(Cxl_ref.obj t.qref)
+  @@ fun () ->
+  let flags = qload t w_flags in
+  if flags land flag_receiver_closed <> 0 then (0, Closed)
+  else begin
+    let tail = qload t w_tail in
+    let head = qload t w_head in
+    let room = t.capacity - (tail - head) in
+    if room <= 0 then (0, Full)
+    else begin
+      let qobj = Cxl_ref.obj t.qref in
+      let n = ref 0 in
+      List.iteri
+        (fun i p ->
+          if i < room then begin
+            let slot = Obj_header.emb_slot qobj ((tail + i) mod t.capacity) in
+            Refc.attach t.ctx ~ref_addr:slot ~refed:(Cxl_ref.obj p);
+            Ctx.crash_point t.ctx Fault.Send_after_attach;
+            incr n
+          end)
+        payloads;
+      Ctx.fence t.ctx;
+      (* Ownership of all [!n] messages transfers here. *)
+      qstore t w_tail (tail + !n);
+      Ctx.flush t.ctx (qword t.ctx qobj ~cap:t.capacity w_tail);
+      (!n, if !n = List.length payloads then Sent else Full)
+    end
+  end
+
 type recv_result = Received of Cxl_ref.t | Empty | Drained
 
 let receive t =
@@ -233,6 +271,52 @@ let close t =
     && flags land flag_receiver_closed <> 0
   then try_cleanup t.ctx ~as_cid:t.ctx.Ctx.cid t.dir_idx;
   Cxl_ref.drop t.qref
+
+type recv_batch = Received_batch of Cxl_ref.t list | Batch_empty | Batch_drained
+
+(* Batched receive: consume up to [max] messages, handing their slots back
+   to the sender with ONE fence and ONE head store. Each message still runs
+   the full attach-then-detach era transaction (count never drops below 1),
+   and a crash mid-batch is indistinguishable from a crash mid-[receive]:
+   messages whose slot was detached are owned by this client's fresh
+   RootRefs (reaped with the client), the rest stay owned by the queue. *)
+let receive_batch t ~max =
+  assert (t.endpoint = Receiver);
+  Trace.with_span t.ctx Histogram.Transfer_recv ~addr:(Cxl_ref.obj t.qref)
+  @@ fun () ->
+  let head = qload t w_head in
+  let tail = qload t w_tail in
+  if head = tail then
+    if qload t w_flags land flag_sender_closed <> 0 then Batch_drained
+    else Batch_empty
+  else begin
+    let n = min max (tail - head) in
+    if n <= 0 then Batch_empty
+    else begin
+      let qobj = Cxl_ref.obj t.qref in
+      let out = ref [] in
+      for i = 0 to n - 1 do
+        let slot = Obj_header.emb_slot qobj ((head + i) mod t.capacity) in
+        let obj = Ctx.load t.ctx slot in
+        assert (obj <> 0);
+        let rr = Alloc.alloc_rootref t.ctx in
+        Refc.attach t.ctx ~ref_addr:(Rootref.pptr_slot rr) ~refed:obj;
+        Ctx.crash_point t.ctx Fault.Recv_after_attach;
+        let c = Refc.detach t.ctx ~ref_addr:slot ~refed:obj in
+        assert (c >= 1);
+        Ctx.crash_point t.ctx Fault.Recv_after_detach;
+        out := Cxl_ref.of_rootref t.ctx rr :: !out
+      done;
+      (* All slot detaches must be visible before the one head store that
+         returns the slots to the sender; the head must be persistent
+         before the results are handed out (mirrors [receive]). *)
+      Ctx.fence t.ctx;
+      qstore t w_head (head + n);
+      Ctx.flush t.ctx (qword t.ctx qobj ~cap:t.capacity w_head);
+      Ctx.crash_point t.ctx Fault.Recv_after_advance;
+      Received_batch (List.rev !out)
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Recovery                                                            *)

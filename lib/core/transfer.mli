@@ -44,10 +44,24 @@ val send : t -> Cxl_ref.t -> send_result
 (** Share the handle's object with the peer. The sender keeps its own
     reference (drop it separately if no longer needed). *)
 
+val send_batch : t -> Cxl_ref.t list -> int * send_result
+(** Publish a prefix of the payloads (limited by ring room) under a
+    {e single} fence and tail advance — the one tail store is the only
+    commit point, so the batch transfers ownership atomically as a dense
+    prefix. Returns how many were sent and why it stopped: [Sent] = all,
+    [Full] = ring ran out of room, [Closed] = receiver gone (none sent). *)
+
 type recv_result = Received of Cxl_ref.t | Empty | Drained
 
 val receive : t -> recv_result
 (** [Drained] = the sender closed (or died) and the ring is empty. *)
+
+type recv_batch = Received_batch of Cxl_ref.t list | Batch_empty | Batch_drained
+
+val receive_batch : t -> max:int -> recv_batch
+(** Consume up to [max] messages, releasing all their slots with a single
+    fence and head advance. Each message still runs the attach-then-detach
+    era transaction, so per-message crash atomicity matches {!receive}. *)
 
 val close : t -> unit
 (** Close this endpoint and drop its queue reference. When both endpoints

@@ -216,6 +216,32 @@ let run mem lay =
         if cnt <> exp then begin
           acc.mism <- acc.mism + 1;
           err acc "huge object @%d: count %d but %d holders" obj cnt exp
+        end;
+        (* The head page's true-length word must agree with the packed
+           meta field — which saturates at [Obj_header.max_meta_data_words]
+           — and fit inside the claimed run. 0 is a legal pre-aux2 image. *)
+        let gid0 = Layout.page_gid lay ~seg ~page:0 in
+        let span = max 1 (peek (Layout.page_aux lay ~gid:gid0)) in
+        let truth = peek (Layout.page_aux2 lay ~gid:gid0) in
+        let meta_dw =
+          Obj_header.meta_data_words (peek (Obj_header.meta_of_obj obj))
+        in
+        let max_dw =
+          lay.Layout.segment_words - lay.Layout.seg_hdr_words
+          + ((span - 1) * lay.Layout.segment_words)
+          - Config.header_words
+        in
+        let truth_ok =
+          truth = 0
+          || (truth >= 1 && truth <= max_dw
+             && (truth = meta_dw
+                || (meta_dw = Obj_header.max_meta_data_words
+                   && truth >= meta_dw)))
+        in
+        if not truth_ok then begin
+          acc.mism <- acc.mism + 1;
+          err acc "huge object @%d: true length %d disagrees with meta %d"
+            obj truth meta_dw
         end
       end
       else if scan_pending seg then acc.pending <- acc.pending + 1

@@ -135,6 +135,7 @@ let device_tier t d =
   t.dev_tiers.(d)
 
 let op_count t = Option.map Backend_counting.ops t.counting
+let op_breakdown t = Option.map Backend_counting.breakdown t.counting
 let fault_injector t = t.faulty
 
 let set_fault_injection t on =
@@ -229,11 +230,13 @@ let fetch_add t ~st:(st : Stats.t) p n =
    them because fences are ordering points the explorer schedules around. *)
 let fence t ~st:(st : Stats.t) =
   st.fences <- st.fences + 1;
+  (match t.counting with Some c -> Backend_counting.note_fence c | None -> ());
   match t.sched with Some s -> Backend_sched.fence s | None -> ()
 
 let flush t ~st:(st : Stats.t) p =
   check t p;
   st.flushes <- st.flushes + 1;
+  (match t.counting with Some c -> Backend_counting.note_flush c | None -> ());
   charge t st p `Flush;
   match t.sched with Some s -> Backend_sched.flush s p | None -> ()
 

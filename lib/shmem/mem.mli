@@ -88,6 +88,11 @@ val op_count : t -> int option
 (** Exact number of raw word operations executed so far — [Counting_fast]
     backend only ([None] otherwise). *)
 
+val op_breakdown : t -> Backend_counting.breakdown option
+(** Per-kind counts behind {!op_count} — loads/stores/CAS/fetch-add words
+    plus fences and flushes (counted by this wrapper; they never reach a
+    backend). [Counting_fast] backend only. *)
+
 val fault_injector : t -> Backend_faulty.t option
 (** The fault-injection wrapper, when the backend spec was [Faulty]. *)
 

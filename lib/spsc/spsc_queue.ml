@@ -68,6 +68,46 @@ let try_pop t ~st =
     Some v
   end
 
+(* Multi-slot variants: same protocol, one fence and one index store for
+   the whole batch. The single fence is sufficient because the slots are
+   filled (resp. read) strictly before the one tail (resp. head) store that
+   publishes them — a consumer can never observe a slot the fence has not
+   ordered. *)
+
+let try_push_n t ~st vs =
+  match vs with
+  | [] -> 0
+  | _ ->
+      let tl = tail t ~st in
+      let room = t.cap - (tl - head t ~st) in
+      if room <= 0 then 0
+      else begin
+        let n = ref 0 in
+        List.iteri
+          (fun i v ->
+            if i < room then begin
+              Mem.store t.mem ~st (slot t (tl + i)) v;
+              incr n
+            end)
+          vs;
+        Mem.fence t.mem ~st;
+        Mem.store t.mem ~st (t.base + 3) (tl + !n);
+        !n
+      end
+
+let try_pop_n t ~st ~max =
+  if max <= 0 then []
+  else
+    let hd = head t ~st in
+    let n = min max (tail t ~st - hd) in
+    if n <= 0 then []
+    else begin
+      let vs = List.init n (fun i -> Mem.load t.mem ~st (slot t (hd + i))) in
+      Mem.fence t.mem ~st;
+      Mem.store t.mem ~st (t.base + 2) (hd + n);
+      vs
+    end
+
 let rec push t ~st v =
   if not (try_push t ~st v) then begin
     Domain.cpu_relax ();

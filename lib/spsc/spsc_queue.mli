@@ -30,6 +30,15 @@ val attach :
 val capacity : t -> int
 val try_push : t -> st:Cxlshm_shmem.Stats.t -> int -> bool
 val try_pop : t -> st:Cxlshm_shmem.Stats.t -> int option
+val try_push_n : t -> st:Cxlshm_shmem.Stats.t -> int list -> int
+(** Push a prefix of the list limited by the free room, publishing all of
+    it with a {e single} fence and tail store; returns how many were
+    pushed (0 when the ring is full or the list is empty). *)
+
+val try_pop_n : t -> st:Cxlshm_shmem.Stats.t -> max:int -> int list
+(** Pop up to [max] elements, releasing all their slots with a single
+    fence and head store; [[]] when the ring is empty. *)
+
 val push : t -> st:Cxlshm_shmem.Stats.t -> int -> unit
 (** Spin until there is room. *)
 

@@ -44,6 +44,28 @@ let duration_list = QCheck.list_of_size (QCheck.Gen.int_range 0 200) duration_ns
 (* Quantiles in [0, 1]. *)
 let quantile = QCheck.(map (fun n -> float_of_int n /. 1000.) (int_bound 1000))
 
+(* Huge-object workloads: a short program of allocate/free steps. Each
+   step requests [segs] segments' worth of data plus a small signed
+   [extra] so sizes straddle segment boundaries in both directions, and
+   [hold] decides whether the object outlives the step (forcing later
+   claims to work around held runs) or is freed immediately. *)
+let huge_program =
+  let open QCheck.Gen in
+  let step =
+    let* segs = int_range 1 3 in
+    let* extra = int_range (-8) 8 in
+    let* hold = bool in
+    return (segs, extra, hold)
+  in
+  let gen = list_size (int_range 1 6) step in
+  QCheck.make
+    ~print:(fun l ->
+      String.concat ";"
+        (List.map
+           (fun (s, e, h) -> Printf.sprintf "(%d segs %+d, hold=%b)" s e h)
+           l))
+    gen
+
 (* (words, src, dst, len) with both ranges in bounds and possibly
    overlapping — for memmove-semantics properties over [Mem.blit]. *)
 let blit_spec =

@@ -25,6 +25,7 @@ let gen_cfg =
         eadr = false;
         trace = false;
         trace_slots;
+        cache = true;
       })
 
 let arb_cfg = QCheck.make gen_cfg

@@ -68,6 +68,83 @@ let test_pop_charges_fence () =
   Alcotest.(check (option int)) "empty" None (Spsc.try_pop q ~st);
   Alcotest.(check int) "no fence when empty" fences_before st.Stats.fences
 
+(* Batched push/pop: FIFO preserved across batches, room-limited partial
+   acceptance, and the empty/full edges. *)
+let test_batch_fifo_partial () =
+  let mem = Mem.create ~words:64 () in
+  let st = Stats.create () in
+  let q = Spsc.create mem ~st ~base:8 ~capacity:4 in
+  Alcotest.(check int) "empty batch" 0 (Spsc.try_push_n q ~st []);
+  Alcotest.(check int) "all fit" 3 (Spsc.try_push_n q ~st [ 1; 2; 3 ]);
+  Alcotest.(check int) "room-limited" 1 (Spsc.try_push_n q ~st [ 4; 5 ]);
+  Alcotest.(check int) "full" 0 (Spsc.try_push_n q ~st [ 6 ]);
+  Alcotest.(check (list int)) "pop two" [ 1; 2 ] (Spsc.try_pop_n q ~st ~max:2);
+  Alcotest.(check (list int)) "pop rest" [ 3; 4 ] (Spsc.try_pop_n q ~st ~max:8);
+  Alcotest.(check (list int)) "empty" [] (Spsc.try_pop_n q ~st ~max:8);
+  Alcotest.(check (list int)) "max 0" [] (Spsc.try_pop_n q ~st ~max:0)
+
+(* The point of the batch entry points: one fence and one index store
+   publish the whole batch. The counting backend sees the raw protocol
+   (no Refc noise), so the fence count per batch must be exactly 1 on
+   each side, however many values move. *)
+let test_batch_single_fence () =
+  let mem = Mem.create ~backend:Mem.Counting_fast ~words:64 () in
+  let st = Stats.create () in
+  let q = Spsc.create mem ~st ~base:8 ~capacity:8 in
+  let fences () =
+    (Option.get (Mem.op_breakdown mem)).Backend_counting.fences
+  in
+  let before = fences () in
+  Alcotest.(check int) "pushed six" 6
+    (Spsc.try_push_n q ~st [ 1; 2; 3; 4; 5; 6 ]);
+  Alcotest.(check int) "one fence per batch push" (before + 1) (fences ());
+  let before = fences () in
+  Alcotest.(check (list int)) "popped six" [ 1; 2; 3; 4; 5; 6 ]
+    (Spsc.try_pop_n q ~st ~max:6);
+  Alcotest.(check int) "one fence per batch pop" (before + 1) (fences ());
+  (* the degenerate cases publish nothing and must not fence *)
+  Alcotest.(check int) "fill" 8 (Spsc.try_push_n q ~st (List.init 8 succ));
+  let before = fences () in
+  Alcotest.(check int) "full push" 0 (Spsc.try_push_n q ~st [ 99 ]);
+  Alcotest.(check int) "empty batch" 0 (Spsc.try_push_n q ~st []);
+  Alcotest.(check int) "no fence without a publish" before (fences ());
+  ignore (Spsc.try_pop_n q ~st ~max:8);
+  let before = fences () in
+  Alcotest.(check (list int)) "empty pop" [] (Spsc.try_pop_n q ~st ~max:4);
+  Alcotest.(check int) "no fence on empty pop" before (fences ())
+
+(* Property: interleaved batch pushes/pops track the FIFO model exactly,
+   including room-limited partial batches. *)
+let prop_batch_fifo_model =
+  QCheck.Test.make ~name:"spsc batch ops match queue model" ~count:200
+    QCheck.(list (pair bool (int_bound 5)))
+    (fun ops ->
+      let mem = Mem.create ~words:128 () in
+      let st = Stats.create () in
+      let q = Spsc.create mem ~st ~base:8 ~capacity:8 in
+      let model = Queue.create () in
+      let counter = ref 0 in
+      List.for_all
+        (fun (is_push, n) ->
+          if is_push then begin
+            let vs = List.init n (fun i -> !counter + i + 1) in
+            let pushed = Spsc.try_push_n q ~st vs in
+            let room = 8 - Queue.length model in
+            let expect = if n = 0 || room <= 0 then 0 else min n room in
+            List.iteri (fun i v -> if i < pushed then Queue.push v model) vs;
+            counter := !counter + pushed;
+            pushed = expect
+          end
+          else
+            let got = Spsc.try_pop_n q ~st ~max:n in
+            let want =
+              List.init
+                (min n (Queue.length model))
+                (fun _ -> Queue.pop model)
+            in
+            got = want)
+        ops)
+
 (* The tiny-ring race, deterministically: the schedule explorer interleaves
    a producer and consumer at every word access of a capacity-1 ring,
    exhaustively up to 2 preemptions. With every slot reused constantly, a
@@ -140,6 +217,11 @@ let suite =
     Alcotest.test_case "attach rejects corrupt capacity" `Quick
       test_attach_corrupt_capacity;
     Alcotest.test_case "pop charges a fence" `Quick test_pop_charges_fence;
+    Alcotest.test_case "batch push/pop fifo + partial" `Quick
+      test_batch_fifo_partial;
+    Alcotest.test_case "batch publishes under one fence" `Quick
+      test_batch_single_fence;
+    Generators.to_alcotest prop_batch_fifo_model;
     Alcotest.test_case "tiny ring under the schedule explorer" `Quick
       test_sched_tiny_ring;
     Alcotest.test_case "cross-domain" `Quick test_cross_domain;

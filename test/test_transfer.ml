@@ -179,6 +179,102 @@ let test_wraparound () =
     | _ -> Alcotest.fail "recv"
   done
 
+(* Batched handoff: one publish covers the whole batch, FIFO order and
+   exactly-once delivery are preserved, and a partially-accepted batch can
+   be resumed from the unsent suffix. *)
+let test_batch_roundtrip () =
+  let arena, a, b = setup () in
+  let q = Transfer.connect a ~receiver:b.Ctx.cid ~capacity:8 in
+  let refs = List.init 5 (fun i -> mk a (200 + i)) in
+  let n, res = Transfer.send_batch q refs in
+  Alcotest.(check int) "all sent" 5 n;
+  Alcotest.(check bool) "Sent" true (res = Transfer.Sent);
+  List.iter Cxl_ref.drop refs;
+  let qb = Option.get (Transfer.open_from b ~sender:a.Ctx.cid) in
+  let drain ~max =
+    match Transfer.receive_batch qb ~max with
+    | Transfer.Received_batch rs ->
+        List.map
+          (fun r ->
+            let v = Cxl_ref.read_word r 0 in
+            Cxl_ref.drop r;
+            v)
+          rs
+    | Transfer.Batch_empty | Transfer.Batch_drained ->
+        Alcotest.fail "expected a batch"
+  in
+  Alcotest.(check (list int)) "first three in order" [ 200; 201; 202 ]
+    (drain ~max:3);
+  Alcotest.(check (list int)) "rest" [ 203; 204 ] (drain ~max:8);
+  (match Transfer.receive_batch qb ~max:8 with
+  | Transfer.Batch_empty -> ()
+  | _ -> Alcotest.fail "expected Batch_empty");
+  Transfer.close q;
+  Transfer.close qb;
+  ignore (Shm.scan_leaking arena);
+  let v = Shm.validate arena in
+  Alcotest.(check int) "nothing stranded" 0 v.Validate.live_objects;
+  Alcotest.(check bool) "clean" true (Validate.is_clean v)
+
+let test_batch_partial_then_resume () =
+  let arena, a, b = setup () in
+  let q = Transfer.connect a ~receiver:b.Ctx.cid ~capacity:2 in
+  let refs = List.init 4 (fun i -> mk a (i + 1)) in
+  let n, res = Transfer.send_batch q refs in
+  Alcotest.(check int) "room-limited" 2 n;
+  Alcotest.(check bool) "Full" true (res = Transfer.Full);
+  let qb = Option.get (Transfer.open_from b ~sender:a.Ctx.cid) in
+  let drain ~max =
+    match Transfer.receive_batch qb ~max with
+    | Transfer.Received_batch rs ->
+        List.map
+          (fun r ->
+            let v = Cxl_ref.read_word r 0 in
+            Cxl_ref.drop r;
+            v)
+          rs
+    | _ -> Alcotest.fail "expected a batch"
+  in
+  Alcotest.(check (list int)) "accepted prefix" [ 1; 2 ] (drain ~max:8);
+  let rest = List.filteri (fun i _ -> i >= 2) refs in
+  let n2, res2 = Transfer.send_batch q rest in
+  Alcotest.(check int) "suffix sent" 2 n2;
+  Alcotest.(check bool) "Sent" true (res2 = Transfer.Sent);
+  Alcotest.(check (list int)) "suffix in order" [ 3; 4 ] (drain ~max:8);
+  List.iter Cxl_ref.drop refs;
+  Transfer.close q;
+  Transfer.close qb;
+  ignore (Shm.scan_leaking arena);
+  Alcotest.(check bool) "clean" true (Validate.is_clean (Shm.validate arena))
+
+(* A sender killed between the per-message attaches and the single batch
+   publish has sent nothing: the tail never moved, so the receiver sees
+   no partial batch, and recovery reclaims the already-attached slot
+   references with the dead client. *)
+let test_batch_crash_before_publish () =
+  let arena, a, b = setup () in
+  let q = Transfer.connect a ~receiver:b.Ctx.cid ~capacity:8 in
+  let qb = Option.get (Transfer.open_from b ~sender:a.Ctx.cid) in
+  let refs = List.init 3 (fun i -> mk a (i + 1)) in
+  a.Ctx.fault <- Fault.at Fault.Send_after_attach ~nth:2;
+  (try
+     ignore (Transfer.send_batch q refs);
+     Alcotest.fail "expected crash"
+   with Fault.Crashed _ -> ());
+  a.Ctx.fault <- Fault.none;
+  Alcotest.(check int) "nothing published" 0 (Transfer.pending q);
+  Client.declare_failed (Shm.service_ctx arena) ~cid:a.Ctx.cid;
+  ignore (Shm.recover arena ~failed_cid:a.Ctx.cid);
+  (match Transfer.receive_batch qb ~max:8 with
+  | Transfer.Batch_drained -> ()
+  | Transfer.Received_batch _ -> Alcotest.fail "unpublished batch leaked out"
+  | Transfer.Batch_empty -> Alcotest.fail "expected Drained after recovery");
+  Transfer.close qb;
+  ignore (Shm.scan_leaking arena);
+  let v = Shm.validate arena in
+  Alcotest.(check int) "no stranded objects" 0 v.Validate.live_objects;
+  Alcotest.(check bool) "clean" true (Validate.is_clean v)
+
 (* Regression for the receive-side ordering fix: the head advance is now
    fenced and flushed before control returns, with a crash point right
    after. A receiver killed there has durably consumed the message — it
@@ -293,6 +389,11 @@ let suite =
     Alcotest.test_case "multiple queues" `Quick test_multiple_queues_between_pairs;
     Alcotest.test_case "directory exhaustion" `Quick test_directory_exhaustion;
     Alcotest.test_case "ring wraparound" `Quick test_wraparound;
+    Alcotest.test_case "batch roundtrip" `Quick test_batch_roundtrip;
+    Alcotest.test_case "batch partial then resume" `Quick
+      test_batch_partial_then_resume;
+    Alcotest.test_case "batch crash before publish" `Quick
+      test_batch_crash_before_publish;
     Alcotest.test_case "crash at recv-after-advance" `Quick
       test_crash_recv_after_advance;
     Alcotest.test_case "dead sender, live receiver (sequential)" `Quick
