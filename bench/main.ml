@@ -1591,8 +1591,16 @@ let bench_fastpath () =
   let rounds = quick 20_000 4_000 in
   let batch = 16 in
   let msgs = rounds / batch * batch in
-  let fp_cfg cache =
-    { (cxl_shm_cfg 2) with Config.backend = Mem.Counting_fast; cache }
+  (* [Config.default] now enables epoch batching and sharded class heads;
+     the legacy columns pin both off so the cache-tier numbers stay
+     comparable with the committed baseline, and the epoch columns measure
+     the full fast path (cache + batched retirement + sharding). *)
+  let fp_cfg ?(epoch = false) cache =
+    let base =
+      { (cxl_shm_cfg 2) with Config.backend = Mem.Counting_fast; cache }
+    in
+    if epoch then base
+    else { base with Config.epoch_batch = 0; num_domains = 0 }
   in
   let bd_words (b : Bc.breakdown) = b.loads + b.stores + b.cass + b.faas in
   let bd_sub (a : Bc.breakdown) (b : Bc.breakdown) : Bc.breakdown =
@@ -1606,8 +1614,8 @@ let bench_fastpath () =
     }
   in
   (* alloc/free fast path: steady-state 64 B alloc + drop *)
-  let measure_alloc ~cache =
-    let arena = Shm.create ~cfg:(fp_cfg cache) () in
+  let measure_alloc ?epoch ~cache () =
+    let arena = Shm.create ~cfg:(fp_cfg ?epoch cache) () in
     let a = Shm.join arena () in
     let mem = Shm.mem arena in
     for _ = 1 to 64 do
@@ -1624,8 +1632,8 @@ let bench_fastpath () =
     (per (bd_words d), per d.Bc.fences, ns /. float_of_int rounds)
   in
   (* transfer fast path: sender publishes, receiver consumes, in lockstep *)
-  let measure_transfer ~cache ~batched =
-    let arena = Shm.create ~cfg:(fp_cfg cache) () in
+  let measure_transfer ?epoch ~cache ~batched () =
+    let arena = Shm.create ~cfg:(fp_cfg ?epoch cache) () in
     let s = Shm.join arena () in
     let r = Shm.join arena () in
     let tx = Transfer.connect s ~receiver:r.Ctx.cid ~capacity:(2 * batch) in
@@ -1670,11 +1678,20 @@ let bench_fastpath () =
     let per c = float_of_int c /. float_of_int msgs in
     (per (bd_words d), per d.Bc.fences, ns /. float_of_int msgs)
   in
-  let aw_off, af_off, ans_off = measure_alloc ~cache:false in
-  let aw_on, af_on, ans_on = measure_alloc ~cache:true in
-  let tw_off, tf_off, tns_off = measure_transfer ~cache:false ~batched:false in
-  let tw_on, tf_on, tns_on = measure_transfer ~cache:true ~batched:false in
-  let bw_on, bf_on, bns_on = measure_transfer ~cache:true ~batched:true in
+  let aw_off, af_off, ans_off = measure_alloc ~cache:false () in
+  let aw_on, af_on, ans_on = measure_alloc ~cache:true () in
+  let aw_ep, af_ep, ans_ep = measure_alloc ~epoch:true ~cache:true () in
+  let tw_off, tf_off, tns_off =
+    measure_transfer ~cache:false ~batched:false ()
+  in
+  let tw_on, tf_on, tns_on = measure_transfer ~cache:true ~batched:false () in
+  let tw_ep, tf_ep, tns_ep =
+    measure_transfer ~epoch:true ~cache:true ~batched:false ()
+  in
+  let bw_on, bf_on, bns_on = measure_transfer ~cache:true ~batched:true () in
+  let bw_ep, bf_ep, bns_ep =
+    measure_transfer ~epoch:true ~cache:true ~batched:true ()
+  in
   let red a b = 100.0 *. (a -. b) /. a in
   let t =
     Table.create ~title:"Fast path: shared-word traffic (counting backend)"
@@ -1687,15 +1704,22 @@ let bench_fastpath () =
     [
       ("alloc+free, cache off", aw_off, af_off, ans_off);
       ("alloc+free, cache on", aw_on, af_on, ans_on);
+      ("alloc+free, epoch on", aw_ep, af_ep, ans_ep);
       ("transfer single, cache off", tw_off, tf_off, tns_off);
       ("transfer single, cache on", tw_on, tf_on, tns_on);
+      ("transfer single, epoch on", tw_ep, tf_ep, tns_ep);
       (Printf.sprintf "transfer batch=%d, cache on" batch, bw_on, bf_on, bns_on);
+      (Printf.sprintf "transfer batch=%d, epoch on" batch, bw_ep, bf_ep, bns_ep);
     ];
   Table.print t;
   Printf.printf
     "alloc words/op -%.1f%%, transfer single words/op -%.1f%%, batched \
      -%.1f%% (vs cache-off single)\n"
     (red aw_off aw_on) (red tw_off tw_on) (red tw_off bw_on);
+  Printf.printf
+    "epoch batching: alloc fences/op %.3f -> %.3f, transfer single \
+     fences/op %.3f -> %.3f\n"
+    af_on af_ep tf_on tf_ep;
   let oc = open_out "BENCH_fastpath.json" in
   Printf.fprintf oc
     "{\n\
@@ -1707,6 +1731,8 @@ let bench_fastpath () =
      \"modeled_ns_per_op\": %.2f},\n\
     \    \"cache_on\": {\"words_per_op\": %.3f, \"fences_per_op\": %.3f, \
      \"modeled_ns_per_op\": %.2f},\n\
+    \    \"epoch_on\": {\"words_per_op\": %.3f, \"fences_per_op\": %.3f, \
+     \"modeled_ns_per_op\": %.2f},\n\
     \    \"words_reduction_pct\": %.1f\n\
     \  },\n\
     \  \"transfer\": {\n\
@@ -1714,15 +1740,20 @@ let bench_fastpath () =
      %.3f, \"modeled_ns_per_op\": %.2f},\n\
     \    \"single_cache_on\": {\"words_per_op\": %.3f, \"fences_per_op\": \
      %.3f, \"modeled_ns_per_op\": %.2f},\n\
+    \    \"single_epoch_on\": {\"words_per_op\": %.3f, \"fences_per_op\": \
+     %.3f, \"modeled_ns_per_op\": %.2f},\n\
     \    \"batch_cache_on\": {\"words_per_op\": %.3f, \"fences_per_op\": \
+     %.3f, \"modeled_ns_per_op\": %.2f},\n\
+    \    \"batch_epoch_on\": {\"words_per_op\": %.3f, \"fences_per_op\": \
      %.3f, \"modeled_ns_per_op\": %.2f},\n\
     \    \"words_reduction_pct\": %.1f,\n\
     \    \"batched_words_reduction_pct\": %.1f\n\
     \  }\n\
      }\n"
-    rounds batch aw_off af_off ans_off aw_on af_on ans_on (red aw_off aw_on)
-    tw_off tf_off tns_off tw_on tf_on tns_on bw_on bf_on bns_on
-    (red tw_off tw_on) (red tw_off bw_on);
+    rounds batch aw_off af_off ans_off aw_on af_on ans_on aw_ep af_ep ans_ep
+    (red aw_off aw_on) tw_off tf_off tns_off tw_on tf_on tns_on tw_ep tf_ep
+    tns_ep bw_on bf_on bns_on bw_ep bf_ep bns_ep (red tw_off tw_on)
+    (red tw_off bw_on);
   close_out oc;
   Printf.printf "wrote BENCH_fastpath.json\n"
 

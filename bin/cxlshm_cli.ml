@@ -619,9 +619,12 @@ let explore_model_of_name ~capacity ~values ~rounds name =
       Check_scenarios.transfer ?capacity ?values ~batched:true ()
   | "refc" -> Check_scenarios.refc ?rounds ()
   | "huge" -> Check_scenarios.huge ?rounds ()
+  | "epoch-retire" -> Check_scenarios.epoch_retire ?rounds ()
+  | "sharded-alloc" -> Check_scenarios.sharded_alloc ?values ()
   | n ->
       Printf.eprintf
-        "unknown model %s (have: spsc, transfer, transfer-batch, refc, huge)\n"
+        "unknown model %s (have: spsc, transfer, transfer-batch, refc, huge, \
+         epoch-retire, sharded-alloc)\n"
         n;
       exit 2
 
@@ -732,7 +735,8 @@ let explore_cmd =
       const explore
       $ Arg.(
           value
-          & opt string "spsc,transfer,transfer-batch,refc,huge"
+          & opt string
+              "spsc,transfer,transfer-batch,refc,huge,epoch-retire,sharded-alloc"
           & info [ "model" ] ~doc:"Comma-separated models to explore.")
       $ Arg.(
           value & opt string "random"

@@ -291,10 +291,124 @@ let huge ?(rounds = 1) () : Explore.model =
   in
   { Explore.name = "huge"; make; branch = arena_branch }
 
+(* ---- epoch-retire: batched rootref retirement through the journal ---- *)
+
+let epoch_retire ?(rounds = 2) () : Explore.model =
+  let make () =
+    (* Batch of 2: every round parks exactly two retirements (child drop +
+       parent drop), so each round seals and replays one journal batch —
+       the explorer branches at [Retire_after_seal] / [Retire_mid_batch] /
+       [Retire_after_batch] and a crash leaves a sealed journal for
+       [Recovery.recover_journal] to finish against the current era. *)
+    let cfg = { arena_cfg with Config.epoch_batch = 2 } in
+    let arena = Shm.create ~cfg () in
+    let a = Shm.join arena () in
+    let b = Shm.join arena () in
+    let client ctx () =
+      for _ = 1 to rounds do
+        let parent = Shm.cxl_malloc ctx ~size_bytes:8 ~emb_cnt:1 () in
+        let child = Shm.cxl_malloc ctx ~size_bytes:8 () in
+        Cxl_ref.write_word child 0 7;
+        Cxl_ref.set_emb parent 0 child;
+        Cxl_ref.drop child;
+        Cxl_ref.clear_emb parent 0;
+        Cxl_ref.drop parent
+      done
+    in
+    let check ~crashed =
+      arena_check arena ~cids:[| a.Ctx.cid; b.Ctx.cid |] ~crashed
+    in
+    { Explore.clients = [| client a; client b |]; check }
+  in
+  { Explore.name = "epoch-retire"; make; branch = arena_branch }
+
+(* ---- sharded-alloc: domain free stacks under cross-client frees ---- *)
+
+let sharded_alloc ?(values = 2) () : Explore.model =
+  let make () =
+    (* Three clients, two domains (cids 1,2,3 -> domains 1,0,1): [a] sends
+       its blocks to [b], whose drop is a non-owner free that parks them on
+       domain 0's shard stack; [b]'s own fresh allocations pop the local
+       domain, while [c] (domain 1, empty) must CAS-steal from domain 0.
+       Crashes land between push, pop, and the header write that unpins the
+       stolen block — the stamp must keep the donor segment unrecycled
+       throughout. *)
+    let cfg = { arena_cfg with Config.num_domains = 2 } in
+    let arena = Shm.create ~cfg () in
+    let a = Shm.join arena () in
+    let b = Shm.join arena () in
+    let c = Shm.join arena () in
+    let q = Transfer.connect a ~receiver:b.Ctx.cid ~capacity:1 in
+    let qb = Option.get (Transfer.open_from b ~sender:a.Ctx.cid) in
+    let received = ref [] in
+    let a_alive = ref true and b_alive = ref true in
+    let sender () =
+      Fun.protect ~finally:(fun () -> a_alive := false) @@ fun () ->
+      try
+        for v = 1 to values do
+          let r = Shm.cxl_malloc a ~size_bytes:8 () in
+          Cxl_ref.write_word r 0 v;
+          let rec go () =
+            match Transfer.send q r with
+            | Transfer.Sent -> ()
+            | Transfer.Full ->
+                if !b_alive then begin
+                  Sched.yield "send-full";
+                  go ()
+                end
+                else raise Exit
+            | Transfer.Closed -> raise Exit
+          in
+          let sent = (try go (); true with Exit -> Cxl_ref.drop r; false) in
+          if not sent then raise Exit;
+          Cxl_ref.drop r
+        done
+      with Exit -> ()
+    in
+    let receiver () =
+      Fun.protect ~finally:(fun () -> b_alive := false) @@ fun () ->
+      try
+        let got = ref 0 in
+        while !got < values do
+          match Transfer.receive qb with
+          | Transfer.Received r ->
+              incr got;
+              received := Cxl_ref.read_word r 0 :: !received;
+              (* Non-owner free: parks the block on domain 0's stack. *)
+              Cxl_ref.drop r;
+              (* Local-domain pop: may reclaim the block just parked. *)
+              let own = Shm.cxl_malloc b ~size_bytes:8 () in
+              Cxl_ref.write_word own 0 (- !got);
+              Cxl_ref.drop own
+          | Transfer.Empty ->
+              if !a_alive then Sched.yield "recv-empty" else raise Exit
+          | Transfer.Drained -> raise Exit
+        done
+      with Exit -> ()
+    in
+    let stealer () =
+      for i = 1 to values do
+        Sched.yield "steal-wait";
+        let r = Shm.cxl_malloc c ~size_bytes:8 () in
+        Cxl_ref.write_word r 0 (100 + i);
+        Cxl_ref.drop r
+      done
+    in
+    let check ~crashed =
+      check_prefix ~what:"sharded-alloc" ~complete:(crashed = [])
+        ~total:values
+        (List.rev !received);
+      arena_check arena ~cids:[| a.Ctx.cid; b.Ctx.cid; c.Ctx.cid |] ~crashed
+    in
+    { Explore.clients = [| sender; receiver; stealer |]; check }
+  in
+  { Explore.name = "sharded-alloc"; make; branch = arena_branch }
+
 (* ---- registry ---- *)
 
 let all () =
-  [ spsc (); transfer (); transfer ~batched:true (); refc (); huge () ]
+  [ spsc (); transfer (); transfer ~batched:true (); refc (); huge ();
+    epoch_retire (); sharded_alloc () ]
 
 let find name =
   match List.find_opt (fun m -> m.Explore.name = name) (all ()) with

@@ -29,6 +29,18 @@ val huge : ?rounds:int -> unit -> Explore.model
     segment pool: exercises the contiguous-run claim and the tail-first
     [free_huge] release through its crash windows. *)
 
+val epoch_retire : ?rounds:int -> unit -> Explore.model
+(** The [refc] workload with [Config.epoch_batch = 2]: zero-count rootrefs
+    park in the volatile buffer and every round seals, journals, and
+    replays one retirement batch, branching at the three [Retire_*] crash
+    points. Model name ["epoch-retire"]. *)
+
+val sharded_alloc : ?values:int -> unit -> Explore.model
+(** Three clients over [Config.num_domains = 2]: cross-client frees park
+    blocks on domain shard stacks; same-domain pops and cross-domain
+    CAS-steals race crashes while parked stamps pin the donor segments.
+    Model name ["sharded-alloc"]. *)
+
 val all : unit -> Explore.model list
 
 val find : string -> Explore.model

@@ -192,9 +192,12 @@ let alloc_rootref (ctx : Ctx.t) =
   assert (rr <> 0);
   let next = Ctx.load ctx (rr + 1) in
   (* in_use is set while the block is still the list head; if we die before
-     advancing, recovery sees an in_use list head and simply clears it. *)
+     advancing, recovery sees an in_use list head and simply clears it.
+     That guard is state-based — it needs no ordering — so epoch mode
+     elides the fence (the retirement batch boundary is the path's only
+     ordering point). *)
   Rootref.set_state ctx rr ~in_use:true ~cnt:1;
-  Ctx.fence ctx;
+  if not (Ctx.epoch_enabled ctx) then Ctx.fence ctx;
   Page.set_free_head ctx ~gid next;
   Ctx.store ctx (rr + 1) 0;
   Page.incr_used ctx ~gid;
@@ -369,8 +372,55 @@ let free_huge (ctx : Ctx.t) obj =
 (* Object allocation (§5.1 steps 2-4)                                  *)
 (* ------------------------------------------------------------------ *)
 
+(* The RootRef-line flush and the link/advance fence are elided in epoch
+   mode: allocation-crash recovery is state-based (the §5.1 free-pointer
+   guard, the in_use-at-free-head check) and the retirement batch boundary
+   is the path's single ordering + durability point — the same trade the
+   [eadr] knob makes, argued in docs/ALGORITHM.md §9. *)
+let rr_flush_elided (ctx : Ctx.t) =
+  (Ctx.cfg ctx).Config.eadr || Ctx.epoch_enabled ctx
+
 let link_and_carve (ctx : Ctx.t) rr ~idx ~kind ~block_words ~data_words ~emb_cnt =
   let cfg = Ctx.cfg ctx in
+  (* Sharded fast path: when the current page can't serve the class, steal
+     a parked block from the domain stacks before paying the page scan. *)
+  let from_shard =
+    if Shard.enabled ctx then
+      let ready =
+        match current_page ctx idx with
+        | Some gid -> Page.kind ctx ~gid = kind && Page.free_head ctx ~gid <> 0
+        | None -> false
+      in
+      if ready then None
+      else
+        match Config.class_of_kind cfg kind with
+        | Some cls -> Shard.pop ctx ~cls
+        | None -> None
+    else None
+  in
+  match from_shard with
+  | Some blk ->
+      (* The block came off a domain stack, not a page chain: no free
+         pointer to advance, no used count to bump (the non-owner free
+         that parked it never decremented [used]). The stamp stays set
+         until the header makes the block live, so it pins its segment
+         against recycling at every instant (see Shard). *)
+      Ctx.store ctx (Rootref.pptr_slot rr) blk;
+      if not (rr_flush_elided ctx) then Ctx.flush ctx rr;
+      Ctx.crash_point ctx Fault.Alloc_after_link;
+      if not (Ctx.epoch_enabled ctx) then Ctx.fence ctx;
+      Ctx.store ctx
+        (Obj_header.header_of_obj blk)
+        (Obj_header.pack { Obj_header.lcid = None; lera = 0; ref_cnt = 1 });
+      Ctx.store ctx (Obj_header.meta_of_obj blk)
+        (Obj_header.pack_meta ~kind ~emb_cnt ~data_words);
+      for i = 0 to emb_cnt - 1 do
+        Ctx.store ctx (Obj_header.emb_slot blk i) 0
+      done;
+      Shard.clear_stamp ctx blk;
+      Ctx.crash_point ctx Fault.Alloc_after_header;
+      blk
+  | None ->
   let gid =
     ensure_page ctx ~idx ~kind ~block_words ~fuel:(cfg.Config.num_segments + 1)
   in
@@ -381,9 +431,9 @@ let link_and_carve (ctx : Ctx.t) rr ~idx ~kind ~block_words ~data_words ~emb_cnt
      pointer moves, else a crash leaks the block (§5.1). The CLWB of the
      RootRef line is the flush Fig 7 attributes 27-50% of the fast path to. *)
   Ctx.store ctx (Rootref.pptr_slot rr) blk;
-  if not (Ctx.cfg ctx).Config.eadr then Ctx.flush ctx rr;
+  if not (rr_flush_elided ctx) then Ctx.flush ctx rr;
   Ctx.crash_point ctx Fault.Alloc_after_link;
-  Ctx.fence ctx;
+  if not (Ctx.epoch_enabled ctx) then Ctx.fence ctx;
   (* Step 3: advance the thread-exclusive free pointer. *)
   Page.set_free_head ctx ~gid next;
   Page.incr_used ctx ~gid;
@@ -428,9 +478,9 @@ let alloc_obj (ctx : Ctx.t) ~data_words ~emb_cnt =
   | None ->
       let obj = alloc_huge ctx ~data_words ~emb_cnt in
       Ctx.store ctx (Rootref.pptr_slot rr) obj;
-      if not (Ctx.cfg ctx).Config.eadr then Ctx.flush ctx rr;
+      if not (rr_flush_elided ctx) then Ctx.flush ctx rr;
       Ctx.crash_point ctx Fault.Alloc_after_link;
-      Ctx.fence ctx;
+      if not (Ctx.epoch_enabled ctx) then Ctx.fence ctx;
       Ctx.store ctx
         (Obj_header.header_of_obj obj)
         (Obj_header.pack { Obj_header.lcid = None; lera = 0; ref_cnt = 1 });
@@ -451,5 +501,11 @@ let free_obj_block (ctx : Ctx.t) obj =
     let seg = Layout.segment_of_addr ctx.lay blk in
     if Segment.owner ctx seg = Some ctx.cid then
       Page.push_free ctx ~gid ~rootref:false blk
-    else Segment.push_client_free ctx ~seg blk
+    else
+      (* Non-owner free: park class blocks on the domain shard for any
+         allocator to steal; other kinds keep the per-segment stack the
+         owner drains. *)
+      match Config.class_of_kind (Ctx.cfg ctx) (Page.kind ctx ~gid) with
+      | Some cls when Shard.enabled ctx -> Shard.push ctx ~cls blk
+      | Some _ | None -> Segment.push_client_free ctx ~seg blk
   end

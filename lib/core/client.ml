@@ -25,6 +25,8 @@ let init_slot (ctx : Ctx.t) =
     Ctx.store ctx (Layout.class_head lay cid k) 0
   done;
   Ctx.store ctx (Layout.client_cur_segment lay cid) 0;
+  Ctx.store ctx (Layout.retire_count lay cid) 0;
+  Ctx.store ctx (Layout.retire_era lay cid) 0;
   Ctx.store ctx (Layout.client_heartbeat lay cid) 0;
   Ctx.store ctx (Layout.client_machine lay cid) 0;
   Ctx.store ctx (Layout.client_process lay cid) (Unix.getpid ())
@@ -32,7 +34,7 @@ let init_slot (ctx : Ctx.t) =
 let register ~mem ~lay ?cid () =
   (* The bootstrap context borrows cid 0 only to CAS registration flags;
      it must not mirror client 0's private words. *)
-  let bootstrap = Ctx.make ~cache:false ~mem ~lay ~cid:0 () in
+  let bootstrap = Ctx.make ~cache:false ~epoch:false ~mem ~lay ~cid:0 () in
   let try_claim c =
     Ctx.cas bootstrap (Layout.client_flags lay c) ~expected:0 ~desired:1
   in
@@ -81,6 +83,9 @@ let segment_empty (ctx : Ctx.t) seg =
   go 0
 
 let unregister (ctx : Ctx.t) =
+  (* Retirements parked in the volatile buffer must land before the slot
+     is surrendered — nothing replays them for a cleanly-departed client. *)
+  Reclaim.flush_retired ctx;
   Alloc.collect_deferred ctx;
   List.iter
     (fun seg ->

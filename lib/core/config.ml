@@ -11,6 +11,12 @@ type t = {
   trace : bool;
   trace_slots : int;
   cache : bool;
+  epoch_batch : int;
+      (* K > 0 batches up to K rootref retirements per client behind one
+         fence + one journal flush; 0 keeps the eager per-release path. *)
+  num_domains : int;
+      (* > 0 shards the hot size-class free heads across that many domains;
+         0 keeps the single per-owner free structure. *)
 }
 
 let default =
@@ -27,6 +33,8 @@ let default =
     trace = false;
     trace_slots = 256;
     cache = true;
+    epoch_batch = 16;
+    num_domains = 4;
   }
 
 let small =
@@ -43,6 +51,10 @@ let small =
     trace = false;
     trace_slots = 128;
     cache = true;
+    (* unit tests and explorer models rely on the eager, unsharded paths
+       being schedule-identical to earlier releases *)
+    epoch_batch = 0;
+    num_domains = 0;
   }
 
 let header_words = 2
@@ -62,6 +74,12 @@ let validate t =
   if t.worklist_words < 16 then fail "worklist_words must be >= 16";
   if t.trace_slots < 16 || t.trace_slots > 1 lsl 20 then
     fail "trace_slots must be in [16, 2^20]";
+  if t.epoch_batch < 0 || t.epoch_batch > 64 then
+    fail "epoch_batch must be in [0, 64]";
+  (* More domains than clients just leaves some stacks empty — allowed, so
+     [default]'s domain count survives small [max_clients] overrides. *)
+  if t.num_domains < 0 || t.num_domains > 1024 then
+    fail "num_domains must be in [0, 1024]";
   let prob name p =
     if p < 0. || p > 1. then fail (name ^ " must be a probability in [0, 1]")
   in

@@ -42,6 +42,22 @@ type t = {
           mapping). Every mirror write is write-through, so shared memory
           always holds the truth and recovery/fsck never consult the cache;
           service contexts run with it off regardless. Ablation knob. *)
+  epoch_batch : int;
+      (** K > 0 enables epoch-batched retirement: a client's rootref
+          releases accumulate in a volatile buffer and up to K of them are
+          retired together behind a single fence + journal flush (sealed
+          into a persistent per-client retirement journal the recovery
+          service replays). 0 keeps the eager per-release path — unit tests
+          and explorer models rely on it being schedule-identical to
+          earlier releases. Must be in [0, 64] (journal capacity). *)
+  num_domains : int;
+      (** > 0 shards the hot size-class free heads into that many
+          per-domain Treiber stacks ([Layout.domain_class_head]): non-owner
+          frees push to the freeing client's shard and allocation pops the
+          local shard first, CAS-stealing from sibling domains before
+          falling back to the owner page scan. 0 keeps the single
+          per-segment cross-client stack only. May exceed [max_clients]
+          (surplus stacks stay empty); capped at 1024. *)
 }
 
 val default : t

@@ -22,6 +22,21 @@ type cache = {
   seg_dev : int array;  (* segment -> device, -1 = unknown (immutable) *)
 }
 
+(* Epoch-batched retirement state (volatile, per client).
+
+   [ebuf] accumulates rootrefs whose local count dropped to zero; they stay
+   linked and in_use in shared memory until the batch flush seals them into
+   the persistent retirement journal and tears them down under one fence.
+   [dirty] is the companion write-back queue: hot-path stores whose flush
+   can ride the next batch boundary instead of paying a per-op clwb. *)
+type epoch = {
+  e_enabled : bool;
+  ebuf : int array;
+  mutable elen : int;
+  dirty : int array; (* line-deduped addresses awaiting write-back *)
+  mutable dlen : int;
+}
+
 type t = {
   mem : Mem.t;
   lay : Layout.t;
@@ -34,6 +49,7 @@ type t = {
   mutable trace_on : bool;
   hists : Cxlshm_shmem.Histogram.t array;
   cache : cache;
+  epoch : epoch;
 }
 
 (* Mirrored page-meta slots: kind, block_words, capacity, free, used.
@@ -41,11 +57,17 @@ type t = {
    uncached. *)
 let pm_slots = 5
 
-let make ?cache ~mem ~lay ~cid () =
+let dirty_capacity = 64
+
+let make ?cache ?epoch ~mem ~lay ~cid () =
   if cid < 0 || cid >= lay.Layout.cfg.Config.max_clients then
     invalid_arg "Ctx.make: cid out of range";
   let enabled =
     match cache with Some b -> b | None -> lay.Layout.cfg.Config.cache
+  in
+  let batch = lay.Layout.cfg.Config.epoch_batch in
+  let e_enabled =
+    batch > 0 && match epoch with Some b -> b | None -> true
   in
   let nseg = lay.Layout.cfg.Config.num_segments in
   let npages = Layout.num_pages_total lay in
@@ -70,6 +92,14 @@ let make ?cache ~mem ~lay ~cid () =
         pm = Array.make (npages * pm_slots) 0;
         pmv = Array.make (npages * pm_slots) false;
         seg_dev = Array.make nseg (-1);
+      };
+    epoch =
+      {
+        e_enabled;
+        ebuf = Array.make (max 1 batch) 0;
+        elen = 0;
+        dirty = Array.make dirty_capacity 0;
+        dlen = 0;
       };
   }
 
@@ -120,6 +150,51 @@ let fetch_add t p n = prim t (fun () -> Mem.fetch_add t.mem ~st:t.st p n)
 let fence t = Mem.fence t.mem ~st:t.st
 let flush t p = prim t (fun () -> Mem.flush t.mem ~st:t.st p)
 let crash_point t point = Fault.maybe_crash t.fault point
+
+(* {1 Epoch batching} *)
+
+let epoch_enabled t = t.epoch.e_enabled
+let epoch_capacity t = t.lay.Layout.cfg.Config.epoch_batch
+
+(* Queue a write-back to ride the next retirement-batch boundary. Safe only
+   for stores whose durability deadline is the era advance that could free
+   the line's contents — exactly the fast-path rootref/index lines. The
+   batch flush drains the queue; overflow degrades to an immediate flush of
+   the overflowing line so the queue stays bounded. *)
+let flush_deferred t p =
+  let e = t.epoch in
+  if not e.e_enabled then flush t p
+  else begin
+    t.st.Stats.deferred_flushes <- t.st.Stats.deferred_flushes + 1;
+    let line = p / Mem.words_per_line in
+    let dup = ref false in
+    for i = 0 to e.dlen - 1 do
+      if e.dirty.(i) / Mem.words_per_line = line then dup := true
+    done;
+    if not !dup then
+      if e.dlen < dirty_capacity then begin
+        e.dirty.(e.dlen) <- p;
+        e.dlen <- e.dlen + 1;
+        (* The modeled write-back cost belongs to the op that dirtied the
+           line, not to whichever op happens to hit the batch boundary —
+           charge the flush to this op's stats now; [drain_dirty] issues
+           the device flush against scratch stats so it is never counted
+           twice. *)
+        t.st.Stats.flushes <- t.st.Stats.flushes + 1
+      end
+      else flush t p
+  end
+
+let drain_dirty t =
+  let e = t.epoch in
+  if e.dlen > 0 then begin
+    let scratch = Stats.create () in
+    for i = 0 to e.dlen - 1 do
+      let p = e.dirty.(i) in
+      prim t (fun () -> Mem.flush t.mem ~st:scratch p)
+    done;
+    e.dlen <- 0
+  end
 
 (* {1 Cache tier} *)
 

@@ -13,6 +13,21 @@ type cache
     the truth — and reconstructible: dropped on attach/recovery and
     refilled lazily from shared state. *)
 
+type epoch = {
+  e_enabled : bool;
+  ebuf : int array;  (** rootrefs awaiting batched retirement *)
+  mutable elen : int;
+  dirty : int array;  (** line-deduped addresses awaiting write-back *)
+  mutable dlen : int;
+}
+(** Epoch-batched retirement state (volatile). [ebuf] holds rootrefs whose
+    local count hit zero; they stay linked and [in_use] in shared memory
+    until {!Reclaim.flush_retired} seals them into the persistent journal
+    and tears them down under one fence. [dirty] queues hot-path
+    write-backs to ride the same batch boundary. Lost on crash by design:
+    an unflushed buffer just means those rootrefs are still allocated, and
+    the dead client's rootref scan releases them. *)
+
 type t = {
   mem : Cxlshm_shmem.Mem.t;
   lay : Layout.t;
@@ -33,12 +48,22 @@ type t = {
       (** per-op latency histograms (local memory), indexed by
           {!Cxlshm_shmem.Histogram.op_index}; fed by spans when tracing *)
   cache : cache;  (** client-local cache tier (see {!type:cache}) *)
+  epoch : epoch;  (** epoch-batched retirement state (see {!type:epoch}) *)
 }
 
 val make :
-  ?cache:bool -> mem:Cxlshm_shmem.Mem.t -> lay:Layout.t -> cid:int -> unit -> t
+  ?cache:bool ->
+  ?epoch:bool ->
+  mem:Cxlshm_shmem.Mem.t ->
+  lay:Layout.t ->
+  cid:int ->
+  unit ->
+  t
 (** [?cache] overrides [Config.cache]; service/monitor contexts pass
-    [~cache:false] so repair paths always read shared truth. *)
+    [~cache:false] so repair paths always read shared truth. [?epoch]
+    (default true) can force epoch batching off even when
+    [Config.epoch_batch > 0] — service contexts pass [~epoch:false] so they
+    never enqueue retirements they would not flush. *)
 
 val cfg : t -> Config.t
 
@@ -75,6 +100,22 @@ val fetch_add : t -> Cxlshm_shmem.Pptr.t -> int -> int
 val fence : t -> unit
 val flush : t -> Cxlshm_shmem.Pptr.t -> unit
 val crash_point : t -> Fault.point -> unit
+
+(** {1 Epoch batching} *)
+
+val epoch_enabled : t -> bool
+val epoch_capacity : t -> int
+
+val flush_deferred : t -> Cxlshm_shmem.Pptr.t -> unit
+(** Queue a write-back to ride the next retirement-batch boundary instead
+    of paying a per-op flush (counted in [Stats.deferred_flushes]; the
+    eventual write-back is priced on the op that drains the batch). Falls
+    back to an immediate {!flush} when batching is off or the queue is
+    full. Only for stores whose durability deadline is the era advance
+    that could recycle the line — the fast-path rootref/index lines. *)
+
+val drain_dirty : t -> unit
+(** Issue every queued write-back now (batch boundary or quiesce). *)
 
 (** {1 Client-local cache tier}
 

@@ -1,0 +1,84 @@
+(* Epoch-batched retirement journal.
+
+   The eager release path pays a fence plus a rootref-line flush for every
+   rootref whose local count drops to zero. With batching on
+   ([Config.epoch_batch] = K > 0), releases instead park the rootref in the
+   context's volatile buffer ([Ctx.epoch]); the rootref stays linked and
+   [in_use] in shared memory, so a crash before the flush loses nothing —
+   the dead client's rootref scan releases the parked refs like any others.
+
+   [flush_retired] drains the buffer: it seals the batch into the client's
+   persistent retirement journal (era + slots, one fence, then the count
+   word as commit point), retires every entry, drains the deferred
+   write-back queue, and clears the journal. One fence and two flushes per
+   batch of up to K retirements, versus one fence + one flush per
+   retirement on the eager path.
+
+   Crash windows (see Recovery.recover_journal for the replay):
+   - before the count store is durable: no batch exists; parked refs are
+     still in_use and the rootref scan releases them.
+   - after the seal: entries are processed strictly in slot order and each
+     entry's rootref is freed (in_use cleared) only once fully retired, so
+     the still-in_use tail is exactly the unfinished work. At most the
+     first such entry can have a committed-but-unfinished count decrement.
+   - after the batch, before the clear: every entry's rootref has in_use
+     clear, so replay is a no-op walk.
+
+   The final clear is flushed eagerly: if the cleared count were allowed to
+   linger in a volatile cache, a crash could resurrect the sealed journal
+   after its rootrefs were re-allocated, and replay would release live
+   objects. *)
+
+let enqueue ctx rr =
+  let e = ctx.Ctx.epoch in
+  e.Ctx.ebuf.(e.Ctx.elen) <- rr;
+  e.Ctx.elen <- e.Ctx.elen + 1
+
+let is_full ctx =
+  let e = ctx.Ctx.epoch in
+  e.Ctx.elen >= Ctx.epoch_capacity ctx
+
+let pending ctx = ctx.Ctx.epoch.Ctx.elen
+
+let flush_retired ctx ~retire_one =
+  let e = ctx.Ctx.epoch in
+  let n = e.Ctx.elen in
+  if n = 0 then Ctx.drain_dirty ctx
+  else begin
+    let lay = ctx.Ctx.lay and cid = ctx.Ctx.cid in
+    Ctx.store ctx (Layout.retire_era lay cid) (Era.self ctx);
+    for k = 0 to n - 1 do
+      Ctx.store ctx (Layout.retire_slot lay cid k) e.Ctx.ebuf.(k)
+    done;
+    Ctx.fence ctx;
+    let cnt = Layout.retire_count lay cid in
+    Ctx.store ctx cnt n;
+    Ctx.flush ctx cnt;
+    Ctx.crash_point ctx Fault.Retire_after_seal;
+    for k = 0 to n - 1 do
+      retire_one e.Ctx.ebuf.(k);
+      Ctx.crash_point ctx Fault.Retire_mid_batch
+    done;
+    Ctx.drain_dirty ctx;
+    Ctx.crash_point ctx Fault.Retire_after_batch;
+    Ctx.store ctx cnt 0;
+    Ctx.flush ctx cnt;
+    e.Ctx.elen <- 0
+  end
+
+(* Recovery-side view of a dead client's journal. *)
+
+let read_journal ctx ~cid =
+  let lay = ctx.Ctx.lay in
+  let k = (Ctx.cfg ctx).Config.epoch_batch in
+  if k = 0 then None
+  else
+    let n = Ctx.load ctx (Layout.retire_count lay cid) in
+    if n < 1 || n > k then None
+    else
+      Some (Array.init n (fun i -> Ctx.load ctx (Layout.retire_slot lay cid i)))
+
+let clear_journal ctx ~cid =
+  let cnt = Layout.retire_count ctx.Ctx.lay cid in
+  Ctx.store ctx cnt 0;
+  Ctx.flush ctx cnt

@@ -1,0 +1,35 @@
+(** Epoch-batched retirement journal.
+
+    With [Config.epoch_batch] = K > 0, rootref releases whose local count
+    hits zero park in the context's volatile buffer instead of paying a
+    fence + flush each; {!flush_retired} retires up to K of them behind a
+    single fence and one journal-line flush, sealing them first into the
+    client's persistent retirement journal so recovery can finish (or
+    discard) a partially-processed batch. See {!Layout.retire_count} for
+    the journal layout and [Recovery.recover_journal] for the replay. *)
+
+val enqueue : Ctx.t -> Cxlshm_shmem.Pptr.t -> unit
+(** Park a zero-count rootref in the volatile buffer. The rootref must
+    still be linked and [in_use] in shared memory. Caller checks
+    {!is_full} and flushes; enqueueing past capacity is a program error. *)
+
+val is_full : Ctx.t -> bool
+val pending : Ctx.t -> int
+
+val flush_retired : Ctx.t -> retire_one:(Cxlshm_shmem.Pptr.t -> unit) -> unit
+(** Seal the buffered rootrefs into the journal (slots + era, one fence,
+    count word as commit point, journal line flushed), run [retire_one] on
+    each in order, drain the deferred write-back queue, then clear and
+    flush the journal. [retire_one] must fully retire the entry — detach
+    the object, reclaim the block on zero — and clear the rootref's
+    [in_use] as its final step, which is the per-entry completion marker
+    recovery relies on. With an empty buffer, just drains write-backs. *)
+
+val read_journal : Ctx.t -> cid:int -> Cxlshm_shmem.Pptr.t array option
+(** The sealed batch of client [cid], oldest first, or [None] when no
+    batch is in flight (count 0 or out of range — a torn seal never
+    presents as a valid batch because the count store is ordered after the
+    slot stores by the seal fence). *)
+
+val clear_journal : Ctx.t -> cid:int -> unit
+(** Durably clear client [cid]'s journal (store 0 + flush). *)

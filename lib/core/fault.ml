@@ -23,6 +23,11 @@ type point =
   | Free_huge_mid_release
   | Free_huge_after_reset
   | Recovery_mid_phases
+  | Move_after_link
+  | Move_after_clear
+  | Retire_after_seal
+  | Retire_mid_batch
+  | Retire_after_batch
 
 let point_name = function
   | Alloc_after_rootref -> "alloc-after-rootref"
@@ -47,6 +52,11 @@ let point_name = function
   | Free_huge_mid_release -> "free-huge-mid-release"
   | Free_huge_after_reset -> "free-huge-after-reset"
   | Recovery_mid_phases -> "recovery-mid-phases"
+  | Move_after_link -> "move-after-link"
+  | Move_after_clear -> "move-after-clear"
+  | Retire_after_seal -> "retire-after-seal"
+  | Retire_mid_batch -> "retire-mid-batch"
+  | Retire_after_batch -> "retire-after-batch"
 
 let all_points =
   [
@@ -72,6 +82,11 @@ let all_points =
     Free_huge_mid_release;
     Free_huge_after_reset;
     Recovery_mid_phases;
+    Move_after_link;
+    Move_after_clear;
+    Retire_after_seal;
+    Retire_mid_batch;
+    Retire_after_batch;
   ]
 
 type mode =

@@ -459,6 +459,18 @@ let repair (ctx : Ctx.t) =
       a.stacks <- a.stacks + 1
     end
   done;
+  (* Domain shard stacks are rebuilt the same way as the cross-client
+     stacks: drop them wholesale — every dead block re-enters its page
+     chain below, and the stamps that made parked entries stealable are
+     cleared there too, so nothing keeps pinning segments. *)
+  for d = 0 to cfg.Config.num_domains - 1 do
+    for c = 0 to Config.num_classes cfg - 1 do
+      if peek (Layout.domain_class_head lay d c) <> 0 then begin
+        poke (Layout.domain_class_head lay d c) 0;
+        a.stacks <- a.stacks + 1
+      end
+    done
+  done;
   for s = 0 to ns - 1 do
     if not (huge_seg s) then
       for p = 0 to pps - 1 do
@@ -481,7 +493,12 @@ let repair (ctx : Ctx.t) =
             let b = base + (i * bw) in
             if not (live b) then begin
               poke b 0;
-              if not is_rr then poke (b + 1) 0;
+              if not is_rr then begin
+                poke (b + 1) 0;
+                (* A stale shard stamp on a dead block would pin the
+                   segment against the §5.3 scan forever. *)
+                poke (Shard.stamp_slot b) 0
+              end;
               poke (b + off) !head;
               head := b;
               incr nfree
@@ -495,7 +512,10 @@ let repair (ctx : Ctx.t) =
       done
   done;
   for cid = 0 to cfg.Config.max_clients - 1 do
-    Redo_log.clear_for ctx ~cid
+    Redo_log.clear_for ctx ~cid;
+    (* Retirement journals refer to rootrefs the rebuild above may have
+       freed; a sealed batch is meaningless after a full rebuild. *)
+    poke (Layout.retire_count lay cid) 0
   done;
   force_unlock ();
 

@@ -6,6 +6,7 @@ type t = {
   segvec_base : int;
   clientvec_base : int;
   client_state_words : int;
+  domvec_base : int;
   queuedir_base : int;
   locks_base : int;
   roots_base : int;
@@ -45,14 +46,21 @@ let make cfg =
   let segvec_base = align8 (arena_hdr + arena_hdr_words) in
   let clientvec_base = align8 (segvec_base + (seg_meta_words * cfg.Config.num_segments)) in
   (* misc + era row + redo log + per-kind current-page table (classes +
-     rootref) + current-segment cursor *)
+     rootref) + current-segment cursor + retirement journal (count, base
+     era, K rootref slots) *)
   let client_state_words =
     align8
       (client_misc_words + cfg.Config.max_clients + redo_words
-      + (num_classes + 1) + 1)
+      + (num_classes + 1) + 1
+      + (2 + cfg.Config.epoch_batch))
   in
-  let queuedir_base =
+  let domvec_base =
     align8 (clientvec_base + (client_state_words * cfg.Config.max_clients))
+  in
+  (* per-domain sharded class heads: one ABA-tagged Treiber stack head per
+     (domain, object size class) *)
+  let queuedir_base =
+    align8 (domvec_base + (cfg.Config.num_domains * num_classes))
   in
   let locks_base =
     align8 (queuedir_base + (queue_slot_words * cfg.Config.queue_slots))
@@ -82,6 +90,7 @@ let make cfg =
     segvec_base;
     clientvec_base;
     client_state_words;
+    domvec_base;
     queuedir_base;
     locks_base;
     roots_base;
@@ -133,6 +142,24 @@ let class_head t i k =
   redo_base t i + redo_words + k
 
 let client_cur_segment t i = class_head t i 0 + t.num_classes + 1
+
+(* Retirement journal: [count; base_era; slot_0 .. slot_{K-1}]. A non-zero
+   count is the sealed-batch commit point — recovery replays exactly that
+   many slots under eras base_era .. base_era + count - 1. *)
+let retire_count t i = client_cur_segment t i + 1
+let retire_era t i = client_cur_segment t i + 2
+
+let retire_slot t i k =
+  if k < 0 || k >= t.cfg.Config.epoch_batch then
+    invalid_arg (Printf.sprintf "Layout.retire_slot: slot %d out of range" k);
+  client_cur_segment t i + 3 + k
+
+let domain_class_head t d c =
+  if d < 0 || d >= t.cfg.Config.num_domains then
+    invalid_arg (Printf.sprintf "Layout.domain_class_head: domain %d" d);
+  if c < 0 || c >= t.num_classes then
+    invalid_arg (Printf.sprintf "Layout.domain_class_head: class %d" c);
+  t.domvec_base + (d * t.num_classes) + c
 
 let queue_slot t q =
   if q < 0 || q >= t.cfg.Config.queue_slots then

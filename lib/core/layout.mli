@@ -24,6 +24,7 @@ type t = private {
   segvec_base : int;
   clientvec_base : int;
   client_state_words : int;
+  domvec_base : int;
   queuedir_base : int;
   locks_base : int;
   roots_base : int;
@@ -91,6 +92,31 @@ val class_head : t -> int -> int -> Cxlshm_shmem.Pptr.t
     client [cid] for page kind [k] (size classes and the RootRef class). *)
 
 val client_cur_segment : t -> int -> Cxlshm_shmem.Pptr.t
+
+(** {1 Retirement journal}
+
+    Per client, inside its ClientLocalState: [count; base_era; K slots]
+    where K = [Config.epoch_batch]. A non-zero [count] is the sealed-batch
+    commit point — the owner wrote [count] rootrefs into the slots, fenced,
+    then stored the count. Entries are processed strictly in slot order and
+    each entry's rootref is freed ([in_use] cleared) only when it is fully
+    retired, so after a crash the journal tail of still-[in_use] entries is
+    exactly the unfinished work: at most the first such entry can have a
+    committed-but-unfinished count decrement (at the dead client's current
+    era), the rest never started. [base_era] is diagnostic only — child
+    detaches inside an entry consume a variable number of eras, so recovery
+    resolves each entry against live state, not a precomputed era. Zero
+    count means no batch is in flight (the volatile buffer, if any, is
+    discarded by a crash by design). *)
+
+val retire_count : t -> int -> Cxlshm_shmem.Pptr.t
+val retire_era : t -> int -> Cxlshm_shmem.Pptr.t
+val retire_slot : t -> int -> int -> Cxlshm_shmem.Pptr.t
+
+val domain_class_head : t -> int -> int -> Cxlshm_shmem.Pptr.t
+(** [domain_class_head lay d c] — head word of domain [d]'s sharded free
+    stack for size class [c] (packed {tag, pptr} Treiber stack, same shape
+    as {!seg_client_free}). Only present when [Config.num_domains > 0]. *)
 
 (** {1 Queue directory} *)
 

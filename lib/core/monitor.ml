@@ -14,7 +14,7 @@ let death_dump_events = 16
 let create ~mem ~lay ?(misses = 3) () =
   let m = lay.Layout.cfg.Config.max_clients in
   {
-    ctx = Ctx.make ~cache:false ~mem ~lay ~cid:0 ();
+    ctx = Ctx.make ~cache:false ~epoch:false ~mem ~lay ~cid:0 ();
     misses;
     last_seen = Array.make m (-1);
     stale = Array.make m 0;

@@ -50,17 +50,56 @@ and release_held (ctx : Ctx.t) ~as_cid ~ref_addr ~obj =
 let release_obj (ctx : Ctx.t) ~ref_addr ~obj =
   release_held ctx ~as_cid:ctx.cid ~ref_addr ~obj
 
+(* Retire one journaled rootref: [release_held] with the top-level detach
+   swapped for the redo-free {!Refc.detach_batched} — the sealed journal
+   entry is the recovery record for that window. Freeing the rootref is
+   last: clearing [in_use] is the per-entry completion marker
+   [Recovery.recover_journal] keys on. *)
+let retire_one (ctx : Ctx.t) rr =
+  let obj = Rootref.obj ctx rr in
+  let ref_addr = Rootref.pptr_slot rr in
+  (if obj <> 0 then
+     if Refc.ref_cnt ctx obj = 1 then begin
+       teardown_children ctx ~as_cid:ctx.cid ~obj;
+       mark_leaking_of ctx obj;
+       let n = Refc.detach_batched ctx ~ref_addr ~refed:obj in
+       Ctx.crash_point ctx Fault.Release_before_reclaim;
+       if n = 0 then Alloc.free_obj_block ctx obj
+       else raise (Refc.Refcount_violation "retire: count rose from 1")
+     end
+     else begin
+       let n = Refc.detach_batched ctx ~ref_addr ~refed:obj in
+       if n = 0 then begin
+         mark_leaking_of ctx obj;
+         Ctx.crash_point ctx Fault.Release_before_reclaim;
+         teardown_children ctx ~as_cid:ctx.cid ~obj;
+         Alloc.free_obj_block ctx obj
+       end
+     end);
+  Alloc.free_rootref ctx rr
+
+let flush_retired (ctx : Ctx.t) =
+  Epoch.flush_retired ctx ~retire_one:(retire_one ctx)
+
 let release_rootref (ctx : Ctx.t) rr =
   let cnt = Rootref.local_cnt ctx rr in
   if cnt <= 0 then
     raise (Refc.Refcount_violation "release_rootref: local count already 0");
   (* Local tier of the two-tiered count: plain store, no atomics (§5.2). *)
   Rootref.set_local_cnt ctx rr (cnt - 1);
-  if cnt - 1 = 0 then begin
-    let obj = Rootref.obj ctx rr in
-    if obj <> 0 then release_obj ctx ~ref_addr:(Rootref.pptr_slot rr) ~obj;
-    Alloc.free_rootref ctx rr
-  end
+  if cnt - 1 = 0 then
+    if Ctx.epoch_enabled ctx then begin
+      (* Park for batched retirement: the rootref stays linked and in_use,
+         so a crash before the flush just leaves an allocated rootref for
+         the dead-client scan. *)
+      Epoch.enqueue ctx rr;
+      if Epoch.is_full ctx then flush_retired ctx
+    end
+    else begin
+      let obj = Rootref.obj ctx rr in
+      if obj <> 0 then release_obj ctx ~ref_addr:(Rootref.pptr_slot rr) ~obj;
+      Alloc.free_rootref ctx rr
+    end
 
 (* ------------------------------------------------------------------ *)
 (* §5.3 asynchronous segment-local full scan                           *)
@@ -74,9 +113,13 @@ let page_all_zero (ctx : Ctx.t) ~gid =
     List.for_all (fun rr -> not (Rootref.in_use ctx rr)) (Page.blocks ctx ~gid)
   else
     (* Block positions are computable because pages hold fixed-size blocks
-       (§5.3) — no heap walk needed. *)
+       (§5.3) — no heap walk needed. A dead block parked on a domain shard
+       stack pins the segment ({!Shard.pins}): recycling would reformat
+       the page under a stealable stack entry. *)
     List.for_all
-      (fun b -> Obj_header.ref_cnt_of (Ctx.load ctx (Obj_header.header_of_obj b)) = 0)
+      (fun b ->
+        Obj_header.ref_cnt_of (Ctx.load ctx (Obj_header.header_of_obj b)) = 0
+        && not (Shard.pins ctx b))
       (Page.blocks ctx ~gid)
 
 let recycle_plain_segment (ctx : Ctx.t) seg =

@@ -21,7 +21,21 @@ val release_obj : Ctx.t -> ref_addr:Cxlshm_shmem.Pptr.t -> obj:Cxlshm_shmem.Pptr
 val release_rootref : Ctx.t -> Cxlshm_shmem.Pptr.t -> unit
 (** Drop one local count from a RootRef; at zero, unlink it from its object
     (era transaction), release the object if that was the last reference,
-    and return the RootRef block to its page. *)
+    and return the RootRef block to its page. With epoch batching on
+    ({!Ctx.epoch_enabled}), the zero-count rootref parks in the volatile
+    retirement buffer instead; a full buffer triggers {!flush_retired}. *)
+
+val retire_one : Ctx.t -> Cxlshm_shmem.Pptr.t -> unit
+(** Fully retire one journaled rootref (redo-free top-level detach, then
+    free the rootref — the per-entry completion marker). Exposed for
+    {!flush_retired} replay from the recovery service. *)
+
+val flush_retired : Ctx.t -> unit
+(** Seal and process the parked retirements ({!Epoch.flush_retired} with
+    {!retire_one}): one fence + one journal flush per batch of up to
+    [Config.epoch_batch] retirements. Call at era boundaries and before
+    detach/unregister. No-op (bar draining deferred write-backs) when the
+    buffer is empty. *)
 
 val teardown_children : Ctx.t -> as_cid:int -> obj:Cxlshm_shmem.Pptr.t -> unit
 (** Detach every non-null embedded reference of [obj] (recursively releasing

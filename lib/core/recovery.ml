@@ -6,6 +6,7 @@ type report = {
   segments_orphaned : int;
   segments_released : int;
   leak_marked : int;
+  journal_replayed : int;
 }
 
 let empty_report =
@@ -17,14 +18,15 @@ let empty_report =
     segments_orphaned = 0;
     segments_released = 0;
     leak_marked = 0;
+    journal_replayed = 0;
   }
 
 let pp_report ppf r =
   Format.fprintf ppf
     "resumed-txn=%b rootrefs=%d incomplete-allocs=%d worklist=%d orphaned=%d \
-     released=%d leak-marked=%d"
+     released=%d leak-marked=%d journal=%d"
     r.resumed_txn r.rootrefs_released r.incomplete_allocs r.worklist_processed
-    r.segments_orphaned r.segments_released r.leak_marked
+    r.segments_orphaned r.segments_released r.leak_marked r.journal_replayed
 
 (* ------------------------------------------------------------------ *)
 (* Persistent worklist                                                  *)
@@ -160,7 +162,27 @@ let resume_txn (ctx : Ctx.t) ~cid =
             Era.advance_for ctx ~cid;
             true
           end
-          else t1_committed)
+          else t1_committed
+      | Redo_log.Move ->
+          (* Count-neutral move: no CAS decides — the destination link is
+             the commit. Linked means the count moved to the RootRef, so
+             the idempotent source clear is redone; unlinked means the
+             move never happened and the source keeps the count (endpoint
+             recovery releases the queue slot). *)
+          let rr = r.Redo_log.refed2 in
+          if
+            r.Redo_log.era = e_now
+            && Rootref.in_use ctx rr
+            && Ctx.load ctx (Rootref.pptr_slot rr) = r.Redo_log.refed
+          then begin
+            if Ctx.load ctx r.Redo_log.ref_addr = r.Redo_log.refed then begin
+              Ctx.store ctx r.Redo_log.ref_addr 0;
+              Ctx.flush ctx r.Redo_log.ref_addr
+            end;
+            Era.advance_for ctx ~cid;
+            true
+          end
+          else false)
 
 (* ------------------------------------------------------------------ *)
 (* Phase 3: RootRef-page scan                                           *)
@@ -188,9 +210,12 @@ let release_one_rootref (ctx : Ctx.t) ~cid rr report =
   else if Refc.ref_cnt ctx obj = 0 then begin
     (* Allocation died between advancing the free pointer and initialising
        the header: the block is off-list with count zero; the leak scan
-       reclaims its segment. *)
+       reclaims its segment. A shard-stolen block that died before its
+       header write still carries its stamp — drop it, or it would pin the
+       segment against that very scan forever. *)
     Ctx.store ctx (Rootref.pptr_slot rr) 0;
     Rootref.set_state ctx rr ~in_use:false ~cnt:0;
+    if Shard.pins ctx obj then Shard.clear_stamp ctx obj;
     Reclaim.mark_leaking_of ctx obj;
     report :=
       {
@@ -205,6 +230,75 @@ let release_one_rootref (ctx : Ctx.t) ~cid rr report =
     Rootref.set_state ctx rr ~in_use:false ~cnt:0;
     report := { !report with rootrefs_released = !report.rootrefs_released + 1 }
   end
+
+(* ------------------------------------------------------------------ *)
+(* Phase 2: retirement-journal replay                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Finish (or discard) a sealed retirement batch the dead client left
+   behind. Entries are processed strictly in slot order and each entry's
+   rootref was freed ([in_use] cleared) only once fully retired, so the
+   still-[in_use] tail is exactly the unfinished work. Because the
+   redo-free [Refc.detach_batched] clears the rootref's pointer right
+   after its commit CAS, an [in_use] entry resolves against live state:
+
+   - pointer already null: the detach (and any teardown) committed, only
+     the rootref free is missing;
+   - object count zero with the pointer intact: the client's own
+     race-to-zero CAS landed but the unlink didn't — its era was consumed
+     iff the header still carries (cid, now);
+   - Conditions 1 & 2 prove the decrement at the client's current era:
+     redo the idempotent unlink and consume the era;
+   - otherwise the decrement never landed: run the full eager ladder.
+
+   Runs AFTER [resume_txn] (a child detach inside the batch may itself be
+   in flight, and its resolution fixes the current era) and BEFORE
+   endpoint recovery or the rootref scan — both issue new era-consuming
+   transactions for [cid], which would advance the era past the
+   unfinished entry's and turn its committed decrement into a replayed
+   (double) one. *)
+let recover_journal (ctx : Ctx.t) ~cid report =
+  match Epoch.read_journal ctx ~cid with
+  | None -> ()
+  | Some slots ->
+      Array.iter
+        (fun rr ->
+          if Rootref.in_use ctx rr then begin
+            let e_now = Era.self_of ctx ~cid in
+            let obj = Rootref.obj ctx rr in
+            if obj = 0 then Rootref.set_state ctx rr ~in_use:false ~cnt:0
+            else if Refc.ref_cnt ctx obj = 0 then begin
+              (* Only reachable when the final decrement landed but the
+                 unlink store was lost: children are already torn down and
+                 the segment leak-marked, so [on_zero] is an idempotent
+                 re-mark and the §5.3 scan reclaims the block. *)
+              let u =
+                Obj_header.unpack (Ctx.load ctx (Obj_header.header_of_obj obj))
+              in
+              Ctx.store ctx (Rootref.pptr_slot rr) 0;
+              Rootref.set_state ctx rr ~in_use:false ~cnt:0;
+              on_zero ctx obj;
+              if u.Obj_header.lcid = Some cid && u.Obj_header.lera = e_now then
+                Era.advance_for ctx ~cid
+            end
+            else if Refc.committed ctx ~cid ~obj ~era:e_now then begin
+              let slot = Rootref.pptr_slot rr in
+              Ctx.store ctx slot 0;
+              Ctx.flush ctx slot;
+              Rootref.set_state ctx rr ~in_use:false ~cnt:0;
+              Era.advance_for ctx ~cid
+            end
+            else release_one_rootref ctx ~cid rr report;
+            let n = wl_process ctx ~as_cid:cid in
+            report :=
+              {
+                !report with
+                worklist_processed = !report.worklist_processed + n;
+                journal_replayed = !report.journal_replayed + 1;
+              }
+          end)
+        slots;
+      Epoch.clear_journal ctx ~cid
 
 let scan_rootref_pages (ctx : Ctx.t) ~cid report =
   let cfg = Ctx.cfg ctx in
@@ -251,9 +345,13 @@ let segment_empty (ctx : Ctx.t) seg =
       if k = Config.kind_rootref cfg then
         List.for_all (fun rr -> not (Rootref.in_use ctx rr)) (Page.blocks ctx ~gid)
       else
+        (* A dead block parked on a domain shard stack pins the segment
+           (same rule as [Reclaim.page_all_zero]): releasing would reset
+           the page under a stealable stack entry. *)
         List.for_all
           (fun b ->
-            Obj_header.ref_cnt_of (Ctx.load ctx (Obj_header.header_of_obj b)) = 0)
+            Obj_header.ref_cnt_of (Ctx.load ctx (Obj_header.header_of_obj b)) = 0
+            && not (Shard.pins ctx b))
           (Page.blocks ctx ~gid))
       && go (p + 1)
   in
@@ -330,6 +428,7 @@ let run_phases (ctx : Ctx.t) ~cid =
       resumed_txn = resumed;
       worklist_processed = !report.worklist_processed + n;
     };
+  recover_journal ctx ~cid report;
   Transfer.recover_endpoints ctx ~failed_cid:cid;
   Named_roots.recover_endpoints ctx ~failed_cid:cid;
   let n = wl_process ctx ~as_cid:cid in

@@ -8,6 +8,10 @@
       Conditions 1 & 2 to decide whether the commit CAS happened; the
       ModifyRefCnt is {e never} redone, the ModifyRef tail is redone at
       least once;
+    + finish (or discard) the sealed retirement batch in [i]'s epoch
+      journal ({!Epoch}) — before any phase that issues new era-consuming
+      transactions for [i], since an unfinished entry's commit is decided
+      against [i]'s {e current} era;
     + close [i]'s transfer-queue endpoints (§5.2);
     + scan [i]'s RootRef pages — the content in and only in those pages —
       releasing every reference the dead client possessed, with the §5.1
@@ -28,6 +32,7 @@ type report = {
   segments_orphaned : int;
   segments_released : int;
   leak_marked : int;
+  journal_replayed : int;  (** unfinished retirement-journal entries *)
 }
 
 val pp_report : Format.formatter -> report -> unit

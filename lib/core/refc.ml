@@ -59,6 +59,62 @@ let detach_as (ctx : Ctx.t) ~as_cid ~ref_addr ~refed =
 
 let attach (ctx : Ctx.t) ~ref_addr ~refed = attach_as ctx ~as_cid:ctx.cid ~ref_addr ~refed
 
+(* Redo-free detach for epoch-batched retirement: the sealed journal entry
+   stands in for the per-attempt redo record, so the CAS loop only
+   observes and commits. Recovery decides whether the CAS landed with
+   Conditions 1 & 2 against the dead client's current era — sound because
+   every competing mutator observes the header tag before its own CAS, so
+   a landed decrement is either still tagged (cid, era) or was seen by
+   another client. No crash points: the whole window between the journal
+   seal and the rootref free belongs to the journal. *)
+let detach_batched (ctx : Ctx.t) ~ref_addr ~refed =
+  Trace.with_span ctx Cxlshm_shmem.Histogram.Refc_detach ~addr:refed
+  @@ fun () ->
+  let hdr = Obj_header.header_of_obj refed in
+  let rec loop () =
+    let saved = Ctx.load ctx hdr in
+    let u = Obj_header.unpack saved in
+    (match u.Obj_header.lcid with
+    | Some c when c <> ctx.cid ->
+        Era.observe ctx ~saw_cid:c ~saw_era:u.Obj_header.lera
+    | Some _ | None -> ());
+    let cnt = u.Obj_header.ref_cnt in
+    if cnt - 1 < 0 then
+      violate "detach of object @%d with ref_cnt %d (double free?)" refed cnt;
+    let cur_era = Era.self ctx in
+    let newh = Obj_header.make ~lcid:ctx.cid ~lera:cur_era ~ref_cnt:(cnt - 1) in
+    if Ctx.cas ctx hdr ~expected:saved ~desired:newh then begin
+      Ctx.store ctx ref_addr 0;
+      Era.advance ctx;
+      cnt - 1
+    end
+    else loop ()
+  in
+  loop ()
+
+(* Count-neutral reference move (epoch-batched transfer receive): the
+   object's count held by the queue slot is handed to the fresh RootRef
+   without touching the header — no CAS, no fence beyond the redo
+   record's. The record plus the destination link make the move
+   recoverable: linked means redo (clear the source), unlinked means
+   discard (endpoint recovery releases the slot). *)
+let move (ctx : Ctx.t) ~ref_addr ~rr ~refed =
+  Redo_log.record ctx
+    {
+      Redo_log.op = Redo_log.Move;
+      era = Era.self ctx;
+      ref_addr;
+      refed;
+      refed2 = rr;
+      saved_cnt = 0;
+    };
+  Ctx.crash_point ctx Fault.Txn_after_redo;
+  Ctx.store ctx (Rootref.pptr_slot rr) refed;
+  Ctx.crash_point ctx Fault.Move_after_link;
+  Ctx.store ctx ref_addr 0;
+  Ctx.crash_point ctx Fault.Move_after_clear;
+  Era.advance ctx
+
 let try_attach (ctx : Ctx.t) ~ref_addr ~refed =
   let hdr = Obj_header.header_of_obj refed in
   let rec loop () =

@@ -38,6 +38,27 @@ val detach : Ctx.t -> ref_addr:Cxlshm_shmem.Pptr.t -> refed:Cxlshm_shmem.Pptr.t 
 (** Decrement and unlink; returns the object's new reference count (the
     caller reclaims at zero — see {!Reclaim}). *)
 
+val detach_batched :
+  Ctx.t -> ref_addr:Cxlshm_shmem.Pptr.t -> refed:Cxlshm_shmem.Pptr.t -> int
+(** Redo-free detach used under a sealed retirement-journal entry
+    ({!Epoch}): same observe + CAS commit, but no per-attempt redo record,
+    no crash points, and the unlink + era advance happen inside. Recovery
+    decides the commit with Conditions 1 & 2 against the journal's era.
+    Only sound while the entry's rootref is still [in_use] in the sealed
+    journal. *)
+
+val move :
+  Ctx.t ->
+  ref_addr:Cxlshm_shmem.Pptr.t ->
+  rr:Cxlshm_shmem.Pptr.t ->
+  refed:Cxlshm_shmem.Pptr.t ->
+  unit
+(** Count-neutral reference move (epoch-batched transfer receive): link
+    RootRef [rr] to [refed] and clear [ref_addr], transferring the count
+    the source word held — no header CAS. Recoverable via a [Move] redo
+    record: destination linked means the source is cleared on resume,
+    unlinked means the move never happened. *)
+
 val change :
   Ctx.t ->
   ref_addr:Cxlshm_shmem.Pptr.t ->

@@ -1,0 +1,38 @@
+(** Per-domain sharded free stacks for the hot size classes.
+
+    With [Config.num_domains] > 0, non-owner frees of class blocks park on
+    the freeing client's domain stack and allocation pops the local domain
+    first, CAS-stealing from siblings, before the owner page scan. Parked
+    blocks carry a stamp that pins their segment against §5.3 recycling
+    (see {!pins}), which is what makes stealing from dead owners'
+    segments safe. See [shard.ml] for the full protocol. *)
+
+val enabled : Ctx.t -> bool
+val domain_of : Ctx.t -> int
+
+val push : Ctx.t -> cls:int -> Cxlshm_shmem.Pptr.t -> unit
+(** Park a dead class block (header and meta already zeroed) on this
+    client's domain stack: stamps it, then a Treiber push. *)
+
+val pop : Ctx.t -> cls:int -> Cxlshm_shmem.Pptr.t option
+(** Steal a parked block of class [cls] — local domain first, then
+    siblings. The block is returned still stamped: the caller must write
+    the object header (making it live) {e before} calling {!clear_stamp},
+    so the block pins its segment at every instant. Entries that no longer
+    validate (repaired by fsck, foreign data) are purged, salvaging the
+    stack's valid suffix. *)
+
+val clear_stamp : Ctx.t -> Cxlshm_shmem.Pptr.t -> unit
+
+val pins : Ctx.t -> Cxlshm_shmem.Pptr.t -> bool
+(** The block carries a parked stamp, so its segment must not be recycled
+    (consulted by the §5.3 scan's all-zero check; false when sharding is
+    off). *)
+
+val stamp_slot : Cxlshm_shmem.Pptr.t -> Cxlshm_shmem.Pptr.t
+(** Word holding a block's stamp ([block + header_words + 1]); exposed for
+    the offline checkers ([Validate] walks stacks, [Fsck] clears stamps
+    when it rebuilds page chains). *)
+
+val stamp_of : Cxlshm_shmem.Pptr.t -> int
+(** The stamp value a parked block at this address carries. *)

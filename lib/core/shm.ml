@@ -26,7 +26,7 @@ let create ?(cfg = Config.default) () =
   let mem = mem_of cfg lay in
   (* The service context acts for other clients (recovery, fsck, scans):
      it must always read shared truth, never a client-local mirror. *)
-  let service = Ctx.make ~cache:false ~mem ~lay ~cid:0 () in
+  let service = Ctx.make ~cache:false ~epoch:false ~mem ~lay ~cid:0 () in
   (* Format the arena header; everything else starts zeroed. *)
   Mem.unsafe_poke mem (Layout.hdr_magic lay) Layout.magic;
   Mem.unsafe_poke mem (Layout.hdr_epoch lay) 1;
@@ -93,7 +93,7 @@ let load_raw ?cfg path =
   Mem.restore mem words;
   if Mem.unsafe_peek mem (Layout.hdr_magic lay) <> Layout.magic then
     invalid_arg "Shm.load: not a CXL-SHM pool image";
-  { mem; lay; service = Ctx.make ~cache:false ~mem ~lay ~cid:0 () }
+  { mem; lay; service = Ctx.make ~cache:false ~epoch:false ~mem ~lay ~cid:0 () }
 
 let load ?cfg path =
   let t = load_raw ?cfg path in

@@ -133,9 +133,15 @@ let send t payload =
       Refc.attach t.ctx ~ref_addr:slot ~refed:(Cxl_ref.obj payload);
       Ctx.crash_point t.ctx Fault.Send_after_attach;
       Ctx.fence t.ctx;
-      (* Ownership transfers to the receiver here (§5.2). *)
+      (* Ownership transfers to the receiver here (§5.2). Under epoch
+         batching the tail-line write-back rides the next batch boundary
+         ({!Ctx.flush_deferred}) — the tail value itself is already
+         recoverable from the attached slots, the flush only bounds how
+         much a post-crash receiver re-sees. *)
       qstore t w_tail (tail + 1);
-      Ctx.flush t.ctx (qword t.ctx qobj ~cap:t.capacity w_tail);
+      let tail_line = qword t.ctx qobj ~cap:t.capacity w_tail in
+      if Ctx.epoch_enabled t.ctx then Ctx.flush_deferred t.ctx tail_line
+      else Ctx.flush t.ctx tail_line;
       Sent
     end
   end
@@ -173,7 +179,9 @@ let send_batch t payloads =
       Ctx.fence t.ctx;
       (* Ownership of all [!n] messages transfers here. *)
       qstore t w_tail (tail + !n);
-      Ctx.flush t.ctx (qword t.ctx qobj ~cap:t.capacity w_tail);
+      let tail_line = qword t.ctx qobj ~cap:t.capacity w_tail in
+      if Ctx.epoch_enabled t.ctx then Ctx.flush_deferred t.ctx tail_line
+      else Ctx.flush t.ctx tail_line;
       (!n, if !n = List.length payloads then Sent else Full)
     end
   end
@@ -201,22 +209,36 @@ let receive t =
        sender while it still holds the old counted reference. *)
     if !mutation_unfenced_advance then qstore t w_head (head + 1);
     let rr = Alloc.alloc_rootref t.ctx in
-    (* Attach-then-detach keeps the object's count >= 1 throughout. *)
-    Refc.attach t.ctx ~ref_addr:(Rootref.pptr_slot rr) ~refed:obj;
-    Ctx.crash_point t.ctx Fault.Recv_after_attach;
-    let n = Refc.detach t.ctx ~ref_addr:slot ~refed:obj in
-    assert (n >= 1);
-    Ctx.crash_point t.ctx Fault.Recv_after_detach;
-    (* The slot detach must be visible before the head store publishes the
+    if Ctx.epoch_enabled t.ctx then
+      (* Count-neutral receive: one Move era transaction relinks the
+         counted reference from the queue slot to the fresh RootRef — the
+         attach/detach CAS pair (two header CASes, two redo records)
+         collapses into two plain stores under a single redo record. The
+         object's count never moves, so it never transits zero. *)
+      Refc.move t.ctx ~ref_addr:slot ~rr ~refed:obj
+    else begin
+      (* Attach-then-detach keeps the object's count >= 1 throughout. *)
+      Refc.attach t.ctx ~ref_addr:(Rootref.pptr_slot rr) ~refed:obj;
+      Ctx.crash_point t.ctx Fault.Recv_after_attach;
+      let n = Refc.detach t.ctx ~ref_addr:slot ~refed:obj in
+      assert (n >= 1);
+      Ctx.crash_point t.ctx Fault.Recv_after_detach
+    end;
+    (* The slot clear must be visible before the head store publishes the
        slot back to the sender — and the head must be persistent before we
        hand the result out, mirroring [send]'s fence + tail flush. Without
        the fence a sender sees the advanced head while the slot still holds
        the old reference; without the flush a crash here replays a message
-       the caller already consumed. *)
+       the caller already consumed. Epoch mode defers the head-line
+       write-back to the batch boundary: replaying an already-consumed
+       message is count-safe there because the slot detach is a recoverable
+       Move, not a committed decrement. *)
     if not !mutation_unfenced_advance then begin
       Ctx.fence t.ctx;
       qstore t w_head (head + 1);
-      Ctx.flush t.ctx (qword t.ctx qobj ~cap:t.capacity w_head)
+      let head_line = qword t.ctx qobj ~cap:t.capacity w_head in
+      if Ctx.epoch_enabled t.ctx then Ctx.flush_deferred t.ctx head_line
+      else Ctx.flush t.ctx head_line
     end;
     Ctx.crash_point t.ctx Fault.Recv_after_advance;
     Received (Cxl_ref.of_rootref t.ctx rr)
@@ -300,11 +322,16 @@ let receive_batch t ~max =
         let obj = Ctx.load t.ctx slot in
         assert (obj <> 0);
         let rr = Alloc.alloc_rootref t.ctx in
-        Refc.attach t.ctx ~ref_addr:(Rootref.pptr_slot rr) ~refed:obj;
-        Ctx.crash_point t.ctx Fault.Recv_after_attach;
-        let c = Refc.detach t.ctx ~ref_addr:slot ~refed:obj in
-        assert (c >= 1);
-        Ctx.crash_point t.ctx Fault.Recv_after_detach;
+        if Ctx.epoch_enabled t.ctx then
+          (* Count-neutral per-message relink — see [receive]. *)
+          Refc.move t.ctx ~ref_addr:slot ~rr ~refed:obj
+        else begin
+          Refc.attach t.ctx ~ref_addr:(Rootref.pptr_slot rr) ~refed:obj;
+          Ctx.crash_point t.ctx Fault.Recv_after_attach;
+          let c = Refc.detach t.ctx ~ref_addr:slot ~refed:obj in
+          assert (c >= 1);
+          Ctx.crash_point t.ctx Fault.Recv_after_detach
+        end;
         out := Cxl_ref.of_rootref t.ctx rr :: !out
       done;
       (* All slot detaches must be visible before the one head store that
@@ -312,7 +339,9 @@ let receive_batch t ~max =
          before the results are handed out (mirrors [receive]). *)
       Ctx.fence t.ctx;
       qstore t w_head (head + n);
-      Ctx.flush t.ctx (qword t.ctx qobj ~cap:t.capacity w_head);
+      let head_line = qword t.ctx qobj ~cap:t.capacity w_head in
+      if Ctx.epoch_enabled t.ctx then Ctx.flush_deferred t.ctx head_line
+      else Ctx.flush t.ctx head_line;
       Ctx.crash_point t.ctx Fault.Recv_after_advance;
       Received_batch (List.rev !out)
     end

@@ -7,6 +7,11 @@ type t = {
   mutable cas_failures : int;
   mutable fences : int;
   mutable flushes : int;
+  mutable deferred_flushes : int;
+      (* write-backs enqueued by epoch batching; they cost nothing at
+         enqueue time and surface as ordinary [flushes] on the op that
+         drains the batch, so breakdown_ns charges the trigger, not the
+         enqueuer *)
   mutable xdev_accesses : int;
   mutable xdev_ns : float;
   mutable dev_faults : int;
@@ -29,6 +34,7 @@ let create () =
     cas_failures = 0;
     fences = 0;
     flushes = 0;
+    deferred_flushes = 0;
     xdev_accesses = 0;
     xdev_ns = 0.0;
     dev_faults = 0;
@@ -54,6 +60,7 @@ let reset t =
   t.cas_failures <- 0;
   t.fences <- 0;
   t.flushes <- 0;
+  t.deferred_flushes <- 0;
   t.xdev_accesses <- 0;
   t.xdev_ns <- 0.0;
   t.dev_faults <- 0;
@@ -73,6 +80,7 @@ let copy t =
     cas_failures = t.cas_failures;
     fences = t.fences;
     flushes = t.flushes;
+    deferred_flushes = t.deferred_flushes;
     xdev_accesses = t.xdev_accesses;
     xdev_ns = t.xdev_ns;
     dev_faults = t.dev_faults;
@@ -92,6 +100,7 @@ let add acc s =
   acc.cas_failures <- acc.cas_failures + s.cas_failures;
   acc.fences <- acc.fences + s.fences;
   acc.flushes <- acc.flushes + s.flushes;
+  acc.deferred_flushes <- acc.deferred_flushes + s.deferred_flushes;
   acc.xdev_accesses <- acc.xdev_accesses + s.xdev_accesses;
   acc.xdev_ns <- acc.xdev_ns +. s.xdev_ns;
   acc.dev_faults <- acc.dev_faults + s.dev_faults;
@@ -109,6 +118,7 @@ let diff after before =
     cas_failures = after.cas_failures - before.cas_failures;
     fences = after.fences - before.fences;
     flushes = after.flushes - before.flushes;
+    deferred_flushes = after.deferred_flushes - before.deferred_flushes;
     xdev_accesses = after.xdev_accesses - before.xdev_accesses;
     xdev_ns = after.xdev_ns -. before.xdev_ns;
     dev_faults = after.dev_faults - before.dev_faults;
@@ -183,8 +193,8 @@ let probe_ns (m : Latency.t) t ~since:p =
 
 let pp ppf t =
   Format.fprintf ppf
-    "hit=%d seq=%d rand=%d cas=%d+%dh(fail %d) fence=%d flush=%d \
+    "hit=%d seq=%d rand=%d cas=%d+%dh(fail %d) fence=%d flush=%d(+%dd) \
      xdev=%d(%+.0fns) faults=%d retries=%d(%.0fns backoff) esc=%d"
     t.cache_hits t.seq_accesses t.rand_accesses t.cas_ops t.cas_hit_ops
-    t.cas_failures t.fences t.flushes t.xdev_accesses t.xdev_ns t.dev_faults
-    t.retries t.backoff_ns t.fault_escalations
+    t.cas_failures t.fences t.flushes t.deferred_flushes t.xdev_accesses
+    t.xdev_ns t.dev_faults t.retries t.backoff_ns t.fault_escalations

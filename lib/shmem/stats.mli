@@ -15,6 +15,13 @@ type t = {
   mutable cas_failures : int;
   mutable fences : int;
   mutable flushes : int;
+  mutable deferred_flushes : int;
+      (** write-backs the epoch-batching layer queued instead of issuing
+          immediately. A newly-queued line is {e also} counted in [flushes]
+          at enqueue time — the op that dirtied the line owns the modeled
+          write-back cost — and the batch-boundary drain issues the device
+          flush against scratch stats, so {!breakdown_ns} prices each
+          deferred line exactly once, on the op that deferred it. *)
   mutable xdev_accesses : int;
       (** accesses that landed on a pool device whose tier differs from the
           pool's base cost model — cross-device traffic in the Fig 1

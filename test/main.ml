@@ -29,4 +29,5 @@ let () =
       ("structures", Test_structures.suite);
       ("trace", Test_trace.suite);
       ("check", Test_check.suite);
+      ("epoch", Test_epoch.suite);
     ]

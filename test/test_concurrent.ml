@@ -248,6 +248,9 @@ let test_recovery_races_live_txns () =
     let spins = Domain.join hammer in
     ignore seed;
     Alcotest.(check bool) "hammer ran" true (spins >= 0);
+    (* the hammer's releases may still sit parked in the live client's
+       retirement buffer; quiescence means after the batch drains *)
+    Reclaim.flush_retired live;
     Alcotest.(check int) "count settled to exactly ours" 1
       (Refc.ref_cnt live obj);
     Cxl_ref.drop base;

@@ -12,6 +12,9 @@ let gen_cfg =
     let* queue_slots = 1 -- 32 in
     let* worklist_words = 16 -- 256 in
     let* trace_slots = 16 -- 64 in
+    let* epoch_batch = 0 -- 32 in
+    let* num_domains = 0 -- 8 in
+    let num_domains = min num_domains max_clients in
     return
       {
         Config.max_clients;
@@ -26,6 +29,8 @@ let gen_cfg =
         trace = false;
         trace_slots;
         cache = true;
+        epoch_batch;
+        num_domains;
       })
 
 let arb_cfg = QCheck.make gen_cfg
