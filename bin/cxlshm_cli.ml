@@ -605,6 +605,204 @@ let soak_cmd =
           & opt (some string) None
           & info [ "out" ] ~doc:"Write the JSON report to this file."))
 
+(* ---- monitor: replicated failure-monitor demo ---- *)
+
+let monitor_demo replicas seconds interval kill_leader seed =
+  if replicas < 1 then begin
+    Printf.eprintf "need at least one replica\n";
+    2
+  end
+  else if kill_leader then begin
+    (* Deterministic control-plane failover: hung client, leader killed
+       mid-recovery, follower takeover, full device drain. *)
+    let f = Soak.monitor_kill ~seed () in
+    Format.printf "monitor-kill failover: %a@." Soak.pp_failover f;
+    if
+      f.Soak.leader_crashed && f.Soak.follower_finished
+      && f.Soak.live_segments_left = 0 && f.Soak.fo_clean
+    then begin
+      Printf.printf
+        "follower deposed the dead leader, finished its recovery and \
+         drained the degraded device\n";
+      0
+    end
+    else 1
+  end
+  else begin
+    (* Live replicas in their own domains racing to reap a silent client. *)
+    let cfg =
+      {
+        Config.small with
+        Config.backend =
+          Cxlshm_shmem.Mem.Striped { devices = 4; stripe_words = 0; tiers = [||] };
+      }
+    in
+    let arena = Shm.create ~cfg () in
+    let a = Shm.join arena () in
+    let b = Shm.join arena () in
+    let _graph = List.init 5 (fun _ -> Shm.cxl_malloc a ~size_bytes:16 ()) in
+    Printf.printf "clients %d (going silent) and %d (heartbeating), %d replica(s)\n"
+      a.Ctx.cid b.Ctx.cid replicas;
+    let mons = List.init replicas (fun i -> Shm.monitor arena ~id:i ()) in
+    let handles = List.map (fun m -> Monitor.run_in_domain m ~interval) mons in
+    let svc = Shm.service_ctx arena in
+    let deadline = Unix.gettimeofday () +. seconds in
+    let rec wait () =
+      if Client.status svc ~cid:a.Ctx.cid = Client.Slot_free then true
+      else if Unix.gettimeofday () > deadline then false
+      else begin
+        Client.heartbeat b;
+        Unix.sleepf (interval /. 2.);
+        wait ()
+      end
+    in
+    let recovered = wait () in
+    List.iter2 (fun h m -> ignore (Monitor.stop_and_join h m)) handles mons;
+    List.iter
+      (fun m ->
+        Printf.printf
+          "replica %d: leader=%b death-dumps=%d loop-errors=%d\n"
+          (Monitor.id m) (Monitor.is_leader m)
+          (List.length (Monitor.death_dumps m))
+          (Monitor.error_count m))
+      mons;
+    Shm.leave b;
+    ignore (Shm.scan_leaking arena);
+    let v = Shm.validate arena in
+    Printf.printf "silent client %s; validation %s\n"
+      (if recovered then "recovered" else "NOT recovered")
+      (if Validate.is_clean v then "clean" else "DIRTY");
+    if recovered && Validate.is_clean v then 0 else 1
+  end
+
+let monitor_cmd =
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:
+         "Run replicated failure monitors over a demo arena. By default \
+          spawns $(b,--replicas) live replica loops that race to reap a \
+          silent client. With $(b,--kill-leader), runs the deterministic \
+          failover story instead: a hung client under load, the leader \
+          replica killed mid-recovery, the follower deposing it, finishing \
+          the recovery and draining a fully-degraded device.")
+    Term.(
+      const monitor_demo
+      $ Arg.(
+          value & opt int 2
+          & info [ "replicas" ] ~doc:"Monitor replicas to run.")
+      $ Arg.(
+          value & opt float 5.0
+          & info [ "seconds" ] ~doc:"Detection deadline (live mode).")
+      $ Arg.(
+          value & opt float 0.01
+          & info [ "interval" ] ~doc:"Replica pass interval in seconds.")
+      $ Arg.(
+          value & flag
+          & info [ "kill-leader" ]
+              ~doc:"Deterministic leader-kill failover scenario.")
+      $ Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Failover workload seed."))
+
+(* ---- evacuate: drain live data off a degraded device ---- *)
+
+let evacuate_demo objects devices degrade seed =
+  if degrade < 0 || degrade >= devices then begin
+    Printf.eprintf "--degrade must name one of the %d devices\n" devices;
+    2
+  end
+  else begin
+    let cfg =
+      {
+        Config.small with
+        Config.backend =
+          Cxlshm_shmem.Mem.Striped { devices; stripe_words = 0; tiers = [||] };
+      }
+    in
+    let arena = Shm.create ~cfg () in
+    let svc = Shm.service_ctx arena in
+    let a = Shm.join arena () in
+    let b = Shm.join arena () in
+    let rng = Random.State.make [| 0x65766163; seed |] in
+    let held = ref [] in
+    for i = 1 to objects do
+      let c = if i mod 2 = 0 then a else b in
+      let r =
+        Shm.cxl_malloc c
+          ~size_bytes:(8 + Random.State.int rng 48)
+          ~emb_cnt:(Random.State.int rng 2)
+          ()
+      in
+      Cxl_ref.write_word r (Cxl_ref.emb_cnt r) i;
+      (match !held with
+      | (p, _) :: _
+        when Cxl_ref.ctx p == c && Cxl_ref.emb_cnt p > 0
+             && Cxl_ref.get_emb p 0 = 0 ->
+          Cxl_ref.set_emb p 0 r
+      | _ -> ());
+      held := (r, i) :: !held
+    done;
+    let before = List.length (Evacuate.live_segments_on svc ~dev:degrade) in
+    Printf.printf "%d objects over %d devices; device %d holds %d live segment(s)\n"
+      objects devices degrade before;
+    Ctx.mark_degraded svc degrade;
+    (* owners move their own RootRef blocks, then the monitor-side sweep
+       takes the data *)
+    let patch c rep =
+      held :=
+        List.map
+          (fun (r, i) ->
+            if Cxl_ref.ctx r == c then
+              match
+                List.assoc_opt (Cxl_ref.rootref r) rep.Evacuate.remapped
+              with
+              | Some rr2 -> (Cxl_ref.of_rootref c rr2, i)
+              | None -> (r, i)
+            else (r, i))
+          !held
+    in
+    List.iter
+      (fun c ->
+        let rep = Evacuate.relocate_own c in
+        Format.printf "relocate cid %d: %a@." c.Ctx.cid Evacuate.pp_report rep;
+        patch c rep)
+      [ a; b ];
+    let rep = Shm.evacuate arena in
+    Format.printf "sweep: %a@." Evacuate.pp_report rep;
+    let left = Evacuate.live_segments_on svc ~dev:degrade in
+    Printf.printf "device %d live segments after drain: %d\n" degrade
+      (List.length left);
+    let intact =
+      List.for_all (fun (r, i) -> Cxl_ref.read_word r (Cxl_ref.emb_cnt r) = i) !held
+    in
+    Printf.printf "payloads %s\n" (if intact then "intact" else "CORRUPTED");
+    List.iter (fun (r, _) -> Cxl_ref.drop r) !held;
+    Shm.leave a;
+    Shm.leave b;
+    Ctx.clear_degraded svc;
+    ignore (Shm.scan_leaking arena);
+    let v = Shm.validate arena in
+    Printf.printf "validation %s\n" (if Validate.is_clean v then "clean" else "DIRTY");
+    if left = [] && intact && Validate.is_clean v then 0 else 1
+  end
+
+let evacuate_cmd =
+  Cmd.v
+    (Cmd.info "evacuate"
+       ~doc:
+         "Populate a striped demo arena, mark one device degraded, and \
+          drain every live block off it: owners relocate their RootRef \
+          blocks, the monitor-side sweep moves the data, and the run \
+          passes when zero live segments remain on the device and every \
+          payload survived the move.")
+    Term.(
+      const evacuate_demo
+      $ Arg.(
+          value & opt int 60
+          & info [ "objects" ] ~doc:"Objects to allocate before draining.")
+      $ devices_arg
+      $ Arg.(
+          value & opt int 0 & info [ "degrade" ] ~doc:"Device to degrade.")
+      $ Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Workload seed."))
+
 (* ---- explore: model-checking schedule exploration ---- *)
 
 module Check_explore = Cxlshm_check.Explore
@@ -621,10 +819,13 @@ let explore_model_of_name ~capacity ~values ~rounds name =
   | "huge" -> Check_scenarios.huge ?rounds ()
   | "epoch-retire" -> Check_scenarios.epoch_retire ?rounds ()
   | "sharded-alloc" -> Check_scenarios.sharded_alloc ?values ()
+  | "lease" -> Check_scenarios.lease ?passes:rounds ()
+  | "dual-monitor" -> Check_scenarios.dual_monitor ?passes:rounds ()
+  | "evacuate" -> Check_scenarios.evacuate ?rounds ()
   | n ->
       Printf.eprintf
         "unknown model %s (have: spsc, transfer, transfer-batch, refc, huge, \
-         epoch-retire, sharded-alloc)\n"
+         epoch-retire, sharded-alloc, lease, dual-monitor, evacuate)\n"
         n;
       exit 2
 
@@ -725,7 +926,8 @@ let explore_cmd =
     (Cmd.info "explore"
        ~doc:
          "Model-check the concurrent protocols: run the built-in models \
-          (spsc, transfer, transfer-batch, refc, huge) under a controlled \
+          (spsc, transfer, transfer-batch, refc, huge, epoch-retire, \
+          sharded-alloc, lease, dual-monitor, evacuate) under a controlled \
           cooperative scheduler \
           with seeded-random, PCT, or bounded-preemption exhaustive \
           exploration and optional crash injection at any yield point. \
@@ -736,7 +938,7 @@ let explore_cmd =
       $ Arg.(
           value
           & opt string
-              "spsc,transfer,transfer-batch,refc,huge,epoch-retire,sharded-alloc"
+              "spsc,transfer,transfer-batch,refc,huge,epoch-retire,sharded-alloc,lease,dual-monitor,evacuate"
           & info [ "model" ] ~doc:"Comma-separated models to explore.")
       $ Arg.(
           value & opt string "random"
@@ -799,6 +1001,8 @@ let () =
             dump_cmd;
             fsck_cmd;
             soak_cmd;
+            monitor_cmd;
+            evacuate_cmd;
             trace_cmd;
             top_cmd;
             explore_cmd;

@@ -87,17 +87,10 @@ let spsc ?(capacity = 2) ?(values = 3) () : Explore.model =
 
 let arena_cfg = { Config.small with backend = Mem.Sched Mem.Flat }
 
-(* Post-run oracle for full-arena models: recover every crashed client the
-   way the monitor would, then require a leak-free, count-consistent,
-   fsck-clean pool and a causally-sane era matrix. *)
-let arena_check arena ~cids ~crashed =
+(* Shared oracle tail: a leak-free, count-consistent, fsck-clean pool and a
+   causally-sane era matrix. *)
+let arena_audit arena ~cids =
   let svc = Shm.service_ctx arena in
-  List.iter
-    (fun idx ->
-      let cid = cids.(idx) in
-      Client.declare_failed svc ~cid;
-      ignore (Shm.recover arena ~failed_cid:cid))
-    crashed;
   ignore (Shm.scan_leaking arena);
   (* Era causality: nobody can have observed an era a client never reached. *)
   let everyone = 0 :: Array.to_list cids in
@@ -120,6 +113,18 @@ let arena_check arena ~cids ~crashed =
   if not (Validate.is_clean v) then fail "validate: %s" (detail v);
   let f = Fsck.check (Shm.mem arena) (Shm.layout arena) in
   if not (Validate.is_clean f) then fail "fsck: %s" (detail f)
+
+(* Post-run oracle for full-arena models: recover every crashed client the
+   way the monitor would, then audit. *)
+let arena_check arena ~cids ~crashed =
+  let svc = Shm.service_ctx arena in
+  List.iter
+    (fun idx ->
+      let cid = cids.(idx) in
+      Client.declare_failed svc ~cid;
+      ignore (Shm.recover arena ~failed_cid:cid))
+    crashed;
+  arena_audit arena ~cids
 
 let arena_branch = function
   | Sched.Crash_point _ | Sched.Label _ -> true
@@ -404,11 +409,233 @@ let sharded_alloc ?(values = 2) () : Explore.model =
   in
   { Explore.name = "sharded-alloc"; make; branch = arena_branch }
 
+(* ---- control-plane models: leases, replicated monitors, evacuation ---- *)
+
+(* Drive a fresh monitor replica until every client slot outside [keep] has
+   been reaped through the lease machinery (tick -> suspect -> condemn ->
+   recover). This is the oracle's stand-in for "some replica survives the
+   run": whatever mess the explored schedule left behind — a hung client, a
+   leader dead mid-recovery, a crashed evacuator with its guard still
+   attached — must be fully absorbed within a bounded number of passes,
+   with no client ever declared failed by hand. Returns the settle replica
+   (its death dumps count toward the exactly-once oracle). *)
+let lease_settle arena ~keep =
+  let mon = Shm.monitor arena ~id:7 () in
+  let svc = Shm.service_ctx arena in
+  let cfg = Shm.config arena in
+  let keep_cids = List.map (fun (ctx : Ctx.t) -> ctx.Ctx.cid) keep in
+  let stable () =
+    let ok = ref true in
+    for cid = 0 to cfg.Config.max_clients - 1 do
+      if
+        (not (List.mem cid keep_cids))
+        && Client.status svc ~cid <> Client.Slot_free
+      then ok := false
+    done;
+    !ok
+  in
+  let budget = 6 * (cfg.Config.lease_ttl + 2) in
+  let rec go n =
+    if not (stable ()) then begin
+      if n = 0 then fail "settle: client slots still occupied after %d passes" budget;
+      List.iter Client.heartbeat keep;
+      ignore (Monitor.check_once mon);
+      ignore (Monitor.recover_suspects mon);
+      go (n - 1)
+    end
+  in
+  go budget;
+  mon
+
+(* ---- lease: detection races renewal, a hung client is reaped ---- *)
+
+let lease ?(passes = 4) () : Explore.model =
+  let make () =
+    (* ttl 2 with one monitor and [passes] ticks keeps in-run condemnation
+       out of reach (needs 2*ttl+1 = 5 ticks past the last renewal), so the
+       worker's own operations can never race its recovery; suspicion and
+       heartbeat self-heal stay reachable from tick ttl+1 = 3 on. *)
+    let cfg = { arena_cfg with Config.lease_ttl = 2 } in
+    let arena = Shm.create ~cfg () in
+    let a = Shm.join arena () in
+    let m = Shm.monitor arena () in
+    let worker () =
+      let parent = Shm.cxl_malloc a ~size_bytes:8 ~emb_cnt:1 () in
+      let child = Shm.cxl_malloc a ~size_bytes:8 () in
+      Cxl_ref.write_word child 0 7;
+      Cxl_ref.set_emb parent 0 child;
+      Client.heartbeat a;
+      Sched.yield "w-work";
+      Cxl_ref.drop child;
+      Cxl_ref.clear_emb parent 0;
+      Client.heartbeat a;
+      Cxl_ref.drop parent
+      (* ... and goes silent without unregistering: only lease expiry can
+         free the slot. *)
+    in
+    let monitor () =
+      for _ = 1 to passes do
+        ignore (Monitor.check_once m);
+        ignore (Monitor.recover_suspects m);
+        Sched.yield "mon-pass"
+      done
+    in
+    let check ~crashed:_ =
+      (* No declare_failed anywhere: crashed or hung, the worker must fall
+         to the lease machinery alone. *)
+      ignore (lease_settle arena ~keep:[]);
+      arena_audit arena ~cids:[| a.Ctx.cid |]
+    in
+    { Explore.clients = [| worker; monitor |]; check }
+  in
+  { Explore.name = "lease"; make; branch = arena_branch }
+
+(* ---- dual-monitor: leader failover with crashes inside the handoff ---- *)
+
+let dual_monitor ?(passes = 3) () : Explore.model =
+  let make () =
+    let cfg = { arena_cfg with Config.lease_ttl = 1 } in
+    let arena = Shm.create ~cfg () in
+    let w = Shm.join arena () in
+    (* Environment: the worker leaks a parent/child graph before the run;
+       in-run it only heartbeats (guarded, branch-point-free, hence atomic
+       to the explorer) and then goes silent, so its in-run condemnation —
+       ttl 1 makes that reachable from tick 3 — never races its own
+       recovery. Crashes land in the monitors instead: inside election
+       ([Lead_after_acquire]), takeover ([Lead_after_depose]) and the
+       recovery instruction stream, which the surviving replica (or the
+       settle replica) must resume mid-flight. *)
+    let parent = Shm.cxl_malloc w ~size_bytes:8 ~emb_cnt:1 () in
+    let child = Shm.cxl_malloc w ~size_bytes:8 () in
+    Cxl_ref.write_word child 0 7;
+    Cxl_ref.set_emb parent 0 child;
+    Cxl_ref.drop child;
+    let m0 = Shm.monitor arena () in
+    let m1 = Shm.monitor arena ~id:1 () in
+    let worker () =
+      for _ = 1 to 2 do
+        if Client.is_alive w ~cid:w.Ctx.cid then Client.heartbeat w;
+        Sched.yield "w-heartbeat"
+      done
+    in
+    (* m1 activates only once m0 is finished or crashed. A *live* leader
+       stalled mid-recovery past its whole lease is indistinguishable from
+       a dead one (the unclosable lease-fencing window, see FAULTS.md), so
+       the model keeps replicas sequentially active — what it proves is
+       takeover from a leader that crashed anywhere, including inside
+       election, deposition, and the recovery instruction stream. *)
+    let m0_running = ref true in
+    let mon0 () =
+      Fun.protect ~finally:(fun () -> m0_running := false) @@ fun () ->
+      for _ = 1 to passes do
+        ignore (Monitor.check_once m0);
+        ignore (Monitor.recover_suspects m0);
+        Sched.yield "mon-pass"
+      done
+    in
+    let mon1 () =
+      while !m0_running do
+        Sched.yield "m1-wait"
+      done;
+      for _ = 1 to passes do
+        ignore (Monitor.check_once m1);
+        ignore (Monitor.recover_suspects m1);
+        Sched.yield "mon-pass"
+      done
+    in
+    let check ~crashed:_ =
+      let smon = lease_settle arena ~keep:[] in
+      (* Exactly one death dump for the worker's single failure incident,
+         no matter which replica condemned it or how many saw it Failed. *)
+      let dumps =
+        List.fold_left
+          (fun n m -> n + List.length (Monitor.death_dumps m))
+          0 [ m0; m1; smon ]
+      in
+      if dumps <> 1 then
+        fail "dual-monitor: %d death dumps for one failure incident" dumps;
+      arena_audit arena ~cids:[| w.Ctx.cid |]
+    in
+    { Explore.clients = [| worker; mon0; mon1 |]; check }
+  in
+  { Explore.name = "dual-monitor"; make; branch = arena_branch }
+
+(* ---- evacuate: live data drains off a degraded device ---- *)
+
+let evacuate ?(rounds = 2) () : Explore.model =
+  let make () =
+    let cfg =
+      { Config.small with
+        backend =
+          Mem.Sched (Mem.Striped { devices = 2; stripe_words = 0; tiers = [||] });
+        lease_ttl = 1 }
+    in
+    let arena = Shm.create ~cfg () in
+    let svc = Shm.service_ctx arena in
+    let lay = Shm.layout arena in
+    (* Environment: client [a] (home device 0) allocates a child that
+       client [b] (home device 1) links into its own parent; [a] then
+       leaves cleanly, stranding the still-referenced child in an orphaned
+       segment — and device 0 goes degraded. *)
+    let a = Shm.join arena () in
+    let b = Shm.join arena () in
+    let child = Shm.cxl_malloc a ~size_bytes:16 () in
+    Cxl_ref.write_word child 0 48879;
+    let parent = Shm.cxl_malloc b ~size_bytes:8 ~emb_cnt:1 () in
+    Cxl_ref.set_emb parent 0 child;
+    let child_obj = Cxl_ref.obj child in
+    Cxl_ref.drop child;
+    Shm.leave a;
+    let dev = Alloc.segment_device svc (Layout.segment_of_addr lay child_obj) in
+    let seg_of r = Layout.segment_of_addr lay r in
+    if
+      Alloc.segment_device svc (seg_of (Cxl_ref.obj parent)) = dev
+      || Alloc.segment_device svc (seg_of (Cxl_ref.rootref parent)) = dev
+    then fail "evacuate: holder landed on the to-be-degraded device";
+    Ctx.mark_degraded svc dev;
+    (* In-run: [b] keeps allocating (and heartbeating) while the evacuation
+       sweep runs — crashes land at the [Evac_*] windows (after copy, after
+       each re-point, before release) and anywhere in the sweep's
+       allocator/refcount traffic. *)
+    let b_traffic () =
+      for i = 1 to rounds do
+        Client.heartbeat b;
+        let r = Shm.cxl_malloc b ~size_bytes:8 () in
+        Cxl_ref.write_word r 0 i;
+        Cxl_ref.drop r;
+        Sched.yield "b-work"
+      done
+    in
+    let evacuator () = ignore (Shm.evacuate arena) in
+    let check ~crashed =
+      let b_alive = not (List.mem 0 crashed) in
+      ignore (lease_settle arena ~keep:(if b_alive then [ b ] else []));
+      (* Convergence: one clean sweep after recovery must finish whatever
+         the crashed one left half-moved. *)
+      ignore (Shm.evacuate arena);
+      (match Evacuate.live_segments_on svc ~dev with
+      | [] -> ()
+      | segs ->
+          fail "evacuate: %d live segments left on degraded device %d"
+            (List.length segs) dev);
+      if b_alive then begin
+        let c = Cxl_ref.get_emb parent 0 in
+        if c = 0 then fail "evacuate: parent lost its child reference";
+        if Mem.unsafe_peek (Shm.mem arena) (Obj_header.data_of_obj c) <> 48879
+        then fail "evacuate: child payload lost in the move"
+      end;
+      arena_audit arena ~cids:[| a.Ctx.cid; b.Ctx.cid |]
+    in
+    { Explore.clients = [| b_traffic; evacuator |]; check }
+  in
+  { Explore.name = "evacuate"; make; branch = arena_branch }
+
 (* ---- registry ---- *)
 
 let all () =
   [ spsc (); transfer (); transfer ~batched:true (); refc (); huge ();
-    epoch_retire (); sharded_alloc () ]
+    epoch_retire (); sharded_alloc (); lease (); dual_monitor ();
+    evacuate () ]
 
 let find name =
   match List.find_opt (fun m -> m.Explore.name = name) (all ()) with

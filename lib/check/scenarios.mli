@@ -41,6 +41,26 @@ val sharded_alloc : ?values:int -> unit -> Explore.model
     CAS-steals race crashes while parked stamps pin the donor segments.
     Model name ["sharded-alloc"]. *)
 
+val lease : ?passes:int -> unit -> Explore.model
+(** One client churning a small graph while a monitor's detection passes
+    race its heartbeat renewals: suspicion and self-heal are reachable
+    in-run, and the oracle reaps the (hung, never-unregistering) client
+    through the lease machinery alone — no [declare_failed] anywhere. *)
+
+val dual_monitor : ?passes:int -> unit -> Explore.model
+(** Two monitor replicas race leader election, takeover and recovery of a
+    silent worker; crashes land inside the leadership handoff and the
+    recovery instruction stream, which the surviving (or settle) replica
+    must resume. Oracle also requires exactly one death dump per failure
+    incident across all replicas. Model name ["dual-monitor"]. *)
+
+val evacuate : ?rounds:int -> unit -> Explore.model
+(** A still-referenced object stranded on a degraded device of a 2-device
+    striped pool is drained by an evacuation sweep while its holder's owner
+    keeps allocating; crashes land at the [Evac_*] copy/re-point/release
+    windows. Oracle: after recovery plus one clean convergence sweep, the
+    degraded device holds zero live segments and the payload survived. *)
+
 val all : unit -> Explore.model list
 
 val find : string -> Explore.model

@@ -104,53 +104,53 @@ let usable_state = function
   | Segment.Free | Segment.Orphaned | Segment.Huge_head | Segment.Huge_cont ->
       false
 
-(* Find (or make) a page of [kind] with free blocks and make it current. *)
-let rec ensure_page (ctx : Ctx.t) ~idx ~kind ~block_words ~fuel =
+(* Find (or make) a page of [kind] with free blocks and make it current.
+   When any device is degraded, placement runs [strict] first: only pages
+   on healthy devices qualify. The segment-claim ladder alone cannot steer
+   a client that already owns a page with free blocks on a degraded device
+   — reuse would keep landing fresh data on untrusted media. Degraded
+   pages become acceptable only once nothing healthy is claimable
+   anywhere. *)
+let rec ensure_page_at (ctx : Ctx.t) ~strict ~idx ~kind ~block_words ~fuel =
   if fuel = 0 then raise Out_of_shared_memory;
+  let seg_ok s =
+    (not strict) || not (Ctx.device_degraded ctx (segment_device ctx s))
+  in
   match current_page ctx idx with
-  | Some gid when Page.kind ctx ~gid = kind && Page.free_head ctx ~gid <> 0 ->
+  | Some gid
+    when Page.kind ctx ~gid = kind
+         && Page.free_head ctx ~gid <> 0
+         && seg_ok (fst (Layout.page_of_gid ctx.lay gid)) ->
       gid
   | _ -> (
       (* Scan owned segments for a usable page of this kind. *)
       let owned = Segment.owned_by ctx ~cid:ctx.cid in
       let usable gid = Page.kind ctx ~gid = kind && Page.free_head ctx ~gid <> 0 in
       let pps = (Ctx.cfg ctx).Config.pages_per_segment in
-      let found =
+      let scan_usable () =
         List.find_map
           (fun seg ->
             let rec go p =
               if p >= pps then None
               else
                 let gid = Layout.page_gid ctx.lay ~seg ~page:p in
-                if usable_state (Segment.state ctx seg) && usable gid then
-                  Some gid
+                if
+                  usable_state (Segment.state ctx seg)
+                  && seg_ok seg && usable gid
+                then Some gid
                 else go (p + 1)
             in
             go 0)
           owned
       in
-      match found with
+      match scan_usable () with
       | Some gid ->
           set_current_page ctx idx gid;
           gid
       | None -> (
           (* Drain deferred frees, which may refill a page. *)
           collect_deferred ctx;
-          let refilled =
-            List.find_map
-              (fun seg ->
-                let rec go p =
-                  if p >= pps then None
-                  else
-                    let gid = Layout.page_gid ctx.lay ~seg ~page:p in
-                    if usable_state (Segment.state ctx seg) && usable gid then
-                      Some gid
-                    else go (p + 1)
-                in
-                go 0)
-              owned
-          in
-          match refilled with
+          match scan_usable () with
           | Some gid ->
               set_current_page ctx idx gid;
               gid
@@ -159,7 +159,7 @@ let rec ensure_page (ctx : Ctx.t) ~idx ~kind ~block_words ~fuel =
               let fresh =
                 List.find_map
                   (fun seg ->
-                    if usable_state (Segment.state ctx seg) then
+                    if usable_state (Segment.state ctx seg) && seg_ok seg then
                       find_unused_page ctx seg
                     else None)
                   owned
@@ -171,9 +171,25 @@ let rec ensure_page (ctx : Ctx.t) ~idx ~kind ~block_words ~fuel =
                   gid
               | None -> (
                   match claim_any_segment ctx with
-                  | None -> raise Out_of_shared_memory
+                  | Some s when seg_ok s ->
+                      ensure_page_at ctx ~strict ~idx ~kind ~block_words
+                        ~fuel:(fuel - 1)
                   | Some _ ->
-                      ensure_page ctx ~idx ~kind ~block_words ~fuel:(fuel - 1)))))
+                      (* The ladder spilled onto a degraded device: nothing
+                         healthy is claimable, so degraded pages are the
+                         last resort after all. *)
+                      ensure_page_at ctx ~strict:false ~idx ~kind ~block_words
+                        ~fuel:(fuel - 1)
+                  | None ->
+                      if strict then
+                        ensure_page_at ctx ~strict:false ~idx ~kind
+                          ~block_words ~fuel:(fuel - 1)
+                      else raise Out_of_shared_memory))))
+
+let ensure_page (ctx : Ctx.t) ~idx ~kind ~block_words ~fuel =
+  ensure_page_at ctx
+    ~strict:(Ctx.any_degraded_hint ctx)
+    ~idx ~kind ~block_words ~fuel
 
 (* ------------------------------------------------------------------ *)
 (* RootRef allocation (§5.1 step 1)                                    *)

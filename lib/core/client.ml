@@ -1,20 +1,26 @@
 module Mem = Cxlshm_shmem.Mem
 module Stats = Cxlshm_shmem.Stats
 
-type status = Slot_free | Alive | Failed
+type status = Slot_free | Alive | Failed | Suspected
 
 let status_name = function
   | Slot_free -> "free"
   | Alive -> "alive"
   | Failed -> "failed"
+  | Suspected -> "suspected"
 
 let status_of_int = function
   | 0 -> Slot_free
   | 1 -> Alive
   | 2 -> Failed
+  | 3 -> Suspected
   | n -> invalid_arg (Printf.sprintf "Client.status_of_int: %d" n)
 
-let status_to_int = function Slot_free -> 0 | Alive -> 1 | Failed -> 2
+let status_to_int = function
+  | Slot_free -> 0
+  | Alive -> 1
+  | Failed -> 2
+  | Suspected -> 3
 
 let init_slot (ctx : Ctx.t) =
   let lay = ctx.Ctx.lay in
@@ -29,7 +35,12 @@ let init_slot (ctx : Ctx.t) =
   Ctx.store ctx (Layout.retire_era lay cid) 0;
   Ctx.store ctx (Layout.client_heartbeat lay cid) 0;
   Ctx.store ctx (Layout.client_machine lay cid) 0;
-  Ctx.store ctx (Layout.client_process lay cid) (Unix.getpid ())
+  Ctx.store ctx (Layout.client_process lay cid) (Unix.getpid ());
+  (* Lease grant last: the deadline only starts mattering once the slot is
+     live. The grant era is monotone across incarnations (never reset), so
+     stale suspicion decisions and already-claimed death dumps from a
+     previous occupant of this slot cannot apply to the new one. *)
+  ignore (Lease.grant ctx ~cid)
 
 let register ~mem ~lay ?cid () =
   (* The bootstrap context borrows cid 0 only to CAS registration flags;
@@ -56,11 +67,24 @@ let register ~mem ~lay ?cid () =
 let status (ctx : Ctx.t) ~cid =
   status_of_int (Ctx.load ctx (Layout.client_flags ctx.lay cid))
 
-let is_alive ctx ~cid = status ctx ~cid = Alive
+(* A Suspected client is still alive for every safety purpose (hazards,
+   reachability, leak scans): suspicion is a liveness hint that the owner
+   can cancel; only Failed fences it out. *)
+let is_alive ctx ~cid =
+  match status ctx ~cid with
+  | Alive | Suspected -> true
+  | Slot_free | Failed -> false
 
 let heartbeat (ctx : Ctx.t) =
   let h = Layout.client_heartbeat ctx.lay ctx.cid in
-  Ctx.store ctx h (Ctx.load ctx h + 1)
+  Ctx.store ctx h (Ctx.load ctx h + 1);
+  Ctx.refresh_degraded_hint ctx;
+  Lease.renew ctx ~cid:ctx.cid;
+  (* Cancel a false-positive suspicion. If the CAS fails because the slot
+     is already Failed the client is fenced — the renewed deadline is
+     harmless (recovery ends in Slot_free and clears it) and the caller
+     discovers the condemnation via [status]/its next operation. *)
+  ignore (Lease.self_heal ctx ~cid:ctx.cid)
 
 let heartbeat_value (ctx : Ctx.t) ~cid =
   Ctx.load ctx (Layout.client_heartbeat ctx.lay cid)
@@ -69,7 +93,10 @@ let set_status (ctx : Ctx.t) ~cid s =
   Ctx.store ctx (Layout.client_flags ctx.lay cid) (status_to_int s)
 
 let declare_failed ctx ~cid = set_status ctx ~cid Failed
-let mark_recovered ctx ~cid = set_status ctx ~cid Slot_free
+
+let mark_recovered ctx ~cid =
+  Lease.release ctx ~cid;
+  set_status ctx ~cid Slot_free
 
 let segment_empty (ctx : Ctx.t) seg =
   let cfg = Ctx.cfg ctx in
@@ -107,4 +134,8 @@ let unregister (ctx : Ctx.t) =
           ()
       | Segment.Free | Segment.Orphaned -> ())
     (Segment.owned_by ctx ~cid:ctx.cid);
+  (* Drop the lease before the slot: once the deadline is 0 a recycled slot
+     cannot be instantly re-suspected off this incarnation's stale
+     deadline, and the flags store below also clears a pending Suspected. *)
+  Lease.release ctx ~cid:ctx.cid;
   set_status ctx ~cid:ctx.cid Slot_free

@@ -9,6 +9,11 @@ type status =
   | Slot_free
   | Alive
   | Failed      (** declared dead; recovery pending or in progress *)
+  | Suspected
+      (** lease expired; any peer may have made this transition (see
+          {!Lease.try_suspect}). Still alive for every safety purpose —
+          the owner's next {!heartbeat} cancels it, a further TTL of
+          silence condemns it to [Failed]. *)
 
 val status_name : status -> string
 
@@ -24,8 +29,18 @@ val unregister : Ctx.t -> unit
     RootRefs are treated exactly like a crash (recovery will reap them). *)
 
 val status : Ctx.t -> cid:int -> status
+
 val is_alive : Ctx.t -> cid:int -> bool
+(** True for [Alive] {e and} [Suspected] — suspicion is a cancellable
+    liveness hint, so hazards, reachability and leak scans must keep
+    treating the client as live until it is condemned. *)
+
 val heartbeat : Ctx.t -> unit
+(** Bump the progress counter, renew the caller's lease
+    ({!Lease.renew}) and cancel a pending [Suspected]
+    ({!Lease.self_heal}). A client already condemned to [Failed] is
+    fenced; its heartbeat no longer rescues it. *)
+
 val heartbeat_value : Ctx.t -> cid:int -> int
 
 val declare_failed : Ctx.t -> cid:int -> unit

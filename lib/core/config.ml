@@ -17,6 +17,10 @@ type t = {
   num_domains : int;
       (* > 0 shards the hot size-class free heads across that many domains;
          0 keeps the single per-owner free structure. *)
+  lease_ttl : int;
+      (* Client lease lifetime in lease-clock ticks: a heartbeat extends the
+         client's lease to now + lease_ttl; a lease observed expired makes
+         the client Suspected, a second full TTL of silence condemns it. *)
 }
 
 let default =
@@ -35,6 +39,7 @@ let default =
     cache = true;
     epoch_batch = 16;
     num_domains = 4;
+    lease_ttl = 4;
   }
 
 let small =
@@ -55,6 +60,7 @@ let small =
        being schedule-identical to earlier releases *)
     epoch_batch = 0;
     num_domains = 0;
+    lease_ttl = 4;
   }
 
 let header_words = 2
@@ -80,6 +86,10 @@ let validate t =
      [default]'s domain count survives small [max_clients] overrides. *)
   if t.num_domains < 0 || t.num_domains > 1024 then
     fail "num_domains must be in [0, 1024]";
+  (* The leader word packs {monitor id, deadline tick}; the deadline field
+     is 48 bits wide, so cap the TTL well below that. *)
+  if t.lease_ttl < 1 || t.lease_ttl > 1 lsl 20 then
+    fail "lease_ttl must be in [1, 2^20]";
   let prob name p =
     if p < 0. || p > 1. then fail (name ^ " must be a probability in [0, 1]")
   in

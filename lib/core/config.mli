@@ -58,6 +58,17 @@ type t = {
           falling back to the owner page scan. 0 keeps the single
           per-segment cross-client stack only. May exceed [max_clients]
           (surplus stacks stay empty); capped at 1024. *)
+  lease_ttl : int;
+      (** Client lease lifetime in ticks of the shared logical lease clock
+          ([Layout.hdr_lease_clock], advanced by every monitor pass).
+          {!Client.heartbeat} extends the caller's lease deadline to
+          [now + lease_ttl]; any peer observing [now > deadline] may CAS
+          the slot [Alive → Suspected], and a slot still expired a further
+          TTL later may be condemned [Suspected → Failed]. This catches
+          {e hung} clients — live processes whose progress stalled — that
+          the bare heartbeat-miss counter cannot distinguish from slow
+          ones. Also bounds the monitor leader lease (same clock). Must be
+          in [1, 2^20]. *)
 }
 
 val default : t

@@ -50,6 +50,7 @@ type t = {
   hists : Cxlshm_shmem.Histogram.t array;
   cache : cache;
   epoch : epoch;
+  mutable degraded_hint : int;
 }
 
 (* Mirrored page-meta slots: kind, block_words, capacity, free, used.
@@ -101,6 +102,7 @@ let make ?cache ?epoch ~mem ~lay ~cid () =
         dirty = Array.make dirty_capacity 0;
         dlen = 0;
       };
+    degraded_hint = Mem.ctl_peek mem (Layout.hdr_dev_degraded lay);
   }
 
 let cfg t = t.lay.Layout.cfg
@@ -125,11 +127,23 @@ let degraded_devices t =
     (List.init (min (Mem.num_devices t.mem) max_degradable_devices) Fun.id)
 
 let mark_degraded t dev =
-  if dev >= 0 && dev < max_degradable_devices then
+  if dev >= 0 && dev < max_degradable_devices then begin
     let p = Layout.hdr_dev_degraded t.lay in
-    Mem.ctl_poke t.mem p (Mem.ctl_peek t.mem p lor (1 lsl dev))
+    Mem.ctl_poke t.mem p (Mem.ctl_peek t.mem p lor (1 lsl dev));
+    t.degraded_hint <- t.degraded_hint lor (1 lsl dev)
+  end
 
-let clear_degraded t = Mem.ctl_poke t.mem (Layout.hdr_dev_degraded t.lay) 0
+let clear_degraded t =
+  Mem.ctl_poke t.mem (Layout.hdr_dev_degraded t.lay) 0;
+  t.degraded_hint <- 0
+
+(* The hint is a volatile mirror of the bitmap consulted on the allocation
+   fast path, where a per-op [ctl_peek] would charge every alloc a shared
+   read for a word that is almost always zero. Staleness only delays
+   placement steering (evacuation mops up misplaced blocks); it is
+   refreshed at attach, on every heartbeat, and at evacuation entry. *)
+let refresh_degraded_hint t = t.degraded_hint <- degraded_bitmap t
+let any_degraded_hint t = t.degraded_hint <> 0
 
 let on_escalate t ~dev = mark_degraded t dev
 

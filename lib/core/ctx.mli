@@ -49,6 +49,11 @@ type t = {
           {!Cxlshm_shmem.Histogram.op_index}; fed by spans when tracing *)
   cache : cache;  (** client-local cache tier (see {!type:cache}) *)
   epoch : epoch;  (** epoch-batched retirement state (see {!type:epoch}) *)
+  mutable degraded_hint : int;
+      (** volatile mirror of the degraded-device bitmap, read on the
+          allocation fast path instead of the shared word; refreshed at
+          attach, heartbeat, and evacuation entry
+          ({!refresh_degraded_hint}) *)
 }
 
 val make :
@@ -78,6 +83,17 @@ val device_degraded : t -> int -> bool
 val degraded_devices : t -> int list
 val mark_degraded : t -> int -> unit
 val clear_degraded : t -> unit
+
+val refresh_degraded_hint : t -> unit
+(** Re-read the shared bitmap into [degraded_hint]. Placement steering is
+    a hint — a stale mirror only means some allocations land on a device
+    that was just marked (evacuation relocates them later), so refreshes
+    ride existing slow points rather than charging every alloc a shared
+    read. *)
+
+val any_degraded_hint : t -> bool
+(** [degraded_hint <> 0] — zero-cost "is any device degraded?" check for
+    the allocation fast path. *)
 
 val with_retries : t -> ((unit -> unit) -> 'a) -> 'a
 (** Run a section under this context's retry policy (see

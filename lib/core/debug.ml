@@ -4,6 +4,7 @@ let flags_name = function
   | 0 -> "free"
   | 1 -> "alive"
   | 2 -> "failed"
+  | 3 -> "suspected"
   | n -> Printf.sprintf "?%d" n
 
 let pp_clients ppf (mem, lay) =

@@ -28,6 +28,11 @@ type point =
   | Retire_after_seal
   | Retire_mid_batch
   | Retire_after_batch
+  | Lead_after_acquire
+  | Lead_after_depose
+  | Evac_after_copy
+  | Evac_after_repoint
+  | Evac_before_release
 
 let point_name = function
   | Alloc_after_rootref -> "alloc-after-rootref"
@@ -57,6 +62,11 @@ let point_name = function
   | Retire_after_seal -> "retire-after-seal"
   | Retire_mid_batch -> "retire-mid-batch"
   | Retire_after_batch -> "retire-after-batch"
+  | Lead_after_acquire -> "lead-after-acquire"
+  | Lead_after_depose -> "lead-after-depose"
+  | Evac_after_copy -> "evac-after-copy"
+  | Evac_after_repoint -> "evac-after-repoint"
+  | Evac_before_release -> "evac-before-release"
 
 let all_points =
   [
@@ -87,6 +97,11 @@ let all_points =
     Retire_after_seal;
     Retire_mid_batch;
     Retire_after_batch;
+    Lead_after_acquire;
+    Lead_after_depose;
+    Evac_after_copy;
+    Evac_after_repoint;
+    Evac_before_release;
   ]
 
 type mode =

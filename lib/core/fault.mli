@@ -50,6 +50,20 @@ type point =
                                      journal still sealed *)
   | Retire_after_batch           (** all entries processed and write-backs
                                      drained, journal not yet cleared *)
+  | Lead_after_acquire           (** monitor won the leader CAS (election or
+                                     deposition), no recovery started yet *)
+  | Lead_after_depose            (** expired leader deposed and recovery
+                                     resumed mid-flight, lease not yet
+                                     renewed by the new leader *)
+  | Evac_after_copy              (** evacuation: destination block allocated
+                                     and payload copied, no holder
+                                     re-pointed yet *)
+  | Evac_after_repoint           (** evacuation: at least one holder
+                                     re-pointed to the destination, source
+                                     still guard-referenced *)
+  | Evac_before_release          (** evacuation: all holders re-pointed,
+                                     guard rootref not yet released (source
+                                     block still alive) *)
 
 val point_name : point -> string
 val all_points : point list

@@ -106,6 +106,21 @@ let make cfg =
 let hdr_magic t = t.arena_hdr
 let hdr_epoch t = t.arena_hdr + 1
 let hdr_dev_degraded t = t.arena_hdr + 2
+let hdr_lease_clock t = t.arena_hdr + 3
+let hdr_leader t = t.arena_hdr + 4
+let hdr_evac_claim t = t.arena_hdr + 5
+let hdr_evac_from t = t.arena_hdr + 6
+let hdr_evac_to t = t.arena_hdr + 7
+let hdr_evac_guard t = t.arena_hdr + 8
+
+(* Leader word: {monitor id + 1, deadline tick} packed so election, renewal
+   and deposition are each a single CAS. 0 = no leader. *)
+let leader_id_bits = 15
+let leader_pack ~id ~deadline = (deadline lsl leader_id_bits) lor (id + 1)
+
+let leader_unpack w =
+  if w = 0 then None
+  else Some ((w land ((1 lsl leader_id_bits) - 1)) - 1, w lsr leader_id_bits)
 
 let check_seg t s =
   if s < 0 || s >= t.cfg.Config.num_segments then
@@ -129,6 +144,9 @@ let client_machine t i = client_state t i + 1
 let client_process t i = client_state t i + 2
 let client_heartbeat t i = client_state t i + 3
 let client_hazard t i = client_state t i + 4
+let client_lease_deadline t i = client_state t i + 5
+let client_lease_era t i = client_state t i + 6
+let client_dump_claim t i = client_state t i + 7
 
 let era_cell t i j =
   check_cid t j;

@@ -50,6 +50,44 @@ val hdr_dev_degraded : t -> Cxlshm_shmem.Pptr.t
     retry budget (or faulted persistently) for some client and allocation
     should steer new segment claims away from it until it is serviced. *)
 
+val hdr_lease_clock : t -> Cxlshm_shmem.Pptr.t
+(** The logical lease clock: a monotone tick counter advanced
+    (fetch-and-add) by every monitor pass. All lease deadlines — client
+    leases and the monitor leader lease — are ticks of this clock, never
+    wall time, so lease expiry is deterministic under the explorer and a
+    dead leader's lease still expires as long as {e any} monitor ticks. *)
+
+val hdr_leader : t -> Cxlshm_shmem.Pptr.t
+(** Monitor leader word: [{monitor id + 1, deadline tick}] packed
+    ({!leader_pack}) so election (CAS 0 → mine), renewal (CAS mine → mine
+    with a later deadline) and deposition of an expired leader (CAS
+    theirs → mine) are each one CAS. 0 = no leader. *)
+
+val leader_pack : id:int -> deadline:int -> int
+val leader_unpack : int -> (int * int) option
+(** [(monitor id, deadline tick)], or [None] for the no-leader word 0. *)
+
+val hdr_evac_claim : t -> Cxlshm_shmem.Pptr.t
+(** Evacuation claim word ([evacuator cid + 1], 0 = free): serialises
+    evacuation sweeps across the monitor leader and clients relocating
+    their own data. A claim whose holder is no longer alive is broken by
+    the next claimant after resuming the migration journal. *)
+
+val hdr_evac_from : t -> Cxlshm_shmem.Pptr.t
+val hdr_evac_to : t -> Cxlshm_shmem.Pptr.t
+(** Migration journal for the holder re-point phase of one object
+    evacuation: while [hdr_evac_from] is non-zero, holders of [from] are
+    being re-pointed to [to]. Written to-then-from, cleared from-then-to,
+    so a non-zero [from] always pairs with a valid [to] — a crashed
+    evacuator's successor re-points the {e remaining} holders at the same
+    copy instead of cloning a second one (object identity is preserved). *)
+
+val hdr_evac_guard : t -> Cxlshm_shmem.Pptr.t
+(** The pptr slot of the evacuator's guard rootref for the in-flight
+    migration: the one holder of [hdr_evac_from] a successor must {e not}
+    re-point (it belongs to the dead evacuator's slot and its recovery
+    releases it against the old block). *)
+
 (** {1 SegmentAllocationVec}
 
     4 words per segment: occupied client id (0 = free, cid+1 otherwise),
@@ -78,6 +116,25 @@ val client_heartbeat : t -> int -> Cxlshm_shmem.Pptr.t
 val client_hazard : t -> int -> Cxlshm_shmem.Pptr.t
 (** The client's announced hazard epoch (0 = not reading), used by
     {!Hazard} for safe memory reclamation of latch-free readers (§5.4). *)
+
+val client_lease_deadline : t -> int -> Cxlshm_shmem.Pptr.t
+(** Lease deadline tick of {!hdr_lease_clock}: the slot owner (via
+    {!Client.heartbeat}) stores [now + Config.lease_ttl]; any peer
+    observing [now > deadline] may suspect the client and, a further TTL
+    later, condemn it — see {!Lease}. 0 = no lease (slot free or already
+    released). *)
+
+val client_lease_era : t -> int -> Cxlshm_shmem.Pptr.t
+(** Lease grant era: bumped once per {!Client.init_slot}, so one
+    registration = one era. Guards recycled slots (a suspect/condemn
+    decision taken against era [e] is void once the slot re-registers at
+    [e+1]) and keys {!client_dump_claim}. *)
+
+val client_dump_claim : t -> int -> Cxlshm_shmem.Pptr.t
+(** Death-dump claim word: the lease era whose trace-ring dump has been
+    captured. A monitor may capture a dump for era [e] only after winning
+    CAS [claim: < e → e], so concurrent monitors (or repeated
+    [declare_failed]) capture exactly one dump per failure incident. *)
 
 val era_cell : t -> int -> int -> Cxlshm_shmem.Pptr.t
 (** [era_cell lay i j] is the address of Era[i][j]. Row [i] is written only

@@ -63,7 +63,8 @@ let scan_leaking t =
   Reclaim.scan_all t.service ~is_client_alive:(fun cid ->
       Client.is_alive t.service ~cid)
 
-let monitor t ?misses () = Monitor.create ~mem:t.mem ~lay:t.lay ?misses ()
+let monitor t ?id () = Monitor.create ~mem:t.mem ~lay:t.lay ?id ()
+let evacuate t = Evacuate.run ~mem:t.mem ~lay:t.lay
 
 let save t path =
   let oc = open_out_bin path in

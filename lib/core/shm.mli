@@ -51,7 +51,13 @@ val recover : arena -> failed_cid:int -> Recovery.report
 val scan_leaking : arena -> int
 (** Run the §5.3 asynchronous scan over recyclable segments. *)
 
-val monitor : arena -> ?misses:int -> unit -> Monitor.t
+val monitor : arena -> ?id:int -> unit -> Monitor.t
+(** A failure-monitor replica ([id] defaults to 0; give each replica of the
+    same arena a distinct id — see {!Monitor.create}). *)
+
+val evacuate : arena -> Evacuate.report
+(** One monitor-side evacuation sweep ({!Evacuate.run}): drain live data
+    off every degraded device. No-op when nothing is degraded. *)
 
 (** {1 Introspection} *)
 

@@ -269,6 +269,154 @@ let run_one ~backend:(bname, bspec) ~schedule ~point ~seed ~steps =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Monitor-kill failover schedule                                      *)
+(* ------------------------------------------------------------------ *)
+
+type failover = {
+  fo_seed : int;
+  fo_steps : int;
+  hung_cid : int;  (** the client that went silent under load *)
+  leader_crashed : bool;  (** replica 0 died inside the recovery it led *)
+  follower_finished : bool;  (** replica 1 freed the hung client's slot *)
+  fo_degraded : int;  (** the device drained after the takeover *)
+  live_segments_left : int;  (** live segments still on it at the end *)
+  fo_clean : bool;  (** final post-fsck validation *)
+}
+
+let pp_failover ppf f =
+  Format.fprintf ppf
+    "seed=%-6d steps=%-5d hung=cid%d leader-crashed=%b follower-finished=%b \
+     dev%d-live-left=%d %s"
+    f.fo_seed f.fo_steps f.hung_cid f.leader_crashed f.follower_finished
+    f.fo_degraded f.live_segments_left
+    (if f.fo_clean then "clean" else "** DIRTY **")
+
+(* The control-plane soak: a linked workload, one client hangs (alive but
+   silent), the leader monitor is killed inside the recovery it started,
+   and the follower must depose it, finish that recovery mid-flight, and
+   then drain a fully-degraded device to zero live segments. Deterministic
+   in [seed] — no domains, the monitors interleave synchronously. *)
+let monitor_kill ?(steps = 300) ~seed () =
+  let cfg =
+    {
+      Config.small with
+      Config.backend = Mem.Striped { devices = 4; stripe_words = 0; tiers = [||] };
+      lease_ttl = 2;
+    }
+  in
+  let arena = Shm.create ~cfg () in
+  let n = 3 in
+  let clients = Array.init n (fun _ -> Shm.join arena ()) in
+  let rng = Random.State.make [| 0x4d6f6e; seed |] in
+  let held = Array.make n [] in
+  (* Parent links only point at older objects (held is newest-first), so
+     the graph stays acyclic under refcounting. *)
+  for s = 0 to steps - 1 do
+    let who = s mod n in
+    let c = clients.(who) in
+    (match Random.State.int rng 4 with
+    | 0 | 1 ->
+        let r =
+          Shm.cxl_malloc c
+            ~size_bytes:(8 + Random.State.int rng 40)
+            ~emb_cnt:(Random.State.int rng 2)
+            ()
+        in
+        held.(who) <- r :: held.(who)
+    | 2 -> (
+        match held.(who) with
+        | p :: ch :: _ when Cxl_ref.emb_cnt p > 0 && Cxl_ref.get_emb p 0 = 0 ->
+            Cxl_ref.set_emb p 0 ch
+        | _ -> ())
+    | _ -> (
+        match held.(who) with
+        | r :: rest ->
+            held.(who) <- rest;
+            Cxl_ref.drop r
+        | [] -> ()));
+    Client.heartbeat c
+  done;
+  (* Client 0 hangs: the process is alive and still holds everything, but
+     it stops renewing its lease. *)
+  let hung = clients.(0) in
+  let svc = Shm.service_ctx arena in
+  let mon0 = Monitor.create ~mem:(Shm.mem arena) ~lay:(Shm.layout arena) () in
+  let mon1 =
+    Monitor.create ~mem:(Shm.mem arena) ~lay:(Shm.layout arena) ~id:1 ()
+  in
+  let survivors_beat () =
+    for i = 1 to n - 1 do
+      Client.heartbeat clients.(i)
+    done
+  in
+  let budget = 10 * (cfg.Config.lease_ttl + 2) in
+  let condemned = ref false in
+  let guard = ref 0 in
+  while (not !condemned) && !guard < budget do
+    survivors_beat ();
+    if List.mem hung.Ctx.cid (Monitor.check_once mon0) then condemned := true;
+    incr guard
+  done;
+  (* The leader dies inside the recovery it just started. *)
+  (Monitor.ctx mon0).Ctx.fault <- Fault.at Fault.Recovery_mid_phases ~nth:1;
+  let leader_crashed =
+    match Monitor.recover_suspects mon0 with
+    | _ -> false
+    | exception Fault.Crashed _ -> true
+  in
+  (* The follower's own passes tick the shared clock past the dead
+     leader's lease; its takeover resumes the interrupted recovery before
+     sweeping the Failed list. *)
+  let finished () = Client.status svc ~cid:hung.Ctx.cid = Client.Slot_free in
+  let guard = ref 0 in
+  while (not (finished ())) && !guard < budget do
+    survivors_beat ();
+    ignore (Monitor.check_once mon1);
+    ignore (Monitor.recover_suspects mon1);
+    incr guard
+  done;
+  let follower_finished = finished () in
+  (* Drain device 0 completely: survivors relocate what only they may
+     touch (their RootRef blocks), the new leader sweeps the rest —
+     including the hung client's recovered-but-still-referenced data. *)
+  let dev = 0 in
+  Ctx.mark_degraded svc dev;
+  for i = 1 to n - 1 do
+    let c = clients.(i) in
+    let rep = Evacuate.relocate_own c in
+    held.(i) <-
+      List.map
+        (fun r ->
+          match List.assoc_opt (Cxl_ref.rootref r) rep.Evacuate.remapped with
+          | Some rr2 -> Cxl_ref.of_rootref c rr2
+          | None -> r)
+        held.(i)
+  done;
+  ignore (Monitor.evacuate_degraded mon1);
+  let live_segments_left = List.length (Evacuate.live_segments_on svc ~dev) in
+  (* Wind down and judge the arena. *)
+  Array.iteri
+    (fun i c ->
+      if i > 0 then begin
+        List.iter (fun r -> if Cxl_ref.is_live r then Cxl_ref.drop r) held.(i);
+        Shm.leave c
+      end)
+    clients;
+  ignore (Reclaim.scan_all svc ~is_client_alive:(fun _ -> false));
+  Ctx.clear_degraded svc;
+  let fsck = Fsck.repair svc in
+  {
+    fo_seed = seed;
+    fo_steps = steps;
+    hung_cid = hung.Ctx.cid;
+    leader_crashed;
+    follower_finished;
+    fo_degraded = dev;
+    live_segments_left;
+    fo_clean = Fsck.clean fsck;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* The sweep                                                           *)
 (* ------------------------------------------------------------------ *)
 

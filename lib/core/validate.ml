@@ -63,7 +63,12 @@ let run mem lay =
     let v = peek (Layout.seg_occupied lay s) in
     if v = 0 then None else Some (v - 1)
   in
-  let client_alive c = peek (Layout.client_flags lay c) = 1 in
+  (* 1 = Alive, 3 = Suspected: a suspected client may still be rescued by
+     its own heartbeat, so its segments are not scan-pending. *)
+  let client_alive c =
+    let f = peek (Layout.client_flags lay c) in
+    f = 1 || f = 3
+  in
 
   (* Is [p] the base of a block we could legally reference? *)
   let block_base_ok p =

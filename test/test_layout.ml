@@ -31,6 +31,7 @@ let gen_cfg =
         cache = true;
         epoch_batch;
         num_domains;
+        lease_ttl = 4;
       })
 
 let arb_cfg = QCheck.make gen_cfg

@@ -214,19 +214,21 @@ let test_crash_leaves_ring_behind () =
     (Validate.is_clean (Shm.validate arena))
 
 let test_monitor_death_dump () =
-  let arena = Shm.create ~cfg:traced_cfg () in
+  let arena = Shm.create ~cfg:{ traced_cfg with Config.lease_ttl = 1 } () in
   let a = Shm.join arena () in
   let b = Shm.join arena () in
   for _ = 1 to 5 do
     Cxl_ref.drop (Shm.cxl_malloc a ~size_bytes:16 ())
   done;
-  let mon = Shm.monitor arena ~misses:1 () in
+  let mon = Shm.monitor arena () in
   Client.heartbeat a;
   Client.heartbeat b;
   ignore (Monitor.check_once mon);
   (* a goes silent; b keeps heartbeating *)
   Client.heartbeat b;
-  Alcotest.(check (list int)) "a suspected" [ a.Ctx.cid ]
+  ignore (Monitor.check_once mon);
+  Client.heartbeat b;
+  Alcotest.(check (list int)) "a condemned" [ a.Ctx.cid ]
     (Monitor.check_once mon);
   (match Monitor.death_dumps mon with
   | (cid, events) :: _ ->
