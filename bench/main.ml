@@ -766,6 +766,10 @@ let run_cxl_kv ?(cow = false) ~clients ~ops ~mix ~theta ~keys () =
           let key = if key >= keys then tid else key in
           if cow then Kv.Cxl_kv.put_cow h ~key ~value:v
           else Kv.Cxl_kv.put h ~key ~value:v
+      | Kv.Kv_intf.Rmw (key, v) ->
+          let key = key - (key mod clients) + tid in
+          let key = if key >= keys then tid else key in
+          ignore (Kv.Cxl_kv.rmw h ~key ~delta:v)
       | Kv.Kv_intf.Delete key -> ignore (Kv.Cxl_kv.get h ~key)
     done;
     Kv.Cxl_kv.quiesce h;
@@ -801,6 +805,9 @@ let run_tbb_kv ~clients ~ops ~mix ~theta ~keys =
       | Kv.Kv_intf.Read key -> ignore (Kv.Tbb_kv.get h ~key)
       | Kv.Kv_intf.Update (key, v) | Kv.Kv_intf.Insert (key, v) ->
           Kv.Tbb_kv.put h ~key ~value:v
+      | Kv.Kv_intf.Rmw (key, v) ->
+          let old = Option.value (Kv.Tbb_kv.get h ~key) ~default:0 in
+          Kv.Tbb_kv.put h ~key ~value:(old + v)
       | Kv.Kv_intf.Delete key -> ignore (Kv.Tbb_kv.get h ~key)
     done
   in
@@ -830,6 +837,9 @@ let run_lightning_kv ~clients ~ops ~mix ~theta ~keys =
       | Kv.Kv_intf.Read key -> ignore (Kv.Lightning_kv.get h ~key)
       | Kv.Kv_intf.Update (key, v) | Kv.Kv_intf.Insert (key, v) ->
           Kv.Lightning_kv.put h ~key ~value:v
+      | Kv.Kv_intf.Rmw (key, v) ->
+          let old = Option.value (Kv.Lightning_kv.get h ~key) ~default:0 in
+          Kv.Lightning_kv.put h ~key ~value:(old + v)
       | Kv.Kv_intf.Delete key -> ignore (Kv.Lightning_kv.get h ~key)
     done
   in
@@ -931,7 +941,9 @@ let bench_fig10d () =
     List.iter
       (function
         | Kv.Kv_intf.Insert (key, v) -> Kv.Cxl_kv.put h0 ~key ~value:v
-        | Kv.Kv_intf.Read _ | Kv.Kv_intf.Update _ | Kv.Kv_intf.Delete _ -> ())
+        | Kv.Kv_intf.Read _ | Kv.Kv_intf.Update _ | Kv.Kv_intf.Delete _
+        | Kv.Kv_intf.Rmw _ ->
+            ())
       load;
     Stats.reset creator.Ctx.st;
     let stats = Array.init clients (fun _ -> Stats.create ()) in
@@ -950,6 +962,9 @@ let bench_fig10d () =
             | Kv.Kv_intf.Read key -> ignore (Kv.Cxl_kv.get h ~key)
             | Kv.Kv_intf.Update (key, v) | Kv.Kv_intf.Insert (key, v) ->
                 if tid = 0 then Kv.Cxl_kv.put h ~key ~value:v
+                else ignore (Kv.Cxl_kv.get h ~key)
+            | Kv.Kv_intf.Rmw (key, v) ->
+                if tid = 0 then ignore (Kv.Cxl_kv.rmw h ~key ~delta:v)
                 else ignore (Kv.Cxl_kv.get h ~key)
             | Kv.Kv_intf.Delete key ->
                 if tid = 0 then ignore (Kv.Cxl_kv.delete h ~key)
@@ -978,7 +993,9 @@ let bench_fig10d () =
     List.iter
       (function
         | Kv.Kv_intf.Insert (key, v) -> Kv.Tbb_kv.put handles.(0) ~key ~value:v
-        | Kv.Kv_intf.Read _ | Kv.Kv_intf.Update _ | Kv.Kv_intf.Delete _ -> ())
+        | Kv.Kv_intf.Read _ | Kv.Kv_intf.Update _ | Kv.Kv_intf.Delete _
+        | Kv.Kv_intf.Rmw _ ->
+            ())
       load;
     Stats.reset (Kv.Tbb_kv.stats handles.(0));
     let model = Latency.of_tier (Kv.Tbb_kv.tier s) in
@@ -992,6 +1009,9 @@ let bench_fig10d () =
             | Kv.Kv_intf.Read key -> ignore (Kv.Tbb_kv.get h ~key)
             | Kv.Kv_intf.Update (key, v) | Kv.Kv_intf.Insert (key, v) ->
                 Kv.Tbb_kv.put h ~key ~value:v
+            | Kv.Kv_intf.Rmw (key, v) ->
+                let old = Option.value (Kv.Tbb_kv.get h ~key) ~default:0 in
+                Kv.Tbb_kv.put h ~key ~value:(old + v)
             | Kv.Kv_intf.Delete key -> ignore (Kv.Tbb_kv.delete h ~key))
           (gen ())
       done

@@ -6,8 +6,10 @@ type result = { ops : int; wall_ns : float; modeled_ns : float; threads : int }
 let mops r = float_of_int r.ops /. (r.modeled_ns /. 1000.0)
 let wall_mops r = float_of_int r.ops /. (r.wall_ns /. 1000.0)
 
-(* Monotonic-enough clock without external deps. *)
-let clock () = Unix.gettimeofday () *. 1e9
+(* Wall-clock timing must come from CLOCK_MONOTONIC: gettimeofday is
+   subject to NTP steps, which can make a latency sample negative or
+   inflate a p99 by the size of the step. *)
+let clock () = Int64.to_float (Monotonic_clock.now ())
 
 let time_wall f =
   let t0 = clock () in

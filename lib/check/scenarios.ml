@@ -630,12 +630,65 @@ let evacuate ?(rounds = 2) () : Explore.model =
   in
   { Explore.name = "evacuate"; make; branch = arena_branch }
 
+(* ---- kv-serve: COW retirement racing a concurrent reader walk ---- *)
+
+let kv_serve () : Explore.model =
+  let module Kv = Cxlshm_kv.Cxl_kv in
+  let make () =
+    let arena = Shm.create ~cfg:arena_cfg () in
+    let w = Shm.join arena () in
+    let r = Shm.join arena () in
+    let store, hw = Kv.create w ~buckets:1 ~partitions:1 ~value_words:1 in
+    if not (Kv.claim_partition hw 0) then fail "kv-serve: claim failed";
+    (* environment: two keys in the one bucket so the walk has depth *)
+    Kv.put hw ~key:0 ~value:100;
+    Kv.put hw ~key:1 ~value:101;
+    let hr = Kv.open_store r store in
+    (* every record visited during the run becomes a schedule point, so
+       the reader can pause mid-chain across the writer's whole
+       retire/quiesce/reuse sequence *)
+    Kv.walk_hook := (fun () -> Sched.yield "kv-walk");
+    let observed = ref None in
+    let writer () =
+      (* COW-update key 1: the displaced record is parked behind a
+         counted ref, stamped with the retire epoch *)
+      Kv.put_cow hw ~key:1 ~value:201;
+      (* reclamation pass: must defer the parked record while the
+         reader's era announcement pins it *)
+      Kv.quiesce hw;
+      (* decoy from the record's size class: if quiesce freed the parked
+         record under the reader, this reuses its block and plants a
+         poisoned key/value exactly where the reader is standing *)
+      let d = Shm.cxl_malloc_words w ~data_words:3 ~emb_cnt:1 () in
+      Cxl_ref.write_word d 1 1;
+      Cxl_ref.write_word d 2 0xDEAD;
+      Cxl_ref.drop d
+    in
+    let reader () = observed := Some (Kv.get hr ~key:1) in
+    let check ~crashed =
+      Kv.walk_hook := (fun () -> ());
+      (match !observed with
+      | Some (Some v) when v <> 101 && v <> 201 ->
+          fail "kv-serve: reader observed 0x%x (read of a freed record)" v
+      | Some None -> fail "kv-serve: reader lost key 1 mid-walk"
+      | Some (Some _) | None -> ());
+      if not (List.mem 0 crashed) then begin
+        Kv.quiesce hw;
+        Kv.close hw
+      end;
+      if not (List.mem 1 crashed) then Kv.close hr;
+      arena_check arena ~cids:[| w.Ctx.cid; r.Ctx.cid |] ~crashed
+    in
+    { Explore.clients = [| writer; reader |]; check }
+  in
+  { Explore.name = "kv-serve"; make; branch = arena_branch }
+
 (* ---- registry ---- *)
 
 let all () =
   [ spsc (); transfer (); transfer ~batched:true (); refc (); huge ();
     epoch_retire (); sharded_alloc (); lease (); dual_monitor ();
-    evacuate () ]
+    evacuate (); kv_serve () ]
 
 let find name =
   match List.find_opt (fun m -> m.Explore.name = name) (all ()) with

@@ -61,6 +61,15 @@ val evacuate : ?rounds:int -> unit -> Explore.model
     windows. Oracle: after recovery plus one clean convergence sweep, the
     degraded device holds zero live segments and the payload survived. *)
 
+val kv_serve : unit -> Explore.model
+(** A KV writer COW-updates a key, runs a reclamation pass, and reuses the
+    record size class, while a reader walks the same bucket chain (every
+    record visit is a schedule point). Oracle: the reader observes the old
+    or the new value — never a freed record's bytes — and the pool is
+    fsck-clean after recovering any crash, including a writer death inside
+    [put_cow]. The [mutation_unconditional_quiesce] flag re-introduces
+    era-blind reclamation, which this model must catch. *)
+
 val all : unit -> Explore.model list
 
 val find : string -> Explore.model

@@ -34,6 +34,10 @@ let init_slot (ctx : Ctx.t) =
   Ctx.store ctx (Layout.retire_count lay cid) 0;
   Ctx.store ctx (Layout.retire_era lay cid) 0;
   Ctx.store ctx (Layout.client_heartbeat lay cid) 0;
+  (* A previous occupant that died mid-traversal leaves its hazard
+     announcement behind; a fresh incarnation starts not-reading, else the
+     stale (small) era would pin reclamation forever. *)
+  Ctx.store ctx (Layout.client_hazard lay cid) 0;
   Ctx.store ctx (Layout.client_machine lay cid) 0;
   Ctx.store ctx (Layout.client_process lay cid) (Unix.getpid ());
   (* Lease grant last: the deadline only starts mattering once the slot is

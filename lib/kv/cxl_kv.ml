@@ -11,10 +11,17 @@ type handle = {
   ctx : Ctx.t;
   store : store;
   index_rr : int;  (** our RootRef keeping the index alive *)
-  mutable deferred : int list;  (** unlinked records awaiting quiesce *)
+  mutable deferred : (int * Cxl_ref.t) list;
+      (** displaced records awaiting a quiescent era: retire-epoch stamp
+          plus the counted reference that keeps the block from being
+          recycled under a concurrent reader *)
 }
 
 let name = "CXL-KV"
+
+let mutation_unconditional_quiesce = ref false
+
+let walk_hook : (unit -> unit) ref = ref (fun () -> ())
 
 (* Index data layout (after the [buckets] embedded slots):
    +0 partitions, +1 value_words, +2.. writer table (cid+1 per partition).
@@ -55,12 +62,28 @@ let open_store ctx store =
   Refc.attach ctx ~ref_addr:(Rootref.pptr_slot rr) ~refed:store.index_obj;
   { ctx; store; index_rr = rr; deferred = [] }
 
+(* Hazard-era quiesce (§5.4): a parked record may only be recycled once
+   every announced reader era has moved past its retire stamp — otherwise
+   a reader paused on the record could observe the block reused for an
+   unrelated object. Dead readers do not pin: [Hazard.min_announced]
+   ignores announcements of condemned clients. *)
 let quiesce h =
-  List.iter (fun r -> Alloc.free_obj_block h.ctx r) h.deferred;
-  h.deferred <- []
+  let safe = Hazard.min_announced h.ctx in
+  let keep, free =
+    if !mutation_unconditional_quiesce then ([], h.deferred)
+    else List.partition (fun (stamp, _) -> stamp >= safe) h.deferred
+  in
+  List.iter (fun (_, pref) -> Cxl_ref.drop pref) free;
+  h.deferred <- keep
+
+let deferred_count h = List.length h.deferred
 
 let close h =
-  quiesce h;
+  (* Quiesced use only: force-drops whatever is still parked, so no reader
+     may be mid-walk. A departing writer with live readers hands its parked
+     records to a successor first (see {!handoff_deferred}). *)
+  List.iter (fun (_, pref) -> Cxl_ref.drop pref) h.deferred;
+  h.deferred <- [];
   Reclaim.release_rootref h.ctx h.index_rr
 
 let claim_partition h p =
@@ -90,21 +113,28 @@ let check_writer h key =
 let find h key =
   let rec walk r =
     if r = 0 then None
-    else if Ctx.load h.ctx (rec_key r) = key then Some r
-    else walk (Ctx.load h.ctx (rec_next r))
+    else begin
+      !walk_hook ();
+      if Ctx.load h.ctx (rec_key r) = key then Some r
+      else walk (Ctx.load h.ctx (rec_next r))
+    end
   in
   walk (Ctx.load h.ctx (bucket_slot h.store (bucket_of h.store key)))
 
 let get h ~key =
-  match find h key with
-  | None -> None
-  | Some r -> Some (Ctx.load h.ctx (rec_val r 0))
+  Hazard.with_protection h.ctx (fun () ->
+      match find h key with
+      | None -> None
+      | Some r -> Some (Ctx.load h.ctx (rec_val r 0)))
 
 let get_all_words h ~key =
-  match find h key with
-  | None -> None
-  | Some r ->
-      Some (Array.init h.store.value_words (fun i -> Ctx.load h.ctx (rec_val r i)))
+  Hazard.with_protection h.ctx (fun () ->
+      match find h key with
+      | None -> None
+      | Some r ->
+          Some
+            (Array.init h.store.value_words (fun i ->
+                 Ctx.load h.ctx (rec_val r i))))
 
 let write_value h r value =
   (* Full value width is written, modelling YCSB-size payload traffic. *)
@@ -116,14 +146,24 @@ let find_with_prev h key =
   let slot0 = bucket_slot h.store (bucket_of h.store key) in
   let rec walk prev_slot r =
     if r = 0 then None
-    else if Ctx.load h.ctx (rec_key r) = key then Some (prev_slot, r)
-    else walk (rec_next r) (Ctx.load h.ctx (rec_next r))
+    else begin
+      !walk_hook ();
+      if Ctx.load h.ctx (rec_key r) = key then Some (prev_slot, r)
+      else walk (rec_next r) (Ctx.load h.ctx (rec_next r))
+    end
   in
   walk slot0 (Ctx.load h.ctx slot0)
 
-let retire h r =
-  Reclaim.teardown_children h.ctx ~as_cid:h.ctx.Ctx.cid ~obj:r;
-  h.deferred <- r :: h.deferred
+(* Park a soon-to-be-unlinked record behind a fresh counted reference.
+   Must run BEFORE the unlink: the park reference is what guarantees the
+   unlink can never drop the record to count zero while a reader may still
+   hold it. The record keeps its own next-link until it is finally
+   reclaimed, so a reader paused on it still reaches the chain tail. *)
+let park_record h r =
+  let rr = Alloc.alloc_rootref h.ctx in
+  Refc.attach h.ctx ~ref_addr:(Rootref.pptr_slot rr) ~refed:r;
+  h.deferred <-
+    (Hazard.retire_epoch h.ctx, Cxl_ref.of_rootref h.ctx rr) :: h.deferred
 
 (* Insert a freshly allocated record for [key], either replacing [old]
    in-chain (§5.4 change) or prepending at the bucket. *)
@@ -135,10 +175,10 @@ let insert_fresh h ~key ~value ~existing =
   write_value h fresh value;
   (match existing with
   | Some (prev_slot, old) ->
+      park_record h old;
       let next = Ctx.load h.ctx (rec_next old) in
       if next <> 0 then Refc.attach h.ctx ~ref_addr:(rec_next fresh) ~refed:next;
-      let n = Refc.change h.ctx ~ref_addr:prev_slot ~from_obj:old ~to_obj:fresh in
-      if n = 0 then retire h old
+      ignore (Refc.change h.ctx ~ref_addr:prev_slot ~from_obj:old ~to_obj:fresh)
   | None ->
       let slot = bucket_slot h.store (bucket_of h.store key) in
       let head = Ctx.load h.ctx slot in
@@ -152,45 +192,90 @@ let insert_fresh h ~key ~value ~existing =
 
 let put h ~key ~value =
   check_writer h key;
-  match find h key with
-  | Some r -> write_value h r value
-  | None -> insert_fresh h ~key ~value ~existing:None
+  Hazard.with_protection h.ctx (fun () ->
+      match find h key with
+      | Some r -> write_value h r value
+      | None -> insert_fresh h ~key ~value ~existing:None)
 
 let put_cow h ~key ~value =
   check_writer h key;
-  insert_fresh h ~key ~value ~existing:(find_with_prev h key)
+  Hazard.with_protection h.ctx (fun () ->
+      insert_fresh h ~key ~value ~existing:(find_with_prev h key))
+
+let rmw h ~key ~delta =
+  check_writer h key;
+  Hazard.with_protection h.ctx (fun () ->
+      match find h key with
+      | Some r ->
+          let old = Ctx.load h.ctx (rec_val r 0) in
+          write_value h r (old + delta);
+          Some old
+      | None ->
+          insert_fresh h ~key ~value:delta ~existing:None;
+          None)
 
 let delete h ~key =
   check_writer h key;
-  let slot0 = bucket_slot h.store (bucket_of h.store key) in
-  let rec walk prev_slot r =
-    if r = 0 then false
-    else if Ctx.load h.ctx (rec_key r) = key then begin
-      let next = Ctx.load h.ctx (rec_next r) in
-      let n =
-        if next = 0 then Refc.detach h.ctx ~ref_addr:prev_slot ~refed:r
-        else Refc.change h.ctx ~ref_addr:prev_slot ~from_obj:r ~to_obj:next
+  Hazard.with_protection h.ctx (fun () ->
+      let slot0 = bucket_slot h.store (bucket_of h.store key) in
+      let rec walk prev_slot r =
+        if r = 0 then false
+        else begin
+          !walk_hook ();
+          if Ctx.load h.ctx (rec_key r) = key then begin
+            park_record h r;
+            let next = Ctx.load h.ctx (rec_next r) in
+            ignore
+              (if next = 0 then Refc.detach h.ctx ~ref_addr:prev_slot ~refed:r
+               else
+                 Refc.change h.ctx ~ref_addr:prev_slot ~from_obj:r ~to_obj:next);
+            true
+          end
+          else walk (rec_next r) (Ctx.load h.ctx (rec_next r))
+        end
       in
-      if n = 0 then
-        (* Unreachable from the index; tear down its next-link and park the
-           block until quiesce (reader protection). *)
-        retire h r;
-      true
-    end
-    else walk (rec_next r) (Ctx.load h.ctx (rec_next r))
-  in
-  walk slot0 (Ctx.load h.ctx slot0)
+      walk slot0 (Ctx.load h.ctx slot0))
+
+(* ------------------------------------------------------------------ *)
+(* Shard handoff (planned leave): the departing writer's parked records
+   ride the §5.2 batched transfer queue to a successor, which re-parks
+   them under its own identity. Reader protection survives the handoff:
+   the queue slot holds a counted reference for the flight, and the
+   adopter re-stamps with a fresh (larger) retire epoch, so no reader
+   protected against the original retirement can be exposed. *)
+
+let handoff_deferred h q =
+  match h.deferred with
+  | [] -> 0
+  | parked ->
+      let sent, _why = Transfer.send_batch q (List.map snd parked) in
+      List.iteri (fun i (_, pref) -> if i < sent then Cxl_ref.drop pref) parked;
+      h.deferred <- List.filteri (fun i _ -> i >= sent) parked;
+      sent
+
+let adopt_deferred h q ~max =
+  match Transfer.receive_batch q ~max with
+  | Transfer.Batch_empty | Transfer.Batch_drained -> 0
+  | Transfer.Received_batch refs ->
+      let stamp = Hazard.retire_epoch h.ctx in
+      List.iter
+        (fun pref -> h.deferred <- (stamp, pref) :: h.deferred)
+        refs;
+      List.length refs
 
 let iter h f =
-  for b = 0 to h.store.buckets - 1 do
-    let rec walk r =
-      if r <> 0 then begin
-        f ~key:(Ctx.load h.ctx (rec_key r)) ~value:(Ctx.load h.ctx (rec_val r 0));
-        walk (Ctx.load h.ctx (rec_next r))
-      end
-    in
-    walk (Ctx.load h.ctx (bucket_slot h.store b))
-  done
+  Hazard.with_protection h.ctx (fun () ->
+      for b = 0 to h.store.buckets - 1 do
+        let rec walk r =
+          if r <> 0 then begin
+            !walk_hook ();
+            f ~key:(Ctx.load h.ctx (rec_key r))
+              ~value:(Ctx.load h.ctx (rec_val r 0));
+            walk (Ctx.load h.ctx (rec_next r))
+          end
+        in
+        walk (Ctx.load h.ctx (bucket_slot h.store b))
+      done)
 
 let keys h =
   let acc = ref [] in
@@ -199,8 +284,11 @@ let keys h =
 
 let size_estimate h =
   let total = ref 0 in
-  for b = 0 to h.store.buckets - 1 do
-    let rec walk r = if r <> 0 then (incr total; walk (Ctx.load h.ctx (rec_next r))) in
-    walk (Ctx.load h.ctx (bucket_slot h.store b))
-  done;
+  Hazard.with_protection h.ctx (fun () ->
+      for b = 0 to h.store.buckets - 1 do
+        let rec walk r =
+          if r <> 0 then (incr total; walk (Ctx.load h.ctx (rec_next r)))
+        in
+        walk (Ctx.load h.ctx (bucket_slot h.store b))
+      done);
   !total

@@ -8,11 +8,14 @@
     a partition can be taken over with one CAS on the writer table —
     repartitioning without data movement, because the data never moves.
 
-    Record reclamation after delete is deferred to {!quiesce} (the paper
-    points at hazard-era reclamation for reader protection; parking freed
-    records until a quiescent point is the simulator's equivalent).
-    Concurrent readers may transiently miss entries deleted mid-walk —
-    standard latch-free list semantics. *)
+    Record reclamation after delete/COW is deferred to {!quiesce} under the
+    hazard-era scheme (§5.4, {!Cxlshm.Hazard}): every traversal announces
+    an era, every displaced record is parked behind a counted reference
+    with a retire-epoch stamp, and {!quiesce} only recycles records whose
+    stamp every announced reader has moved past. A displaced record keeps
+    its next-link until it is actually reclaimed, so a reader paused on it
+    still reaches the live chain tail. Concurrent readers may transiently
+    miss entries deleted mid-walk — standard latch-free list semantics. *)
 
 type store = {
   index_obj : Cxlshm_shmem.Pptr.t;
@@ -35,10 +38,13 @@ val open_store : Cxlshm.Ctx.t -> store -> handle
 (** Attach another client to the store. *)
 
 val close : handle -> unit
-(** Quiesce and drop this client's reference; the index (and every record)
-    is reclaimed when the last handle closes. A store meant to outlive its
-    current clients should either keep a standby handle open or publish the
-    index as a {!Cxlshm.Named_roots} entry. *)
+(** Drop every parked record reference (quiesced use only — no concurrent
+    readers; a departing writer with live readers hands its parked records
+    to a successor first, see {!handoff_deferred}) and this client's index
+    reference; the index (and every record) is reclaimed when the last
+    handle closes. A store meant to outlive its current clients should
+    either keep a standby handle open or publish the index as a
+    {!Cxlshm.Named_roots} entry. *)
 
 val claim_partition : handle -> int -> bool
 (** Become the writer of a partition (CAS on the writer table). *)
@@ -64,9 +70,36 @@ val put_cow : handle -> key:int -> value:int -> unit
     torn multi-word value; the replaced record is parked until {!quiesce}.
     Costs an allocation (fence + flush) per write. *)
 
+val rmw : handle -> key:int -> delta:int -> int option
+(** Read-modify-write (YCSB-F): read the current first value word, write
+    [old + delta] back across the value width, return the old value
+    ([None] = key absent, in which case [delta] is inserted). Writer-only,
+    like {!put}. *)
+
 val delete : handle -> key:int -> bool
+
 val quiesce : handle -> unit
-(** Reclaim records parked by this handle's deletes. *)
+(** Reclaim records parked by this handle's deletes and COW replacements —
+    but only those whose retire stamp is below every announced reader era
+    ({!Cxlshm.Hazard.min_announced}); the rest stay parked for a later
+    pass. A crashed reader stops pinning as soon as it is condemned. *)
+
+val deferred_count : handle -> int
+(** Records currently parked awaiting a quiescent era. *)
+
+val handoff_deferred : handle -> Cxlshm.Transfer.t -> int
+(** Planned shard handoff: publish this handle's parked records to a
+    successor through a §5.2 transfer queue — one
+    {!Cxlshm.Transfer.send_batch}, single fence, dense-prefix atomicity —
+    and drop the local references for the prefix that was accepted (the
+    ring may run out of room; the remainder stays parked here). Returns
+    how many records were handed off. *)
+
+val adopt_deferred : handle -> Cxlshm.Transfer.t -> max:int -> int
+(** Successor side of {!handoff_deferred}: consume up to [max] parked
+    records from the queue and re-park them under this handle with a fresh
+    retire stamp (conservatively later than the original, so reader
+    protection survives the handoff). Returns how many were adopted. *)
 
 val size_estimate : handle -> int
 (** Walks every bucket (reader-side full scan — legal in the
@@ -78,3 +111,16 @@ val iter : handle -> (key:int -> value:int -> unit) -> unit
     observed, as with any latch-free traversal. *)
 
 val keys : handle -> int list
+
+(** {1 Test hooks} *)
+
+val walk_hook : (unit -> unit) ref
+(** {b Test-only.} Called once per record visited by any chain walk; the
+    model checker points it at [Sched.yield] so traversals interleave with
+    writer retirement. Must stay a no-op outside the explorer. *)
+
+val mutation_unconditional_quiesce : bool ref
+(** {b Test-only.} Re-introduces the historical bug where {!quiesce} freed
+    parked records unconditionally, ignoring announced reader eras — for
+    the [kv-serve] model's mutation self-check. Must stay [false]
+    otherwise. *)

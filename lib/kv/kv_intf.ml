@@ -9,9 +9,18 @@ type op =
   | Update of int * int  (** key, value seed *)
   | Insert of int * int
   | Delete of int
+  | Rmw of int * int
+      (** key, delta: read-modify-write — read the current value and write
+          a function of it back (YCSB-F). Distinct from [Update]: the
+          written value depends on the read, so the driver must issue a get
+          followed by a put against the same record. *)
 
-let op_key = function Read k | Update (k, _) | Insert (k, _) | Delete k -> k
-let is_write = function Read _ -> false | Update _ | Insert _ | Delete _ -> true
+let op_key = function
+  | Read k | Update (k, _) | Insert (k, _) | Delete k | Rmw (k, _) -> k
+
+let is_write = function
+  | Read _ -> false
+  | Update _ | Insert _ | Delete _ | Rmw _ -> true
 
 (** Interface every store implementation exposes to the driver. *)
 module type S = sig

@@ -1,30 +1,86 @@
+type dist = Zipfian | Latest | Uniform
+
+type mix = { read : float; update : float; insert : float; rmw : float }
+
 type t = {
-  keys : int;
-  write_ratio : float;
+  mutable keys : int;  (** current population; [Insert]s append fresh keys *)
+  mix : mix;
+  dist : dist;
   zipf : Zipf.t;
   rng : Random.State.t;
   mutable counter : int;
 }
 
-let create ~keys ~write_ratio ~theta ~seed =
-  if write_ratio < 0.0 || write_ratio > 1.0 then
-    invalid_arg "Ycsb.create: write_ratio in [0,1]";
+let check_fraction name v =
+  if v < 0.0 || v > 1.0 then
+    invalid_arg (Printf.sprintf "Ycsb: %s must be in [0,1]" name)
+
+let create_mix ~keys ~mix ~dist ~theta ~seed =
+  if keys < 1 then invalid_arg "Ycsb: keys must be positive";
+  check_fraction "read" mix.read;
+  check_fraction "update" mix.update;
+  check_fraction "insert" mix.insert;
+  check_fraction "rmw" mix.rmw;
+  let total = mix.read +. mix.update +. mix.insert +. mix.rmw in
+  if Float.abs (total -. 1.0) > 1e-9 then
+    invalid_arg "Ycsb: op mix must sum to 1";
   {
     keys;
-    write_ratio;
+    mix;
+    dist;
     zipf = Zipf.create ~n:keys ~theta ~seed;
     rng = Random.State.make [| seed; 0xCB |];
     counter = 0;
   }
 
-let next t =
-  let key = Zipf.sample t.zipf in
-  t.counter <- t.counter + 1;
-  if Random.State.float t.rng 1.0 < t.write_ratio then
-    Kv_intf.Update (key, t.counter)
-  else Kv_intf.Read key
+let create ~keys ~write_ratio ~theta ~seed =
+  if write_ratio < 0.0 || write_ratio > 1.0 then
+    invalid_arg "Ycsb.create: write_ratio in [0,1]";
+  create_mix ~keys
+    ~mix:{ read = 1.0 -. write_ratio; update = write_ratio;
+           insert = 0.0; rmw = 0.0 }
+    ~dist:Zipfian ~theta ~seed
 
-let load_ops t = List.init t.keys (fun k -> Kv_intf.Insert (k, k))
+let keys t = t.keys
+let mix t = t.mix
+let dist t = t.dist
+
+let expected_writes t = t.mix.update +. t.mix.insert +. t.mix.rmw
+
+let sample_key t =
+  let rank = Zipf.sample t.zipf in
+  match t.dist with
+  | Zipfian -> rank
+  | Uniform -> Random.State.int t.rng t.keys
+  | Latest ->
+      (* Rank 0 is the hottest — map it to the most recently inserted key,
+         so the skew tracks the growing population instead of a static id
+         range (YCSB-D's "latest" request distribution). *)
+      let k = t.keys - 1 - rank in
+      if k < 0 then 0 else k
+
+let next t =
+  t.counter <- t.counter + 1;
+  let m = t.mix in
+  let u = Random.State.float t.rng 1.0 in
+  if u < m.read then Kv_intf.Read (sample_key t)
+  else if u < m.read +. m.update then Kv_intf.Update (sample_key t, t.counter)
+  else if u < m.read +. m.update +. m.insert then begin
+    let k = t.keys in
+    t.keys <- t.keys + 1;
+    Kv_intf.Insert (k, t.counter)
+  end
+  else Kv_intf.Rmw (sample_key t, t.counter)
+
+(* The load phase streams: a million-key population must not materialise a
+   million-cell OCaml list before the first insert lands. *)
+let load_iter t f =
+  for k = 0 to t.keys - 1 do
+    f (Kv_intf.Insert (k, k))
+  done
+
+let load_seq t = Seq.init t.keys (fun k -> Kv_intf.Insert (k, k))
+let load_ops t = List.of_seq (load_seq t)
 
 type preset = A | B | C | D | F
 
@@ -32,12 +88,18 @@ let preset_name = function
   | A -> "YCSB-A (50% update, zipf .99)"
   | B -> "YCSB-B (5% update, zipf .99)"
   | C -> "YCSB-C (read only, zipf .99)"
-  | D -> "YCSB-D (5% insert, latest-ish)"
-  | F -> "YCSB-F (50% RMW, zipf .99)"
+  | D -> "YCSB-D (5% insert, latest)"
+  | F -> "YCSB-F (50% read-modify-write, zipf .99)"
 
 let of_preset ~keys ~seed = function
   | A -> create ~keys ~write_ratio:0.5 ~theta:0.99 ~seed
   | B -> create ~keys ~write_ratio:0.05 ~theta:0.99 ~seed
   | C -> create ~keys ~write_ratio:0.0 ~theta:0.99 ~seed
-  | D -> create ~keys ~write_ratio:0.05 ~theta:0.9 ~seed
-  | F -> create ~keys ~write_ratio:0.5 ~theta:0.99 ~seed
+  | D ->
+      create_mix ~keys
+        ~mix:{ read = 0.95; update = 0.0; insert = 0.05; rmw = 0.0 }
+        ~dist:Latest ~theta:0.9 ~seed
+  | F ->
+      create_mix ~keys
+        ~mix:{ read = 0.5; update = 0.0; insert = 0.0; rmw = 0.5 }
+        ~dist:Zipfian ~theta:0.99 ~seed

@@ -1,26 +1,55 @@
 (** YCSB-style workload generator (Fig 10 b/c).
 
-    Generates read/update operation streams with configurable write ratio
-    and Zipfian skew over a fixed key space (the paper's "own custom
-    configuration (different zipf parameters)"). Deterministic per seed. *)
+    Generates operation streams with a configurable read/update/insert/RMW
+    mix and a request distribution over the key population (the paper's
+    "own custom configuration (different zipf parameters)"). Deterministic
+    per seed. *)
+
+(** Request distribution: [Zipfian] ranks a static hot set, [Latest] maps
+    the hottest ranks to the most recently inserted keys (tracking the
+    population as inserts grow it), [Uniform] ignores skew. *)
+type dist = Zipfian | Latest | Uniform
+
+type mix = { read : float; update : float; insert : float; rmw : float }
+(** Operation-type fractions; must sum to 1. *)
 
 type t
 
 val create :
   keys:int -> write_ratio:float -> theta:float -> seed:int -> t
-(** [write_ratio] = writes / (reads + writes): 1:9 W/R → 0.1; 1:0 → 1.0. *)
+(** Read/update only: [write_ratio] = writes / (reads + writes):
+    1:9 W/R → 0.1; 1:0 → 1.0. *)
+
+val create_mix :
+  keys:int -> mix:mix -> dist:dist -> theta:float -> seed:int -> t
 
 val next : t -> Kv_intf.op
+
+val keys : t -> int
+(** Current population (initial keys plus inserts generated so far). *)
+
+val mix : t -> mix
+val dist : t -> dist
+
+val expected_writes : t -> float
+(** Expected fraction of write ops ([update + insert + rmw]). *)
+
+(** {1 Load phase}
+
+    Insert every initial key once. [load_iter]/[load_seq] stream the ops so
+    a millions-of-keys preload never materialises the population as an
+    OCaml list; [load_ops] remains for small benchmark populations. *)
+
+val load_iter : t -> (Kv_intf.op -> unit) -> unit
+val load_seq : t -> Kv_intf.op Seq.t
 val load_ops : t -> Kv_intf.op list
-(** Insert every key once (the load phase). *)
 
 (** {1 Standard workload presets}
 
-    The canonical YCSB core workloads, as write-ratio/skew presets:
+    The canonical YCSB core workloads:
     A = 50 % update, B = 5 % update, C = read-only, all zipf 0.99;
-    D-style = 5 % insert over a recency-ish distribution (modelled here as
-    zipf over the newest ids); F = 50 % read-modify-write (modelled as an
-    update since CXL-KV updates are atomic in place). *)
+    D = 5 % insert with the {e latest} request distribution (reads chase
+    recently inserted keys); F = 50 % read-modify-write, zipf 0.99. *)
 
 type preset = A | B | C | D | F
 

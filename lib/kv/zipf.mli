@@ -1,12 +1,16 @@
 (** Zipfian key sampler (YCSB's request distribution, Fig 10c).
 
-    Precomputes the cumulative distribution over [n] ranks with exponent
-    [theta] and samples by binary search; [theta = 0] degenerates to
-    uniform. Deterministic given the seed. *)
+    Rejection-free O(1)-state sampler after Gray et al. (SIGMOD'94, the
+    generator YCSB itself uses): creation costs O(1) time and memory per
+    generator instance — a millions-of-keys population no longer pays an
+    O(n) CDF-array build per client. [theta = 0] degenerates to uniform.
+    Deterministic given the seed. *)
 
 type t
 
 val create : n:int -> theta:float -> seed:int -> t
+(** Requires [theta] in [0, 1) (the Gray et al. closed form). *)
+
 val sample : t -> int
 (** A rank in [0, n). Rank 0 is the hottest key. *)
 

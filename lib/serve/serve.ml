@@ -1,0 +1,701 @@
+open Cxlshm
+module Kv = Cxlshm_kv
+module Stats = Cxlshm_shmem.Stats
+module Latency = Cxlshm_shmem.Latency
+module Histogram = Cxlshm_shmem.Histogram
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type churn_action = Crash_writer | Crash_reader | Leave_writer | Join_reader
+
+let action_name = function
+  | Crash_writer -> "crash-writer"
+  | Crash_reader -> "crash-reader"
+  | Leave_writer -> "leave-writer"
+  | Join_reader -> "join-reader"
+
+let action_of_name = function
+  | "crash-writer" -> Some Crash_writer
+  | "crash-reader" -> Some Crash_reader
+  | "leave-writer" -> Some Leave_writer
+  | "join-reader" -> Some Join_reader
+  | _ -> None
+
+type churn_event = { at_op : int; action : churn_action }
+
+let churn_to_string evs =
+  evs
+  |> List.map (fun e -> Printf.sprintf "%s@%d" (action_name e.action) e.at_op)
+  |> String.concat ","
+
+let churn_of_string s =
+  if String.trim s = "" then Ok []
+  else
+    let parse_one tok =
+      match String.split_on_char '@' (String.trim tok) with
+      | [ name; at ] -> (
+          match (action_of_name name, int_of_string_opt at) with
+          | Some action, Some at_op when at_op >= 1 -> Ok { at_op; action }
+          | _ -> Error tok)
+      | _ -> Error tok
+    in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | tok :: rest -> (
+          match parse_one tok with
+          | Ok e -> go (e :: acc) rest
+          | Error t ->
+              Error
+                (Printf.sprintf
+                   "bad churn event %S (want <action>@<op>, action one of \
+                    crash-writer|crash-reader|leave-writer|join-reader)"
+                   t))
+    in
+    go [] (String.split_on_char ',' s)
+
+type cfg = {
+  keys : int;
+  ops : int;
+  rate_mops : float;
+  writers : int;
+  readers : int;
+  value_words : int;
+  theta : float;
+  mix : Kv.Ycsb.mix;
+  dist : Kv.Ycsb.dist;
+  quiesce_every : int;
+  hb_every : int;
+  monitor_every : int;
+  churn : churn_event list;
+  seed : int;
+  final_check : bool;
+}
+
+let default_churn ~ops =
+  [
+    { at_op = max 1 (ops / 4); action = Crash_writer };
+    { at_op = max 2 (ops * 2 / 5); action = Crash_reader };
+    { at_op = max 3 (ops * 11 / 20); action = Leave_writer };
+    { at_op = max 4 (ops * 7 / 10); action = Join_reader };
+  ]
+
+let default_mix =
+  { Kv.Ycsb.read = 0.90; update = 0.05; insert = 0.03; rmw = 0.02 }
+
+let default_cfg ~keys ~ops =
+  {
+    keys;
+    ops;
+    (* below reader saturation (~0.6 µs modeled per read over 2 readers)
+       so steady-state queues drain and the p99 gate is stable *)
+    rate_mops = 2.0;
+    writers = 4;
+    readers = 2;
+    value_words = 2;
+    theta = 0.99;
+    mix = default_mix;
+    dist = Kv.Ycsb.Zipfian;
+    quiesce_every = 256;
+    hb_every = 100;
+    monitor_every = 250;
+    churn = default_churn ~ops;
+    seed = 42;
+    final_check = false;
+  }
+
+(* Geometry derived from the key population: records of [value_words]
+   values live in power-of-two size classes; the index is one (usually
+   huge) object of [buckets] embedded refs. 40% slack covers parked COW
+   versions that accumulate while a crashed reader pins reclamation. *)
+let geometry cfg =
+  let buckets = max 64 (min (1 lsl 20) cfg.keys) in
+  let page_words = 16_384 in
+  let pages_per_segment = 16 in
+  let seg_words = page_words * pages_per_segment in
+  let record_class =
+    let need = 2 (* obj header *) + 2 (* next + key *) + cfg.value_words in
+    let rec up c = if c >= need then c else up (c * 2) in
+    up 4
+  in
+  let data_words = (cfg.keys * record_class * 14 / 10) + buckets + 8_192 in
+  let num_segments = (data_words / seg_words) + 12 in
+  let shm_cfg =
+    {
+      Config.default with
+      Config.max_clients = cfg.writers + cfg.readers + 8;
+      num_segments;
+      pages_per_segment;
+      page_words;
+      queue_slots = 64;
+    }
+  in
+  (shm_cfg, buckets)
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type class_stats = {
+  cls : string;
+  during_churn : bool;
+  count : int;
+  mean_ns : float;
+  p50_ns : float;
+  p95_ns : float;
+  p99_ns : float;
+  max_ns : float;
+}
+
+type report = {
+  r_keys : int;
+  r_ops : int;
+  r_seed : int;
+  r_rate_mops : float;
+  r_churn : string;
+  completed : int;
+  failed : int;
+  modeled_seconds : float;
+  achieved_mops : float;
+  crashes : int;
+  recoveries : int;
+  leaves : int;
+  joins : int;
+  all_recovered : bool;
+  recovery_passes : int;
+  handoff_records : int;
+  adopted_records : int;
+  deferred_left : int;
+  check_errors : int;
+  classes : class_stats list;
+}
+
+let num_classes = 4
+let class_name = function 0 -> "read" | 1 -> "update" | 2 -> "insert" | _ -> "rmw"
+
+let class_of_op = function
+  | Kv.Kv_intf.Read _ -> 0
+  | Kv.Kv_intf.Update _ | Kv.Kv_intf.Delete _ -> 1
+  | Kv.Kv_intf.Insert _ -> 2
+  | Kv.Kv_intf.Rmw _ -> 3
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type wstate = {
+  widx : int;
+  mutable wctx : Ctx.t;
+  mutable wh : Kv.Cxl_kv.handle;
+  mutable wstatus : [ `Alive | `Crashed | `Left ];
+  mutable wbusy : float;
+  mutable wops : int;
+  mutable pending : (float * Kv.Kv_intf.op) list; (* newest first *)
+}
+
+type rstate = {
+  mutable rctx : Ctx.t;
+  mutable rh : Kv.Cxl_kv.handle;
+  mutable rstatus : [ `Alive | `Crashed ];
+  mutable rbusy : float;
+}
+
+type role = W of int | R of int
+
+let validate_cfg cfg =
+  if cfg.keys < 1 then invalid_arg "Serve: keys must be >= 1";
+  if cfg.ops < 1 then invalid_arg "Serve: ops must be >= 1";
+  if cfg.writers < 1 then invalid_arg "Serve: writers must be >= 1";
+  if cfg.readers < 1 then invalid_arg "Serve: readers must be >= 1";
+  if cfg.value_words < 1 then invalid_arg "Serve: value_words must be >= 1";
+  if cfg.keys < cfg.writers then invalid_arg "Serve: keys must be >= writers";
+  if cfg.quiesce_every < 1 then invalid_arg "Serve: quiesce_every must be >= 1";
+  if cfg.hb_every < 1 || cfg.monitor_every < 1 then
+    invalid_arg "Serve: hb_every and monitor_every must be >= 1";
+  (* alive clients must renew their lease at least once per [lease_ttl / 2]
+     monitor ticks or the monitor would condemn live load *)
+  if cfg.hb_every > cfg.monitor_every * 2 then
+    invalid_arg "Serve: hb_every must be <= 2 * monitor_every";
+  List.iter
+    (fun e ->
+      if e.at_op < 1 || e.at_op > cfg.ops then
+        invalid_arg
+          (Printf.sprintf "Serve: churn event %s@%d outside [1, ops]"
+             (action_name e.action) e.at_op))
+    cfg.churn
+
+let run cfg =
+  validate_cfg cfg;
+  let shm_cfg, buckets = geometry cfg in
+  let arena = Shm.create ~cfg:shm_cfg () in
+  let model = Latency.of_tier shm_cfg.Config.tier in
+  let mean_gap_ns = 1000.0 /. cfg.rate_mops in
+
+  (* -- population ------------------------------------------------- *)
+  let creator = Shm.join arena () in
+  let store, h0 =
+    Kv.Cxl_kv.create creator ~buckets ~partitions:cfg.writers
+      ~value_words:cfg.value_words
+  in
+  let writers =
+    Array.init cfg.writers (fun i ->
+        let ctx = if i = 0 then creator else Shm.join arena () in
+        let h = if i = 0 then h0 else Kv.Cxl_kv.open_store ctx store in
+        if not (Kv.Cxl_kv.claim_partition h i) then
+          failwith "Serve: partition claim failed on a fresh store";
+        { widx = i; wctx = ctx; wh = h; wstatus = `Alive; wbusy = 0.0;
+          wops = 0; pending = [] })
+  in
+  (* partition -> index into [writers] of its current owner *)
+  let part_owner = Array.init cfg.writers (fun i -> i) in
+  let readers =
+    ref
+      (Array.init cfg.readers (fun _ ->
+           let ctx = Shm.join arena () in
+           { rctx = ctx; rh = Kv.Cxl_kv.open_store ctx store;
+             rstatus = `Alive; rbusy = 0.0 }))
+  in
+  let mon = Shm.monitor arena () in
+  let roles : (int, role) Hashtbl.t = Hashtbl.create 32 in
+  Array.iter (fun w -> Hashtbl.replace roles w.wctx.Ctx.cid (W w.widx)) writers;
+  Array.iteri (fun i r -> Hashtbl.replace roles r.rctx.Ctx.cid (R i)) !readers;
+
+  let gen =
+    Kv.Ycsb.create_mix ~keys:cfg.keys ~mix:cfg.mix ~dist:cfg.dist
+      ~theta:cfg.theta ~seed:cfg.seed
+  in
+  Kv.Ycsb.load_iter gen (fun op ->
+      match op with
+      | Kv.Kv_intf.Insert (k, v) ->
+          let w = writers.(part_owner.(Kv.Cxl_kv.partition_of_key store k)) in
+          Kv.Cxl_kv.put w.wh ~key:k ~value:v
+      | _ -> ());
+
+  (* -- SLO bookkeeping -------------------------------------------- *)
+  let hists = Array.init (num_classes * 2) (fun _ -> Histogram.create ()) in
+  let record ~cls ~churn lat =
+    Histogram.record hists.((cls * 2) + if churn then 1 else 0) lat
+  in
+  (* condemned-but-not-yet-recovered clients; while any exists the run is
+     "during churn" and latencies land in the churn buckets *)
+  let outstanding : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let soft_until = ref (-1) in
+  let soft_window = cfg.monitor_every in
+  let during i = Hashtbl.length outstanding > 0 || i <= !soft_until in
+
+  let completed = ref 0 and failed = ref 0 in
+  let crashes = ref 0 and recoveries = ref 0 in
+  let leaves = ref 0 and joins = ref 0 in
+  let handoffs = ref 0 and adopted = ref 0 in
+  let recovery_passes = ref 0 in
+  let reader_rr = ref 0 in
+
+  (* -- executors ---------------------------------------------------
+     Open-loop latency: an op's service cost (modeled ns from the Table 1
+     cost model, measured as a Stats probe delta on the executing client)
+     starts at max(arrival, the client's busy horizon); latency is
+     completion - arrival, so queueing behind a dead shard counts. *)
+  let exec_read r ~arrival ~churn key =
+    let before = Stats.probe r.rctx.Ctx.st in
+    ignore (Kv.Cxl_kv.get r.rh ~key);
+    let svc = Stats.probe_ns model r.rctx.Ctx.st ~since:before in
+    let fin = Float.max arrival r.rbusy +. svc in
+    r.rbusy <- fin;
+    incr completed;
+    record ~cls:0 ~churn (fin -. arrival)
+  in
+  let on_writer_crash w =
+    w.wstatus <- `Crashed;
+    Hashtbl.replace outstanding w.wctx.Ctx.cid ();
+    incr crashes;
+    incr failed
+  in
+  let exec_write w ~arrival ~churn op =
+    w.wops <- w.wops + 1;
+    let before = Stats.probe w.wctx.Ctx.st in
+    match
+      if w.wops mod cfg.quiesce_every = 0 then Kv.Cxl_kv.quiesce w.wh;
+      match op with
+      | Kv.Kv_intf.Update (key, value) -> Kv.Cxl_kv.put_cow w.wh ~key ~value
+      | Kv.Kv_intf.Insert (key, value) -> Kv.Cxl_kv.put w.wh ~key ~value
+      | Kv.Kv_intf.Rmw (key, delta) -> ignore (Kv.Cxl_kv.rmw w.wh ~key ~delta)
+      | Kv.Kv_intf.Delete key -> ignore (Kv.Cxl_kv.delete w.wh ~key)
+      | Kv.Kv_intf.Read key -> ignore (Kv.Cxl_kv.get w.wh ~key)
+    with
+    | () ->
+        let svc = Stats.probe_ns model w.wctx.Ctx.st ~since:before in
+        let fin = Float.max arrival w.wbusy +. svc in
+        w.wbusy <- fin;
+        incr completed;
+        record ~cls:(class_of_op op) ~churn (fin -. arrival)
+    | exception Fault.Crashed _ -> on_writer_crash w
+  in
+
+  let pick_reader () =
+    let arr = !readers in
+    let n = Array.length arr in
+    let rec go tries =
+      if tries >= n then None
+      else
+        let r = arr.((!reader_rr + tries) mod n) in
+        if r.rstatus = `Alive then begin
+          reader_rr := (!reader_rr + tries + 1) mod n;
+          Some r
+        end
+        else go (tries + 1)
+    in
+    go 0
+  in
+  let alive_writers () =
+    Array.to_list writers |> List.filter (fun w -> w.wstatus = `Alive)
+  in
+
+  let heartbeat_all () =
+    Array.iter (fun w -> if w.wstatus = `Alive then Client.heartbeat w.wctx)
+      writers;
+    Array.iter (fun r -> if r.rstatus = `Alive then Client.heartbeat r.rctx)
+      !readers
+  in
+
+  (* -- recovery ----------------------------------------------------
+     One monitor pass: tick the lease clock (suspecting / condemning
+     expired clients), then, as leader, recover every condemned one. A
+     recovered slot is refilled with a fresh replacement client that takes
+     over the dead one's role; a replaced writer drains the requests that
+     queued against its partitions during the outage, so the outage shows
+     up as during-churn tail latency rather than lost data. *)
+  let monitor_pass now =
+    ignore (Monitor.check_once mon);
+    let recovered = Monitor.recover_suspects mon in
+    List.iter
+      (fun (cid, _report) ->
+        match Hashtbl.find_opt roles cid with
+        | None -> ()
+        | Some (W idx) ->
+            Hashtbl.remove roles cid;
+            Hashtbl.remove outstanding cid;
+            let w = writers.(idx) in
+            let ctx = Shm.join arena () in
+            let h = Kv.Cxl_kv.open_store ctx store in
+            for p = 0 to cfg.writers - 1 do
+              if part_owner.(p) = idx then
+                ignore (Kv.Cxl_kv.takeover_partition h p)
+            done;
+            w.wctx <- ctx;
+            w.wh <- h;
+            w.wstatus <- `Alive;
+            w.wbusy <- Float.max w.wbusy now;
+            Hashtbl.replace roles ctx.Ctx.cid (W idx);
+            incr recoveries;
+            let pend = List.rev w.pending in
+            w.pending <- [];
+            List.iter
+              (fun (arr, op) -> exec_write w ~arrival:arr ~churn:true op)
+              pend
+        | Some (R idx) ->
+            Hashtbl.remove roles cid;
+            Hashtbl.remove outstanding cid;
+            let r = !readers.(idx) in
+            let ctx = Shm.join arena () in
+            r.rctx <- ctx;
+            r.rh <- Kv.Cxl_kv.open_store ctx store;
+            r.rstatus <- `Alive;
+            r.rbusy <- Float.max r.rbusy now;
+            Hashtbl.replace roles ctx.Ctx.cid (R idx);
+            incr recoveries)
+      recovered
+  in
+
+  (* -- churn events ------------------------------------------------ *)
+  let fire_event ev i arrival =
+    match ev.action with
+    | Crash_writer -> (
+        (* kill the highest-indexed live writer mid-request: arm a
+           fire-on-first-crash-point fault and drive one COW update into
+           its partition; the victim dies inside the allocation path *)
+        match List.rev (alive_writers ()) with
+        | [] -> ()
+        | w :: _ ->
+            w.wctx.Ctx.fault <-
+              Fault.random ~seed:(cfg.seed + (31 * i)) ~probability:1.0;
+            let part =
+              let rec find p =
+                if p >= cfg.writers then None
+                else if part_owner.(p) = w.widx then Some p
+                else find (p + 1)
+              in
+              find 0
+            in
+            (match part with
+            | None -> w.wctx.Ctx.fault <- Fault.none
+            | Some key ->
+                exec_write w ~arrival ~churn:true
+                  (Kv.Kv_intf.Update (key, 0xC0FE)));
+            soft_until := i + soft_window)
+    | Crash_reader -> (
+        match pick_reader () with
+        | None -> ()
+        | Some r ->
+            (* die mid-traversal: the era announcement stays behind and
+               pins writer-side reclamation until the monitor condemns the
+               slot (Hazard.min_announced ignores Failed clients) *)
+            Hazard.enter r.rctx;
+            r.rstatus <- `Crashed;
+            Hashtbl.replace outstanding r.rctx.Ctx.cid ();
+            incr crashes;
+            soft_until := i + soft_window)
+    | Leave_writer -> (
+        match alive_writers () with
+        | d :: s :: _ when d.widx <> s.widx ->
+            (* planned departure: reclaim what this writer can, hand the
+               still-parked records to a successor over a transfer queue
+               (one send_batch, single fence), move partition ownership by
+               CAS, then leave cleanly *)
+            let d, s = if d.widx > s.widx then (d, s) else (s, d) in
+            (* no quiesce first: a departing node does not wait for
+               reader quiescence — it ships its parked records as-is *)
+            let parked = Kv.Cxl_kv.deferred_count d.wh in
+            let before = Stats.probe s.wctx.Ctx.st in
+            if parked > 0 then begin
+              let q =
+                Transfer.connect d.wctx ~receiver:s.wctx.Ctx.cid
+                  ~capacity:(parked + 1)
+              in
+              let sent = Kv.Cxl_kv.handoff_deferred d.wh q in
+              (match Transfer.open_from s.wctx ~sender:d.wctx.Ctx.cid with
+              | Some qr ->
+                  adopted := !adopted + Kv.Cxl_kv.adopt_deferred s.wh qr ~max:sent;
+                  Transfer.close qr
+              | None -> ());
+              Transfer.close q;
+              handoffs := !handoffs + sent
+            end;
+            for p = 0 to cfg.writers - 1 do
+              if part_owner.(p) = d.widx then begin
+                ignore (Kv.Cxl_kv.takeover_partition s.wh p);
+                part_owner.(p) <- s.widx
+              end
+            done;
+            Hashtbl.remove roles d.wctx.Ctx.cid;
+            Kv.Cxl_kv.close d.wh;
+            Shm.leave d.wctx;
+            d.wstatus <- `Left;
+            incr leaves;
+            let svc = Stats.probe_ns model s.wctx.Ctx.st ~since:before in
+            s.wbusy <- Float.max arrival s.wbusy +. svc;
+            soft_until := i + soft_window
+        | _ -> () (* need two live writers for a handoff *))
+    | Join_reader ->
+        let ctx = Shm.join arena () in
+        let r =
+          { rctx = ctx; rh = Kv.Cxl_kv.open_store ctx store;
+            rstatus = `Alive; rbusy = arrival }
+        in
+        readers := Array.append !readers [| r |];
+        Hashtbl.replace roles ctx.Ctx.cid (R (Array.length !readers - 1));
+        incr joins;
+        soft_until := i + soft_window
+  in
+
+  (* -- main loop --------------------------------------------------- *)
+  let lg = Load_gen.create ~rate_mops:cfg.rate_mops ~seed:cfg.seed in
+  let churn_q =
+    ref (List.stable_sort (fun a b -> compare a.at_op b.at_op) cfg.churn)
+  in
+  for i = 1 to cfg.ops do
+    let arrival = Load_gen.next_arrival lg in
+    let rec fire () =
+      match !churn_q with
+      | e :: rest when e.at_op <= i ->
+          churn_q := rest;
+          fire_event e i arrival;
+          fire ()
+      | _ -> ()
+    in
+    fire ();
+    if i mod cfg.hb_every = 0 then heartbeat_all ();
+    if i mod cfg.monitor_every = 0 then monitor_pass arrival;
+    let op = Kv.Ycsb.next gen in
+    match op with
+    | Kv.Kv_intf.Read key -> (
+        match pick_reader () with
+        | Some r -> exec_read r ~arrival ~churn:(during i) key
+        | None -> (
+            (* every reader is down; shared-everything means any live
+               writer can serve the read *)
+            match alive_writers () with
+            | w :: _ -> exec_write w ~arrival ~churn:(during i) op
+            | [] -> incr failed))
+    | Kv.Kv_intf.Update (key, _)
+    | Kv.Kv_intf.Insert (key, _)
+    | Kv.Kv_intf.Rmw (key, _)
+    | Kv.Kv_intf.Delete key -> (
+        let w = writers.(part_owner.(key mod cfg.writers)) in
+        match w.wstatus with
+        | `Alive -> exec_write w ~arrival ~churn:(during i) op
+        | `Crashed -> w.pending <- (arrival, op) :: w.pending
+        | `Left -> incr failed (* unreachable: ownership moved at leave *))
+  done;
+
+  (* -- drain: keep the monitor running until every crashed client has
+     been condemned and recovered (the SLO clock keeps advancing) ----- *)
+  let vnow = ref (Load_gen.now_ns lg) in
+  let max_passes = 100 * shm_cfg.Config.lease_ttl in
+  while Hashtbl.length outstanding > 0 && !recovery_passes < max_passes do
+    incr recovery_passes;
+    vnow := !vnow +. (float_of_int cfg.monitor_every *. mean_gap_ns);
+    heartbeat_all ();
+    monitor_pass !vnow
+  done;
+  let all_recovered = Hashtbl.length outstanding = 0 in
+
+  (* final quiesce: with every crashed reader condemned, nothing pins *)
+  Array.iter
+    (fun w -> if w.wstatus = `Alive then Kv.Cxl_kv.quiesce w.wh)
+    writers;
+  let deferred_left =
+    Array.fold_left
+      (fun acc w ->
+        if w.wstatus = `Alive then acc + Kv.Cxl_kv.deferred_count w.wh
+        else acc)
+      0 writers
+  in
+
+  let check_errors =
+    if cfg.final_check then
+      let v = Shm.validate arena in
+      List.length v.Validate.errors
+    else 0
+  in
+
+  (* -- report ------------------------------------------------------ *)
+  let horizon =
+    let m = ref !vnow in
+    Array.iter (fun w -> if w.wbusy > !m then m := w.wbusy) writers;
+    Array.iter (fun r -> if r.rbusy > !m then m := r.rbusy) !readers;
+    !m
+  in
+  let classes =
+    List.concat_map
+      (fun cls ->
+        List.filter_map
+          (fun churn ->
+            let h = hists.((cls * 2) + if churn then 1 else 0) in
+            if Histogram.count h = 0 then None
+            else
+              Some
+                {
+                  cls = class_name cls;
+                  during_churn = churn;
+                  count = Histogram.count h;
+                  mean_ns = Histogram.mean_ns h;
+                  p50_ns = Histogram.p50 h;
+                  p95_ns = Histogram.p95 h;
+                  p99_ns = Histogram.p99 h;
+                  max_ns = Histogram.max_ns h;
+                })
+          [ false; true ])
+      [ 0; 1; 2; 3 ]
+  in
+  (* teardown (after validate: closing the last handle frees the store) *)
+  Array.iter
+    (fun w ->
+      if w.wstatus = `Alive then begin
+        Kv.Cxl_kv.close w.wh;
+        Shm.leave w.wctx
+      end)
+    writers;
+  Array.iter
+    (fun r ->
+      if r.rstatus = `Alive then begin
+        Kv.Cxl_kv.close r.rh;
+        Shm.leave r.rctx
+      end)
+    !readers;
+  {
+    r_keys = cfg.keys;
+    r_ops = cfg.ops;
+    r_seed = cfg.seed;
+    r_rate_mops = cfg.rate_mops;
+    r_churn = churn_to_string cfg.churn;
+    completed = !completed;
+    failed = !failed;
+    modeled_seconds = horizon /. 1e9;
+    achieved_mops =
+      (if horizon > 0.0 then float_of_int !completed /. (horizon /. 1000.0)
+       else 0.0);
+    crashes = !crashes;
+    recoveries = !recoveries;
+    leaves = !leaves;
+    joins = !joins;
+    all_recovered;
+    recovery_passes = !recovery_passes;
+    handoff_records = !handoffs;
+    adopted_records = !adopted;
+    deferred_left;
+    check_errors;
+    classes;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Output                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let report_to_json r =
+  let b = Buffer.create 1024 in
+  let f = Printf.bprintf in
+  f b "{\n";
+  f b "  \"keys\": %d,\n" r.r_keys;
+  f b "  \"ops\": %d,\n" r.r_ops;
+  f b "  \"seed\": %d,\n" r.r_seed;
+  f b "  \"rate_mops\": %.3f,\n" r.r_rate_mops;
+  f b "  \"churn\": %S,\n" r.r_churn;
+  f b "  \"completed\": %d,\n" r.completed;
+  f b "  \"failed\": %d,\n" r.failed;
+  f b "  \"modeled_seconds\": %.6f,\n" r.modeled_seconds;
+  f b "  \"achieved_mops\": %.4f,\n" r.achieved_mops;
+  f b "  \"crashes\": %d,\n" r.crashes;
+  f b "  \"recoveries\": %d,\n" r.recoveries;
+  f b "  \"leaves\": %d,\n" r.leaves;
+  f b "  \"joins\": %d,\n" r.joins;
+  f b "  \"all_recovered\": %b,\n" r.all_recovered;
+  f b "  \"recovery_passes\": %d,\n" r.recovery_passes;
+  f b "  \"handoff_records\": %d,\n" r.handoff_records;
+  f b "  \"adopted_records\": %d,\n" r.adopted_records;
+  f b "  \"deferred_left\": %d,\n" r.deferred_left;
+  f b "  \"check_errors\": %d,\n" r.check_errors;
+  f b "  \"classes\": [";
+  List.iteri
+    (fun i c ->
+      if i > 0 then f b ",";
+      f b "\n    { \"class\": %S, \"during_churn\": %b, \"count\": %d," c.cls
+        c.during_churn c.count;
+      f b " \"mean_ns\": %.1f, \"p50_ns\": %.1f, \"p95_ns\": %.1f, \
+           \"p99_ns\": %.1f, \"max_ns\": %.1f }"
+        c.mean_ns c.p50_ns c.p95_ns c.p99_ns c.max_ns)
+    r.classes;
+  f b "\n  ]\n}\n";
+  Buffer.contents b
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "serve: keys=%d ops=%d rate=%.1f Mops seed=%d@." r.r_keys r.r_ops
+    r.r_rate_mops r.r_seed;
+  Format.fprintf ppf
+    "  completed=%d failed=%d achieved=%.2f Mops modeled=%.3f s@." r.completed
+    r.failed r.achieved_mops r.modeled_seconds;
+  Format.fprintf ppf
+    "  churn: crashes=%d recoveries=%d leaves=%d joins=%d all_recovered=%b@."
+    r.crashes r.recoveries r.leaves r.joins r.all_recovered;
+  Format.fprintf ppf
+    "  handoff=%d adopted=%d deferred_left=%d check_errors=%d@."
+    r.handoff_records r.adopted_records r.deferred_left r.check_errors;
+  Format.fprintf ppf "  %-8s %-6s %10s %12s %12s %12s@." "class" "churn"
+    "count" "p50(ns)" "p95(ns)" "p99(ns)";
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "  %-8s %-6s %10d %12.0f %12.0f %12.0f@." c.cls
+        (if c.during_churn then "yes" else "-")
+        c.count c.p50_ns c.p95_ns c.p99_ns)
+    r.classes

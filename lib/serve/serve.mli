@@ -1,0 +1,113 @@
+(** Production-style KV serving harness with an SLO gate.
+
+    Drives {!Cxlshm_kv.Cxl_kv} the way a serving fleet would: an open-loop
+    arrival schedule ({!Load_gen}) at a configured offered rate over a
+    zipf-distributed key population, N sharded writer clients (one
+    partition set each, COW updates) and M reader clients — while a churn
+    schedule crashes, retires and adds clients mid-run. Crashed clients
+    are detected and recovered by the lease/monitor machinery
+    ({!Cxlshm.Monitor}) with the SLO clock still running, so detection
+    latency and backlog drain show up where they belong: in the
+    during-churn tail percentiles.
+
+    Everything is deterministic given [cfg.seed]: arrivals, the key/op
+    stream, churn firing, detection and recovery. Two runs of the same
+    [cfg] produce identical reports. *)
+
+(** {1 Churn schedule} *)
+
+type churn_action =
+  | Crash_writer  (** kill the highest-indexed live writer mid-COW-update;
+                      its partitions' writes queue until recovery *)
+  | Crash_reader  (** kill a reader mid-traversal, leaving its era
+                      announcement set — reclamation stays pinned until the
+                      monitor condemns the slot *)
+  | Leave_writer  (** planned departure: quiesce, hand parked records to a
+                      successor ({!Cxlshm_kv.Cxl_kv.handoff_deferred}),
+                      CAS partition ownership over, leave cleanly *)
+  | Join_reader  (** a fresh reader joins the serving rotation *)
+
+type churn_event = { at_op : int; action : churn_action }
+
+val action_name : churn_action -> string
+val action_of_name : string -> churn_action option
+
+val churn_of_string : string -> (churn_event list, string) result
+(** Parse ["crash-writer@2500,join-reader@7000"]. *)
+
+val churn_to_string : churn_event list -> string
+
+val default_churn : ops:int -> churn_event list
+(** One event of each kind, spread over the run. *)
+
+(** {1 Configuration} *)
+
+type cfg = {
+  keys : int;  (** initial key population (inserts grow it) *)
+  ops : int;  (** arrivals in the measured run *)
+  rate_mops : float;  (** offered load, million ops / modeled second *)
+  writers : int;  (** writer clients = key partitions *)
+  readers : int;  (** initial reader clients *)
+  value_words : int;
+  theta : float;  (** zipf skew, in [0, 1) *)
+  mix : Cxlshm_kv.Ycsb.mix;
+  dist : Cxlshm_kv.Ycsb.dist;
+  quiesce_every : int;  (** writer ops between reclamation passes *)
+  hb_every : int;  (** arrivals between client heartbeats *)
+  monitor_every : int;  (** arrivals between monitor passes *)
+  churn : churn_event list;
+  seed : int;
+  final_check : bool;  (** run {!Cxlshm.Shm.validate} before teardown *)
+}
+
+val default_mix : Cxlshm_kv.Ycsb.mix
+(** 90% read / 5% update / 3% insert / 2% rmw. *)
+
+val default_cfg : keys:int -> ops:int -> cfg
+
+(** {1 Report} *)
+
+type class_stats = {
+  cls : string;  (** "read" | "update" | "insert" | "rmw" *)
+  during_churn : bool;
+      (** ops that arrived while a crashed client was still unrecovered
+          (or just after a join/leave) land in separate buckets *)
+  count : int;
+  mean_ns : float;
+  p50_ns : float;
+  p95_ns : float;
+  p99_ns : float;
+  max_ns : float;
+}
+
+type report = {
+  r_keys : int;
+  r_ops : int;
+  r_seed : int;
+  r_rate_mops : float;
+  r_churn : string;
+  completed : int;
+  failed : int;  (** ops lost in a crash (the request the victim died on) *)
+  modeled_seconds : float;
+  achieved_mops : float;
+  crashes : int;
+  recoveries : int;
+  leaves : int;
+  joins : int;
+  all_recovered : bool;
+      (** every crashed client was condemned and recovered before the
+          report was cut — an SLO-gate requirement *)
+  recovery_passes : int;  (** extra monitor passes spent draining *)
+  handoff_records : int;  (** parked records sent at planned departures *)
+  adopted_records : int;
+  deferred_left : int;  (** parked records surviving the final quiesce *)
+  check_errors : int;  (** validator errors when [final_check] *)
+  classes : class_stats list;
+}
+
+val run : cfg -> report
+(** Build an arena sized for [cfg.keys], preload the population, serve the
+    arrival schedule with churn, drain recovery, and report. *)
+
+val report_to_json : report -> string
+val pp_report : Format.formatter -> report -> unit

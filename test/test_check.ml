@@ -131,6 +131,26 @@ let test_finds_transfer_head_mutation () =
       | Explore.Pass | Explore.Diverged ->
           Alcotest.fail "replay did not reproduce the failure")
 
+(* The historical era-blind quiesce, reintroduced: reclamation ignoring
+   announced reader eras frees a record a paused traversal still stands on;
+   the decoy allocation then plants a poisoned value where the reader
+   resumes. Bounded exhaustive search must observe the use-after-free. *)
+let test_finds_kv_quiesce_mutation () =
+  with_flag Cxlshm_kv.Cxl_kv.mutation_unconditional_quiesce @@ fun () ->
+  let m = Scenarios.kv_serve () in
+  let r = Explore.exhaustive ~preemptions:2 ~crash:true ~max_steps:40_000 m in
+  match r.Explore.failure with
+  | None ->
+      Alcotest.fail "era-blind quiesce mutation survived exhaustive search"
+  | Some f ->
+      let rr = Explore.replay m ~max_steps:40_000 f.Explore.schedule in
+      (match rr.Explore.outcome with
+      | Explore.Fail reason ->
+          Alcotest.(check string) "replay reproduces the same reason"
+            f.Explore.reason reason
+      | Explore.Pass | Explore.Diverged ->
+          Alcotest.fail "replay did not reproduce the failure")
+
 (* With the flags off, the very same searches must come back clean —
    otherwise the self-check proves nothing. *)
 let test_unmutated_models_pass () =
@@ -145,9 +165,16 @@ let test_unmutated_models_pass () =
     Explore.exhaustive ~preemptions:2 ~crash:true ~max_steps:40_000
       (Scenarios.transfer ~values:2 ())
   in
-  match r2.Explore.failure with
+  (match r2.Explore.failure with
   | None -> ()
-  | Some f -> Alcotest.failf "unmutated transfer failed: %s" f.Explore.reason
+  | Some f -> Alcotest.failf "unmutated transfer failed: %s" f.Explore.reason);
+  let r3 =
+    Explore.exhaustive ~preemptions:2 ~crash:true ~max_steps:40_000
+      (Scenarios.kv_serve ())
+  in
+  match r3.Explore.failure with
+  | None -> ()
+  | Some f -> Alcotest.failf "unmutated kv-serve failed: %s" f.Explore.reason
 
 let suite =
   [
@@ -164,6 +191,8 @@ let suite =
       test_finds_spsc_pop_mutation;
     Alcotest.test_case "finds the unfenced-advance mutation" `Quick
       test_finds_transfer_head_mutation;
+    Alcotest.test_case "finds the era-blind quiesce mutation" `Quick
+      test_finds_kv_quiesce_mutation;
     Alcotest.test_case "unmutated models pass the same searches" `Quick
       test_unmutated_models_pass;
   ]

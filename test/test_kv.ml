@@ -9,6 +9,8 @@ module Ycsb = Cxlshm_kv.Ycsb
 module Tatp = Cxlshm_kv.Tatp
 module Smallbank = Cxlshm_kv.Smallbank
 module Kv_intf = Cxlshm_kv.Kv_intf
+module Serve = Cxlshm_serve.Serve
+module Load_gen = Cxlshm_serve.Load_gen
 
 let kv_cfg = { Config.small with Config.num_segments = 32; pages_per_segment = 8 }
 
@@ -302,21 +304,227 @@ let test_smallbank_runs () =
   let sb = Smallbank.create ~accounts:50 ~seed:5 in
   let tbb = Tbb_kv.create ~buckets:64 ~value_words:1 ~capacity:500 ~threads:1 in
   let th = Tbb_kv.handle tbb 0 in
-  List.iter
-    (function
-      | Kv_intf.Insert (k, v) | Kv_intf.Update (k, v) -> Tbb_kv.put th ~key:k ~value:v
-      | Kv_intf.Read k -> ignore (Tbb_kv.get th ~key:k)
-      | Kv_intf.Delete k -> ignore (Tbb_kv.delete th ~key:k))
-    (Smallbank.load_ops sb);
+  let apply = function
+    | Kv_intf.Insert (k, v) | Kv_intf.Update (k, v) ->
+        Tbb_kv.put th ~key:k ~value:v
+    | Kv_intf.Rmw (k, v) ->
+        let old = Option.value (Tbb_kv.get th ~key:k) ~default:0 in
+        Tbb_kv.put th ~key:k ~value:(old + v)
+    | Kv_intf.Read k -> ignore (Tbb_kv.get th ~key:k)
+    | Kv_intf.Delete k -> ignore (Tbb_kv.delete th ~key:k)
+  in
+  List.iter apply (Smallbank.load_ops sb);
   for _ = 1 to 1000 do
-    List.iter
-      (function
-        | Kv_intf.Insert (k, v) | Kv_intf.Update (k, v) ->
-            Tbb_kv.put th ~key:k ~value:v
-        | Kv_intf.Read k -> ignore (Tbb_kv.get th ~key:k)
-        | Kv_intf.Delete k -> ignore (Tbb_kv.delete th ~key:k))
-      (Smallbank.next sb)
+    List.iter apply (Smallbank.next sb)
   done
+
+(* ---- PR-8: generators, era-tied quiesce, handoff, serving harness ---- *)
+
+(* The O(1) Gray sampler against the exact distribution: brute-force the
+   normalizer and compare empirical rank frequencies at a fixed seed. *)
+let test_zipf_reference () =
+  let n = 200 and theta = 0.7 in
+  let h = ref 0.0 in
+  for i = 1 to n do
+    h := !h +. (1.0 /. Float.pow (float_of_int i) theta)
+  done;
+  let z = Zipf.create ~n ~theta ~seed:7 in
+  Alcotest.(check bool)
+    (Printf.sprintf "top-1 closed form %.4f ≈ %.4f"
+       (Zipf.expected_top1_mass z) (1.0 /. !h))
+    true
+    (Float.abs (Zipf.expected_top1_mass z -. (1.0 /. !h)) < 0.002);
+  let samples = 100_000 in
+  let counts = Array.make n 0 in
+  for _ = 1 to samples do
+    let k = Zipf.sample z in
+    counts.(k) <- counts.(k) + 1
+  done;
+  List.iter
+    (fun rank ->
+      let expect =
+        1.0 /. (Float.pow (float_of_int (rank + 1)) theta *. !h)
+      in
+      let got = float_of_int counts.(rank) /. float_of_int samples in
+      Alcotest.(check bool)
+        (Printf.sprintf "rank %d: %.4f ≈ %.4f" rank got expect)
+        true
+        (Float.abs (got -. expect) < 0.005 +. (0.1 *. expect)))
+    [ 0; 1; 2; 9; 49 ];
+  (* the closed form needs theta in [0, 1) *)
+  (match Zipf.create ~n:10 ~theta:1.0 ~seed:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "theta = 1 accepted");
+  match Zipf.create ~n:10 ~theta:(-0.1) ~seed:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative theta accepted"
+
+let test_ycsb_load_stream () =
+  let w = Ycsb.create ~keys:500 ~write_ratio:0.5 ~theta:0.5 ~seed:3 in
+  let n = ref 0 in
+  Ycsb.load_iter w (fun op ->
+      (match op with
+      | Kv_intf.Insert (k, v) ->
+          Alcotest.(check int) "load key order" !n k;
+          Alcotest.(check int) "load value" k v
+      | _ -> Alcotest.fail "load phase must be all inserts");
+      incr n);
+  Alcotest.(check int) "streamed count" 500 !n;
+  Alcotest.(check int) "list count" 500 (List.length (Ycsb.load_ops w));
+  Alcotest.(check bool) "seq matches list" true
+    (List.of_seq (Ycsb.load_seq w) = Ycsb.load_ops w)
+
+let test_ycsb_latest_bias () =
+  let w = Ycsb.of_preset ~keys:10_000 ~seed:9 Ycsb.D in
+  Alcotest.(check bool) "D reads the latest" true (Ycsb.dist w = Ycsb.Latest);
+  let reads = ref 0 and hot = ref 0 in
+  for _ = 1 to 8_000 do
+    match Ycsb.next w with
+    | Kv_intf.Read k ->
+        incr reads;
+        if k >= Ycsb.keys w * 9 / 10 then incr hot
+    | _ -> ()
+  done;
+  let frac = float_of_int !hot /. float_of_int !reads in
+  (* uniform would put 10% of reads in the newest decile; latest-biased
+     zipf(0.9) puts ~75% there *)
+  Alcotest.(check bool)
+    (Printf.sprintf "newest-decile read fraction %.2f > 0.5" frac)
+    true (frac > 0.5)
+
+let test_rmw_semantics () =
+  let _arena, _a, _store, h = fresh () in
+  Alcotest.(check (option int)) "rmw on missing inserts delta" None
+    (Cxl_kv.rmw h ~key:9 ~delta:5);
+  Alcotest.(check (option int)) "inserted" (Some 5) (Cxl_kv.get h ~key:9);
+  Alcotest.(check (option int)) "rmw returns old" (Some 5)
+    (Cxl_kv.rmw h ~key:9 ~delta:37);
+  Alcotest.(check (option int)) "accumulated" (Some 42) (Cxl_kv.get h ~key:9);
+  let w = Ycsb.of_preset ~keys:50 ~seed:2 Ycsb.F in
+  let saw = ref false in
+  for _ = 1 to 200 do
+    match Ycsb.next w with Kv_intf.Rmw _ -> saw := true | _ -> ()
+  done;
+  Alcotest.(check bool) "preset F emits rmw ops" true !saw
+
+(* A paused protected traversal must pin COW-displaced records across
+   quiesce; releasing the era unpins them. *)
+let test_quiesce_era_tied () =
+  let arena, _a, store, h = fresh () in
+  Cxl_kv.put h ~key:1 ~value:11;
+  let rctx = Shm.join arena () in
+  let hr = Cxl_kv.open_store rctx store in
+  Hazard.enter rctx;
+  Cxl_kv.put_cow h ~key:1 ~value:22;
+  Alcotest.(check int) "parked" 1 (Cxl_kv.deferred_count h);
+  Cxl_kv.quiesce h;
+  Alcotest.(check int) "pinned by the announced era" 1
+    (Cxl_kv.deferred_count h);
+  Hazard.exit rctx;
+  Cxl_kv.quiesce h;
+  Alcotest.(check int) "freed once the reader moved on" 0
+    (Cxl_kv.deferred_count h);
+  Alcotest.(check (option int)) "new value" (Some 22) (Cxl_kv.get h ~key:1);
+  Cxl_kv.close hr;
+  Shm.leave rctx;
+  Cxl_kv.close h;
+  ignore (Shm.scan_leaking arena);
+  let v = Shm.validate arena in
+  Alcotest.(check bool) ("clean: " ^ String.concat ";" v.Validate.errors) true
+    (Validate.is_clean v)
+
+(* Planned shard handoff: parked records ride a transfer queue to a
+   successor, stay pinned there, and reclaim once the era clears. *)
+let test_handoff_adopt () =
+  let arena, a, store, h = fresh () in
+  for k = 0 to 9 do
+    Cxl_kv.put h ~key:k ~value:k
+  done;
+  let rctx = Shm.join arena () in
+  Hazard.enter rctx;
+  for k = 0 to 9 do
+    Cxl_kv.put_cow h ~key:k ~value:(100 + k)
+  done;
+  Alcotest.(check int) "ten parked" 10 (Cxl_kv.deferred_count h);
+  let b = Shm.join arena () in
+  let hb = Cxl_kv.open_store b store in
+  let q = Transfer.connect a ~receiver:b.Ctx.cid ~capacity:16 in
+  let sent = Cxl_kv.handoff_deferred h q in
+  Alcotest.(check int) "all sent" 10 sent;
+  Alcotest.(check int) "sender drained" 0 (Cxl_kv.deferred_count h);
+  let qb = Option.get (Transfer.open_from b ~sender:a.Ctx.cid) in
+  Alcotest.(check int) "all adopted" 10 (Cxl_kv.adopt_deferred hb qb ~max:10);
+  Alcotest.(check int) "parked at successor" 10 (Cxl_kv.deferred_count hb);
+  Transfer.close qb;
+  Transfer.close q;
+  Cxl_kv.quiesce hb;
+  Alcotest.(check int) "still pinned at successor" 10
+    (Cxl_kv.deferred_count hb);
+  Hazard.exit rctx;
+  Cxl_kv.quiesce hb;
+  Alcotest.(check int) "reclaimed" 0 (Cxl_kv.deferred_count hb);
+  for k = 0 to 9 do
+    Alcotest.(check (option int)) "value survives" (Some (100 + k))
+      (Cxl_kv.get hb ~key:k)
+  done;
+  Cxl_kv.close hb;
+  Shm.leave b;
+  Shm.leave rctx;
+  Cxl_kv.close h;
+  ignore (Shm.scan_leaking arena);
+  let v = Shm.validate arena in
+  Alcotest.(check bool) ("clean: " ^ String.concat ";" v.Validate.errors) true
+    (Validate.is_clean v)
+
+let test_load_gen_schedule () =
+  let g1 = Load_gen.create ~rate_mops:2.0 ~seed:11 in
+  let g2 = Load_gen.create ~rate_mops:2.0 ~seed:11 in
+  let a1 = Array.init 1000 (fun _ -> Load_gen.next_arrival g1) in
+  let a2 = Array.init 1000 (fun _ -> Load_gen.next_arrival g2) in
+  Alcotest.(check bool) "deterministic" true (a1 = a2);
+  Array.iteri
+    (fun i t ->
+      if i > 0 then
+        Alcotest.(check bool) "strictly increasing" true (t > a1.(i - 1)))
+    a1;
+  let mean_gap = a1.(999) /. 1000.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean gap %.1f ns ≈ 500" mean_gap)
+    true
+    (Float.abs (mean_gap -. 500.0) < 50.0)
+
+(* The serving harness end to end, twice: byte-identical reports, every
+   crash recovered in-run, during-churn buckets populated, arena clean. *)
+let test_serve_deterministic_churn () =
+  let cfg = Serve.default_cfg ~keys:4_000 ~ops:3_000 in
+  let cfg =
+    { cfg with Serve.writers = 2; readers = 2; monitor_every = 60;
+      hb_every = 30; final_check = true }
+  in
+  let r1 = Serve.run cfg in
+  let r2 = Serve.run cfg in
+  Alcotest.(check string) "identical reports" (Serve.report_to_json r1)
+    (Serve.report_to_json r2);
+  Alcotest.(check bool) "all recovered" true r1.Serve.all_recovered;
+  Alcotest.(check int) "every crash recovered" r1.Serve.crashes
+    r1.Serve.recoveries;
+  Alcotest.(check bool) "crashes happened" true (r1.Serve.crashes >= 2);
+  Alcotest.(check int) "one planned leave" 1 r1.Serve.leaves;
+  Alcotest.(check int) "one join" 1 r1.Serve.joins;
+  Alcotest.(check int) "validator clean" 0 r1.Serve.check_errors;
+  Alcotest.(check int) "nothing left parked" 0 r1.Serve.deferred_left;
+  Alcotest.(check bool) "during-churn buckets populated" true
+    (List.exists
+       (fun c -> c.Serve.during_churn && c.Serve.count > 0)
+       r1.Serve.classes);
+  let s = Serve.churn_to_string cfg.Serve.churn in
+  (match Serve.churn_of_string s with
+  | Ok c -> Alcotest.(check string) "schedule roundtrip" s
+              (Serve.churn_to_string c)
+  | Error e -> Alcotest.fail e);
+  match Serve.churn_of_string "bogus@5" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a bogus churn action"
 
 let suite =
   [
@@ -335,4 +543,14 @@ let suite =
     Alcotest.test_case "kv iter/keys" `Quick test_kv_iter;
     Alcotest.test_case "tatp mix" `Quick test_tatp_mix;
     Alcotest.test_case "smallbank runs" `Quick test_smallbank_runs;
+    Alcotest.test_case "zipf vs exact CDF" `Quick test_zipf_reference;
+    Alcotest.test_case "ycsb streaming load" `Quick test_ycsb_load_stream;
+    Alcotest.test_case "ycsb D latest bias" `Quick test_ycsb_latest_bias;
+    Alcotest.test_case "rmw semantics (YCSB-F)" `Quick test_rmw_semantics;
+    Alcotest.test_case "quiesce is era-tied" `Quick test_quiesce_era_tied;
+    Alcotest.test_case "deferred handoff/adopt" `Quick test_handoff_adopt;
+    Alcotest.test_case "open-loop arrival schedule" `Quick
+      test_load_gen_schedule;
+    Alcotest.test_case "serve: deterministic churn run" `Quick
+      test_serve_deterministic_churn;
   ]
