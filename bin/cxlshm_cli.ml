@@ -608,10 +608,27 @@ let soak_cmd =
 
 (* ---- monitor: replicated failure-monitor demo ---- *)
 
-let monitor_demo replicas seconds interval kill_leader seed =
+let monitor_demo replicas seconds interval kill_leader kill_writer seed =
   if replicas < 1 then begin
     Printf.eprintf "need at least one replica\n";
     2
+  end
+  else if kill_writer then begin
+    (* Deterministic KV failover: writer killed mid-quiesce, registry
+       journaled by recovery, parked records adopted by a successor. *)
+    let k = Cxlshm_kv.Kv_soak.writer_kill_adopt ~seed () in
+    Format.printf "writer-kill adoption: %a@." Cxlshm_kv.Kv_soak.pp_report k;
+    if
+      k.Cxlshm_kv.Kv_soak.ka_writer_crashed
+      && k.ka_journaled > 0 && k.ka_adopted = k.ka_journaled
+      && k.ka_pinned_freed = 0 && k.ka_clean
+    then begin
+      Printf.printf
+        "monitor journaled the dead writer's parked records and the \
+         successor adopted them era-gated\n";
+      0
+    end
+    else 1
   end
   else if kill_leader then begin
     (* Deterministic control-plane failover: hung client, leader killed
@@ -685,7 +702,10 @@ let monitor_cmd =
           silent client. With $(b,--kill-leader), runs the deterministic \
           failover story instead: a hung client under load, the leader \
           replica killed mid-recovery, the follower deposing it, finishing \
-          the recovery and draining a fully-degraded device.")
+          the recovery and draining a fully-degraded device. With \
+          $(b,--kill-writer), runs the KV adoption drill: a writer killed \
+          mid-quiesce, its parked-record registry journaled by recovery \
+          and adopted era-gated by a successor.")
     Term.(
       const monitor_demo
       $ Arg.(
@@ -701,6 +721,12 @@ let monitor_cmd =
           value & flag
           & info [ "kill-leader" ]
               ~doc:"Deterministic leader-kill failover scenario.")
+      $ Arg.(
+          value & flag
+          & info [ "kill-writer" ]
+              ~doc:
+                "Deterministic KV writer-kill adoption scenario (crash \
+                 mid-quiesce, registry journaled, successor adopts).")
       $ Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Failover workload seed."))
 
 (* ---- evacuate: drain live data off a degraded device ---- *)
@@ -983,11 +1009,12 @@ let explore_model_of_name ~capacity ~values ~rounds name =
   | "dual-monitor" -> Check_scenarios.dual_monitor ?passes:rounds ()
   | "evacuate" -> Check_scenarios.evacuate ?rounds ()
   | "kv-serve" -> Check_scenarios.kv_serve ()
+  | "kv-serve-recover" -> Check_scenarios.kv_serve_recover ()
   | n ->
       Printf.eprintf
         "unknown model %s (have: spsc, transfer, transfer-batch, refc, huge, \
          epoch-retire, sharded-alloc, lease, dual-monitor, evacuate, \
-         kv-serve)\n"
+         kv-serve, kv-serve-recover)\n"
         n;
       exit 2
 
@@ -996,10 +1023,11 @@ let set_mutation = function
   | "spsc-pop" -> Cxlshm_spsc.Spsc_queue.mutation_unfenced_pop := true
   | "transfer-head" -> Cxlshm.Transfer.mutation_unfenced_advance := true
   | "kv-quiesce" -> Cxlshm_kv.Cxl_kv.mutation_unconditional_quiesce := true
+  | "kv-crash-reap" -> Cxlshm.Recovery.mutation_crash_reap := true
   | m ->
       Printf.eprintf
         "unknown mutation %s (have: none, spsc-pop, transfer-head, \
-         kv-quiesce)\n" m;
+         kv-quiesce, kv-crash-reap)\n" m;
       exit 2
 
 let explore models mode seed schedules preemptions no_crash max_steps capacity
@@ -1091,8 +1119,8 @@ let explore_cmd =
        ~doc:
          "Model-check the concurrent protocols: run the built-in models \
           (spsc, transfer, transfer-batch, refc, huge, epoch-retire, \
-          sharded-alloc, lease, dual-monitor, evacuate, kv-serve) under a \
-          controlled cooperative scheduler \
+          sharded-alloc, lease, dual-monitor, evacuate, kv-serve, \
+          kv-serve-recover) under a controlled cooperative scheduler \
           with seeded-random, PCT, or bounded-preemption exhaustive \
           exploration and optional crash injection at any yield point. \
           Every failure prints a schedule string that $(b,--replay) \
@@ -1141,8 +1169,8 @@ let explore_cmd =
           & info [ "mutate" ]
               ~doc:
                 "Re-introduce a historical ordering bug before exploring: \
-                 $(b,spsc-pop), $(b,transfer-head) or $(b,kv-quiesce) \
-                 (self-check).")
+                 $(b,spsc-pop), $(b,transfer-head), $(b,kv-quiesce) or \
+                 $(b,kv-crash-reap) (self-check).")
       $ Arg.(
           value
           & opt (some string) None

@@ -683,12 +683,108 @@ let kv_serve () : Explore.model =
   in
   { Explore.name = "kv-serve"; make; branch = arena_branch }
 
+(* ---- kv-serve-recover: writer crash, adoption racing the pinned walk ---- *)
+
+let kv_serve_recover () : Explore.model =
+  let module Kv = Cxlshm_kv.Cxl_kv in
+  let make () =
+    (* One shard domain: a non-owner free of the dead writer's record block
+       (exactly what the era-blind reap mutation performs) parks it on the
+       shared domain stack, and the recoverer's next same-class allocation
+       pops that very block — so the decoy below provably lands in the
+       freed record if, and only if, recovery freed it under the reader. *)
+    let cfg = { arena_cfg with Config.num_domains = 1 } in
+    let arena = Shm.create ~cfg () in
+    let w = Shm.join arena () in
+    let r = Shm.join arena () in
+    let s = Shm.join arena () in
+    let store, hw = Kv.create w ~buckets:1 ~partitions:1 ~value_words:1 in
+    if not (Kv.claim_partition hw 0) then
+      fail "kv-serve-recover: claim failed";
+    Kv.put hw ~key:0 ~value:100;
+    Kv.put hw ~key:1 ~value:101;
+    let hr = Kv.open_store r store in
+    let hs = Kv.open_store s store in
+    Kv.walk_hook := (fun () -> Sched.yield "kv-walk");
+    let observed = ref None in
+    let w_done = ref false and w_clean = ref false in
+    let w_recovered = ref false in
+    let writer () =
+      Fun.protect ~finally:(fun () -> w_done := true) @@ fun () ->
+      Kv.put_cow hw ~key:1 ~value:201;
+      Kv.quiesce hw;
+      w_clean := true
+    in
+    let reader () = observed := Some (Kv.get hr ~key:1) in
+    (* The successor plays the monitor: once the writer is done (or dead)
+       it recovers the crash, takes over the partition, adopts whatever
+       recovery journaled — original retire stamps intact — and then
+       allocates from the record's size class. Recovery and adoption run
+       interleaved with the reader's paused walk; under the [kv-crash-reap]
+       mutation the era-blind reap frees the parked record, this decoy
+       reuses its block, and the pinned reader observes 0xDEAD. *)
+    let decoys = ref [] in
+    let recoverer () =
+      while not !w_done do
+        Sched.yield "rec-wait"
+      done;
+      if not !w_clean then begin
+        let svc = Shm.service_ctx arena in
+        Client.declare_failed svc ~cid:w.Ctx.cid;
+        (* Recovery runs under the successor's own identity: a monitor is
+           never the owner of the dead writer's segment, so the mutated
+           era-blind free must take the cross-client shard path — the one
+           the decoy allocation below pops from. *)
+        ignore (Recovery.recover s ~failed_cid:w.Ctx.cid);
+        w_recovered := true
+      end;
+      ignore (Kv.takeover_partition hs 0);
+      ignore (Kv.adopt_recovered hs);
+      (* Two decoys, dropped only in the check (a drop would overwrite the
+         poison with allocator metadata before the paused reader resumes):
+         an era-blind reap can cascade — the parked record's teardown frees
+         its chain tail too — and only the *second* pop reaches the block
+         the reader is standing on. *)
+      for _ = 1 to 2 do
+        let d = Shm.cxl_malloc_words s ~data_words:3 ~emb_cnt:1 () in
+        decoys := d :: !decoys;
+        Cxl_ref.write_word d 1 1;
+        Cxl_ref.write_word d 2 0xDEAD
+      done
+    in
+    let check ~crashed =
+      Kv.walk_hook := (fun () -> ());
+      (match !observed with
+      | Some (Some v) when v <> 101 && v <> 201 ->
+          fail "kv-serve-recover: reader observed 0x%x (read of a freed \
+                record)" v
+      | Some None -> fail "kv-serve-recover: reader lost key 1 mid-walk"
+      | Some (Some _) | None -> ());
+      if not (List.mem 2 crashed) then List.iter Cxl_ref.drop !decoys;
+      if not (List.mem 0 crashed) then begin
+        Kv.quiesce hw;
+        Kv.close hw
+      end;
+      if not (List.mem 1 crashed) then Kv.close hr;
+      if not (List.mem 2 crashed) then Kv.close hs;
+      (* The in-run recovery already condemned and recovered the writer;
+         the oracle must not declare it failed a second time. *)
+      let crashed =
+        if !w_recovered then List.filter (fun i -> i <> 0) crashed
+        else crashed
+      in
+      arena_check arena ~cids:[| w.Ctx.cid; r.Ctx.cid; s.Ctx.cid |] ~crashed
+    in
+    { Explore.clients = [| writer; reader; recoverer |]; check }
+  in
+  { Explore.name = "kv-serve-recover"; make; branch = arena_branch }
+
 (* ---- registry ---- *)
 
 let all () =
   [ spsc (); transfer (); transfer ~batched:true (); refc (); huge ();
     epoch_retire (); sharded_alloc (); lease (); dual_monitor ();
-    evacuate (); kv_serve () ]
+    evacuate (); kv_serve (); kv_serve_recover () ]
 
 let find name =
   match List.find_opt (fun m -> m.Explore.name = name) (all ()) with

@@ -70,6 +70,19 @@ val kv_serve : unit -> Explore.model
     [put_cow]. The [mutation_unconditional_quiesce] flag re-introduces
     era-blind reclamation, which this model must catch. *)
 
+val kv_serve_recover : unit -> Explore.model
+(** Crash-then-recover variant of [kv_serve] (model name
+    ["kv-serve-recover"]): the writer COW-updates and quiesces while a
+    reader is pinned mid-bucket-walk, and a third client — playing the
+    monitor — recovers any writer crash {e interleaved with} the reader's
+    steps, takes over the partition, adopts the journaled parked records
+    ([Cxl_kv.adopt_recovered]) and allocates from the record's size class
+    (over one shard domain, so an era-blind free is provably reused).
+    Oracle: the pinned reader never observes the 0xDEAD decoy. The
+    [Recovery.mutation_crash_reap] flag re-introduces the historical
+    era-blind reap of the dead writer's parked list, which the
+    bounded-exhaustive crash search must catch. *)
+
 val all : unit -> Explore.model list
 
 val find : string -> Explore.model

@@ -21,6 +21,13 @@ type t = {
       (* Client lease lifetime in lease-clock ticks: a heartbeat extends the
          client's lease to now + lease_ttl; a lease observed expired makes
          the client Suspected, a second full TTL of silence condemns it. *)
+  park_slots : int;
+      (* Per-client persistent parked-record registry capacity: each KV
+         writer records its deferred (retire-epoch-stamped) rootrefs here
+         so a crash-recovery pass can adopt them instead of reaping. *)
+  adopt_slots : int;
+      (* Arena-wide adoption-journal capacity: entries a recovery pass
+         parked on behalf of a dead writer, awaiting a successor. *)
 }
 
 let default =
@@ -40,6 +47,8 @@ let default =
     epoch_batch = 16;
     num_domains = 4;
     lease_ttl = 4;
+    park_slots = 256;
+    adopt_slots = 512;
   }
 
 let small =
@@ -61,6 +70,8 @@ let small =
     epoch_batch = 0;
     num_domains = 0;
     lease_ttl = 4;
+    park_slots = 16;
+    adopt_slots = 16;
   }
 
 let header_words = 2
@@ -90,6 +101,10 @@ let validate t =
      is 48 bits wide, so cap the TTL well below that. *)
   if t.lease_ttl < 1 || t.lease_ttl > 1 lsl 20 then
     fail "lease_ttl must be in [1, 2^20]";
+  if t.park_slots < 1 || t.park_slots > 1 lsl 16 then
+    fail "park_slots must be in [1, 2^16]";
+  if t.adopt_slots < 1 || t.adopt_slots > 1 lsl 16 then
+    fail "adopt_slots must be in [1, 2^16]";
   let prob name p =
     if p < 0. || p > 1. then fail (name ^ " must be a probability in [0, 1]")
   in

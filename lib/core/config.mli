@@ -69,6 +69,22 @@ type t = {
           the bare heartbeat-miss counter cannot distinguish from slow
           ones. Also bounds the monitor leader lease (same clock). Must be
           in [1, 2^20]. *)
+  park_slots : int;
+      (** Capacity of each client's persistent parked-record registry
+          ([Layout.park_slot_rr]): a KV writer mirrors its volatile
+          deferred list — rootref plus retire-epoch stamp — into these
+          slots so that if it dies mid-quiesce the recovery service can
+          move the survivors into the adoption journal (era intact)
+          instead of reaping them under a pinned reader. Overflow degrades
+          gracefully to volatile-only parking (a warning is logged; those
+          records lose crash-adoption, not era safety while the owner
+          lives). Must be in [1, 2^16]. *)
+  adopt_slots : int;
+      (** Capacity of the arena-wide adoption journal
+          ([Layout.adopt_slot_rr]): entries recovery parked on behalf of a
+          dead writer — {rootref, original retire stamp, claim word} —
+          waiting for a successor's {!Cxl_kv.adopt_recovered}. Must be in
+          [1, 2^16]. *)
 }
 
 val default : t

@@ -33,6 +33,10 @@ type point =
   | Evac_after_copy
   | Evac_after_repoint
   | Evac_before_release
+  | Park_after_append
+  | Adopt_mid_journal
+  | Adopt_after_claim
+  | Adopt_after_append
 
 let point_name = function
   | Alloc_after_rootref -> "alloc-after-rootref"
@@ -67,6 +71,10 @@ let point_name = function
   | Evac_after_copy -> "evac-after-copy"
   | Evac_after_repoint -> "evac-after-repoint"
   | Evac_before_release -> "evac-before-release"
+  | Park_after_append -> "park-after-append"
+  | Adopt_mid_journal -> "adopt-mid-journal"
+  | Adopt_after_claim -> "adopt-after-claim"
+  | Adopt_after_append -> "adopt-after-append"
 
 let all_points =
   [
@@ -102,6 +110,10 @@ let all_points =
     Evac_after_copy;
     Evac_after_repoint;
     Evac_before_release;
+    Park_after_append;
+    Adopt_mid_journal;
+    Adopt_after_claim;
+    Adopt_after_append;
   ]
 
 type mode =

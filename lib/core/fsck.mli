@@ -31,6 +31,10 @@ type report = {
   trace_rings_reset : int;
       (** per-client event rings zeroed because the cursor or a published
           slot failed to decode (torn control-plane store) *)
+  adopt_fixed : int;
+      (** adoption-journal / park-registry entries cleared (dangling
+          rootref, stale claim, duplicate, or registry residue of a freed
+          client slot) *)
   validation : Validate.t;  (** final post-repair verdict *)
 }
 

@@ -29,6 +29,7 @@ type t = private {
   locks_base : int;
   roots_base : int;
   recovery_base : int;
+  adopt_base : int;
   trace_base : int;
   trace_ring_words : int;
   segments_base : int;
@@ -170,6 +171,22 @@ val retire_count : t -> int -> Cxlshm_shmem.Pptr.t
 val retire_era : t -> int -> Cxlshm_shmem.Pptr.t
 val retire_slot : t -> int -> int -> Cxlshm_shmem.Pptr.t
 
+(** {1 Parked-record registry}
+
+    Per client, inside its ClientLocalState after the retirement journal:
+    [Config.park_slots] pairs of [(stamp, rr)]. A KV writer mirrors its
+    volatile deferred list here — the rootref parking a displaced record
+    plus the retire-epoch stamp that gates its reclamation. The rr word is
+    the commit point (stamp written and fenced first); rr = 0 marks the
+    slot free regardless of the stamp word. If the owner dies, recovery
+    ({!Recovery.recover_parked}) moves the occupied slots into the
+    adoption journal with stamps intact instead of reaping era-blind. *)
+
+val park_capacity : t -> int
+val park_slot_stamp : t -> int -> int -> Cxlshm_shmem.Pptr.t
+val park_slot_rr : t -> int -> int -> Cxlshm_shmem.Pptr.t
+(** [park_slot_stamp/rr lay cid k] — the two words of registry slot [k]. *)
+
 val domain_class_head : t -> int -> int -> Cxlshm_shmem.Pptr.t
 (** [domain_class_head lay d c] — head word of domain [d]'s sharded free
     stack for size class [c] (packed {tag, pptr} Treiber stack, same shape
@@ -201,6 +218,25 @@ val recovery_phase : t -> Cxlshm_shmem.Pptr.t
 val recovery_wl_top : t -> Cxlshm_shmem.Pptr.t
 val recovery_wl_slot : t -> int -> Cxlshm_shmem.Pptr.t
 val recovery_wl_capacity : t -> int
+
+(** {1 Adoption journal}
+
+    Arena-wide region of [Config.adopt_slots] slots of {!adopt_slot_words}
+    words each: [{rr, stamp, claim}]. Recovery of a dead KV writer parks
+    the writer's still-live deferred records here (original retire stamps
+    intact) for a successor to adopt ({!Cxl_kv.adopt_recovered}); the rr
+    word is the commit point (stamp written, claim zeroed, fence, then rr);
+    [claim = cid + 1] marks an adoption in flight by that successor, so a
+    crash between claiming and re-registering is resumable: the claimant's
+    own recovery either completes the move (its registry holds the rr) or
+    resets the claim. Like the PR-7 evacuation journal, every transition
+    is idempotent under re-execution. *)
+
+val adopt_slot_words : int
+val adopt_capacity : t -> int
+val adopt_slot_rr : t -> int -> Cxlshm_shmem.Pptr.t
+val adopt_slot_stamp : t -> int -> Cxlshm_shmem.Pptr.t
+val adopt_slot_claim : t -> int -> Cxlshm_shmem.Pptr.t
 
 (** {1 Trace rings}
 

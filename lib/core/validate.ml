@@ -237,6 +237,65 @@ let run mem lay =
     done
   end;
 
+  (* ---- parked-record registries and the adoption journal ---- *)
+  (* Both structures hold rootrefs (the rootref page scan above already
+     counted them as object holders); here we check the structures
+     themselves: an occupied entry must name a live rootref with a target,
+     a journal claim must name a possible client, and no rootref may be
+     journaled twice. *)
+  let rootref_ok rr =
+    rr > 0 && rr < lay.Layout.total_words
+    && (match Layout.page_gid_of_addr lay rr with
+       | exception Invalid_argument _ -> false
+       | gid ->
+           page_kind gid = rr_kind
+           && (rr - Layout.page_area lay ~gid) mod Config.rootref_words = 0)
+  in
+  for c = 0 to cfg.Config.max_clients - 1 do
+    for k = 0 to Layout.park_capacity lay - 1 do
+      let rr = peek (Layout.park_slot_rr lay c k) in
+      if rr <> 0 then
+        if not (rootref_ok rr && Rootref.peek_in_use mem rr) then begin
+          acc.wild <- acc.wild + 1;
+          err acc "park registry c%d[%d]: rr @%d is not a live rootref" c k rr
+        end
+        else if peek (Layout.client_flags lay c) = 0 then begin
+          acc.mism <- acc.mism + 1;
+          err acc
+            "park registry c%d[%d]: entry @%d outlived its freed client \
+             slot (recovery should have journaled it)"
+            c k rr
+        end
+    done
+  done;
+  let journaled : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  for i = 0 to Layout.adopt_capacity lay - 1 do
+    let rr = peek (Layout.adopt_slot_rr lay i) in
+    let claim = peek (Layout.adopt_slot_claim lay i) in
+    if claim < 0 || claim > cfg.Config.max_clients then begin
+      acc.mism <- acc.mism + 1;
+      err acc "adoption journal [%d]: claim %d names no possible client" i
+        claim
+    end;
+    if rr <> 0 then
+      if not (rootref_ok rr && Rootref.peek_in_use mem rr) then begin
+        acc.wild <- acc.wild + 1;
+        err acc "adoption journal [%d]: rr @%d is not a live rootref" i rr
+      end
+      else begin
+        (match Hashtbl.find_opt journaled rr with
+        | Some j ->
+            acc.dfree <- acc.dfree + 1;
+            err acc "adoption journal [%d]: rr @%d already journaled at [%d]"
+              i rr j
+        | None -> Hashtbl.replace journaled rr i);
+        if Rootref.peek_obj mem rr = 0 then begin
+          acc.mism <- acc.mism + 1;
+          err acc "adoption journal [%d]: rr @%d parks no object" i rr
+        end
+      end
+  done;
+
   (* ---- classify every block ---- *)
   let scan_pending seg =
     let st = seg_state seg in

@@ -15,7 +15,14 @@
     stamp every announced reader has moved past. A displaced record keeps
     its next-link until it is actually reclaimed, so a reader paused on it
     still reaches the live chain tail. Concurrent readers may transiently
-    miss entries deleted mid-walk — standard latch-free list semantics. *)
+    miss entries deleted mid-walk — standard latch-free list semantics.
+
+    Parking is {e persistent}: every parked record is mirrored into the
+    client's registry ({!Cxlshm.Layout.park_slot_rr}), so a writer crash
+    cannot turn the deferred list into an era-blind reap — recovery moves
+    the registry into the arena adoption journal and a successor re-parks
+    the records via {!adopt_recovered}, retire stamps intact. The registry
+    is per-client: open at most one writing handle per [Ctx.t]. *)
 
 type store = {
   index_obj : Cxlshm_shmem.Pptr.t;
@@ -100,6 +107,17 @@ val adopt_deferred : handle -> Cxlshm.Transfer.t -> max:int -> int
     records from the queue and re-park them under this handle with a fresh
     retire stamp (conservatively later than the original, so reader
     protection survives the handoff). Returns how many were adopted. *)
+
+val adopt_recovered : handle -> int
+(** Crash-adoption successor side: claim every unclaimed entry of the
+    arena-wide adoption journal — parked records a {e crashed} writer left
+    behind, moved there by recovery with their original retire stamps —
+    and re-park them under this handle, stamps intact, so recycling stays
+    gated on {!Cxlshm.Hazard.min_announced} exactly as if the dead writer
+    had quiesced them itself. Idempotent and crash-resumable (claim CAS,
+    registry re-append and journal clear are separate labeled crash
+    points). Returns how many records were adopted. Typically called after
+    {!takeover_partition} of the dead writer's partitions. *)
 
 val size_estimate : handle -> int
 (** Walks every bucket (reader-side full scan — legal in the

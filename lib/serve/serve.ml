@@ -382,6 +382,11 @@ let run cfg =
               if part_owner.(p) = idx then
                 ignore (Kv.Cxl_kv.takeover_partition h p)
             done;
+            (* Crash-adoption: recovery moved the dead writer's parked
+               records (retire stamps intact) into the arena adoption
+               journal; the replacement re-parks them so their recycling
+               stays era-gated instead of being reaped blind. *)
+            adopted := !adopted + Kv.Cxl_kv.adopt_recovered h;
             w.wctx <- ctx;
             w.wh <- h;
             w.wstatus <- `Alive;

@@ -151,6 +151,52 @@ let test_finds_kv_quiesce_mutation () =
       | Explore.Pass | Explore.Diverged ->
           Alcotest.fail "replay did not reproduce the failure")
 
+let string_contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* The era-blind crash reap, reintroduced: recovery of a dead writer frees
+   its parked records through the live eager path instead of journaling
+   them for adoption. The crash-then-recover model interleaves monitor
+   recovery with a reader paused mid-bucket-walk; bounded exhaustive search
+   must observe the 0xdead decoy through the paused reader, and the printed
+   schedule must replay to the bit-identical failure. *)
+let test_finds_crash_reap_mutation () =
+  with_flag Cxlshm.Recovery.mutation_crash_reap @@ fun () ->
+  let m = Scenarios.kv_serve_recover () in
+  let r = Explore.exhaustive ~preemptions:1 ~crash:true ~max_steps:60_000 m in
+  match r.Explore.failure with
+  | None -> Alcotest.fail "era-blind crash reap survived exhaustive search"
+  | Some f ->
+      Alcotest.(check bool)
+        ("failure is the use-after-free: " ^ f.Explore.reason)
+        true
+        (string_contains f.Explore.reason "0xdead");
+      let rr = Explore.replay m ~max_steps:60_000 f.Explore.schedule in
+      (match rr.Explore.outcome with
+      | Explore.Fail reason ->
+          Alcotest.(check string) "replay reproduces the same reason"
+            f.Explore.reason reason
+      | Explore.Pass | Explore.Diverged ->
+          Alcotest.fail "replay did not reproduce the failure")
+
+(* The crash-then-recover model must also hold up under the seeded-random
+   sweep (deeper interleavings than the bounded-exhaustive frontier). *)
+let test_kv_recover_random_sweep () =
+  let r =
+    Explore.random ~seed:11 ~schedules:200 ~crash:true ~max_steps:60_000
+      (Scenarios.kv_serve_recover ())
+  in
+  (match r.Explore.failure with
+  | None -> ()
+  | Some f ->
+      Alcotest.failf "kv-serve-recover failed under random sweep: %s (replay: %s)"
+        f.Explore.reason
+        (Schedule.to_string f.Explore.schedule));
+  Alcotest.(check bool) "crash schedules included" true
+    (r.Explore.crashes_injected > 0)
+
 (* With the flags off, the very same searches must come back clean —
    otherwise the self-check proves nothing. *)
 let test_unmutated_models_pass () =
@@ -172,9 +218,18 @@ let test_unmutated_models_pass () =
     Explore.exhaustive ~preemptions:2 ~crash:true ~max_steps:40_000
       (Scenarios.kv_serve ())
   in
-  match r3.Explore.failure with
+  (match r3.Explore.failure with
   | None -> ()
-  | Some f -> Alcotest.failf "unmutated kv-serve failed: %s" f.Explore.reason
+  | Some f -> Alcotest.failf "unmutated kv-serve failed: %s" f.Explore.reason);
+  (* the exact search that catches the era-blind crash reap *)
+  let r4 =
+    Explore.exhaustive ~preemptions:1 ~crash:true ~max_steps:60_000
+      (Scenarios.kv_serve_recover ())
+  in
+  match r4.Explore.failure with
+  | None -> ()
+  | Some f ->
+      Alcotest.failf "unmutated kv-serve-recover failed: %s" f.Explore.reason
 
 let suite =
   [
@@ -193,6 +248,10 @@ let suite =
       test_finds_transfer_head_mutation;
     Alcotest.test_case "finds the era-blind quiesce mutation" `Quick
       test_finds_kv_quiesce_mutation;
+    Alcotest.test_case "finds the era-blind crash reap" `Quick
+      test_finds_crash_reap_mutation;
+    Alcotest.test_case "crash-then-recover random sweep" `Quick
+      test_kv_recover_random_sweep;
     Alcotest.test_case "unmutated models pass the same searches" `Quick
       test_unmutated_models_pass;
   ]

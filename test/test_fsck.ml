@@ -219,9 +219,44 @@ let test_soak_matrix () =
     && json.[0] = '{'
     && contains json "\"failures\":0")
 
+(* Damaged adoption state: a dangling journal rootref, a stale claim and
+   registry residue of a freed client slot must fail verification, and one
+   repair pass must clear all three (pass 2.7). *)
+let test_adoption_journal_repaired () =
+  let arena = Shm.create ~cfg:Config.small () in
+  let mem, lay = mem_lay arena in
+  let a = Shm.join arena () in
+  (* a live durable root alongside the damage, to prove repair stays scoped *)
+  let keep = Shm.cxl_malloc a ~size_bytes:32 () in
+  Named_roots.publish a ~name:"keep" keep;
+  Cxl_ref.drop keep;
+  Shm.leave a;
+  Alcotest.(check bool) "pre-damage clean" true (check_clean arena);
+  (* dangling journal entry: rr word that is no valid live rootref *)
+  Mem.unsafe_poke mem (Layout.adopt_slot_stamp lay 0) 7;
+  Mem.unsafe_poke mem (Layout.adopt_slot_rr lay 0) 12345;
+  (* stale claim on an empty slot, naming a freed client *)
+  Mem.unsafe_poke mem (Layout.adopt_slot_claim lay 1) 3;
+  (* registry residue on a client slot that is free *)
+  Mem.unsafe_poke mem (Layout.park_slot_stamp lay 2 0) 9;
+  Mem.unsafe_poke mem (Layout.park_slot_rr lay 2 0) 54321;
+  Alcotest.(check bool) "damage detected" false (check_clean arena);
+  let r = repair arena in
+  Alcotest.(check bool) "repaired" true (Fsck.clean r);
+  Alcotest.(check bool) "adoption entries cleared" true (r.Fsck.adopt_fixed >= 3);
+  Alcotest.(check int) "journal slot zeroed" 0
+    (Mem.unsafe_peek mem (Layout.adopt_slot_rr lay 0));
+  Alcotest.(check int) "claim zeroed" 0
+    (Mem.unsafe_peek mem (Layout.adopt_slot_claim lay 1));
+  Alcotest.(check int) "registry residue zeroed" 0
+    (Mem.unsafe_peek mem (Layout.park_slot_rr lay 2 0));
+  let r2 = repair arena in
+  Alcotest.(check int) "idempotent" 0 r2.Fsck.adopt_fixed
+
 let suite =
   [
     Alcotest.test_case "clean arena: nothing to fix" `Quick test_clean_arena_nothing_to_fix;
+    Alcotest.test_case "adoption journal repaired" `Quick test_adoption_journal_repaired;
     Alcotest.test_case "torn header repaired" `Quick test_torn_header_repaired;
     Alcotest.test_case "wild ref cleared, orphan freed" `Quick test_wild_ref_cleared_unreachable_freed;
     Alcotest.test_case "broken geometry quarantined" `Quick test_broken_geometry_quarantined;

@@ -476,6 +476,333 @@ let test_handoff_adopt () =
   Alcotest.(check bool) ("clean: " ^ String.concat ";" v.Validate.errors) true
     (Validate.is_clean v)
 
+(* ---- PR-9: crash-adoption of a dead writer's parked records ---- *)
+
+module Mem = Cxlshm_shmem.Mem
+
+(* The writer's persistent parked-record registry, as (obj, stamp) pairs —
+   the objects recovery must never free while a reader era pins them. *)
+let registry_snapshot arena cid =
+  let lay = Shm.layout arena in
+  let peek = Mem.unsafe_peek (Shm.mem arena) in
+  let acc = ref [] in
+  for k = 0 to Layout.park_capacity lay - 1 do
+    let rr = peek (Layout.park_slot_rr lay cid k) in
+    if rr <> 0 then
+      acc :=
+        (peek (Rootref.pptr_slot rr), peek (Layout.park_slot_stamp lay cid k))
+        :: !acc
+  done;
+  !acc
+
+(* Tentpole satellite (a): a writer dies with era-pinned parked records;
+   recovery journals them (stamps intact) and a live successor adopts —
+   nothing is freed until the pinned reader moves on. *)
+let test_crash_adopt_successor () =
+  let arena, a, store, h = fresh () in
+  for k = 0 to 9 do
+    Cxl_kv.put h ~key:k ~value:k
+  done;
+  let rctx = Shm.join arena () in
+  let hr = Cxl_kv.open_store rctx store in
+  Hazard.enter rctx;
+  for k = 0 to 9 do
+    Cxl_kv.put_cow h ~key:k ~value:(100 + k)
+  done;
+  Alcotest.(check int) "ten parked" 10 (Cxl_kv.deferred_count h);
+  let parked = registry_snapshot arena a.Ctx.cid in
+  Alcotest.(check int) "ten registered" 10 (List.length parked);
+  let peek = Mem.unsafe_peek (Shm.mem arena) in
+  let svc = Shm.service_ctx arena in
+  Client.declare_failed svc ~cid:a.Ctx.cid;
+  let rep = Recovery.recover svc ~failed_cid:a.Ctx.cid in
+  Alcotest.(check int) "all ten journaled" 10 rep.Recovery.parked_journaled;
+  Alcotest.(check int) "journal pending" 10 (Recovery.adopt_pending svc);
+  List.iter
+    (fun (obj, _) ->
+      Alcotest.(check bool) "parked record survives recovery" true
+        (peek obj <> 0))
+    parked;
+  let b = Shm.join arena () in
+  let hb = Cxl_kv.open_store b store in
+  Alcotest.(check bool) "takeover" true (Cxl_kv.takeover_partition hb 0);
+  Alcotest.(check int) "successor adopts all" 10 (Cxl_kv.adopt_recovered hb);
+  Alcotest.(check int) "journal drained" 0 (Recovery.adopt_pending svc);
+  Alcotest.(check int) "re-parked at successor" 10 (Cxl_kv.deferred_count hb);
+  Cxl_kv.quiesce hb;
+  Alcotest.(check int) "stamps intact: still era-pinned" 10
+    (Cxl_kv.deferred_count hb);
+  List.iter
+    (fun (obj, _) ->
+      Alcotest.(check bool) "still live under the pin" true (peek obj <> 0))
+    parked;
+  (* the pinned reader still sees every post-COW value *)
+  for k = 0 to 9 do
+    Alcotest.(check (option int)) "reader value" (Some (100 + k))
+      (Cxl_kv.get hr ~key:k)
+  done;
+  Hazard.exit rctx;
+  Cxl_kv.quiesce hb;
+  Alcotest.(check int) "reclaimed once the era passed" 0
+    (Cxl_kv.deferred_count hb);
+  Cxl_kv.close hr;
+  Shm.leave rctx;
+  Cxl_kv.close hb;
+  ignore (Shm.scan_leaking arena);
+  let v = Shm.validate arena in
+  Alcotest.(check bool) ("clean: " ^ String.concat ";" v.Validate.errors) true
+    (Validate.is_clean v)
+
+(* Tentpole satellite (b): no successor joins — the journal keeps the dead
+   writer's records monitor-parked, era-gated, until the drain releases
+   them once every announced era has passed. *)
+let test_crash_no_successor_drain () =
+  let arena, a, store, h = fresh () in
+  for k = 0 to 5 do
+    Cxl_kv.put h ~key:k ~value:k
+  done;
+  let rctx = Shm.join arena () in
+  let hr = Cxl_kv.open_store rctx store in
+  Hazard.enter rctx;
+  for k = 0 to 5 do
+    Cxl_kv.put_cow h ~key:k ~value:(100 + k)
+  done;
+  let parked = registry_snapshot arena a.Ctx.cid in
+  let peek = Mem.unsafe_peek (Shm.mem arena) in
+  let svc = Shm.service_ctx arena in
+  Client.declare_failed svc ~cid:a.Ctx.cid;
+  let rep = Recovery.recover svc ~failed_cid:a.Ctx.cid in
+  Alcotest.(check int) "all journaled" 6 rep.Recovery.parked_journaled;
+  (* the era still pins: the drain must release nothing *)
+  Alcotest.(check int) "drain gated by the announced era" 0
+    (Recovery.drain_adopt_journal svc);
+  Alcotest.(check int) "still monitor-parked" 6 (Recovery.adopt_pending svc);
+  List.iter
+    (fun (obj, _) ->
+      Alcotest.(check bool) "pinned record not freed" true (peek obj <> 0))
+    parked;
+  for k = 0 to 5 do
+    Alcotest.(check (option int)) "reader value" (Some (100 + k))
+      (Cxl_kv.get hr ~key:k)
+  done;
+  Hazard.exit rctx;
+  Alcotest.(check int) "drained once the era passed" 6
+    (Recovery.drain_adopt_journal svc);
+  Alcotest.(check int) "journal empty" 0 (Recovery.adopt_pending svc);
+  Cxl_kv.close hr;
+  Shm.leave rctx;
+  ignore (Shm.scan_leaking arena);
+  let v = Shm.validate arena in
+  Alcotest.(check bool) ("clean: " ^ String.concat ";" v.Validate.errors) true
+    (Validate.is_clean v)
+
+(* Tentpole satellite (c): kill the protocol at every labeled adoption
+   crash point — the writer mid-park, the recovery service mid-journal and
+   mid-phases, a successor between claim / registry append / journal clear
+   — then resume; every parked record must end journaled exactly once,
+   adopted, and never freed while the reader era pins. *)
+let test_adoption_crash_windows () =
+  let run_point point =
+    let label suffix = Fault.point_name point ^ ": " ^ suffix in
+    let arena = Shm.create ~cfg:kv_cfg () in
+    let a = Shm.join arena () in
+    let store, h = Cxl_kv.create a ~buckets:16 ~partitions:1 ~value_words:1 in
+    Alcotest.(check bool) (label "claim") true (Cxl_kv.claim_partition h 0);
+    let nkeys = 6 in
+    for k = 0 to nkeys - 1 do
+      Cxl_kv.put h ~key:k ~value:k
+    done;
+    let rctx = Shm.join arena () in
+    let hr = Cxl_kv.open_store rctx store in
+    Hazard.enter rctx;
+    (* Park the displaced records; in the writer-side window the last COW
+       dies right after its registry append — registered, but neither
+       unlinked nor on the volatile deferred list. *)
+    let cows_committed =
+      if point = Fault.Park_after_append then begin
+        for k = 0 to nkeys - 2 do
+          Cxl_kv.put_cow h ~key:k ~value:(100 + k)
+        done;
+        a.Ctx.fault <- Fault.at point ~nth:1;
+        (try
+           Cxl_kv.put_cow h ~key:(nkeys - 1) ~value:(100 + nkeys - 1);
+           Alcotest.fail (label "expected writer crash")
+         with Fault.Crashed _ -> ());
+        a.Ctx.fault <- Fault.none;
+        nkeys - 1
+      end
+      else begin
+        for k = 0 to nkeys - 1 do
+          Cxl_kv.put_cow h ~key:k ~value:(100 + k)
+        done;
+        nkeys
+      end
+    in
+    let parked = registry_snapshot arena a.Ctx.cid in
+    Alcotest.(check int) (label "every park registered") nkeys
+      (List.length parked);
+    let peek = Mem.unsafe_peek (Shm.mem arena) in
+    let svc = Shm.service_ctx arena in
+    Client.declare_failed svc ~cid:a.Ctx.cid;
+    (* Recovery-side windows: die mid-move (entry in registry AND journal)
+       or after the move; a re-run resumes under the lock and must not
+       journal anything twice. *)
+    (match point with
+    | Fault.Adopt_mid_journal | Fault.Recovery_mid_phases ->
+        svc.Ctx.fault <- Fault.at point ~nth:1;
+        (try
+           ignore (Recovery.recover svc ~failed_cid:a.Ctx.cid);
+           Alcotest.fail (label "expected recovery crash")
+         with Fault.Crashed _ -> ());
+        svc.Ctx.fault <- Fault.none;
+        ignore (Recovery.recover svc ~failed_cid:a.Ctx.cid)
+    | _ -> ignore (Recovery.recover svc ~failed_cid:a.Ctx.cid));
+    Alcotest.(check int) (label "journal holds every parked record") nkeys
+      (Recovery.adopt_pending svc);
+    List.iter
+      (fun (obj, _) ->
+        Alcotest.(check bool) (label "pinned record survives recovery") true
+          (peek obj <> 0))
+      parked;
+    (* Successor-side windows: the first adopter dies between claim,
+       registry append and journal clear; recovering IT resolves the
+       half-done adoption (committed move re-journals from its registry, an
+       uncommitted claim is voided) and a second successor takes over. *)
+    let b1 = Shm.join arena () in
+    let hb1 = Cxl_kv.open_store b1 store in
+    let hb =
+      if point = Fault.Adopt_after_claim || point = Fault.Adopt_after_append
+      then begin
+        b1.Ctx.fault <- Fault.at point ~nth:1;
+        (try
+           ignore (Cxl_kv.adopt_recovered hb1);
+           Alcotest.fail (label "expected successor crash")
+         with Fault.Crashed _ -> ());
+        b1.Ctx.fault <- Fault.none;
+        Client.declare_failed svc ~cid:b1.Ctx.cid;
+        ignore (Recovery.recover svc ~failed_cid:b1.Ctx.cid);
+        Alcotest.(check int) (label "journal intact after successor crash")
+          nkeys
+          (Recovery.adopt_pending svc);
+        let b2 = Shm.join arena () in
+        Cxl_kv.open_store b2 store
+      end
+      else hb1
+    in
+    Alcotest.(check bool) (label "takeover") true
+      (Cxl_kv.takeover_partition hb 0);
+    Alcotest.(check int) (label "adopted all") nkeys
+      (Cxl_kv.adopt_recovered hb);
+    Alcotest.(check int) (label "journal empty") 0 (Recovery.adopt_pending svc);
+    Cxl_kv.quiesce hb;
+    Alcotest.(check int) (label "stamps intact: still era-pinned") nkeys
+      (Cxl_kv.deferred_count hb);
+    List.iter
+      (fun (obj, _) ->
+        Alcotest.(check bool) (label "still live under the pin") true
+          (peek obj <> 0))
+      parked;
+    (* the pinned reader sees a consistent store: committed COWs show the
+       new value, the crashed COW kept the old record in the chain *)
+    for k = 0 to nkeys - 1 do
+      let expect = if k < cows_committed then 100 + k else k in
+      Alcotest.(check (option int)) (label "reader value") (Some expect)
+        (Cxl_kv.get hr ~key:k)
+    done;
+    Hazard.exit rctx;
+    Cxl_kv.quiesce hb;
+    Alcotest.(check int) (label "reclaimed once the era passed") 0
+      (Cxl_kv.deferred_count hb);
+    Cxl_kv.close hr;
+    Shm.leave rctx;
+    Cxl_kv.close hb;
+    ignore (Shm.scan_leaking arena);
+    let v = Shm.validate arena in
+    Alcotest.(check bool)
+      (label ("clean: " ^ String.concat ";" v.Validate.errors))
+      true (Validate.is_clean v)
+  in
+  List.iter run_point
+    [
+      Fault.Park_after_append;
+      Fault.Adopt_mid_journal;
+      Fault.Recovery_mid_phases;
+      Fault.Adopt_after_claim;
+      Fault.Adopt_after_append;
+    ]
+
+(* Partial-handoff regression: a transfer ring too small for the parked
+   list moves only a dense prefix; the retained suffix must keep its
+   ORIGINAL retire stamps and registry slots (the historical bug re-handled
+   the suffix, so a quiesce right after a partial send freed era-pinned
+   records). *)
+let test_partial_handoff_era_pinned () =
+  let arena, a, store, h = fresh () in
+  for k = 0 to 9 do
+    Cxl_kv.put h ~key:k ~value:k
+  done;
+  let rctx = Shm.join arena () in
+  let hr = Cxl_kv.open_store rctx store in
+  Hazard.enter rctx;
+  for k = 0 to 9 do
+    Cxl_kv.put_cow h ~key:k ~value:(100 + k)
+  done;
+  let before = registry_snapshot arena a.Ctx.cid in
+  let peek = Mem.unsafe_peek (Shm.mem arena) in
+  let b = Shm.join arena () in
+  let hb = Cxl_kv.open_store b store in
+  let q = Transfer.connect a ~receiver:b.Ctx.cid ~capacity:4 in
+  let sent = Cxl_kv.handoff_deferred h q in
+  Alcotest.(check bool) "ring forced a partial send" true
+    (sent > 0 && sent < 10);
+  Alcotest.(check int) "suffix retained" (10 - sent) (Cxl_kv.deferred_count h);
+  (* the retained entries keep their original stamps in the registry *)
+  let after = registry_snapshot arena a.Ctx.cid in
+  Alcotest.(check int) "registry matches the suffix" (10 - sent)
+    (List.length after);
+  List.iter
+    (fun (obj, stamp) ->
+      match List.assoc_opt obj before with
+      | Some orig ->
+          Alcotest.(check int) "original retire stamp kept" orig stamp
+      | None -> Alcotest.fail "retained entry not in pre-handoff registry")
+    after;
+  (* quiesce right after the partial send: the era still pins, so nothing
+     may be freed on either side *)
+  Cxl_kv.quiesce h;
+  Alcotest.(check int) "quiesce freed no pinned suffix" (10 - sent)
+    (Cxl_kv.deferred_count h);
+  List.iter
+    (fun (obj, _) ->
+      Alcotest.(check bool) "record still live" true (peek obj <> 0))
+    before;
+  let qb = Option.get (Transfer.open_from b ~sender:a.Ctx.cid) in
+  Alcotest.(check int) "prefix adopted" sent
+    (Cxl_kv.adopt_deferred hb qb ~max:sent);
+  Transfer.close qb;
+  Transfer.close q;
+  Cxl_kv.quiesce hb;
+  Alcotest.(check int) "adopted prefix still pinned" sent
+    (Cxl_kv.deferred_count hb);
+  for k = 0 to 9 do
+    Alcotest.(check (option int)) "reader value" (Some (100 + k))
+      (Cxl_kv.get hr ~key:k)
+  done;
+  Hazard.exit rctx;
+  Cxl_kv.quiesce h;
+  Cxl_kv.quiesce hb;
+  Alcotest.(check int) "suffix reclaimed" 0 (Cxl_kv.deferred_count h);
+  Alcotest.(check int) "prefix reclaimed" 0 (Cxl_kv.deferred_count hb);
+  Cxl_kv.close hr;
+  Shm.leave rctx;
+  Cxl_kv.close hb;
+  Shm.leave b;
+  Cxl_kv.close h;
+  ignore (Shm.scan_leaking arena);
+  let v = Shm.validate arena in
+  Alcotest.(check bool) ("clean: " ^ String.concat ";" v.Validate.errors) true
+    (Validate.is_clean v)
+
 let test_load_gen_schedule () =
   let g1 = Load_gen.create ~rate_mops:2.0 ~seed:11 in
   let g2 = Load_gen.create ~rate_mops:2.0 ~seed:11 in
@@ -549,6 +876,14 @@ let suite =
     Alcotest.test_case "rmw semantics (YCSB-F)" `Quick test_rmw_semantics;
     Alcotest.test_case "quiesce is era-tied" `Quick test_quiesce_era_tied;
     Alcotest.test_case "deferred handoff/adopt" `Quick test_handoff_adopt;
+    Alcotest.test_case "crash adoption: live successor" `Quick
+      test_crash_adopt_successor;
+    Alcotest.test_case "crash adoption: monitor-parked drain" `Quick
+      test_crash_no_successor_drain;
+    Alcotest.test_case "adoption crash windows resume" `Quick
+      test_adoption_crash_windows;
+    Alcotest.test_case "partial handoff keeps era pins" `Quick
+      test_partial_handoff_era_pinned;
     Alcotest.test_case "open-loop arrival schedule" `Quick
       test_load_gen_schedule;
     Alcotest.test_case "serve: deterministic churn run" `Quick

@@ -14,6 +14,8 @@ let gen_cfg =
     let* trace_slots = 16 -- 64 in
     let* epoch_batch = 0 -- 32 in
     let* num_domains = 0 -- 8 in
+    let* park_slots = 1 -- 64 in
+    let* adopt_slots = 1 -- 64 in
     let num_domains = min num_domains max_clients in
     return
       {
@@ -32,6 +34,8 @@ let gen_cfg =
         epoch_batch;
         num_domains;
         lease_ttl = 4;
+        park_slots;
+        adopt_slots;
       })
 
 let arb_cfg = QCheck.make gen_cfg
