@@ -363,15 +363,30 @@ let bench_leak_scan () =
 (* Fig 8: CXL-RPC vs RDMA RPC vs raw SPSC                              *)
 (* ------------------------------------------------------------------ *)
 
-let rpc_cfg pairs =
+let rpc_cfg ?(page_words = 1024) ?(num_segments = 128)
+    ?(pages_per_segment = 16) pairs =
   {
     Config.default with
     Config.max_clients = max 4 ((2 * pairs) + 2);
-    num_segments = 128;
-    pages_per_segment = 16;
-    page_words = 1024;
+    num_segments;
+    pages_per_segment;
+    page_words;
     queue_slots = max 64 (8 * pairs);
   }
+
+(* Arguments now live inside the channel sub-heap (pointer isolation), so
+   the largest payload must fit a size class: pick the page size so the
+   payload is a class block, and shrink the arena so big pages don't blow
+   up the simulated-memory footprint. *)
+let rpc_payload_cfg pairs payload_bytes =
+  let words = ((payload_bytes + 7) / 8) + 64 in
+  let rec fit p = if p >= words then p else fit (2 * p) in
+  let page_words = fit 1024 in
+  let scale = page_words / 1024 in
+  rpc_cfg ~page_words
+    ~num_segments:(max 8 (128 / scale))
+    ~pages_per_segment:(if scale >= 8 then 4 else 16)
+    pairs
 
 (* One client/server pair exchanging [calls] CXL-RPC calls, driven in
    lockstep from one thread so the modeled clock contains only useful work
@@ -381,7 +396,7 @@ let cxl_rpc_pair arena ~calls ~payload_bytes =
   let s = Shm.join arena () in
   let srv = Rpc.Cxl_rpc.accept s ~client_cid:c.Ctx.cid ~capacity:32 in
   let client = Rpc.Cxl_rpc.connect c ~server_cid:s.Ctx.cid ~capacity:32 in
-  let payload = Shm.cxl_malloc c ~size_bytes:payload_bytes () in
+  let payload = Rpc.Cxl_rpc.alloc_arg client ~size_bytes:payload_bytes () in
   for _ = 1 to calls do
     let p = Rpc.Cxl_rpc.call_async client ~func:1 ~args:[ payload ] ~output_bytes:8 in
     let served =
@@ -481,7 +496,7 @@ let bench_fig8_payload () =
   List.iter
     (fun size ->
       let calls = quick 2_000 300 in
-      let arena = Shm.create ~cfg:(rpc_cfg 1) () in
+      let arena = Shm.create ~cfg:(rpc_payload_cfg 1 size) () in
       let s = cxl_rpc_pair arena ~calls ~payload_bytes:size in
       let cxl_kops = float_of_int calls /. (Stats.modeled_ns model s /. 1e6) in
       let rdma_ns = run_rdma ~calls ~payload_bytes:size in
@@ -500,16 +515,198 @@ let bench_fig8_payload () =
     \    while pass-by-value RDMA degrades with size)"
 
 (* ------------------------------------------------------------------ *)
+(* RPC isolation: zero-copy CXL-RPC vs pass-by-value RDMA              *)
+(* ------------------------------------------------------------------ *)
+
+(* Fan-in: [n] clients call one server process; the server owns one
+   endpoint per client and serves them round-robin. The makespan is the
+   busiest context's modeled clock — with fan-in the server is the shared
+   bottleneck. *)
+let cxl_rpc_fan_in arena ~n ~calls ~payload_bytes =
+  let s = Shm.join arena () in
+  let cs = List.init n (fun _ -> Shm.join arena ()) in
+  let eps =
+    List.map
+      (fun c ->
+        let srv = Rpc.Cxl_rpc.accept s ~client_cid:c.Ctx.cid ~capacity:32 in
+        let cl = Rpc.Cxl_rpc.connect c ~server_cid:s.Ctx.cid ~capacity:32 in
+        let payload = Rpc.Cxl_rpc.alloc_arg cl ~size_bytes:payload_bytes () in
+        (cl, srv, payload))
+      cs
+  in
+  for _ = 1 to calls do
+    let pending =
+      List.map
+        (fun (cl, _, payload) ->
+          Rpc.Cxl_rpc.call_async cl ~func:1 ~args:[ payload ] ~output_bytes:8)
+        eps
+    in
+    List.iter
+      (fun (_, srv, _) ->
+        let served =
+          Rpc.Cxl_rpc.serve_one srv ~handler:(fun ~func:_ ~args:_ ~output ->
+              Rpc.Message.write_word output 0 1)
+        in
+        assert served)
+      eps;
+    List.iter (fun p -> Cxl_ref.drop (Rpc.Cxl_rpc.finish p)) pending
+  done;
+  List.iter
+    (fun (cl, srv, payload) ->
+      Cxl_ref.drop payload;
+      Rpc.Cxl_rpc.close_client cl;
+      Rpc.Cxl_rpc.close_server srv)
+    eps;
+  let model = Latency.of_tier Latency.Cxl in
+  let makespan =
+    List.fold_left
+      (fun acc c -> Float.max acc (Stats.modeled_ns model c.Ctx.st))
+      (Stats.modeled_ns model s.Ctx.st)
+      cs
+  in
+  List.iter Shm.leave cs;
+  Shm.leave s;
+  makespan
+
+let rdma_fan_in ~n ~calls ~payload_bytes =
+  let pairs = List.init n (fun _ -> Rpc.Rdma_rpc.pair ()) in
+  let payload = Bytes.create payload_bytes in
+  for _ = 1 to calls do
+    List.iter
+      (fun (cl, _) -> Rpc.Rdma_rpc.send_request cl ~func:1 ~args:[ payload ])
+      pairs;
+    List.iter
+      (fun (_, sv) ->
+        let served =
+          Rpc.Rdma_rpc.serve_one sv ~handler:(fun ~func:_ ~args:_ ->
+              Bytes.create 8)
+        in
+        assert served)
+      pairs;
+    List.iter
+      (fun (cl, _) ->
+        match Rpc.Rdma_rpc.try_recv_response cl with
+        | Some _ -> ()
+        | None -> assert false)
+      pairs
+  done;
+  (* One server process handles every pair's server side, so its work adds
+     up; clients run in parallel. *)
+  let server_ns =
+    List.fold_left
+      (fun acc (_, sv) -> acc +. Rpc.Rdma_rpc.server_modeled_ns sv)
+      0.0 pairs
+  in
+  let client_ns =
+    List.fold_left
+      (fun acc (cl, _) -> Float.max acc (Rpc.Rdma_rpc.client_modeled_ns cl))
+      0.0 pairs
+  in
+  Float.max server_ns client_ns
+
+(* Zero-copy RPC vs RDMA across payload sizes and fan-in. The isolation
+   walk (validate every embedded reference stays in-channel) is part of
+   the measured serve path, so BENCH_rpc.json doubles as a regression
+   baseline for its cost. The run aborts if the zero-copy win fails to
+   widen monotonically with payload size — references move, bytes don't. *)
+let bench_rpc () =
+  let model = Latency.of_tier Latency.Cxl in
+  let calls = quick 2_000 300 in
+  let sizes = [ 64; 1_024; 8_192; 65_536 ] in
+  let t =
+    Table.create ~title:"RPC isolation: CXL-RPC vs RDMA per call (1 pair)"
+      ~columns:[ "Bytes"; "CXL ns/call"; "RDMA ns/call"; "Speedup" ]
+  in
+  let payload_rows =
+    List.map
+      (fun size ->
+        let arena = Shm.create ~cfg:(rpc_payload_cfg 1 size) () in
+        let st = cxl_rpc_pair arena ~calls ~payload_bytes:size in
+        let cxl = Stats.modeled_ns model st /. float_of_int calls in
+        let rdma = run_rdma ~calls ~payload_bytes:size /. float_of_int calls in
+        Table.add_row t
+          [
+            Table.cell_i size;
+            Table.cell_f cxl;
+            Table.cell_f rdma;
+            Table.cell_f (rdma /. cxl);
+          ];
+        (size, cxl, rdma))
+      sizes
+  in
+  Table.print t;
+  let widens =
+    let rec mono = function
+      | (_, c1, r1) :: ((_, c2, r2) :: _ as rest) ->
+          r1 /. c1 < r2 /. c2 && mono rest
+      | _ -> true
+    in
+    mono payload_rows
+  in
+  if not widens then
+    failwith "rpc bench: zero-copy speedup does not widen with payload size";
+  let fanins = [ 1; 2; 4; 8; 16 ] in
+  let tf =
+    Table.create ~title:"RPC isolation: fan-in to one server (64 B)"
+      ~columns:[ "Clients"; "CXL KOPS"; "RDMA KOPS"; "Speedup" ]
+  in
+  let fan_rows =
+    List.map
+      (fun n ->
+        let arena = Shm.create ~cfg:(rpc_cfg n) () in
+        let cxl_ns = cxl_rpc_fan_in arena ~n ~calls ~payload_bytes:64 in
+        let rdma_ns = rdma_fan_in ~n ~calls ~payload_bytes:64 in
+        let ops = float_of_int (n * calls) in
+        let cxl_kops = ops /. (cxl_ns /. 1e6) in
+        let rdma_kops = ops /. (rdma_ns /. 1e6) in
+        Table.add_row tf
+          [
+            Table.cell_i n;
+            Table.cell_f cxl_kops;
+            Table.cell_f rdma_kops;
+            Table.cell_f (cxl_kops /. rdma_kops);
+          ];
+        (n, cxl_kops, rdma_kops))
+      fanins
+  in
+  Table.print tf;
+  let oc = open_out "BENCH_rpc.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"rpc\",\n  \"calls\": %d,\n  \"payload\": [\n" calls;
+  List.iteri
+    (fun i (size, cxl, rdma) ->
+      Printf.fprintf oc
+        "    {\"bytes\": %d, \"cxl_ns_per_call\": %.2f, \"rdma_ns_per_call\": \
+         %.2f, \"speedup\": %.3f}%s\n"
+        size cxl rdma (rdma /. cxl)
+        (if i = List.length payload_rows - 1 then "" else ","))
+    payload_rows;
+  Printf.fprintf oc "  ],\n  \"fanin\": [\n";
+  List.iteri
+    (fun i (n, ck, rk) ->
+      Printf.fprintf oc
+        "    {\"clients\": %d, \"cxl_kops\": %.2f, \"rdma_kops\": %.2f, \
+         \"speedup\": %.3f}%s\n"
+        n ck rk (ck /. rk)
+        (if i = List.length fan_rows - 1 then "" else ","))
+    fan_rows;
+  Printf.fprintf oc "  ],\n  \"speedup_widens_with_size\": %b\n}\n" widens;
+  close_out oc;
+  print_endline "wrote BENCH_rpc.json"
+
+(* ------------------------------------------------------------------ *)
 (* Fig 9: CXL-MapReduce vs Phoenix                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* Pages sized so a wordcount output (1 + 2*vocab words) fits a size
+   class: outputs are carved inside the channel sub-heap now. *)
 let mr_cfg executors =
   {
     Config.default with
     Config.max_clients = (2 * executors) + 2;
-    num_segments = 256;
-    pages_per_segment = 8;
-    page_words = 1024;
+    num_segments = 64;
+    pages_per_segment = 16;
+    page_words = 8192;
   }
 
 let mr_execs () = [ 1; 2; 4; 8 ]
@@ -524,6 +721,9 @@ let mr_round ~arena ~master ~executors ~func ~chunk_args ~output_words ~combine 
     Array.init executors (fun _ ->
         let s = Shm.join arena () in
         let srv = Rpc.Cxl_rpc.accept s ~client_cid:master.Ctx.cid ~capacity:4 in
+        (* Chunks (and kmeans' centroid table) are master-allocated shared
+           objects passed by reference: the attached-shared-heap pattern. *)
+        Rpc.Cxl_rpc.allow_peer_segments srv;
         (s, srv))
   in
   let clients =
@@ -1789,6 +1989,7 @@ let experiments =
     ("leak-scan", bench_leak_scan);
     ("fig8-clients", bench_fig8_clients);
     ("fig8-payload", bench_fig8_payload);
+    ("rpc", bench_rpc);
     ("fig9-wordcount", bench_fig9_wordcount);
     ("fig9-kmeans", bench_fig9_kmeans);
     ("fig10a", bench_fig10a);

@@ -228,6 +228,114 @@ let drill_cmd =
           & info [ "point" ] ~doc:"Single crash point name.")
       $ backend_term)
 
+(* ---- rpc ---- *)
+
+(* Endpoint-death drill for the zero-copy RPC channel: run a healthy call,
+   then kill one endpoint and check the survivor's path — a client blocked
+   in [finish] must get [Peer_failed] (never hang), a dead client's
+   sub-heap must come back to the arena through the server's revocation —
+   and the arena must audit clean afterwards. *)
+let rpc_run kill_server kill_client backend =
+  let module Rpc = Cxlshm_rpc.Cxl_rpc in
+  let module Message = Cxlshm_rpc.Message in
+  let arena = Shm.create ~cfg:{ Config.small with Config.backend } () in
+  let c = Shm.join arena () in
+  let s = Shm.join arena () in
+  let server = Rpc.accept s ~client_cid:c.Ctx.cid ~capacity:4 in
+  let client = Rpc.connect c ~server_cid:s.Ctx.cid ~capacity:4 in
+  Printf.printf "channel sub-heap: segments %s\n"
+    (String.concat ","
+       (List.map string_of_int (Rpc.channel_segments client)));
+  let handler ~func ~args ~output =
+    let v = match args with a :: _ -> Message.read_word a 0 | [] -> 0 in
+    Message.write_word output 0 (v + func)
+  in
+  let failed = ref [] in
+  let check name ok = if not ok then failed := name :: !failed in
+  (* healthy round trip *)
+  let arg = Rpc.alloc_arg client ~size_bytes:8 () in
+  Cxl_ref.write_word arg 0 41;
+  let p = Rpc.call_async client ~func:1 ~args:[ arg ] ~output_bytes:8 in
+  while not (Rpc.serve_one server ~handler) do () done;
+  let out = Rpc.finish p in
+  let ok = Cxl_ref.read_word out 0 = 42 in
+  Cxl_ref.drop out;
+  Printf.printf "healthy call: %s\n" (if ok then "ok" else "WRONG OUTPUT");
+  check "healthy call" ok;
+  let svc = Shm.service_ctx arena in
+  let kill ctx =
+    Client.declare_failed svc ~cid:ctx.Ctx.cid;
+    let rep = Shm.recover arena ~failed_cid:ctx.Ctx.cid in
+    Format.printf "recovery of client %d: %a@." ctx.Ctx.cid
+      Recovery.pp_report rep
+  in
+  if kill_server then begin
+    (* fire a call the server will never answer, then kill it: the client's
+       bounded wait must surface Peer_failed, not spin *)
+    let p = Rpc.call_async client ~func:1 ~args:[ arg ] ~output_bytes:8 in
+    kill s;
+    (match Rpc.finish p with
+    | _ ->
+        Printf.printf "kill-server: finish returned?!\n";
+        check "kill-server finish" false
+    | exception Rpc.Peer_failed _ ->
+        Printf.printf "kill-server: finish raised Peer_failed (bounded)\n";
+        Rpc.discard p);
+    Cxl_ref.drop arg;
+    Rpc.close_client client
+  end
+  else if kill_client then begin
+    (* a call in flight when the client dies: recovery parks the sub-heap
+       (orphaned, never recycled under the live server); the server's
+       teardown reaps the message and returns the segments *)
+    let _p = Rpc.call_async client ~func:1 ~args:[ arg ] ~output_bytes:8 in
+    kill c;
+    Rpc.close_server server;
+    let all_free =
+      List.for_all
+        (fun seg -> Segment.owner svc seg = None)
+        (Rpc.channel_segments client)
+    in
+    Printf.printf "kill-client: sub-heap %s\n"
+      (if all_free then "revoked and returned" else "NOT RETURNED");
+    check "kill-client revocation" all_free
+  end
+  else begin
+    Cxl_ref.drop arg;
+    Rpc.close_client client;
+    Rpc.close_server server
+  end;
+  ignore (Shm.scan_leaking arena);
+  let v = Shm.validate arena in
+  Format.printf "validation: %a@." Validate.pp v;
+  check "validation" (Validate.is_clean v);
+  let f = Fsck.check (Shm.mem arena) (Shm.layout arena) in
+  check "fsck" (Validate.is_clean f);
+  match !failed with
+  | [] -> 0
+  | fs ->
+      Printf.eprintf "FAILED: %s\n" (String.concat ", " (List.rev fs));
+      1
+
+let rpc_cmd =
+  Cmd.v
+    (Cmd.info "rpc"
+       ~doc:
+         "Zero-copy RPC endpoint-death drill: healthy call, then kill one \
+          endpoint and verify the survivor unblocks (client) or revokes \
+          the channel sub-heap (server), with a clean audit.")
+    Term.(
+      const rpc_run
+      $ Arg.(
+          value & flag
+          & info [ "kill-server" ]
+              ~doc:"Kill the server under an in-flight call.")
+      $ Arg.(
+          value & flag
+          & info [ "kill-client" ]
+              ~doc:"Kill the client under an in-flight call.")
+      $ backend_term)
+
 (* ---- validate ---- *)
 
 let validate_run seed steps backend trace crash_point crash_nth out_image =
@@ -1010,11 +1118,12 @@ let explore_model_of_name ~capacity ~values ~rounds name =
   | "evacuate" -> Check_scenarios.evacuate ?rounds ()
   | "kv-serve" -> Check_scenarios.kv_serve ()
   | "kv-serve-recover" -> Check_scenarios.kv_serve_recover ()
+  | "rpc-isolate" -> Check_scenarios.rpc_isolate ()
   | n ->
       Printf.eprintf
         "unknown model %s (have: spsc, transfer, transfer-batch, refc, huge, \
          epoch-retire, sharded-alloc, lease, dual-monitor, evacuate, \
-         kv-serve, kv-serve-recover)\n"
+         kv-serve, kv-serve-recover, rpc-isolate)\n"
         n;
       exit 2
 
@@ -1024,10 +1133,14 @@ let set_mutation = function
   | "transfer-head" -> Cxlshm.Transfer.mutation_unfenced_advance := true
   | "kv-quiesce" -> Cxlshm_kv.Cxl_kv.mutation_unconditional_quiesce := true
   | "kv-crash-reap" -> Cxlshm.Recovery.mutation_crash_reap := true
+  | "rpc-skip-validate" -> Cxlshm_rpc.Cxl_rpc.mutation_skip_validate := true
+  | "rpc-unfenced-status" ->
+      Cxlshm_rpc.Cxl_rpc.mutation_unfenced_status := true
   | m ->
       Printf.eprintf
         "unknown mutation %s (have: none, spsc-pop, transfer-head, \
-         kv-quiesce, kv-crash-reap)\n" m;
+         kv-quiesce, kv-crash-reap, rpc-skip-validate, rpc-unfenced-status)\n"
+        m;
       exit 2
 
 let explore models mode seed schedules preemptions no_crash max_steps capacity
@@ -1120,7 +1233,8 @@ let explore_cmd =
          "Model-check the concurrent protocols: run the built-in models \
           (spsc, transfer, transfer-batch, refc, huge, epoch-retire, \
           sharded-alloc, lease, dual-monitor, evacuate, kv-serve, \
-          kv-serve-recover) under a controlled cooperative scheduler \
+          kv-serve-recover, rpc-isolate) under a controlled cooperative \
+          scheduler \
           with seeded-random, PCT, or bounded-preemption exhaustive \
           exploration and optional crash injection at any yield point. \
           Every failure prints a schedule string that $(b,--replay) \
@@ -1130,7 +1244,7 @@ let explore_cmd =
       $ Arg.(
           value
           & opt string
-              "spsc,transfer,transfer-batch,refc,huge,epoch-retire,sharded-alloc,lease,dual-monitor,evacuate,kv-serve"
+              "spsc,transfer,transfer-batch,refc,huge,epoch-retire,sharded-alloc,lease,dual-monitor,evacuate,kv-serve,kv-serve-recover,rpc-isolate"
           & info [ "model" ] ~doc:"Comma-separated models to explore.")
       $ Arg.(
           value & opt string "random"
@@ -1169,8 +1283,9 @@ let explore_cmd =
           & info [ "mutate" ]
               ~doc:
                 "Re-introduce a historical ordering bug before exploring: \
-                 $(b,spsc-pop), $(b,transfer-head), $(b,kv-quiesce) or \
-                 $(b,kv-crash-reap) (self-check).")
+                 $(b,spsc-pop), $(b,transfer-head), $(b,kv-quiesce), \
+                 $(b,kv-crash-reap), $(b,rpc-skip-validate) or \
+                 $(b,rpc-unfenced-status) (self-check).")
       $ Arg.(
           value
           & opt (some string) None
@@ -1199,5 +1314,6 @@ let () =
             trace_cmd;
             top_cmd;
             serve_cmd;
+            rpc_cmd;
             explore_cmd;
           ]))

@@ -779,12 +779,165 @@ let kv_serve_recover () : Explore.model =
   in
   { Explore.name = "kv-serve-recover"; make; branch = arena_branch }
 
+(* ---- rpc-isolate: pointer isolation + channel revocation under crash ---- *)
+
+let rpc_isolate () : Explore.model =
+  let module Rpc = Cxlshm_rpc.Cxl_rpc in
+  let module Message = Cxlshm_rpc.Message in
+  let make () =
+    let arena = Shm.create ~cfg:arena_cfg () in
+    let c = Shm.join arena () in
+    let s = Shm.join arena () in
+    let m = Shm.join arena () in
+    (* endpoint + sub-heap setup is environment, not the explored race *)
+    let server = Rpc.accept s ~client_cid:c.Ctx.cid ~capacity:2 in
+    let client = Rpc.connect c ~server_cid:s.Ctx.cid ~capacity:2 in
+    let c_alive = ref true and s_alive = ref true in
+    let c_done = ref false and c_clean = ref false in
+    let c_recovered = ref false in
+    let good = ref None and bad = ref None in
+    let handler_poison = ref false in
+    let leftovers = ref [] in
+    (* wait for a pending without the library's cpu_relax spin: the
+       explorer needs a yield per poll so it can preempt the waiter *)
+    let rec await p =
+      match Rpc.try_finish p with
+      | Some out -> Some out
+      | None ->
+          if !s_alive then begin
+            Sched.yield "rpc-wait";
+            await p
+          end
+          else begin
+            Rpc.discard p;
+            None
+          end
+    in
+    let client_fn () =
+      Fun.protect
+        ~finally:(fun () ->
+          c_alive := false;
+          c_done := true)
+      @@ fun () ->
+      (* call 1: a well-formed in-channel call — its output must be exactly
+         the handler's write (catches a pre-handler completion publish) *)
+      let arg = Rpc.alloc_arg client ~size_bytes:8 () in
+      leftovers := arg :: !leftovers;
+      Cxl_ref.write_word arg 0 7;
+      let p = Rpc.call_async client ~func:3 ~args:[ arg ] ~output_bytes:8 in
+      Sched.yield "rpc-sent";
+      (match await p with
+      | Some out ->
+          good := Some (Cxl_ref.read_word out 0);
+          Cxl_ref.drop out
+      | None -> ());
+      (* call 2: a smuggled out-of-channel pointer — the server's walk must
+         reject it without running the handler *)
+      if !s_alive then begin
+        let smug = Shm.cxl_malloc c ~size_bytes:8 () in
+        leftovers := smug :: !leftovers;
+        Cxl_ref.write_word smug 0 0xBEEF;
+        let p2 =
+          Rpc.call_async client ~func:1 ~args:[ smug ] ~output_bytes:8
+        in
+        match await p2 with
+        | Some out ->
+            bad := Some `Accepted;
+            Cxl_ref.drop out
+        | None -> ()
+        | exception Rpc.Call_rejected _ -> bad := Some `Rejected
+      end;
+      c_clean := true
+    in
+    let handler ~func ~args ~output =
+      (* a schedule point between the (possibly mutated-early) completion
+         publish and the in-place output write *)
+      Sched.yield "rpc-handler";
+      match args with
+      | [ a ] ->
+          let v = Message.read_word a 0 in
+          if v = 0xDEAD then handler_poison := true;
+          Message.write_word output 0 (v + func)
+      | _ -> fail "rpc-isolate: handler saw %d args" (List.length args)
+    in
+    let server_fn () =
+      Fun.protect ~finally:(fun () -> s_alive := false) @@ fun () ->
+      let consumed = ref 0 in
+      (try
+         while !consumed < 2 do
+           if Rpc.serve_one server ~handler then incr consumed
+           else if !c_alive then Sched.yield "serve-empty"
+           else raise Exit
+         done
+       with Exit -> ())
+    in
+    (* The monitor recovers a client crash interleaved with the server's
+       serving, then reuses any sub-heap segment the revocation returned to
+       the arena: a pin-placed decoy lands exactly inside the freed segment,
+       so if revocation freed memory the server still stands on, the
+       handler provably reads 0xDEAD. *)
+    let decoys = ref [] in
+    let monitor_fn () =
+      while not !c_done do
+        Sched.yield "mon-wait"
+      done;
+      if not !c_clean then begin
+        let svc = Shm.service_ctx arena in
+        Client.declare_failed svc ~cid:c.Ctx.cid;
+        ignore (Recovery.recover m ~failed_cid:c.Ctx.cid);
+        c_recovered := true;
+        List.iter
+          (fun seg ->
+            if Segment.state m seg = Segment.Free && Segment.claim m seg
+            then begin
+              let d =
+                Ctx.with_pin m [ seg ] (fun () ->
+                    Shm.cxl_malloc m ~size_bytes:16 ())
+              in
+              decoys := d :: !decoys;
+              Cxl_ref.write_word d 0 0xDEAD;
+              Cxl_ref.write_word d 1 0xDEAD
+            end)
+          (Rpc.channel_segments client)
+      end
+    in
+    let check ~crashed =
+      if !handler_poison then
+        fail "rpc-isolate: handler read 0xDEAD (revoked sub-heap reused \
+              under the server)";
+      (match !good with
+      | Some v when v <> 7 + 3 ->
+          fail "rpc-isolate: good call returned %d, not %d (completion \
+                published before the output write)" v (7 + 3)
+      | Some _ | None -> ());
+      (match !bad with
+      | Some `Accepted ->
+          fail "rpc-isolate: smuggled out-of-channel pointer reached the \
+                handler"
+      | Some `Rejected | None -> ());
+      if not (List.mem 0 crashed) then begin
+        List.iter Cxl_ref.drop !leftovers;
+        Rpc.close_client client
+      end;
+      if not (List.mem 1 crashed) then Rpc.close_server server;
+      if not (List.mem 2 crashed) then List.iter Cxl_ref.drop !decoys;
+      (* the in-run recovery already condemned and recovered the client *)
+      let crashed =
+        if !c_recovered then List.filter (fun i -> i <> 0) crashed
+        else crashed
+      in
+      arena_check arena ~cids:[| c.Ctx.cid; s.Ctx.cid; m.Ctx.cid |] ~crashed
+    in
+    { Explore.clients = [| client_fn; server_fn; monitor_fn |]; check }
+  in
+  { Explore.name = "rpc-isolate"; make; branch = arena_branch }
+
 (* ---- registry ---- *)
 
 let all () =
   [ spsc (); transfer (); transfer ~batched:true (); refc (); huge ();
     epoch_retire (); sharded_alloc (); lease (); dual_monitor ();
-    evacuate (); kv_serve (); kv_serve_recover () ]
+    evacuate (); kv_serve (); kv_serve_recover (); rpc_isolate () ]
 
 let find name =
   match List.find_opt (fun m -> m.Explore.name = name) (all ()) with

@@ -83,6 +83,19 @@ val kv_serve_recover : unit -> Explore.model
     era-blind reap of the dead writer's parked list, which the
     bounded-exhaustive crash search must catch. *)
 
+val rpc_isolate : unit -> Explore.model
+(** An RPC client makes one well-formed in-channel call and one carrying a
+    smuggled out-of-channel pointer, a server serves both, and a monitor
+    recovers any client crash {e interleaved with} the serving — then
+    reuses (with a pin-placed 0xDEAD decoy) any sub-heap segment channel
+    revocation returned to the arena. Oracle: the good call's output is
+    exactly the handler's write, the smuggled call is rejected without
+    running the handler, the handler never reads the decoy, and the pool is
+    fsck-clean after recovery. The [Cxl_rpc.mutation_skip_validate] and
+    [Cxl_rpc.mutation_unfenced_status] flags re-introduce the historical
+    missing validation walk / unfenced completion publish, which this model
+    must catch. Model name ["rpc-isolate"]. *)
+
 val all : unit -> Explore.model list
 
 val find : string -> Explore.model

@@ -89,10 +89,15 @@ let collect_deferred (ctx : Ctx.t) =
     let blocks = Segment.pop_all_client_free ctx ~seg in
     List.iter
       (fun b ->
-        let _, gid = Page.block_of_addr ctx b in
-        let cfg = Ctx.cfg ctx in
-        let rootref = Page.kind ctx ~gid = Config.kind_rootref cfg in
-        Page.push_free ctx ~gid ~rootref b)
+        (* A push racing the segment's release can strand an entry from the
+           previous lifetime; its page has been reset, so drop it — the
+           block died with that lifetime. *)
+        match Page.block_of_addr ctx b with
+        | exception Invalid_argument _ -> ()
+        | _, gid ->
+            let cfg = Ctx.cfg ctx in
+            let rootref = Page.kind ctx ~gid = Config.kind_rootref cfg in
+            Page.push_free ctx ~gid ~rootref b)
       blocks
   in
   List.iter drain (Segment.owned_by ctx ~cid:ctx.cid)
@@ -114,7 +119,10 @@ let usable_state = function
 let rec ensure_page_at (ctx : Ctx.t) ~strict ~idx ~kind ~block_words ~fuel =
   if fuel = 0 then raise Out_of_shared_memory;
   let seg_ok s =
-    (not strict) || not (Ctx.device_degraded ctx (segment_device ctx s))
+    (* Channel sub-heap discipline first (a hard placement rule), then the
+       degraded-device steering (a preference [strict] can drop). *)
+    Ctx.seg_allowed ctx s
+    && ((not strict) || not (Ctx.device_degraded ctx (segment_device ctx s)))
   in
   match current_page ctx idx with
   | Some gid
@@ -169,6 +177,14 @@ let rec ensure_page_at (ctx : Ctx.t) ~strict ~idx ~kind ~block_words ~fuel =
                   init_page_for ctx ~kind ~block_words gid;
                   set_current_page ctx idx gid;
                   gid
+              | None when Ctx.pin_active ctx ->
+                  (* A pinned allocation never claims new segments: the
+                     channel sub-heap is a fixed set, and exhausting it is
+                     the caller's out-of-memory, not a license to grow. *)
+                  if strict then
+                    ensure_page_at ctx ~strict:false ~idx ~kind ~block_words
+                      ~fuel:(fuel - 1)
+                  else raise Out_of_shared_memory
               | None -> (
                   match claim_any_segment ctx with
                   | Some s when seg_ok s ->
@@ -401,7 +417,9 @@ let link_and_carve (ctx : Ctx.t) rr ~idx ~kind ~block_words ~data_words ~emb_cnt
   (* Sharded fast path: when the current page can't serve the class, steal
      a parked block from the domain stacks before paying the page scan. *)
   let from_shard =
-    if Shard.enabled ctx then
+    (* Under a channel pin the domain stacks are off-limits: a stolen block
+       could live in any segment, and the message must stay in-channel. *)
+    if Shard.enabled ctx && not (Ctx.pin_active ctx) then
       let ready =
         match current_page ctx idx with
         | Some gid -> Page.kind ctx ~gid = kind && Page.free_head ctx ~gid <> 0
@@ -492,6 +510,10 @@ let alloc_obj (ctx : Ctx.t) ~data_words ~emb_cnt =
       in
       (rr, obj)
   | None ->
+      if Ctx.pin_active ctx then
+        (* Huge objects claim whole segment runs — they can never live
+           inside a fixed channel sub-heap. *)
+        raise Out_of_shared_memory;
       let obj = alloc_huge ctx ~data_words ~emb_cnt in
       Ctx.store ctx (Rootref.pptr_slot rr) obj;
       if not (rr_flush_elided ctx) then Ctx.flush ctx rr;
@@ -507,21 +529,38 @@ let obj_page (ctx : Ctx.t) obj = snd (Page.block_of_addr ctx obj)
 
 let free_obj_block (ctx : Ctx.t) obj =
   if is_huge ctx obj then free_huge ctx obj
-  else begin
-    let blk, gid = Page.block_of_addr ctx obj in
+  else
+    match Page.block_of_addr ctx obj with
+    | exception Invalid_argument _ ->
+        (* The segment was recovered out from under this free: every block
+           in it was already count-zero (ours included, the detach landed
+           before we got here), so the whole page went back with the
+           segment — nothing left to give back. *)
+        ()
+    | blk, gid ->
     assert (blk = obj);
+    let seg = Layout.segment_of_addr ctx.lay blk in
+    let ver = Segment.version ctx seg in
     (* Zero the header so scans and reuse observe count 0. *)
     Ctx.store ctx (Obj_header.header_of_obj blk) 0;
     Ctx.store ctx (Obj_header.meta_of_obj blk) 0;
     Ctx.crash_point ctx Fault.Release_mid_reclaim;
-    let seg = Layout.segment_of_addr ctx.lay blk in
-    if Segment.owner ctx seg = Some ctx.cid then
+    if Segment.version ctx seg <> ver then
+      (* Segment recycled between the zeroing and the list push (recovery
+         saw all counts at zero): the block died with the old lifetime, and
+         pushing it would seed the next lifetime's free list with a stale
+         pointer. *)
+      ()
+    else if Segment.owner ctx seg = Some ctx.cid then
       Page.push_free ctx ~gid ~rootref:false blk
     else
       (* Non-owner free: park class blocks on the domain shard for any
          allocator to steal; other kinds keep the per-segment stack the
-         owner drains. *)
+         owner drains. Channel sub-heap blocks (excluded segments) also
+         keep the per-segment stack — parking them on a global shard would
+         let a third client carve private objects out of the channel. *)
       match Config.class_of_kind (Ctx.cfg ctx) (Page.kind ctx ~gid) with
-      | Some cls when Shard.enabled ctx -> Shard.push ctx ~cls blk
+      | Some cls when Shard.enabled ctx && not (Ctx.segment_excluded ctx seg)
+        ->
+          Shard.push ctx ~cls blk
       | Some _ | None -> Segment.push_client_free ctx ~seg blk
-  end

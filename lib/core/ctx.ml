@@ -51,6 +51,8 @@ type t = {
   cache : cache;
   epoch : epoch;
   mutable degraded_hint : int;
+  mutable alloc_pin : int list;
+  mutable alloc_exclude : int list;
 }
 
 (* Mirrored page-meta slots: kind, block_words, capacity, free, used.
@@ -103,9 +105,39 @@ let make ?cache ?epoch ~mem ~lay ~cid () =
         dlen = 0;
       };
     degraded_hint = Mem.ctl_peek mem (Layout.hdr_dev_degraded lay);
+    alloc_pin = [];
+    alloc_exclude = [];
   }
 
 let cfg t = t.lay.Layout.cfg
+
+(* {1 Channel sub-heap placement (RPCool isolation)}
+
+   Both lists are volatile client-local policy, not shared state: a crash
+   simply loses them, and recovery of the dead client's segments does not
+   care where its allocations were steered. *)
+
+let pin_active t = t.alloc_pin <> []
+let pinned_segments t = t.alloc_pin
+
+let with_pin t segs f =
+  let saved = t.alloc_pin in
+  t.alloc_pin <- segs;
+  Fun.protect ~finally:(fun () -> t.alloc_pin <- saved) f
+
+let exclude_segment t s =
+  if not (List.mem s t.alloc_exclude) then
+    t.alloc_exclude <- s :: t.alloc_exclude
+
+let unexclude_segment t s =
+  t.alloc_exclude <- List.filter (fun x -> x <> s) t.alloc_exclude
+
+let segment_excluded t s = List.mem s t.alloc_exclude
+
+let seg_allowed t s =
+  match t.alloc_pin with
+  | [] -> not (List.mem s t.alloc_exclude)
+  | pins -> List.mem s pins
 
 (* Degraded-device bitmap (arena header): shared fault-status word the
    escalation path sets and allocation placement reads. The word itself

@@ -54,6 +54,13 @@ type t = {
           allocation fast path instead of the shared word; refreshed at
           attach, heartbeat, and evacuation entry
           ({!refresh_degraded_hint}) *)
+  mutable alloc_pin : int list;
+      (** when non-empty, the allocator places objects only inside these
+          segments and never claims new ones — the RPC channel sub-heap
+          discipline (see {!with_pin}) *)
+  mutable alloc_exclude : int list;
+      (** owned segments ordinary allocation must stay out of (a channel's
+          private sub-heap) *)
 }
 
 val make :
@@ -71,6 +78,29 @@ val make :
     never enqueue retirements they would not flush. *)
 
 val cfg : t -> Config.t
+
+(** {1 Channel sub-heap placement (RPCool isolation)}
+
+    Volatile placement policy for zero-copy RPC: while a pin is active the
+    allocator carves only from the pinned segments (and raises
+    [Out_of_shared_memory] instead of claiming more — the sub-heap stays
+    bounded); excluded segments are invisible to ordinary allocation, so a
+    client's private objects never land inside a channel it owns. *)
+
+val pin_active : t -> bool
+val pinned_segments : t -> int list
+
+val with_pin : t -> int list -> (unit -> 'a) -> 'a
+(** Run [f] with allocation pinned to [segs]; always restores the previous
+    pin, even on exception. *)
+
+val exclude_segment : t -> int -> unit
+val unexclude_segment : t -> int -> unit
+val segment_excluded : t -> int -> bool
+
+val seg_allowed : t -> int -> bool
+(** May the allocator place an object in segment [s] right now? Pin list
+    when pinned, complement of the exclusion list otherwise. *)
 
 (** {1 Degraded devices}
 

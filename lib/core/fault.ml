@@ -37,6 +37,7 @@ type point =
   | Adopt_mid_journal
   | Adopt_after_claim
   | Adopt_after_append
+  | Rpc_before_status
 
 let point_name = function
   | Alloc_after_rootref -> "alloc-after-rootref"
@@ -75,6 +76,7 @@ let point_name = function
   | Adopt_mid_journal -> "adopt-mid-journal"
   | Adopt_after_claim -> "adopt-after-claim"
   | Adopt_after_append -> "adopt-after-append"
+  | Rpc_before_status -> "rpc-before-status"
 
 let all_points =
   [
@@ -114,6 +116,7 @@ let all_points =
     Adopt_mid_journal;
     Adopt_after_claim;
     Adopt_after_append;
+    Rpc_before_status;
   ]
 
 type mode =

@@ -75,6 +75,9 @@ type point =
   | Adopt_after_append           (** successor re-registered the adopted
                                      entry in its own registry, journal
                                      slot not yet cleared *)
+  | Rpc_before_status            (** RPC server wrote the in-place outputs
+                                     and fenced, completion status not yet
+                                     raised *)
 
 val point_name : point -> string
 val all_points : point list

@@ -214,6 +214,18 @@ let queue_slot t q =
     invalid_arg "Layout.queue_slot: out of range";
   t.queuedir_base + (q * queue_slot_words)
 
+(* Channel sub-heap registry: the four spare words of each 8-word queue
+   directory slot record the RPC channel's private segments, so any client
+   (and recovery) can map a queue to the sub-heap it isolates. *)
+let queue_max_channel_segs = 3
+
+let queue_slot_nsegs t q = queue_slot t q + 4
+
+let queue_slot_seg t q k =
+  if k < 0 || k >= queue_max_channel_segs then
+    invalid_arg "Layout.queue_slot_seg: out of range";
+  queue_slot t q + 5 + k
+
 let lock_stripe t i =
   if i < 0 || i >= lock_stripes then invalid_arg "Layout.lock_stripe";
   t.locks_base + i

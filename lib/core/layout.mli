@@ -197,6 +197,17 @@ val domain_class_head : t -> int -> int -> Cxlshm_shmem.Pptr.t
 val queue_slot_words : int
 val queue_slot : t -> int -> Cxlshm_shmem.Pptr.t
 
+val queue_max_channel_segs : int
+(** Maximum private sub-heap segments one RPC channel can register. *)
+
+val queue_slot_nsegs : t -> int -> Cxlshm_shmem.Pptr.t
+(** Count word of queue [q]'s channel sub-heap registry (directory slot
+    word +4; the 8-word slot only uses +0..+3 for the queue itself). *)
+
+val queue_slot_seg : t -> int -> int -> Cxlshm_shmem.Pptr.t
+(** [queue_slot_seg lay q k] — registry word [k] (directory slot word
+    +5+k), holding segment index + 1, or 0 when unused. *)
+
 (** {1 Lock stripes (straw-man §4.2 comparison)} *)
 
 val lock_stripes : int

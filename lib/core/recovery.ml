@@ -193,6 +193,72 @@ let resume_txn (ctx : Ctx.t) ~cid =
           else false)
 
 (* ------------------------------------------------------------------ *)
+(* Phase 1b: salvage an interrupted race-to-zero teardown               *)
+(* ------------------------------------------------------------------ *)
+
+(* [Reclaim.release_held]'s race-to-zero branch detaches first and only
+   then tears down the children of the object it zeroed, so a crash inside
+   that tail strands a count-zero block with live embedded references the
+   redo log does not cover (each child detach overwrites the record). The
+   record that IS there — even stale, even uncommitted — still names either
+   the zeroed object itself ([refed], crash in the Release_before_reclaim
+   window) or one of its embedded slots ([ref_addr], crash inside a child
+   detach): enough to find the dead block and queue it on the persistent
+   worklist, where [wl_process] finishes the teardown as the dead client.
+   Acting on a stale record is sound because the push is gated on the block
+   being count-zero, unfreed, AND last-CASed by the dead client itself: the
+   decrement that zeroed it was this client's, so the teardown obligation
+   died with it. A count-zero block whose header names another client is
+   that client's teardown — still running if it is alive, its own
+   recovery's if not — and queueing it here would detach the same children
+   twice. *)
+let salvage_teardown (ctx : Ctx.t) ~cid =
+  match Redo_log.read ctx ~cid with
+  | None -> ()
+  | Some r ->
+      let cfg = Ctx.cfg ctx in
+      let dead_block addr =
+        match Page.block_of_addr ctx addr with
+        | exception Invalid_argument _ -> None
+        | b, gid ->
+            let k = Page.kind ctx ~gid in
+            if k = Config.kind_rootref cfg || k = Config.kind_huge cfg then
+              None
+            else
+              let hdr = Ctx.load ctx (Obj_header.header_of_obj b) in
+              if
+                hdr <> 0
+                && Obj_header.ref_cnt_of hdr = 0
+                && Obj_header.lcid_of hdr = Some cid
+              then Some b
+              else None
+      in
+      let salvage ~as_slot addr =
+        if addr <> 0 then
+          match dead_block addr with
+          | None -> ()
+          | Some b ->
+              let hit =
+                if not as_slot then b = addr
+                else
+                  let emb =
+                    Obj_header.meta_emb_cnt
+                      (Ctx.load ctx (Obj_header.meta_of_obj b))
+                  in
+                  emb > 0
+                  && addr >= Obj_header.emb_slot b 0
+                  && addr <= Obj_header.emb_slot b (emb - 1)
+              in
+              if hit then on_zero ctx b
+      in
+      (match r.Redo_log.op with
+      | Redo_log.Attach | Redo_log.Detach | Redo_log.Change ->
+          salvage ~as_slot:false r.Redo_log.refed;
+          salvage ~as_slot:false r.Redo_log.refed2;
+          salvage ~as_slot:true r.Redo_log.ref_addr
+      | Redo_log.Locked | Redo_log.Move -> ())
+
+(* ------------------------------------------------------------------ *)
 (* Phase 3: RootRef-page scan                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -562,7 +628,10 @@ let handle_segments (ctx : Ctx.t) ~cid report =
              release the head alone and strand the continuations. *)
           handle_huge_head seg
       | Segment.Active | Segment.Leaking | Segment.Orphaned ->
-          if segment_empty ctx seg then begin
+          if
+            segment_empty ctx seg
+            && not (Transfer.seg_held_by_live_peer ctx ~seg ~dead_cid:cid)
+          then begin
             for p = 0 to cfg.Config.pages_per_segment - 1 do
               Page.reset ctx ~gid:(Layout.page_gid ctx.Ctx.lay ~seg ~page:p)
             done;
@@ -589,6 +658,7 @@ let run_phases (ctx : Ctx.t) ~cid =
   let report = ref empty_report in
   Client.declare_failed ctx ~cid;
   let resumed = resume_txn ctx ~cid in
+  salvage_teardown ctx ~cid;
   let n = wl_process ctx ~as_cid:cid in
   report :=
     {

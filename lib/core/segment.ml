@@ -64,6 +64,11 @@ let adopt (ctx : Ctx.t) s =
          end
 
 let release (ctx : Ctx.t) s =
+  (* Drop any parked cross-client frees: the blocks die with the segment
+     (release implies every block is count-zero), and a stale entry
+     surviving into the next claimant's lifetime would feed the deferred
+     drain a pointer into a since-reset page. *)
+  Ctx.store ctx (Layout.seg_client_free ctx.lay s) 0;
   set_state ctx s Free;
   bump_version ctx s;
   Ctx.store ctx (Layout.seg_occupied ctx.lay s) 0;

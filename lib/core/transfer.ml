@@ -14,6 +14,7 @@ type t = {
 let capacity t = t.capacity
 let endpoint t = t.endpoint
 let queue_ref t = t.qref
+let dir_index t = t.dir_idx
 
 (* Test-only: see the mutation comment in [receive]. *)
 let mutation_unfenced_advance = ref false
@@ -39,6 +40,12 @@ let qstore t i v = Ctx.store t.ctx (qword t.ctx (Cxl_ref.obj t.qref) ~cap:t.capa
 let peer t = if t.endpoint = Sender then qload t w_receiver - 1 else qload t w_sender - 1
 let pending t = qload t w_tail - qload t w_head
 
+let peer_closed t =
+  let bit =
+    if t.endpoint = Sender then flag_receiver_closed else flag_sender_closed
+  in
+  qload t w_flags land bit <> 0
+
 (* Directory slot: +0 state {phase:4, owner_cid+1:10}, +1 sender cid+1,
    +2 receiver cid+1, +3 counted queue pointer. *)
 let phase_free = 0
@@ -55,8 +62,68 @@ let slot_sender lay q = Layout.queue_slot lay q + 1
 let slot_receiver lay q = Layout.queue_slot lay q + 2
 let slot_qptr lay q = Layout.queue_slot lay q + 3
 
-let connect (ctx : Ctx.t) ~receiver ~capacity:cap =
+(* Channel sub-heap registry: the directory slot's four spare words record
+   which segments an RPC channel carved out as its private sub-heap, so the
+   peer (validation walk) and recovery (revocation) can find them without
+   any out-of-band state. *)
+let set_channel_segs (ctx : Ctx.t) q segs =
+  let lay = ctx.Ctx.lay in
+  let n = List.length segs in
+  if n > Layout.queue_max_channel_segs then
+    invalid_arg "Transfer.set_channel_segs: too many segments";
+  List.iteri
+    (fun k s -> Ctx.store ctx (Layout.queue_slot_seg lay q k) (s + 1))
+    segs;
+  Ctx.store ctx (Layout.queue_slot_nsegs lay q) n;
+  Ctx.fence ctx
+
+let channel_segs (ctx : Ctx.t) q =
+  let lay = ctx.Ctx.lay in
+  let n =
+    min
+      (Ctx.load ctx (Layout.queue_slot_nsegs lay q))
+      Layout.queue_max_channel_segs
+  in
+  List.filter_map
+    (fun k ->
+      let v = Ctx.load ctx (Layout.queue_slot_seg lay q k) in
+      if v = 0 then None else Some (v - 1))
+    (List.init (max n 0) Fun.id)
+
+let clear_channel_segs (ctx : Ctx.t) q =
+  let lay = ctx.Ctx.lay in
+  Ctx.store ctx (Layout.queue_slot_nsegs lay q) 0;
+  for k = 0 to Layout.queue_max_channel_segs - 1 do
+    Ctx.store ctx (Layout.queue_slot_seg lay q k) 0
+  done
+
+(* True when [seg] is registered as a channel sub-heap on some in-use
+   directory slot with an endpoint other than [dead_cid] still alive.
+   Recovery consults this before recycling a dead claimant's segment: the
+   surviving peer is still operating on the sub-heap — frees of reaped
+   messages may be in flight — so the segment must stay (orphaned) until
+   that peer revokes the channel or dies in turn. *)
+let seg_held_by_live_peer (ctx : Ctx.t) ~seg ~dead_cid =
+  let lay = ctx.Ctx.lay in
+  let nslots = lay.Layout.cfg.Config.queue_slots in
+  let live c = c >= 0 && c <> dead_cid && Client.is_alive ctx ~cid:c in
+  let rec go q =
+    if q >= nslots then false
+    else
+      let st = Ctx.load ctx (slot_state lay q) in
+      (phase_of st <> phase_free
+      && List.mem seg (channel_segs ctx q)
+      && (live (owner_of st)
+         || live (Ctx.load ctx (slot_sender lay q) - 1)
+         || live (Ctx.load ctx (slot_receiver lay q) - 1)))
+      || go (q + 1)
+  in
+  go 0
+
+let connect ?(channel_segs = []) (ctx : Ctx.t) ~receiver ~capacity:cap =
   if cap < 1 then invalid_arg "Transfer.connect: capacity must be positive";
+  if List.length channel_segs > Layout.queue_max_channel_segs then
+    invalid_arg "Transfer.connect: too many channel segments";
   let lay = ctx.Ctx.lay in
   let nslots = (Ctx.cfg ctx).Config.queue_slots in
   let rec claim q =
@@ -82,6 +149,9 @@ let connect (ctx : Ctx.t) ~receiver ~capacity:cap =
   Ctx.store ctx (qw w_sender) (ctx.cid + 1);
   Ctx.store ctx (qw w_receiver) (receiver + 1);
   Ctx.store ctx (qw w_flags) 0;
+  (* The sub-heap registry must be in place before the slot turns active:
+     the receiver reads it exactly once, at open. *)
+  if channel_segs <> [] then set_channel_segs ctx q channel_segs;
   Ctx.fence ctx;
   Ctx.store ctx (slot_state lay q) (pack_state ~phase:phase_active ~owner:ctx.cid);
   { ctx; qref; dir_idx = q; endpoint = Sender; capacity = cap }
@@ -259,6 +329,7 @@ let cleanup_slot (ctx : Ctx.t) ~as_cid q =
       Alloc.free_obj_block ctx qptr
     end
   end;
+  clear_channel_segs ctx q;
   Ctx.store ctx (slot_sender lay q) 0;
   Ctx.store ctx (slot_receiver lay q) 0;
   Ctx.fence ctx;
@@ -378,6 +449,7 @@ let recover_endpoints (ctx : Ctx.t) ~failed_cid =
         ignore
           (Refc.detach_as ctx ~as_cid:failed_cid
              ~ref_addr:(slot_qptr lay q) ~refed:qptr);
+      clear_channel_segs ctx q;
       Ctx.store ctx (slot_state lay q) phase_free
     end
     else if phase = phase_cleaning && owner_of st = failed_cid then

@@ -30,9 +30,19 @@ val endpoint : t -> endpoint
 val peer : t -> int
 val queue_ref : t -> Cxl_ref.t
 
-val connect : Ctx.t -> receiver:int -> capacity:int -> t
+val dir_index : t -> int
+(** This queue's directory slot (for the channel sub-heap registry). *)
+
+val peer_closed : t -> bool
+(** Has the other endpoint closed (or been closed by recovery)? One shared
+    load of the queue's flags word. *)
+
+val connect : ?channel_segs:int list -> Ctx.t -> receiver:int -> capacity:int -> t
 (** Sender side: allocate a queue for [ctx → receiver], register it in the
-    directory. Raises [Failure] if the directory is full. *)
+    directory. [channel_segs] (an RPC channel's private sub-heap, claimed by
+    the caller) is published in the slot's registry words before the slot
+    turns active, so the receiver can always read it at open. Raises
+    [Failure] if the directory is full. *)
 
 val open_from : Ctx.t -> sender:int -> t option
 (** Receiver side: find an active queue [sender → ctx] and take a counted
@@ -67,6 +77,26 @@ val close : t -> unit
 (** Close this endpoint and drop its queue reference. When both endpoints
     are closed the directory slot is reclaimed and the queue object (with
     any never-consumed in-flight references) is released. *)
+
+(** {1 Channel sub-heap registry}
+
+    The four spare words of a queue's directory slot record the segments an
+    RPC channel claimed as its private sub-heap (count word + up to
+    {!Layout.queue_max_channel_segs} segment ids). Advisory shared state:
+    the peer's validation walk and the revocation path read it; cleanup and
+    the claim-undo recovery path clear it with the slot. *)
+
+val set_channel_segs : Ctx.t -> int -> int list -> unit
+val channel_segs : Ctx.t -> int -> int list
+val clear_channel_segs : Ctx.t -> int -> unit
+
+val seg_held_by_live_peer : Ctx.t -> seg:int -> dead_cid:int -> bool
+(** True when [seg] is registered as a channel sub-heap on an in-use
+    directory slot with an endpoint other than [dead_cid] still alive.
+    Recovery must not recycle such a segment — the surviving peer is still
+    operating on the sub-heap (frees of reaped messages may be in flight);
+    it is orphaned instead, and the peer's channel teardown adopts and
+    returns it. *)
 
 (** {1 Recovery hooks} *)
 

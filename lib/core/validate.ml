@@ -38,6 +38,36 @@ type acc = {
 
 let err acc fmt = Printf.ksprintf (fun s -> acc.errs <- s :: acc.errs) fmt
 
+(* Is [p] the base of a block we could legally reference? Pure metadata
+   peeks — never follows [p] — so it is safe to ask about arbitrary (even
+   hostile) words; the RPC validation walk relies on exactly that. *)
+let block_base_ok mem lay p =
+  let peek = Mem.unsafe_peek mem in
+  let cfg = lay.Layout.cfg in
+  let rr_kind = Config.kind_rootref cfg in
+  let huge_kind = Config.kind_huge cfg in
+  let page_kind gid = peek (Layout.page_kind lay ~gid) in
+  if p <= 0 || p >= lay.Layout.total_words then false
+  else
+    match Layout.segment_of_addr lay p with
+    | exception Invalid_argument _ -> false
+    | seg -> (
+        let st = peek (Layout.seg_state lay seg) in
+        if st = 4 (* huge head *) || st = 5 (* huge cont *)
+           || page_kind (Layout.page_gid lay ~seg ~page:0) = huge_kind
+        then p = Layout.segment_base lay seg + lay.Layout.seg_hdr_words
+        else
+          match Layout.page_gid_of_addr lay p with
+          | exception Invalid_argument _ -> false
+          | gid ->
+              let bw = peek (Layout.page_block_words lay ~gid) in
+              let base = Layout.page_area lay ~gid in
+              page_kind gid <> Config.kind_unused
+              && page_kind gid <> rr_kind
+              && bw > 0
+              && (p - base) mod bw = 0
+              && (p - base) / bw < peek (Layout.page_capacity lay ~gid))
+
 let run mem lay =
   let cfg = lay.Layout.cfg in
   let peek = Mem.unsafe_peek mem in
@@ -71,28 +101,7 @@ let run mem lay =
   in
 
   (* Is [p] the base of a block we could legally reference? *)
-  let block_base_ok p =
-    if p <= 0 || p >= lay.Layout.total_words then false
-    else
-      match Layout.segment_of_addr lay p with
-      | exception Invalid_argument _ -> false
-      | seg -> (
-          let st = seg_state seg in
-          if st = 4 (* huge head *) || st = 5 (* huge cont *)
-             || page_kind (Layout.page_gid lay ~seg ~page:0) = huge_kind
-          then p = Layout.segment_base lay seg + lay.Layout.seg_hdr_words
-          else
-            match Layout.page_gid_of_addr lay p with
-            | exception Invalid_argument _ -> false
-            | gid ->
-                let bw = peek (Layout.page_block_words lay ~gid) in
-                let base = Layout.page_area lay ~gid in
-                page_kind gid <> Config.kind_unused
-                && page_kind gid <> rr_kind
-                && bw > 0
-                && (p - base) mod bw = 0
-                && (p - base) / bw < peek (Layout.page_capacity lay ~gid))
-  in
+  let block_base_ok p = block_base_ok mem lay p in
 
   (* ---- collect reference holders ---- *)
   let expected : (int, int) Hashtbl.t = Hashtbl.create 256 in

@@ -88,6 +88,10 @@ let start ~arena ~master ~executors:n =
             let server =
               Cxl_rpc.accept ctx ~client_cid:master.Ctx.cid ~capacity:64
             in
+            (* Chunks and the centroid table are master-allocated shared
+               objects passed by reference across every executor's channel
+               — the attached-shared-heap pattern, not a smuggled pointer. *)
+            Cxl_rpc.allow_peer_segments server;
             Cxl_rpc.serve_until server ~handler ~stop:stops;
             Cxl_rpc.close_server server;
             Shm.leave ctx))

@@ -1,19 +1,103 @@
 open Cxlshm
 
-type client = { ctx : Ctx.t; req : Transfer.t (* client → server *) }
+exception Peer_failed of string
+exception Call_rejected of string
+
+(* Test-only mutation switches (docs/TESTING.md "Mutation self-check"). *)
+let mutation_skip_validate = ref false
+let mutation_unfenced_status = ref false
+
+let status_pending = 0
+let status_done = 1
+let status_rejected = 2
+
+type client = {
+  ctx : Ctx.t;
+  server_cid : int;
+  req : Transfer.t; (* client → server *)
+  chan_segs : int list; (* the channel's private sub-heap, client-owned *)
+  mutable cclosed : bool;
+}
 
 type server = {
+  mutable peer_segs_ok : bool;
+      (* RPCool's attached-shared-heap escape hatch: also accept blocks
+         homed in segments the peer client itself owns (see mli). *)
   sctx : Ctx.t;
   client_cid : int;
   mutable sreq : Transfer.t option;  (** opened lazily once the client connects *)
+  mutable chan : int list; (* sub-heap read from the slot registry at open *)
+  mutable rejected : int;
 }
 
-let connect ctx ~server_cid ~capacity =
-  { ctx; req = Transfer.connect ctx ~receiver:server_cid ~capacity }
+(* A peer is gone when the membership layer says so: declared failed, or its
+   lease lapsed without renewal. Checking the lease word directly (rather
+   than waiting for a monitor to condemn the peer) bounds every spin below
+   by the lease term even when no monitor is running. *)
+let peer_alive ctx ~cid = Client.is_alive ctx ~cid && not (Lease.expired ctx ~cid)
+
+(* Poll pacing from the context's Retry ladder: spin [backoff/base] relaxes
+   at rung [attempt] (capped at the policy's last rung), so liveness
+   re-checks decay geometrically exactly like transient-fault retries do. *)
+let relax_ladder (ctx : Ctx.t) attempt =
+  let policy = ctx.Ctx.retry in
+  let ns = Retry.backoff_ns policy (min attempt policy.Retry.max_attempts) in
+  let spins = int_of_float (ns /. Float.max policy.Retry.base_backoff_ns 1.0) in
+  for _ = 1 to max 1 spins do
+    Domain.cpu_relax ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Channel setup: queue + private sub-heap                             *)
+(* ------------------------------------------------------------------ *)
+
+let claim_sub_heap (ctx : Ctx.t) n =
+  let num = (Ctx.cfg ctx).Config.num_segments in
+  let rec go s acc k =
+    if k = n then List.rev acc
+    else if s >= num then begin
+      List.iter (fun seg -> Segment.release ctx seg) acc;
+      raise Alloc.Out_of_shared_memory
+    end
+    else if Segment.claim ctx s then go (s + 1) (s :: acc) (k + 1)
+    else go (s + 1) acc k
+  in
+  go 0 [] 0
+
+let connect ?(sub_heap_segments = 1) ctx ~server_cid ~capacity =
+  if sub_heap_segments < 1 || sub_heap_segments > Layout.queue_max_channel_segs
+  then invalid_arg "Cxl_rpc.connect: sub_heap_segments out of range";
+  let chan_segs = claim_sub_heap ctx sub_heap_segments in
+  (* Exclude before the queue object is allocated: the queue must live in
+     the ordinary heap — a dead client's sub-heap segments must never be
+     pinned by the directory slot's counted queue pointer. *)
+  List.iter (Ctx.exclude_segment ctx) chan_segs;
+  let req =
+    try Transfer.connect ~channel_segs:chan_segs ctx ~receiver:server_cid ~capacity
+    with
+    | Fault.Crashed _ as e ->
+        (* A dead client runs no compensation: recovery reclaims the
+           sub-heap through the failure path. *)
+        raise e
+    | e ->
+      List.iter
+        (fun seg ->
+          Ctx.unexclude_segment ctx seg;
+          Segment.release ctx seg)
+        chan_segs;
+      raise e
+  in
+  { ctx; server_cid; req; chan_segs; cclosed = false }
+
+let channel_segments c = c.chan_segs
 
 let accept sctx ~client_cid ~capacity =
   ignore capacity;
-  { sctx; client_cid; sreq = None }
+  { peer_segs_ok = false; sctx; client_cid; sreq = None; chan = []; rejected = 0 }
+
+let rejected_calls s = s.rejected
+
+let allow_peer_segments s = s.peer_segs_ok <- true
 
 let rec server_req s =
   match s.sreq with
@@ -22,69 +106,261 @@ let rec server_req s =
       match Transfer.open_from s.sctx ~sender:s.client_cid with
       | Some q ->
           s.sreq <- Some q;
+          (* The registry is published before the slot turns active, so this
+             one read fixes the channel's sub-heap for its lifetime. *)
+          let segs = Transfer.channel_segs s.sctx (Transfer.dir_index q) in
+          s.chan <- segs;
+          List.iter (Ctx.exclude_segment s.sctx) segs;
           q
       | None ->
+          if not (peer_alive s.sctx ~cid:s.client_cid) then
+            raise (Peer_failed "Cxl_rpc.serve: client failed before connecting");
           Domain.cpu_relax ();
           server_req s)
 
-type pending = { msg : Cxl_ref.t; output : Cxl_ref.t }
+(* ------------------------------------------------------------------ *)
+(* Client: in-channel allocation and bounded calls                     *)
+(* ------------------------------------------------------------------ *)
 
-let send_retry q r =
-  let rec go () =
-    match Transfer.send q r with
-    | Transfer.Sent -> true
-    | Transfer.Full ->
-        Domain.cpu_relax ();
-        go ()
-    | Transfer.Closed -> false
-  in
-  go ()
+let check_open c =
+  if c.cclosed then invalid_arg "Cxl_rpc: client channel is closed"
 
-let call_async c ~func ~args ~output_bytes =
-  let output = Shm.cxl_malloc c.ctx ~size_bytes:output_bytes () in
-  let msg = Message.build c.ctx ~func ~args ~output in
-  if not (send_retry c.req msg) then begin
+let alloc_arg c ~size_bytes ?(emb_cnt = 0) () =
+  check_open c;
+  Ctx.with_pin c.ctx c.chan_segs (fun () ->
+      Shm.cxl_malloc c.ctx ~size_bytes ~emb_cnt ())
+
+type pending = {
+  pc : client;
+  msg : Cxl_ref.t;
+  output : Cxl_ref.t;
+  mutable finished : bool;
+}
+
+(* Bounded send: a full ring under a live server is back-pressure, but a
+   full ring whose server is dead used to spin forever. Every retry
+   re-reads the server's membership and lease words, so the wait is bounded
+   by failure detection, not by luck. *)
+let send_bounded c msg output =
+  let fail reason =
     Cxl_ref.drop msg;
     Cxl_ref.drop output;
-    failwith "Cxl_rpc.call: server closed"
-  end;
+    raise (Peer_failed reason)
+  in
+  let rec go attempt =
+    match Transfer.send c.req msg with
+    | Transfer.Sent -> ()
+    | Transfer.Closed -> fail "Cxl_rpc.call: server closed the channel"
+    | Transfer.Full ->
+        if not (peer_alive c.ctx ~cid:c.server_cid) then
+          fail "Cxl_rpc.call: server failed (ring full, lease lapsed)";
+        relax_ladder c.ctx attempt;
+        go (attempt + 1)
+  in
+  go 1
+
+let call_async c ~func ~args ~output_bytes =
+  check_open c;
+  (* Everything the message closure reaches is carved inside the channel's
+     sub-heap — the pin turns any placement that cannot stay in-channel
+     (e.g. a huge payload) into Out_of_shared_memory at the caller. *)
+  let output, msg =
+    Ctx.with_pin c.ctx c.chan_segs (fun () ->
+        let output = Shm.cxl_malloc c.ctx ~size_bytes:output_bytes () in
+        match Message.build c.ctx ~func ~args ~output with
+        | msg -> (output, msg)
+        | exception (Fault.Crashed _ as e) ->
+            (* Dead clients run no compensation — the half-built message is
+               the recovery service's to reap, and dropping here would
+               overwrite the redo record of the very transaction recovery
+               must resume. *)
+            raise e
+        | exception e ->
+            Cxl_ref.drop output;
+            raise e)
+  in
+  send_bounded c msg output;
   (* We keep our reference to the message: its status word is the
      completion channel the client polls. *)
-  { msg; output }
+  { pc = c; msg; output; finished = false }
 
-let is_done p = Message.status (Message.view_of_ref p.msg) <> 0
+let check_unfinished p =
+  if p.finished then invalid_arg "Cxl_rpc.finish: pending already finished"
 
-let finish_now p =
-  (* Dropping the message releases its embedded references to the
-     arguments and the output; we still hold our own handles. *)
-  Cxl_ref.drop p.msg;
-  p.output
-
-let try_finish p = if is_done p then Some (finish_now p) else None
-
-let rec finish p =
-  if is_done p then finish_now p
+let is_done p =
+  let s = Message.status (Message.view_of_ref p.msg) in
+  if s = status_pending then false
   else begin
-    Domain.cpu_relax ();
-    finish p
+    (* Acquire side of the completion handshake: order the status read
+       before the caller's in-place output reads, pairing with the server's
+       pre-status release fence. Without it the caller can observe the
+       raised completion word yet read pre-call output bytes. *)
+    Ctx.fence p.pc.ctx;
+    true
   end
 
-let call c ~func ~args ~output_bytes = finish (call_async c ~func ~args ~output_bytes)
+let finish_now p =
+  p.finished <- true;
+  let st = Message.status (Message.view_of_ref p.msg) in
+  (* Dropping the message releases its embedded references to the
+     arguments and the output; the caller keeps its own handles. *)
+  Cxl_ref.drop p.msg;
+  if st = status_rejected then begin
+    Cxl_ref.drop p.output;
+    raise
+      (Call_rejected
+         "Cxl_rpc: server rejected the call (out-of-channel or wild pointer)")
+  end;
+  p.output
+
+let try_finish p =
+  check_unfinished p;
+  if is_done p then Some (finish_now p) else None
+
+let discard p =
+  if not p.finished then begin
+    p.finished <- true;
+    Cxl_ref.drop p.msg;
+    Cxl_ref.drop p.output
+  end
+
+let abandon p reason =
+  p.finished <- true;
+  Cxl_ref.drop p.msg;
+  Cxl_ref.drop p.output;
+  raise (Peer_failed reason)
+
+let finish p =
+  check_unfinished p;
+  let c = p.pc in
+  let rec go attempt =
+    if is_done p then finish_now p
+    else if
+      Transfer.peer_closed c.req || not (peer_alive c.ctx ~cid:c.server_cid)
+    then
+      (* One last look: the server may have raised the completion word
+         right before dying or closing. *)
+      if is_done p then finish_now p
+      else abandon p "Cxl_rpc.finish: server failed mid-call"
+    else begin
+      relax_ladder c.ctx attempt;
+      go (attempt + 1)
+    end
+  in
+  go 1
+
+let call c ~func ~args ~output_bytes =
+  finish (call_async c ~func ~args ~output_bytes)
+
+(* ------------------------------------------------------------------ *)
+(* Server: pointer-isolation walk + serve loop                         *)
+(* ------------------------------------------------------------------ *)
 
 type handler = func:int -> args:Message.view list -> output:Message.view -> unit
+
+let in_channel lay chan addr =
+  match Layout.segment_of_addr lay addr with
+  | exception Invalid_argument _ -> false
+  | seg -> List.mem seg chan
+
+(* The opt-in trust extension: a block is also acceptable when it is homed
+   in a segment the peer client itself owns (never a third party's, never
+   a free segment). The walk still recurses through it, so a peer-owned
+   object cannot launder a reference into someone else's heap. *)
+let peer_owned (s : server) addr =
+  s.peer_segs_ok
+  &&
+  match Layout.segment_of_addr s.sctx.Ctx.lay addr with
+  | exception Invalid_argument _ -> false
+  | seg -> Segment.owner s.sctx seg = Some s.client_cid
+
+(* The RPCool receive-side walk: every reference the message closure can
+   reach must be the base of a live block inside the channel's sub-heap.
+   Discipline: a node's embedded slots are read only after the node itself
+   passed {!Validate.block_base_ok} (pure metadata peeks), so a hostile
+   word is never dereferenced. Wild slots are collected so disposal can
+   neutralise them before any teardown walk would chase them. *)
+let validate_message (s : server) msg_obj =
+  let ctx = s.sctx in
+  let mem = ctx.Ctx.mem and lay = ctx.Ctx.lay in
+  let ok = ref true in
+  let wild = ref [] in
+  let seen = Hashtbl.create 8 in
+  let rec walk obj depth =
+    if depth > 64 || Hashtbl.mem seen obj then ()
+    else begin
+      Hashtbl.add seen obj ();
+      let emb =
+        Obj_header.meta_emb_cnt (Ctx.load ctx (Obj_header.meta_of_obj obj))
+      in
+      for i = 0 to emb - 1 do
+        let slot = Obj_header.emb_slot obj i in
+        let w = Ctx.load ctx slot in
+        if w <> 0 then
+          if not (Validate.block_base_ok mem lay w) then begin
+            (* Not the base of any live block: following it would be a wild
+               dereference. Record the slot for neutralisation. *)
+            ok := false;
+            wild := slot :: !wild
+          end
+          else if in_channel lay s.chan w || peer_owned s w then
+            walk w (depth + 1)
+          else
+            (* A structurally valid block outside the sub-heap (and outside
+               any opted-in peer-owned segment): a smuggled pointer into
+               someone else's heap. Reject without recursing — its closure
+               is not ours to walk, and the slot itself is counted
+               (Message.build attached it), so the teardown detach at
+               disposal is safe. *)
+            ok := false
+      done
+    end
+  in
+  if not (Validate.block_base_ok mem lay msg_obj && in_channel lay s.chan msg_obj)
+  then (false, [])
+  else begin
+    walk msg_obj 0;
+    (!ok, !wild)
+  end
 
 let serve_one s ~handler =
   match Transfer.receive (server_req s) with
   | Transfer.Received msg ->
       let v = Message.view_of_ref msg in
-      let n = Message.nargs v in
-      let args = List.init n (Message.arg v) in
-      handler ~func:(Message.func v) ~args ~output:(Message.output v);
-      (* Publish the in-place results, then drop the server's reference. *)
-      Ctx.fence s.sctx;
-      Message.set_status v 1;
-      Cxl_ref.drop msg;
-      true
+      let valid, wild =
+        if !mutation_skip_validate then (true, [])
+        else validate_message s (Cxl_ref.obj msg)
+      in
+      if not valid then begin
+        s.rejected <- s.rejected + 1;
+        (* Neutralise wild slots with raw stores — they name no block, so no
+           count is owed — or the drop's teardown walk would chase them. *)
+        List.iter (fun slot -> Ctx.store s.sctx slot 0) wild;
+        Ctx.fence s.sctx;
+        (* Error completion: raise the client's poll word to the rejected
+           state. Nothing in the closure was dereferenced. *)
+        Message.set_status v status_rejected;
+        Cxl_ref.drop msg;
+        true
+      end
+      else begin
+        (* Mutation self-check switch: the historical unfenced completion
+           publish. The simulator's memory is sequentially consistent, so
+           the mutation applies the reordering the missing release/acquire
+           pair permitted on hardware — the completion word becomes visible
+           before the handler's in-place output writes. *)
+        if !mutation_unfenced_status then Message.set_status v status_done;
+        let n = Message.nargs v in
+        let args = List.init n (Message.arg v) in
+        handler ~func:(Message.func v) ~args ~output:(Message.output v);
+        (* Release: publish the in-place results before raising the
+           completion word the client polls. *)
+        Ctx.fence s.sctx;
+        Ctx.crash_point s.sctx Fault.Rpc_before_status;
+        if not !mutation_unfenced_status then Message.set_status v status_done;
+        Cxl_ref.drop msg;
+        true
+      end
   | Transfer.Empty | Transfer.Drained -> false
 
 let serve_until s ~handler ~stop =
@@ -92,7 +368,70 @@ let serve_until s ~handler ~stop =
     if not (serve_one s ~handler) then Domain.cpu_relax ()
   done
 
-let close_client c = Transfer.close c.req
+(* ------------------------------------------------------------------ *)
+(* Teardown / revocation                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Return emptied sub-heap segments to the arena. Era-safe: batched
+   retirements are flushed first so dead channel blocks actually reach
+   count zero, and only provably empty segments (no live block, no in-use
+   RootRef, no shard stamp — {!Recovery.segment_empty}) are reset. A
+   segment something still references (an undrained in-flight message, a
+   caller-retained output) simply stays claimed until those references
+   die. *)
+let release_sub_heap (ctx : Ctx.t) segs =
+  if Ctx.epoch_enabled ctx then Reclaim.flush_retired ctx;
+  List.iter
+    (fun seg ->
+      if
+        Segment.owner ctx seg = Some ctx.Ctx.cid
+        && Recovery.segment_empty ctx seg
+      then begin
+        let pps = (Ctx.cfg ctx).Config.pages_per_segment in
+        for p = 0 to pps - 1 do
+          Page.reset ctx ~gid:(Layout.page_gid ctx.Ctx.lay ~seg ~page:p)
+        done;
+        Segment.release ctx seg
+      end)
+    segs
+
+let close_client c =
+  if not c.cclosed then begin
+    c.cclosed <- true;
+    Transfer.close c.req;
+    List.iter (fun seg -> Ctx.unexclude_segment c.ctx seg) c.chan_segs;
+    release_sub_heap c.ctx c.chan_segs
+  end
 
 let close_server s =
-  match s.sreq with Some q -> Transfer.close q | None -> ()
+  match s.sreq with
+  | Some q ->
+      (* The queue teardown reaps any never-consumed in-flight messages
+         while the sub-heap is still excluded on this side, so freed channel
+         blocks park on their own segments' stacks, never on global
+         shards. *)
+      Transfer.close q;
+      let segs = s.chan in
+      List.iter (fun seg -> Ctx.unexclude_segment s.sctx seg) segs;
+      s.chan <- [];
+      s.sreq <- None;
+      (* Revoke a dead claimant's sub-heap. While this side held the
+         channel, recovery of the dead client left its segments orphaned
+         rather than recycling them under our in-flight frees (and our own
+         reap of its messages may have re-marked them leaking); now that
+         the queue is torn down and nothing else touches the sub-heap,
+         recycle whatever is empty. A live claimant keeps ownership and
+         releases in [close_client] instead. *)
+      List.iter
+        (fun seg ->
+          match Segment.owner s.sctx seg with
+          | Some owner
+            when owner <> s.sctx.Ctx.cid
+                 && (not (Client.is_alive s.sctx ~cid:owner))
+                 && (match Segment.state s.sctx seg with
+                    | Segment.Orphaned | Segment.Leaking -> true
+                    | _ -> false) ->
+              ignore (Reclaim.scan_segment s.sctx seg)
+          | Some _ | None -> ())
+        segs
+  | None -> ()

@@ -43,8 +43,13 @@ let try_recv ep =
   Mutex.unlock ep.inbox_lock;
   (match m with
   | Some b ->
-      (* Receiver pays the DMA copy out of the ring buffer. *)
-      ep.clock_ns <- ep.clock_ns +. (float_of_int (Bytes.length b) /. bytes_per_ns)
+      (* Receiver pays the DMA copy out of the ring buffer AND the
+         deserialisation pass over the payload. The latter used to be free,
+         which flattered the pass-by-value baseline: the sender charged
+         serialise+copy but the matching receive-side copy cost nothing, so
+         only one direction of every round trip paid for its bytes. *)
+      ep.clock_ns <-
+        ep.clock_ns +. (2.0 *. float_of_int (Bytes.length b) /. bytes_per_ns)
   | None -> ());
   m
 

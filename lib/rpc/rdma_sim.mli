@@ -15,7 +15,8 @@ val send : endpoint -> bytes -> unit
 (** Copy + transmit; accounts serialisation and wire time on the sender. *)
 
 val try_recv : endpoint -> bytes option
-(** Delivery accounts DMA-copy time on the receiver. *)
+(** Delivery accounts DMA-copy {e and} deserialisation time on the
+    receiver, so both directions of a round trip pay for their bytes. *)
 
 val recv : endpoint -> bytes
 (** Blocking receive (spins). *)

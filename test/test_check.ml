@@ -181,6 +181,51 @@ let test_finds_crash_reap_mutation () =
       | Explore.Pass | Explore.Diverged ->
           Alcotest.fail "replay did not reproduce the failure")
 
+(* The pointer-isolation walk, disabled: with validation skipped the
+   smuggled out-of-channel pointer reaches the handler, and the model's
+   oracle must say exactly that — on the very first schedule, since no
+   preemption is needed to smuggle. *)
+let test_finds_rpc_skip_validate_mutation () =
+  with_flag Cxlshm_rpc.Cxl_rpc.mutation_skip_validate @@ fun () ->
+  let m = Scenarios.rpc_isolate () in
+  let r = Explore.exhaustive ~preemptions:0 ~crash:true ~max_steps:60_000 m in
+  match r.Explore.failure with
+  | None -> Alcotest.fail "skip-validate mutation survived exhaustive search"
+  | Some f ->
+      Alcotest.(check bool)
+        ("failure is the isolation breach: " ^ f.Explore.reason)
+        true
+        (string_contains f.Explore.reason "out-of-channel pointer");
+      let rr = Explore.replay m ~max_steps:60_000 f.Explore.schedule in
+      (match rr.Explore.outcome with
+      | Explore.Fail reason ->
+          Alcotest.(check string) "replay reproduces the same reason"
+            f.Explore.reason reason
+      | Explore.Pass | Explore.Diverged ->
+          Alcotest.fail "replay did not reproduce the failure")
+
+(* The completion fence, dropped: status published before the in-place
+   output write lets the client read a stale output. One preemption (pause
+   the handler between publish and write) exposes it. *)
+let test_finds_rpc_unfenced_status_mutation () =
+  with_flag Cxlshm_rpc.Cxl_rpc.mutation_unfenced_status @@ fun () ->
+  let m = Scenarios.rpc_isolate () in
+  let r = Explore.exhaustive ~preemptions:1 ~crash:true ~max_steps:60_000 m in
+  match r.Explore.failure with
+  | None -> Alcotest.fail "unfenced-status mutation survived exhaustive search"
+  | Some f ->
+      Alcotest.(check bool)
+        ("failure is the stale read: " ^ f.Explore.reason)
+        true
+        (string_contains f.Explore.reason "completion published");
+      let rr = Explore.replay m ~max_steps:60_000 f.Explore.schedule in
+      (match rr.Explore.outcome with
+      | Explore.Fail reason ->
+          Alcotest.(check string) "replay reproduces the same reason"
+            f.Explore.reason reason
+      | Explore.Pass | Explore.Diverged ->
+          Alcotest.fail "replay did not reproduce the failure")
+
 (* The crash-then-recover model must also hold up under the seeded-random
    sweep (deeper interleavings than the bounded-exhaustive frontier). *)
 let test_kv_recover_random_sweep () =
@@ -226,10 +271,18 @@ let test_unmutated_models_pass () =
     Explore.exhaustive ~preemptions:1 ~crash:true ~max_steps:60_000
       (Scenarios.kv_serve_recover ())
   in
-  match r4.Explore.failure with
+  (match r4.Explore.failure with
   | None -> ()
   | Some f ->
-      Alcotest.failf "unmutated kv-serve-recover failed: %s" f.Explore.reason
+      Alcotest.failf "unmutated kv-serve-recover failed: %s" f.Explore.reason);
+  (* the isolation model under a seeded sweep; the exhaustive p<=2 runs in CI *)
+  let r5 =
+    Explore.random ~seed:5 ~schedules:50 ~crash:true ~max_steps:60_000
+      (Scenarios.rpc_isolate ())
+  in
+  match r5.Explore.failure with
+  | None -> ()
+  | Some f -> Alcotest.failf "unmutated rpc-isolate failed: %s" f.Explore.reason
 
 let suite =
   [
@@ -250,6 +303,10 @@ let suite =
       test_finds_kv_quiesce_mutation;
     Alcotest.test_case "finds the era-blind crash reap" `Quick
       test_finds_crash_reap_mutation;
+    Alcotest.test_case "finds the rpc skip-validate mutation" `Quick
+      test_finds_rpc_skip_validate_mutation;
+    Alcotest.test_case "finds the rpc unfenced-status mutation" `Quick
+      test_finds_rpc_unfenced_status_mutation;
     Alcotest.test_case "crash-then-recover random sweep" `Quick
       test_kv_recover_random_sweep;
     Alcotest.test_case "unmutated models pass the same searches" `Quick

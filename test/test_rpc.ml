@@ -1,5 +1,5 @@
-(* CXL-RPC and the RDMA baseline: serialization, zero-copy calls,
-   concurrency, failure of a client mid-call. *)
+(* CXL-RPC and the RDMA baseline: serialization, zero-copy calls with
+   pointer isolation, concurrency, liveness under endpoint failure. *)
 
 open Cxlshm
 open Cxlshm_rpc
@@ -44,6 +44,12 @@ let test_rdma_rpc () =
   Atomic.set stop true;
   Domain.join server
 
+let check_clean arena ~live =
+  let v = Shm.validate arena in
+  Alcotest.(check bool) ("clean: " ^ String.concat ";" v.Validate.errors) true
+    (Validate.is_clean v);
+  Alcotest.(check int) "live objects" live v.Validate.live_objects
+
 let test_cxl_rpc_inline () =
   (* Client and server driven from one thread — deterministic. *)
   let arena = Shm.create ~cfg:mid_cfg () in
@@ -51,7 +57,7 @@ let test_cxl_rpc_inline () =
   let s = Shm.join arena () in
   let server = Cxl_rpc.accept s ~client_cid:c.Ctx.cid ~capacity:8 in
   let client = Cxl_rpc.connect c ~server_cid:s.Ctx.cid ~capacity:8 in
-  let arg = Shm.cxl_malloc c ~size_bytes:32 () in
+  let arg = Cxl_rpc.alloc_arg client ~size_bytes:32 () in
   Cxl_ref.write_bytes arg (Bytes.of_string "zero copy!");
   let p = Cxl_rpc.call_async client ~func:5 ~args:[ arg ] ~output_bytes:32 in
   Alcotest.(check bool) "not done before serve" false (Cxl_rpc.is_done p);
@@ -66,18 +72,25 @@ let test_cxl_rpc_inline () =
         | _ -> Alcotest.fail "one arg expected")
   in
   Alcotest.(check bool) "served" true served;
+  Alcotest.(check int) "nothing rejected" 0 (Cxl_rpc.rejected_calls server);
   Alcotest.(check bool) "done after serve" true (Cxl_rpc.is_done p);
   let out = Cxl_rpc.finish p in
   Alcotest.(check string) "in-place result" "ZERO COPY!"
     (Bytes.to_string (Cxl_ref.read_bytes out ~len:10));
   Cxl_ref.drop arg;
   Cxl_ref.drop out;
-  Cxl_rpc.close_client client;
   Cxl_rpc.close_server server;
-  let v = Shm.validate arena in
-  Alcotest.(check bool) ("clean: " ^ String.concat ";" v.Validate.errors) true
-    (Validate.is_clean v);
-  Alcotest.(check int) "nothing left" 0 v.Validate.live_objects
+  let segs = Cxl_rpc.channel_segments client in
+  Cxl_rpc.close_client client;
+  (* Revocation returned the emptied sub-heap to the arena. *)
+  List.iter
+    (fun seg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "sub-heap segment %d released" seg)
+        true
+        (Segment.state c seg = Segment.Free))
+    segs;
+  check_clean arena ~live:0
 
 let test_cxl_rpc_parallel () =
   let arena = Shm.create ~cfg:mid_cfg () in
@@ -102,7 +115,7 @@ let test_cxl_rpc_parallel () =
   in
   let client = Cxl_rpc.connect c ~server_cid:(wait_cid ()) ~capacity:8 in
   for i = 1 to 100 do
-    let arg = Shm.cxl_malloc c ~size_bytes:8 () in
+    let arg = Cxl_rpc.alloc_arg client ~size_bytes:8 () in
     Cxl_ref.write_word arg 0 (i * 10);
     let out = Cxl_rpc.call client ~func:3 ~args:[ arg ] ~output_bytes:8 in
     Alcotest.(check int)
@@ -116,6 +129,153 @@ let test_cxl_rpc_parallel () =
   Domain.join server;
   Cxl_rpc.close_client client
 
+let test_out_of_channel_rejected () =
+  (* An argument allocated outside the channel sub-heap must be refused by
+     the server's validation walk — handler never runs, client sees
+     Call_rejected — and leave the arena clean. *)
+  let arena = Shm.create ~cfg:mid_cfg () in
+  let c = Shm.join arena () in
+  let s = Shm.join arena () in
+  let server = Cxl_rpc.accept s ~client_cid:c.Ctx.cid ~capacity:8 in
+  let client = Cxl_rpc.connect c ~server_cid:s.Ctx.cid ~capacity:8 in
+  let smuggled = Shm.cxl_malloc c ~size_bytes:16 () in
+  let p =
+    Cxl_rpc.call_async client ~func:9 ~args:[ smuggled ] ~output_bytes:8
+  in
+  let handled = ref false in
+  let served =
+    Cxl_rpc.serve_one server ~handler:(fun ~func:_ ~args:_ ~output:_ ->
+        handled := true)
+  in
+  Alcotest.(check bool) "request consumed" true served;
+  Alcotest.(check bool) "handler never ran" false !handled;
+  Alcotest.(check int) "rejection counted" 1 (Cxl_rpc.rejected_calls server);
+  (match Cxl_rpc.finish p with
+  | exception Cxl_rpc.Call_rejected _ -> ()
+  | _ -> Alcotest.fail "expected Call_rejected");
+  Cxl_ref.drop smuggled;
+  Cxl_rpc.close_server server;
+  Cxl_rpc.close_client client;
+  check_clean arena ~live:0
+
+let test_wild_pointer_rejected () =
+  (* A wild word planted in an in-channel argument's embedded slot: the walk
+     must reject without dereferencing it, and disposal must neutralise the
+     slot so teardown never chases it. *)
+  let arena = Shm.create ~cfg:mid_cfg () in
+  let c = Shm.join arena () in
+  let s = Shm.join arena () in
+  let server = Cxl_rpc.accept s ~client_cid:c.Ctx.cid ~capacity:8 in
+  let client = Cxl_rpc.connect c ~server_cid:s.Ctx.cid ~capacity:8 in
+  let arg = Cxl_rpc.alloc_arg client ~size_bytes:16 ~emb_cnt:1 () in
+  (* Raw poke, not set_emb: a corrupted/hostile pointer, no count behind it. *)
+  Ctx.store c (Obj_header.emb_slot (Cxl_ref.obj arg) 0) 0xDEADBEEF;
+  let p = Cxl_rpc.call_async client ~func:2 ~args:[ arg ] ~output_bytes:8 in
+  let served =
+    Cxl_rpc.serve_one server ~handler:(fun ~func:_ ~args:_ ~output:_ ->
+        Alcotest.fail "handler must not run on a wild closure")
+  in
+  Alcotest.(check bool) "request consumed" true served;
+  Alcotest.(check int) "rejection counted" 1 (Cxl_rpc.rejected_calls server);
+  (match Cxl_rpc.finish p with
+  | exception Cxl_rpc.Call_rejected _ -> ()
+  | _ -> Alcotest.fail "expected Call_rejected");
+  Cxl_ref.drop arg;
+  Cxl_rpc.close_server server;
+  Cxl_rpc.close_client client;
+  check_clean arena ~live:0
+
+let test_double_finish_rejected () =
+  let arena = Shm.create ~cfg:mid_cfg () in
+  let c = Shm.join arena () in
+  let s = Shm.join arena () in
+  let server = Cxl_rpc.accept s ~client_cid:c.Ctx.cid ~capacity:8 in
+  let client = Cxl_rpc.connect c ~server_cid:s.Ctx.cid ~capacity:8 in
+  let arg = Cxl_rpc.alloc_arg client ~size_bytes:8 () in
+  let p = Cxl_rpc.call_async client ~func:1 ~args:[ arg ] ~output_bytes:8 in
+  ignore
+    (Cxl_rpc.serve_one server ~handler:(fun ~func:_ ~args:_ ~output:_ -> ()));
+  let out = Cxl_rpc.finish p in
+  (match Cxl_rpc.finish p with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "second finish must raise Invalid_argument");
+  (match Cxl_rpc.try_finish p with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "try_finish after finish must raise Invalid_argument");
+  Cxl_ref.drop arg;
+  Cxl_ref.drop out;
+  Cxl_rpc.close_server server;
+  Cxl_rpc.close_client client;
+  check_clean arena ~live:0
+
+let test_server_dies_mid_call () =
+  (* The server dies with a request in flight: the client's finish must
+     unblock with Peer_failed (bounded, not an infinite spin) and the arena
+     must come back clean after revocation. *)
+  let arena = Shm.create ~cfg:mid_cfg () in
+  let c = Shm.join arena () in
+  let s = Shm.join arena () in
+  let _server = Cxl_rpc.accept s ~client_cid:c.Ctx.cid ~capacity:8 in
+  let client = Cxl_rpc.connect c ~server_cid:s.Ctx.cid ~capacity:8 in
+  let arg = Cxl_rpc.alloc_arg client ~size_bytes:16 () in
+  let p = Cxl_rpc.call_async client ~func:4 ~args:[ arg ] ~output_bytes:16 in
+  (* Server crashes before serving; the membership layer notices. *)
+  let svc = Shm.service_ctx arena in
+  Client.declare_failed svc ~cid:s.Ctx.cid;
+  ignore (Recovery.recover svc ~failed_cid:s.Ctx.cid);
+  (match Cxl_rpc.finish p with
+  | exception Cxl_rpc.Peer_failed _ -> ()
+  | _ -> Alcotest.fail "expected Peer_failed");
+  Cxl_ref.drop arg;
+  let segs = Cxl_rpc.channel_segments client in
+  Cxl_rpc.close_client client;
+  List.iter
+    (fun seg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "sub-heap segment %d released" seg)
+        true
+        (Segment.state c seg = Segment.Free))
+    segs;
+  check_clean arena ~live:0
+
+let test_send_to_dead_server_unblocks () =
+  (* Full ring + dead server used to spin forever in call_async; the lease
+     check now bounds the wait with Peer_failed. *)
+  let arena = Shm.create ~cfg:mid_cfg () in
+  let c = Shm.join arena () in
+  let s = Shm.join arena () in
+  let _server = Cxl_rpc.accept s ~client_cid:c.Ctx.cid ~capacity:2 in
+  let client = Cxl_rpc.connect c ~server_cid:s.Ctx.cid ~capacity:2 in
+  let fire () =
+    let arg = Cxl_rpc.alloc_arg client ~size_bytes:8 () in
+    let p = Cxl_rpc.call_async client ~func:1 ~args:[ arg ] ~output_bytes:8 in
+    Cxl_ref.drop arg;
+    p
+  in
+  (* Fill the ring while the server (which never serves) is still alive. *)
+  let cap = 2 in
+  let inflight = List.init cap (fun _ -> fire ()) in
+  (* Server dies; the next send finds the ring full and must give up. *)
+  let svc = Shm.service_ctx arena in
+  Client.declare_failed svc ~cid:s.Ctx.cid;
+  let arg = Cxl_rpc.alloc_arg client ~size_bytes:8 () in
+  (match Cxl_rpc.call_async client ~func:1 ~args:[ arg ] ~output_bytes:8 with
+  | exception Cxl_rpc.Peer_failed _ -> ()
+  | _p -> Alcotest.fail "send into a full ring of a dead server must fail");
+  Cxl_ref.drop arg;
+  (* Abandoning the stuck calls also reports Peer_failed and releases the
+     client-held handles. *)
+  List.iter
+    (fun p ->
+      match Cxl_rpc.finish p with
+      | exception Cxl_rpc.Peer_failed _ -> ()
+      | _ -> Alcotest.fail "expected Peer_failed")
+    inflight;
+  ignore (Recovery.recover svc ~failed_cid:s.Ctx.cid);
+  Cxl_rpc.close_client client;
+  ignore (Shm.scan_leaking arena);
+  check_clean arena ~live:0
+
 let test_client_dies_mid_call () =
   (* Client fires a request then dies; recovery must reap the in-flight
      message, its argument and the output object. *)
@@ -124,7 +284,7 @@ let test_client_dies_mid_call () =
   let s = Shm.join arena () in
   let _server = Cxl_rpc.accept s ~client_cid:c.Ctx.cid ~capacity:8 in
   let client = Cxl_rpc.connect c ~server_cid:s.Ctx.cid ~capacity:8 in
-  let arg = Shm.cxl_malloc c ~size_bytes:16 () in
+  let arg = Cxl_rpc.alloc_arg client ~size_bytes:16 () in
   let _p = Cxl_rpc.call_async client ~func:1 ~args:[ arg ] ~output_bytes:16 in
   (* c crashes before the server touches the queue. *)
   let svc = Shm.service_ctx arena in
@@ -134,10 +294,7 @@ let test_client_dies_mid_call () =
   Client.declare_failed svc ~cid:s.Ctx.cid;
   ignore (Recovery.recover svc ~failed_cid:s.Ctx.cid);
   ignore (Shm.scan_leaking arena);
-  let v = Shm.validate arena in
-  Alcotest.(check bool) ("clean: " ^ String.concat ";" v.Validate.errors) true
-    (Validate.is_clean v);
-  Alcotest.(check int) "everything reaped" 0 v.Validate.live_objects
+  check_clean arena ~live:0
 
 let suite =
   [
@@ -146,5 +303,14 @@ let suite =
     Alcotest.test_case "rdma rpc" `Quick test_rdma_rpc;
     Alcotest.test_case "cxl rpc inline" `Quick test_cxl_rpc_inline;
     Alcotest.test_case "cxl rpc parallel" `Quick test_cxl_rpc_parallel;
+    Alcotest.test_case "out-of-channel arg rejected" `Quick
+      test_out_of_channel_rejected;
+    Alcotest.test_case "wild pointer rejected" `Quick
+      test_wild_pointer_rejected;
+    Alcotest.test_case "double finish rejected" `Quick
+      test_double_finish_rejected;
+    Alcotest.test_case "server dies mid-call" `Quick test_server_dies_mid_call;
+    Alcotest.test_case "full ring, dead server unblocks" `Quick
+      test_send_to_dead_server_unblocks;
     Alcotest.test_case "client dies mid-call" `Quick test_client_dies_mid_call;
   ]
